@@ -1,0 +1,57 @@
+"""Micro-benchmarks of the library's own hot paths (not a paper figure).
+
+These keep the simulator honest as the codebase evolves: tuples/second
+through the packer, packets/second through the full switch pass, and
+end-to-end simulated aggregation throughput.
+"""
+
+from repro.core.config import AskConfig
+from repro.core.packer import pack_stream
+from repro.core.packet import AskPacket, PacketFlag
+from repro.core.service import AskService
+from repro.net.simulator import Simulator
+from repro.switch.switch import AskSwitch
+from repro.workloads.generators import zipf_stream
+
+
+def test_packer_throughput(benchmark):
+    cfg = AskConfig()
+    stream = zipf_stream(20_000, 4096, alpha=1.0, seed=1,
+                         key_fn=lambda r: ("%06d" % r).encode())
+    payloads, stats = benchmark(pack_stream, stream, cfg)
+    assert stats.tuples_in == 20_000
+
+
+def test_switch_pass_throughput(benchmark):
+    cfg = AskConfig.small(aggregators_per_aa=4096)
+    switch = AskSwitch(cfg, Simulator(), max_tasks=4, max_channels=8)
+    switch.controller.allocate_region(1)
+    payloads, _ = pack_stream(
+        zipf_stream(8_000, 512, alpha=1.0, seed=2,
+                    key_fn=lambda r: ("%04d" % r).encode()),
+        cfg,
+    )
+    packets = [
+        AskPacket(PacketFlag.DATA, 1, "h0", "h1", 0, seq,
+                  bitmap=p.bitmap, slots=p.slots)
+        for seq, p in enumerate(payloads)
+    ]
+
+    def run():
+        for pkt in packets:
+            switch.program.process(switch.pipeline.begin_pass(), pkt)
+        return switch.stats.data_packets
+
+    processed = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert processed >= len(packets)
+
+
+def test_end_to_end_simulation_throughput(benchmark):
+    stream = [(("k%03d" % (i % 200)).encode(), 1) for i in range(5_000)]
+
+    def run():
+        service = AskService(AskConfig.small(aggregators_per_aa=1024), hosts=2)
+        return service.aggregate({"h0": stream}, receiver="h1")
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert result.stats.input_tuples == 5_000

@@ -1,0 +1,14 @@
+"""Regenerates Fig. 3: single-machine AKV/s — Spark vs strawman INA vs ASK.
+
+Paper anchors: strawman reaches the single-key line rate with 16 cores and
+peaks at 3.4x Spark; full ASK reaches up to 155x Spark at equal cores.
+"""
+
+from repro.experiments import fig03_strawman
+
+
+def test_fig03_strawman(benchmark, report):
+    result = benchmark.pedantic(fig03_strawman.run, iterations=1, rounds=3)
+    report("fig03_strawman", fig03_strawman.format_report(result))
+    assert 3.2 <= result.peak_gain_strawman <= 3.6
+    assert 140 <= result.max_ask_gain <= 170

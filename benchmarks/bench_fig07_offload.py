@@ -1,0 +1,17 @@
+"""Regenerates Fig. 7: computation offload — ASK (1/2/4 data channels) vs
+host-only PreAggr (8–56 threads) on 51.2 GB of tuples: JCT and CPU%.
+
+Paper anchors: PreAggr 111.20 s @ 8 threads, 33.22 s @ 32; ASK ≈6 s with
+4 channels at 7.14 % CPU.
+"""
+
+from repro.experiments import fig07_offload
+
+
+def test_fig07_offload(benchmark, report):
+    result = benchmark.pedantic(fig07_offload.run, iterations=1, rounds=3)
+    report("fig07_offload", fig07_offload.format_report(result))
+    assert abs(result.preaggr_point(8).jct_seconds - 111.2) < 2.0
+    assert abs(result.preaggr_point(32).jct_seconds - 33.22) < 1.0
+    assert result.ask_point(4).jct_seconds < 8.0
+    assert result.ask_point(4).cpu_percent < 8.0

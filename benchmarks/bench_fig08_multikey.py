@@ -1,0 +1,20 @@
+"""Regenerates Fig. 8: multi-key vectorization effectiveness.
+
+(a) goodput vs tuples/packet against the ideal 8x/(8x+78)·100 law, with the
+PCIe glitches at 18 and 26; (b) the non-blank-tuples-per-packet CDF for the
+uniform reference and the four datasets (paper: yelp worst at ≈16.91).
+"""
+
+from repro.experiments import fig08_multikey
+
+
+def test_fig08_multikey(benchmark, report):
+    result = benchmark.pedantic(
+        fig08_multikey.run, kwargs={"tuples_per_dataset": 60_000}, iterations=1, rounds=1
+    )
+    report("fig08_multikey", fig08_multikey.format_report(result))
+    fig8a, fig8b = result
+    assert fig8a.glitch_depth(18) > 0 and fig8a.glitch_depth(26) > 0
+    assert abs(fig8a.measured.y_at(32) - 73.96) < 1.0
+    assert abs(fig8b.mean_occupancy("yelp") - 16.91) < 1.0
+    assert fig8b.mean_occupancy("Uniform") > 29

@@ -1,0 +1,36 @@
+"""Regenerates Fig. 10: WordCount JCT — ASK vs Spark/SparkSHM/SparkRDMA.
+
+3 machines × 32 mappers/reducers, 5–20 × 10^7 tuples per mapper.  Paper:
+ASK reduces JCT by 67.3–75.1 % against every baseline at every size; the
+Spark variants differ only marginally from each other.
+
+The JCTs come from the calibrated cost model; a scaled-down functional run
+cross-checks that every backend computes the identical aggregate.
+"""
+
+from repro.experiments import fig10_jct
+
+
+def test_fig10_jct(benchmark, report):
+    result = benchmark.pedantic(fig10_jct.run, iterations=1, rounds=3)
+    report("fig10_jct", fig10_jct.format_report(result))
+    low, high = result.reduction_range()
+    assert 0.65 <= low <= high <= 0.78
+
+
+def test_fig10_functional_crosscheck(benchmark, report):
+    reports = benchmark.pedantic(
+        fig10_jct.run_functional,
+        kwargs={"tuples_per_mapper": 400, "distinct_keys": 128},
+        iterations=1,
+        rounds=1,
+    )
+    results = [r.result for r in reports.values()]
+    assert all(r == results[0] for r in results)
+    ask = reports["ask"]
+    report(
+        "fig10_functional",
+        "Functional WordCount cross-check: all four backends agree on "
+        f"{len(results[0])} keys; ASK aggregated "
+        f"{ask.switch_aggregation_ratio * 100:.1f}% of tuples on the switch.",
+    )

@@ -1,0 +1,19 @@
+"""Regenerates Fig. 11: mapper/reducer task completion times.
+
+Paper anchors at 10^8 tuples per mapper: ASK mappers ≈1.67 s (no CPU
+pre-aggregation) vs 15.89–17.67 s for the baselines; ASK reducers run
+longer (they aggregate the co-located mappers' share), but the mapper
+saving dominates.
+"""
+
+from repro.experiments import fig11_tct
+
+
+def test_fig11_tct(benchmark, report):
+    result = benchmark.pedantic(fig11_tct.run, iterations=1, rounds=3)
+    report("fig11_tct", fig11_tct.format_report(result))
+    assert abs(result.mapper_tct["ask"] - 1.67) < 0.2
+    for backend in ("spark", "spark_shm", "spark_rdma"):
+        assert 15.0 <= result.mapper_tct[backend] <= 19.5
+        assert result.reducer_tct["ask"] > result.reducer_tct[backend]
+        assert result.mapper_saving_vs(backend) > result.reducer_cost_vs(backend)

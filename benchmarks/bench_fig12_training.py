@@ -1,0 +1,34 @@
+"""Regenerates Fig. 12: distributed-training throughput (images/s) for
+ResNet50/101/152 and VGG11/16/19 under ASK, ATP, SwitchML and host BytePS.
+
+Paper shape: the three INA systems are similar; ASK and ATP slightly
+outperform SwitchML (small packets) on some models; all INA beats host PS.
+A tiny functional all-reduce through the simulated switch cross-checks the
+gradient arithmetic.
+"""
+
+import numpy as np
+
+from repro.apps.training.ps import run_functional_training
+from repro.experiments import fig12_training
+
+
+def test_fig12_training(benchmark, report):
+    result = benchmark.pedantic(fig12_training.run, iterations=1, rounds=3)
+    report("fig12_training", fig12_training.format_report(result))
+    for model, per_system in result.throughput.items():
+        assert per_system["switchml"] <= per_system["ask"]
+        assert per_system["byteps"] < per_system["switchml"]
+        assert abs(per_system["ask"] - per_system["atp"]) / per_system["atp"] < 0.05
+
+
+def test_fig12_functional_allreduce(benchmark):
+    sums = benchmark.pedantic(
+        run_functional_training,
+        kwargs={"workers": 3, "elements": 256, "iterations": 1, "seed": 9},
+        iterations=1,
+        rounds=1,
+    )
+    rng = np.random.default_rng(9)
+    expected = sum(rng.integers(-1000, 1000, size=256) for _ in range(3))
+    assert sums[0].tolist() == expected.tolist()

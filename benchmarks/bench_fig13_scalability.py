@@ -1,0 +1,35 @@
+"""Regenerates Fig. 13: bandwidth overhead and scalability.
+
+(a) goodput vs data channels: NoAggr 91.75 Gbps with 2 channels, ASK
+73.96 Gbps needing 4 — the overhead of fixed small slots.
+(b) per-sender throughput vs sender count: ASK flat, NoAggr ∝ 1/n
+(11.88 Gbps at 8 senders).  A functional simulation cross-checks that the
+switch, not the receiver, absorbs ASK's traffic.
+"""
+
+from repro.core.config import AskConfig
+from repro.core.service import AskService
+from repro.experiments import fig13_scalability
+
+
+def test_fig13_scalability(benchmark, report):
+    result = benchmark.pedantic(fig13_scalability.run, iterations=1, rounds=3)
+    report("fig13_scalability", fig13_scalability.format_report(result))
+    assert abs(max(result.ask_goodput.ys()) - 73.96) < 1.0
+    assert abs(max(result.noaggr_goodput.ys()) - 91.75) < 1.0
+    assert abs(result.noaggr_per_sender.y_at(8) - 11.88) < 1.0
+    assert result.ask_per_sender.y_at(8) == result.ask_per_sender.y_at(1)
+
+
+def test_fig13_functional_absorption(benchmark):
+    def run():
+        cfg = AskConfig.small(aggregators_per_aa=2048)
+        service = AskService(cfg, hosts=5)
+        stream = [(("k%02d" % (i % 25)).encode(), 1) for i in range(500)]
+        streams = {f"h{i}": list(stream) for i in range(4)}
+        result = service.aggregate(streams, receiver="h4", check=True)
+        return result.stats
+
+    stats = benchmark.pedantic(run, iterations=1, rounds=1)
+    # The switch absorbed nearly everything; the receiver saw few packets.
+    assert stats.switch_ack_ratio > 0.9

@@ -1,0 +1,28 @@
+"""Benchmark-harness helpers.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+experiment under ``pytest-benchmark`` timing and emits the textual
+equivalent of the paper's rows/series — both to stdout and to
+``benchmarks/results/<name>.txt`` so the report survives output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Write (and print) a named experiment report."""
+
+    def _report(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{'=' * 72}\n{text}\n{'=' * 72}\n[report written to {path}]")
+
+    return _report

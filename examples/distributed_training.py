@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Distributed training over ASK: gradients as value streams (§5.6).
+
+Value-stream aggregation is the special case of key-value aggregation with
+index keys.  The example pushes real (synthetic, fixed-point) gradients from
+four workers through the simulated switch, checks the sums against numpy,
+and prints the Fig. 12 throughput model for the paper's six models.  Run:
+
+    python examples/distributed_training.py
+"""
+
+import numpy as np
+
+from repro.apps.training import (
+    MODELS,
+    TrainingSystem,
+    ask_allreduce,
+    images_per_second,
+)
+from repro.core.config import AskConfig
+from repro.core.service import AskService
+
+
+def main() -> None:
+    # ---- functional gradient push through the switch ---------------------
+    workers = 4
+    elements = 1_024
+    rng = np.random.default_rng(0)
+    gradients = {
+        f"gpu{w}": rng.integers(-(2**15), 2**15, size=elements).tolist()
+        for w in range(workers)
+    }
+
+    config = AskConfig.small(aggregators_per_aa=4096)
+    service = AskService(config, hosts=[*gradients, "ps"])
+    summed = ask_allreduce(service, gradients, receiver="ps")
+
+    expected = np.sum([np.array(g) for g in gradients.values()], axis=0)
+    assert np.array_equal(summed, expected), "gradient sum must be exact"
+    print(f"aggregated a {elements}-element gradient from {workers} workers "
+          "through the switch")
+    print(f"  switch modular arithmetic handled negatives exactly "
+          f"(min {summed.min()}, max {summed.max()})")
+
+    # ---- Fig. 12 throughput model ----------------------------------------
+    print("\nmodeled training throughput, 8 workers x batch 32 (images/s):")
+    systems = (TrainingSystem.ASK, TrainingSystem.ATP,
+               TrainingSystem.SWITCHML, TrainingSystem.BYTEPS)
+    header = f"{'model':<10}" + "".join(f"{s.value:>10}" for s in systems)
+    print(header)
+    for name, spec in MODELS.items():
+        row = f"{name:<10}"
+        for system in systems:
+            row += f"{images_per_second(spec, system):>10.0f}"
+        print(row)
+    print("\nASK matches ATP and slightly outperforms SwitchML on the "
+          "communication-heavy VGGs — the Fig. 12 shape.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Hot-key agnostic prioritization in action (§3.4, Fig. 9).
+
+A cold-first Zipf stream is the adversarial case for FCFS aggregator
+allocation: early cold keys squat on the switch memory for the whole task.
+The shadow-copy mechanism periodically evicts them, letting hot keys win
+the memory back.  Run:
+
+    python examples/hot_key_prioritization.py
+"""
+
+import numpy as np
+
+from repro.experiments.fastsim import simulate_occupancy
+from repro.workloads.generators import zipf_stream
+
+
+def main() -> None:
+    num_keys = 2**13
+    num_tuples = 400_000
+    stream = zipf_stream(num_tuples, num_keys, alpha=1.0, order="zipf_reverse")
+    ranks = np.array([int.from_bytes(k, "little") for k, _ in stream])
+
+    print(f"cold-first Zipf stream: {num_tuples} tuples, {num_keys} distinct keys")
+    print(f"{'aggregators':>12} {'ratio':>8} {'FCFS':>9} {'shadow copy':>12}")
+    for exponent in range(4, 14):
+        aggregators = 2**exponent
+        fcfs = simulate_occupancy(ranks, aggregators)
+        shadow = simulate_occupancy(
+            ranks, aggregators, shadow_copy=True,
+            swap_every=max(32, aggregators // 4),
+        )
+        ratio = f"1/{num_keys // aggregators}" if aggregators < num_keys else "1"
+        print(f"{aggregators:>12} {ratio:>8} {fcfs.switch_ratio:>8.1%} "
+              f"{shadow.switch_ratio:>11.1%}")
+
+    print("\nwith 1/16th of the keys' worth of aggregators, the shadow copy")
+    print("turns a ~1% on-switch aggregation ratio into >95% — the paper's")
+    print("Fig. 9(b) headline — without knowing which keys are hot.")
+
+
+if __name__ == "__main__":
+    main()

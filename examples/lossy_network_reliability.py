@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Reliability deep-dive: exactly-once aggregation on a hostile network.
+
+Cranks loss, duplication and reordering far beyond datacenter reality,
+shrinks the switch region to one aggregator per AA (so nearly every packet
+is only *partially* aggregated — the hard case of §3.3), and shows that the
+sliding window + compact ``seen`` + PktState machinery still delivers the
+exact result.  Run:
+
+    python examples/lossy_network_reliability.py
+"""
+
+import random
+
+from repro import AskConfig, AskService, FaultModel, reference_aggregate
+
+
+def run_once(loss: float, dup: float, reorder: float, seed: int) -> None:
+    config = AskConfig.small(window_size=8, retransmit_timeout_us=50.0)
+    fault = FaultModel(
+        loss_rate=loss,
+        duplicate_rate=dup,
+        reorder_rate=reorder,
+        max_extra_delay_ns=300_000,  # long enough to create stale packets
+        seed=seed,
+    )
+    service = AskService(config, hosts=3, fault=fault)
+
+    rng = random.Random(seed)
+    keys = [("k%02d" % i).encode() for i in range(24)]
+    streams = {
+        h: [(rng.choice(keys), rng.randint(1, 99)) for _ in range(400)]
+        for h in ("h0", "h1")
+    }
+
+    # region_size=1: one aggregator per AA -> constant collisions, so most
+    # packets are partially aggregated and must be deduplicated per tuple.
+    result = service.aggregate(streams, receiver="h2", region_size=1)
+    expected = reference_aggregate(streams, config.value_mask)
+    assert result.values == expected, "exactly-once violated!"
+
+    stats = result.stats
+    dedup = service.switch.dedup
+    print(f"loss={loss:.0%} dup={dup:.0%} reorder={reorder:.0%}:")
+    print(f"  retransmissions:          {stats.retransmissions}")
+    print(f"  dup packets seen (switch):{dedup.duplicates_detected}")
+    print(f"  stale packets dropped:    {dedup.stale_drops}")
+    print(f"  dup dropped at receiver:  {stats.duplicate_packets_dropped}")
+    print(f"  result exact:             yes "
+          f"({len(result)} keys, {stats.input_tuples} tuples)\n")
+
+
+def main() -> None:
+    print("exactly-once under escalating network hostility "
+          "(region_size=1: worst-case partial aggregation)\n")
+    run_once(loss=0.00, dup=0.00, reorder=0.00, seed=1)
+    run_once(loss=0.05, dup=0.05, reorder=0.10, seed=2)
+    run_once(loss=0.15, dup=0.10, reorder=0.25, seed=3)
+    run_once(loss=0.30, dup=0.20, reorder=0.40, seed=4)
+    print("the compact W-bit `seen`, the PktState bitmaps and the stale-"
+          "packet guard\nabsorbed every fault without double-counting a "
+          "single tuple.")
+
+
+if __name__ == "__main__":
+    main()

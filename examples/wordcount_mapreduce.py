@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""WordCount on the mini MapReduce engine: ASK shuffle vs Spark baselines.
+
+Runs the job functionally at laptop scale over a synthetic yelp-like corpus
+(all backends must agree exactly), then prints the calibrated paper-scale
+JCT/TCT model behind Figs. 10 and 11.  Run:
+
+    python examples/wordcount_mapreduce.py
+"""
+
+from repro.apps.mapreduce import (
+    Backend,
+    MapReduceCostModel,
+    MapReduceSpec,
+    run_wordcount,
+    wordcount_streams,
+)
+from repro.workloads.datasets import get_dataset
+
+
+def main() -> None:
+    # ---- functional run (scaled down) -----------------------------------
+    corpus = get_dataset("yelp", vocabulary_size=2_000)
+    streams = wordcount_streams(
+        machines=3,
+        mappers_per_machine=2,
+        tuples_per_mapper=1_500,
+        distinct_keys=0,
+        corpus=corpus,
+    )
+    print("running WordCount functionally on 3 machines "
+          f"({sum(len(s) for s in streams.values())} tuples)...")
+
+    reports = {
+        backend.value: run_wordcount(streams, backend.value, reducers_per_machine=2)
+        for backend in Backend
+    }
+    reference = reports["spark"].result
+    for name, job in reports.items():
+        assert job.result == reference, f"{name} diverged"
+    ask = reports["ask"]
+    print(f"  all 4 backends agree on {len(reference)} distinct words")
+    print(f"  ASK aggregated {ask.switch_aggregation_ratio * 100:.1f}% of tuples "
+          "on the switch")
+    top = max(reference.items(), key=lambda kv: kv[1])
+    print(f"  hottest word: {top[0].decode()!r} x{top[1]}")
+
+    # ---- paper-scale cost model (Figs. 10/11) ----------------------------
+    print("\nmodeled testbed-scale times (3 machines x 32 mappers/reducers):")
+    cost = MapReduceCostModel()
+    print(f"{'tuples/mapper':>14} {'Spark JCT':>10} {'ASK JCT':>8} {'reduction':>10}")
+    for tuples in (50_000_000, 100_000_000, 150_000_000, 200_000_000):
+        spec = MapReduceSpec(tuples_per_mapper=tuples)
+        spark = cost.times(spec, Backend.SPARK)
+        ask_t = cost.times(spec, Backend.ASK)
+        reduction = 1 - ask_t.jct_s / spark.jct_s
+        print(f"{tuples // 10**7:>12}e7 {spark.jct_s:>9.1f}s {ask_t.jct_s:>7.1f}s "
+              f"{reduction * 100:>9.1f}%")
+    spec = MapReduceSpec(tuples_per_mapper=100_000_000)
+    print("\nper-task decomposition at 1e8 tuples/mapper (Fig. 11):")
+    for backend in Backend:
+        times = cost.times(spec, backend)
+        print(f"  {backend.value:<12} mapper {times.mapper_tct_s:>6.2f}s   "
+              f"reducer {times.reducer_tct_s:>6.2f}s")
+
+
+if __name__ == "__main__":
+    main()

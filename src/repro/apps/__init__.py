@@ -1,0 +1,8 @@
+"""Application substrates that consume the ASK service.
+
+- :mod:`repro.apps.mapreduce` — a mini Spark-style MapReduce engine whose
+  shuffle can run through ASK (the §5.5 big-data integration).
+- :mod:`repro.apps.training` — a mini BytePS-style parameter-server trainer
+  whose gradient push runs through ASK as a value stream (the §5.6
+  backward-compatibility integration).
+"""

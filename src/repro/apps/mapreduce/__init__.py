@@ -1,0 +1,31 @@
+"""Mini MapReduce engine with an ASK-backed shuffle (§5.5).
+
+The engine plays the role Spark plays in the paper: mappers generate
+key-value tuples, reducers aggregate them.  Four backends are provided —
+``spark`` (sort-based pre-aggregation + disk shuffle), ``spark_shm``,
+``spark_rdma`` and ``ask`` (tuples stream through the switch, one
+aggregation task per reducer).
+
+Two layers:
+
+- :mod:`repro.apps.mapreduce.engine` runs the job *functionally* at any
+  scale, so ASK's result can be asserted equal to the host-only backends';
+- :mod:`repro.apps.mapreduce.costs` prices mapper/reducer task-completion
+  times and JCT at the paper's testbed scale (Figs. 10 and 11).
+"""
+
+from repro.apps.mapreduce.costs import Backend, MapReduceCostModel, MapReduceSpec, TaskTimes
+from repro.apps.mapreduce.rdd import Dataset
+from repro.apps.mapreduce.engine import FunctionalJobReport, run_wordcount
+from repro.apps.mapreduce.wordcount import wordcount_streams
+
+__all__ = [
+    "Backend",
+    "Dataset",
+    "FunctionalJobReport",
+    "MapReduceCostModel",
+    "MapReduceSpec",
+    "TaskTimes",
+    "run_wordcount",
+    "wordcount_streams",
+]

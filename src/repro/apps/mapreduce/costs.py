@@ -1,0 +1,162 @@
+"""Paper-scale MapReduce cost model (Figs. 10 and 11).
+
+The §5.5 setting: 3 machines, 32 mappers and 32 reducers each, 2^18 distinct
+keys per mapper, 5–20 × 10^7 tuples per mapper.  The decisive anchors from
+Fig. 11: an ASK mapper finishes in ≈1.67 s (it only generates tuples and
+hands them to the daemon) while baseline mappers take ≈15.9–17.7 s (they
+also sort-merge pre-aggregate); ASK reducers take longer because co-located
+mappers' data is aggregated by the local reducers on the CPU.
+
+JCT composition:
+
+- Spark-family: the map wave (generation + pre-aggregation + intermediate
+  write) must finish before the reduce wave (shuffle fetch + merge) starts.
+- ASK: generation, switch streaming and the reducers' local merging all
+  overlap, so JCT ≈ the slowest of the three plus the teardown fetch —
+  which is where the paper's 67–75 % JCT reduction comes from.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.baselines.spark import SparkVariant
+from repro.perf.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.perf.goodput import ask_goodput_gbps
+
+
+class Backend(enum.Enum):
+    """Shuffle/aggregation backend for a MapReduce job."""
+
+    SPARK = "spark"
+    SPARK_SHM = "spark_shm"
+    SPARK_RDMA = "spark_rdma"
+    ASK = "ask"
+
+    @property
+    def spark_variant(self) -> SparkVariant:
+        if self is Backend.ASK:
+            raise ValueError("ASK backend has no Spark variant")
+        return {
+            Backend.SPARK: SparkVariant.VANILLA,
+            Backend.SPARK_SHM: SparkVariant.SHM,
+            Backend.SPARK_RDMA: SparkVariant.RDMA,
+        }[self]
+
+
+@dataclass(frozen=True)
+class MapReduceSpec:
+    """One WordCount job configuration (§5.5 defaults)."""
+
+    machines: int = 3
+    mappers_per_machine: int = 32
+    reducers_per_machine: int = 32
+    tuples_per_mapper: int = 100_000_000
+    distinct_keys_per_mapper: int = 2**18
+    data_channels: int = 4
+
+    @property
+    def total_mappers(self) -> int:
+        return self.machines * self.mappers_per_machine
+
+    @property
+    def total_reducers(self) -> int:
+        return self.machines * self.reducers_per_machine
+
+    @property
+    def total_tuples(self) -> int:
+        return self.total_mappers * self.tuples_per_mapper
+
+
+@dataclass(frozen=True)
+class TaskTimes:
+    """Modeled per-task and job times, all in seconds."""
+
+    mapper_tct_s: float
+    reducer_tct_s: float
+    jct_s: float
+
+
+class MapReduceCostModel:
+    """Prices a :class:`MapReduceSpec` under each backend."""
+
+    def __init__(self, model: CostModel = DEFAULT_COST_MODEL) -> None:
+        self.model = model
+
+    # ------------------------------------------------------------------
+    def _eff(self, threads: int) -> float:
+        return self.model.thread_efficiency(threads)
+
+    def _per_tuple_seconds(self, ns: float, threads: int) -> float:
+        return ns / 1e9 / self._eff(threads)
+
+    # ------------------------------------------------------------------
+    def times(self, spec: MapReduceSpec, backend: Backend) -> TaskTimes:
+        if backend is Backend.ASK:
+            return self._ask_times(spec)
+        return self._spark_times(spec, backend.spark_variant)
+
+    # ------------------------------------------------------------------
+    def _spark_times(self, spec: MapReduceSpec, variant: SparkVariant) -> TaskTimes:
+        m = self.model
+        threads = spec.mappers_per_machine
+        per = lambda ns: self._per_tuple_seconds(ns, threads)
+
+        generate = spec.tuples_per_mapper * per(m.ns_per_tuple_generate)
+        preagg = spec.tuples_per_mapper * per(m.ns_per_tuple_preaggr)
+        # After pre-aggregation each mapper emits ~one tuple per distinct key.
+        intermediate_tuples = min(spec.tuples_per_mapper, spec.distinct_keys_per_mapper)
+        intermediate_bytes = intermediate_tuples * 12  # key hash + value + len
+        write_share = variant.intermediate_write_gbps(m) / spec.mappers_per_machine
+        write = intermediate_bytes * 8 / (write_share * 1e9)
+        mapper = generate + preagg + write + variant.task_overhead_seconds()
+
+        # Reduce wave: fetch the (small) intermediate results and merge.
+        total_intermediate = intermediate_tuples * spec.total_mappers
+        per_reducer_tuples = total_intermediate / spec.total_reducers
+        remote_fraction = (spec.machines - 1) / spec.machines
+        fetch_share = variant.shuffle_gbps(m) / spec.reducers_per_machine
+        fetch = per_reducer_tuples * 12 * remote_fraction * 8 / (fetch_share * 1e9)
+        merge = per_reducer_tuples * self._per_tuple_seconds(
+            m.ns_per_tuple_hash_merge, spec.reducers_per_machine
+        )
+        reducer = fetch + merge + variant.task_overhead_seconds()
+
+        return TaskTimes(mapper, reducer, mapper + reducer)
+
+    # ------------------------------------------------------------------
+    def _ask_times(self, spec: MapReduceSpec) -> TaskTimes:
+        m = self.model
+        threads = spec.mappers_per_machine
+        per = lambda ns: self._per_tuple_seconds(ns, threads)
+
+        generate = spec.tuples_per_mapper * (
+            per(m.ns_per_tuple_generate) + per(m.ns_per_tuple_shm_write)
+        )
+        mapper = generate + 0.05  # daemon hand-off, no pre-aggregation
+
+        # Streaming: one machine's mappers share its NIC through the daemon.
+        machine_bytes = spec.mappers_per_machine * spec.tuples_per_mapper * m.tuple_bytes
+        slots = m.max_payload_bytes // m.tuple_bytes
+        goodput = ask_goodput_gbps(slots, spec.data_channels, m)
+        stream = machine_bytes * 8 / (goodput * 1e9)
+
+        # Co-located mappers' share is aggregated by the local reducers
+        # (§5.5: "these mappers' data needs to be aggregated by the local
+        # reducers"), which is why ASK reducers run longer than baselines'.
+        local_tuples_per_reducer = (
+            spec.mappers_per_machine * spec.tuples_per_mapper
+        ) / (spec.machines * spec.reducers_per_machine)
+        local_merge = local_tuples_per_reducer * self._per_tuple_seconds(
+            m.ns_per_tuple_hash_merge, spec.reducers_per_machine
+        )
+        teardown = 0.6  # final switch fetch + result publication
+        # Generation overlaps with streaming; the reducers' CPU merge of
+        # the co-located share runs after the stream drains (during the
+        # stream they are busy receiving residual packets), then teardown.
+        jct = max(generate, stream) + local_merge + teardown
+        # A reduce task is alive from job start to job end minus the
+        # initial daemon hand-off.
+        reducer = jct - 0.05
+        return TaskTimes(mapper, reducer, jct)

@@ -1,0 +1,148 @@
+"""Functional mini-MapReduce engine.
+
+Runs WordCount end to end at any scale and returns both the result and the
+shuffle statistics.  The ``ask`` backend creates one ASK aggregation task
+per reducer (the reducer host is the task receiver; every machine is a
+sender with the tuples of that reducer's key partition).  The Spark-family
+backends pre-aggregate per machine and merge at the reducers — functionally
+identical output, which the integration tests assert.
+
+Co-located traffic note: in the paper, a mapper whose reducer lives on the
+same machine hands its tuples over locally; here those tuples still transit
+the simulated TOR (a hairpin), which is behaviour-preserving for results
+and statistics because the switch absorbs them the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.baselines.preaggr import preaggregate
+from repro.core.config import AskConfig
+from repro.core.hashing import fnv1a32
+from repro.core.service import AskService
+from repro.net.fault import FaultModel
+from repro.workloads.stream import merge_results
+
+
+@dataclass
+class FunctionalJobReport:
+    """Outcome of a functional WordCount run."""
+
+    backend: str
+    result: dict[bytes, int]
+    reducers: int
+    tuples_in: int = 0
+    switch_aggregated_tuples: int = 0
+    switch_acked_packets: int = 0
+    data_packets: int = 0
+    per_task_stats: list = field(default_factory=list)
+
+    @property
+    def switch_aggregation_ratio(self) -> float:
+        return self.switch_aggregated_tuples / self.tuples_in if self.tuples_in else 0.0
+
+
+def _partition(key: bytes, reducers: int) -> int:
+    """Reducer partition function (stable across backends)."""
+    return fnv1a32(key, 0x9E3779B9) % reducers
+
+
+def run_wordcount(
+    streams: dict[str, list[tuple[bytes, int]]],
+    backend: str = "ask",
+    reducers_per_machine: int = 1,
+    config: Optional[AskConfig] = None,
+    fault: Optional[FaultModel] = None,
+    value_bits: int = 32,
+) -> FunctionalJobReport:
+    """Run WordCount functionally over per-machine streams.
+
+    ``streams`` maps machine name → that machine's mapper output.  Reducers
+    are placed round-robin over machines; reducer ``r`` lives on machine
+    ``r % machines``.
+    """
+    machines = list(streams)
+    reducers = reducers_per_machine * len(machines)
+    tuples_in = sum(len(s) for s in streams.values())
+
+    # Partition every machine's output by reducer.
+    partitions: dict[int, dict[str, list[tuple[bytes, int]]]] = {
+        r: {m: [] for m in machines} for r in range(reducers)
+    }
+    for machine, stream in streams.items():
+        for key, value in stream:
+            partitions[_partition(key, reducers)][machine].append((key, value))
+
+    if backend == "ask":
+        return _run_ask(machines, partitions, reducers, tuples_in, config, fault, value_bits)
+    if backend in ("spark", "spark_shm", "spark_rdma"):
+        return _run_spark_family(backend, machines, partitions, reducers, tuples_in, value_bits)
+    raise ValueError(f"unknown backend {backend!r}")
+
+
+def _run_ask(
+    machines: list[str],
+    partitions: dict[int, dict[str, list[tuple[bytes, int]]]],
+    reducers: int,
+    tuples_in: int,
+    config: Optional[AskConfig],
+    fault: Optional[FaultModel],
+    value_bits: int,
+) -> FunctionalJobReport:
+    cfg = config if config is not None else AskConfig.small()
+    if cfg.value_bits != value_bits:
+        raise ValueError("config.value_bits must match the requested value_bits")
+    service = AskService(cfg, hosts=machines, fault=fault)
+    region_size = max(1, cfg.copy_size // max(1, reducers))
+
+    tasks = []
+    for reducer, per_machine in partitions.items():
+        receiver = machines[reducer % len(machines)]
+        sender_streams = {m: s for m, s in per_machine.items() if s}
+        if not sender_streams:
+            continue
+        tasks.append(
+            service.submit(sender_streams, receiver, region_size=region_size)
+        )
+    service.run_to_completion()
+
+    result = merge_results(
+        [task.result.values for task in tasks], value_bits
+    )
+    report = FunctionalJobReport(
+        backend="ask", result=result, reducers=reducers, tuples_in=tuples_in
+    )
+    for task in tasks:
+        report.per_task_stats.append(task.stats)
+        report.switch_aggregated_tuples += task.stats.tuples_aggregated_at_switch
+        report.switch_acked_packets += task.stats.acks_from_switch
+        report.data_packets += (
+            task.stats.data_packets_sent + task.stats.long_packets_sent
+        )
+    return report
+
+
+def _run_spark_family(
+    backend: str,
+    machines: list[str],
+    partitions: dict[int, dict[str, list[tuple[bytes, int]]]],
+    reducers: int,
+    tuples_in: int,
+    value_bits: int,
+) -> FunctionalJobReport:
+    # Mapper side: per-machine, per-partition pre-aggregation (the sort
+    # based combiner every Spark variant runs), then reducer-side merge.
+    reducer_outputs = []
+    for reducer, per_machine in partitions.items():
+        partials = [
+            preaggregate(stream, value_bits)
+            for stream in per_machine.values()
+            if stream
+        ]
+        reducer_outputs.append(merge_results(partials, value_bits))
+    result = merge_results(reducer_outputs, value_bits)
+    return FunctionalJobReport(
+        backend=backend, result=result, reducers=reducers, tuples_in=tuples_in
+    )

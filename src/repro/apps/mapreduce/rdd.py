@@ -1,0 +1,136 @@
+"""A tiny RDD-style dataflow API over the ASK shuffle.
+
+The paper integrates ASK into Spark through a plugin (~1800 lines of Java,
+§4) whose job is to hand `reduceByKey` traffic to the daemon instead of the
+Spark shuffle.  This module is that plugin's analogue for the simulated
+stack: a lazily-evaluated, partitioned collection whose ``reduce_by_key``
+action runs through an :class:`~repro.core.service.AskService`.
+
+::
+
+    lines = Dataset.from_partitions({"m0": [...], "m1": [...]})
+    counts = (
+        lines.flat_map(str.split)
+             .map(lambda word: (word.encode(), 1))
+             .reduce_by_key()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, TypeVar
+
+from repro.core.config import AskConfig
+from repro.core.service import AskService
+from repro.net.fault import FaultModel
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+_DRIVER = "__driver__"
+
+
+class Dataset:
+    """A partitioned collection with lazy transformations.
+
+    Partitions are keyed by machine name; transformations record a pipeline
+    that is applied per partition when an action runs.  Only the patterns
+    the ASK integration needs are provided — this is a plugin shim, not a
+    dataframe engine.
+    """
+
+    def __init__(
+        self,
+        partitions: Dict[str, list],
+        pipeline: Optional[List[Callable[[Iterable], Iterable]]] = None,
+    ) -> None:
+        if not partitions:
+            raise ValueError("a Dataset needs at least one partition")
+        self._partitions = partitions
+        self._pipeline = list(pipeline or [])
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_partitions(cls, partitions: Dict[str, Iterable]) -> "Dataset":
+        return cls({host: list(items) for host, items in partitions.items()})
+
+    @classmethod
+    def parallelize(cls, items: Iterable, machines: int = 3) -> "Dataset":
+        """Deal a collection across ``machines`` synthetic hosts."""
+        if machines < 1:
+            raise ValueError("machines must be >= 1")
+        partitions: Dict[str, list] = {f"m{i}": [] for i in range(machines)}
+        for index, item in enumerate(items):
+            partitions[f"m{index % machines}"].append(item)
+        return cls(partitions)
+
+    # ------------------------------------------------------------------
+    # Lazy transformations
+    # ------------------------------------------------------------------
+    def _derive(self, stage: Callable[[Iterable], Iterable]) -> "Dataset":
+        return Dataset(self._partitions, self._pipeline + [stage])
+
+    def map(self, fn: Callable[[T], U]) -> "Dataset":
+        return self._derive(lambda items: (fn(x) for x in items))
+
+    def flat_map(self, fn: Callable[[T], Iterable[U]]) -> "Dataset":
+        return self._derive(lambda items: (y for x in items for y in fn(x)))
+
+    def filter(self, predicate: Callable[[T], bool]) -> "Dataset":
+        return self._derive(lambda items: (x for x in items if predicate(x)))
+
+    # ------------------------------------------------------------------
+    # Actions
+    # ------------------------------------------------------------------
+    def _materialize(self) -> Dict[str, list]:
+        out = {}
+        for host, items in self._partitions.items():
+            stream: Iterable = items
+            for stage in self._pipeline:
+                stream = stage(stream)
+            out[host] = list(stream)
+        return out
+
+    def collect(self) -> list:
+        """All records, partition order then record order."""
+        return [item for items in self._materialize().values() for item in items]
+
+    def count(self) -> int:
+        return sum(len(items) for items in self._materialize().values())
+
+    def reduce_by_key(
+        self,
+        config: Optional[AskConfig] = None,
+        fault: Optional[FaultModel] = None,
+        region_size: Optional[int] = None,
+        check: bool = True,
+    ) -> dict[bytes, int]:
+        """Sum values per key through the ASK switch.
+
+        Records must be ``(bytes, int)`` tuples by this point in the
+        pipeline (apply :meth:`map` first if not).  Each partition's host
+        becomes a sender; a driver host receives the aggregate.  Empty
+        partitions are fine — their hosts simply send nothing.
+        """
+        streams = self._materialize()
+        for host, stream in streams.items():
+            for record in stream[:1]:
+                key, value = record  # raises naturally if malformed
+                if not isinstance(key, bytes):
+                    raise TypeError(
+                        f"reduce_by_key needs (bytes, int) records; partition "
+                        f"{host!r} starts with key {key!r}"
+                    )
+        cfg = config if config is not None else AskConfig.small()
+        service = AskService(cfg, hosts=[*streams, _DRIVER], fault=fault)
+        sender_streams = {h: s for h, s in streams.items() if s}
+        if not sender_streams:
+            return {}
+        result = service.aggregate(
+            sender_streams, receiver=_DRIVER, region_size=region_size, check=check
+        )
+        return dict(result.values)
+
+    def count_by_value(self, **kwargs) -> dict[bytes, int]:
+        """WordCount convenience: records are keys, counts are summed."""
+        return self.map(lambda key: (key, 1)).reduce_by_key(**kwargs)

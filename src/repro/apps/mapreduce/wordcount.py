@@ -1,0 +1,60 @@
+"""WordCount workload generation for the MapReduce engine (§5.5).
+
+Each mapper produces a stream of ``(word, 1)`` tuples — either uniformly
+random over a per-mapper key space (the paper's synthetic setting: "each
+mapper has 2^18 distinct keys … randomly generate N key-value tuples per
+mapper") or drawn from a synthetic corpus.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.workloads.datasets import SyntheticCorpus
+from repro.workloads.generators import uniform_stream
+
+
+def mapper_stream(
+    mapper_id: int,
+    num_tuples: int,
+    distinct_keys: int,
+    corpus: Optional[SyntheticCorpus] = None,
+    seed: int = 0,
+) -> list[tuple[bytes, int]]:
+    """The key-value stream one mapper emits.
+
+    Mappers share the global key space (WordCount counts the same words
+    everywhere), so the key space does not depend on ``mapper_id`` — only
+    the sampling seed does.
+    """
+    if corpus is not None:
+        return corpus.stream(num_tuples, order="shuffled", seed=seed * 7919 + mapper_id)
+    return uniform_stream(
+        num_tuples,
+        distinct_keys,
+        seed=seed * 7919 + mapper_id,
+        key_fn=lambda rank: b"w%d" % rank,
+    )
+
+
+def wordcount_streams(
+    machines: int,
+    mappers_per_machine: int,
+    tuples_per_mapper: int,
+    distinct_keys: int,
+    corpus: Optional[SyntheticCorpus] = None,
+    seed: int = 0,
+) -> dict[str, list[tuple[bytes, int]]]:
+    """Per-machine concatenation of that machine's mapper outputs."""
+    streams: dict[str, list[tuple[bytes, int]]] = {}
+    mapper_id = 0
+    for machine in range(machines):
+        host = f"m{machine}"
+        tuples: list[tuple[bytes, int]] = []
+        for _ in range(mappers_per_machine):
+            tuples.extend(
+                mapper_stream(mapper_id, tuples_per_mapper, distinct_keys, corpus, seed)
+            )
+            mapper_id += 1
+        streams[host] = tuples
+    return streams

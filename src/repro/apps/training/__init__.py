@@ -1,0 +1,31 @@
+"""Mini BytePS-style distributed training over ASK (§5.6).
+
+ASK covers value-stream aggregation as a special case of key-value
+aggregation: the BytePS plugin maps each gradient element's index to a
+4-byte key and its fixed-point value to the 4-byte value, and the switch
+sums gradients exactly like word counts.  This package provides:
+
+- :mod:`repro.apps.training.models` — the evaluated models
+  (ResNet50/101/152, VGG11/16/19) with real parameter counts and
+  calibrated per-iteration compute times on the paper's RTX 2080 Ti,
+- :mod:`repro.apps.training.allreduce` — the tensor ↔ key-value adaptation
+  and a functional all-reduce through :class:`~repro.core.service.AskService`,
+- :mod:`repro.apps.training.ps` — the parameter-server training loop with
+  throughput models for ASK, ATP, SwitchML and plain BytePS (Fig. 12).
+"""
+
+from repro.apps.training.allreduce import ask_allreduce, tensor_to_tuples, tuples_to_tensor
+from repro.apps.training.models import MODELS, ModelSpec, get_model
+from repro.apps.training.ps import TrainingSystem, images_per_second, run_functional_training
+
+__all__ = [
+    "MODELS",
+    "ModelSpec",
+    "TrainingSystem",
+    "ask_allreduce",
+    "get_model",
+    "images_per_second",
+    "run_functional_training",
+    "tensor_to_tuples",
+    "tuples_to_tensor",
+]

@@ -1,0 +1,66 @@
+"""Value-stream adaptation: gradient tensors as key-value streams (§2.1.2, §5.6).
+
+A value stream is the special case of a key-value stream whose keys are the
+element indices (Eq. 3/4).  The adapter encodes index ``i`` as a 4-byte
+little-endian key, so every gradient element is a short key handled by one
+aggregator — and the switch's modular 32-bit addition is exactly the
+fixed-point gradient arithmetic ATP and SwitchML use on Tofino (the switch
+has no floating point; §2.2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.service import AskService
+
+
+def tensor_to_tuples(tensor: Sequence[int], base_index: int = 0) -> list[tuple[bytes, int]]:
+    """Encode a fixed-point gradient tensor as (index-key, value) tuples."""
+    return [
+        (int(base_index + i).to_bytes(4, "little"), int(v))
+        for i, v in enumerate(tensor)
+    ]
+
+
+def tuples_to_tensor(values: dict[bytes, int], size: int, signed: bool = True,
+                     value_bits: int = 32) -> np.ndarray:
+    """Decode an aggregation result back into a dense tensor.
+
+    Missing indices decode to 0.  With ``signed=True`` the modular sums are
+    reinterpreted as two's-complement ``value_bits``-wide integers, undoing
+    the switch's wraparound for negative gradients.
+    """
+    out = np.zeros(size, dtype=np.int64)
+    half = 1 << (value_bits - 1)
+    full = 1 << value_bits
+    for key, value in values.items():
+        index = int.from_bytes(key, "little")
+        if index >= size:
+            raise ValueError(f"index {index} out of tensor bounds {size}")
+        if signed and value >= half:
+            value -= full
+        out[index] = value
+    return out
+
+
+def ask_allreduce(
+    service: AskService,
+    tensors: dict[str, Sequence[int]],
+    receiver: Optional[str] = None,
+) -> np.ndarray:
+    """Sum per-worker gradient tensors through the switch.
+
+    Every worker's tensor must have the same length (value streams are
+    aligned, §2.1.2).  Returns the summed tensor; the broadcast back to
+    workers is the parameter-server pull and is not simulated here.
+    """
+    sizes = {len(t) for t in tensors.values()}
+    if len(sizes) != 1:
+        raise ValueError("all workers must push tensors of the same size")
+    size = sizes.pop()
+    streams = {host: tensor_to_tuples(tensor) for host, tensor in tensors.items()}
+    result = service.aggregate(streams, receiver=receiver)
+    return tuples_to_tensor(result.values, size, value_bits=service.config.value_bits)

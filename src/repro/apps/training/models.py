@@ -1,0 +1,44 @@
+"""The evaluated models (§5.1: "popular models … with ImageNet").
+
+Parameter counts are the published torchvision numbers.  Per-iteration
+compute times (forward+backward, batch 32, one RTX 2080 Ti) are calibrated
+to public single-GPU training benchmarks for that card; they set the
+compute/communication balance that decides how visible the INA systems'
+bandwidth differences are in Fig. 12 (ResNets are compute-heavy, VGGs are
+communication-heavy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """One evaluated CNN."""
+
+    name: str
+    parameters: int
+    compute_ms_per_iteration: float  #: fwd+bwd, batch 32, RTX 2080 Ti
+
+    @property
+    def gradient_bytes(self) -> int:
+        """Bytes of one gradient push (fp32)."""
+        return self.parameters * 4
+
+
+MODELS: dict[str, ModelSpec] = {
+    "resnet50": ModelSpec("resnet50", 25_557_032, 170.0),
+    "resnet101": ModelSpec("resnet101", 44_549_160, 285.0),
+    "resnet152": ModelSpec("resnet152", 60_192_808, 400.0),
+    "vgg11": ModelSpec("vgg11", 132_863_336, 200.0),
+    "vgg16": ModelSpec("vgg16", 138_357_544, 330.0),
+    "vgg19": ModelSpec("vgg19", 143_667_240, 390.0),
+}
+
+
+def get_model(name: str) -> ModelSpec:
+    try:
+        return MODELS[name]
+    except KeyError:
+        raise KeyError(f"unknown model {name!r}; available: {sorted(MODELS)}") from None

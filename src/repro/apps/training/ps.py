@@ -1,0 +1,100 @@
+"""Parameter-server training loop and the Fig. 12 throughput model.
+
+Per training iteration each of ``workers`` GPUs computes gradients
+(``compute_ms``), pushes them (aggregated in-network or at a host PS) and
+pulls the updated parameters.  Throughput in images/s is
+
+    workers × batch / (compute + push + pull)
+
+where push and pull each move the model's gradient bytes at the system's
+effective aggregation bandwidth.  ASK, ATP and SwitchML all aggregate on
+the switch, so they differ only in that bandwidth — the paper's Fig. 12
+observation that the three "have similar performance", with SwitchML
+slightly behind on communication-heavy models because of its small packets.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+import numpy as np
+
+from repro.apps.training.allreduce import ask_allreduce
+from repro.apps.training.models import ModelSpec
+from repro.baselines.atp import AtpModel
+from repro.baselines.switchml import SwitchMlModel
+from repro.core.config import AskConfig
+from repro.core.service import AskService
+from repro.perf.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.perf.goodput import ask_goodput_gbps
+
+
+class TrainingSystem(enum.Enum):
+    """Gradient aggregation systems compared in Fig. 12."""
+
+    ASK = "ask"
+    ATP = "atp"
+    SWITCHML = "switchml"
+    BYTEPS = "byteps"  #: the host-PS substrate without INA
+
+    def effective_bandwidth_gbps(self, model: CostModel = DEFAULT_COST_MODEL) -> float:
+        """Gradient goodput of the aggregation path."""
+        if self is TrainingSystem.ASK:
+            # Value-stream mode: each 8-byte tuple carries a 4-byte index
+            # key and a 4-byte value, so gradient goodput is half the
+            # key-value goodput.
+            slots = model.max_payload_bytes // model.tuple_bytes
+            return ask_goodput_gbps(slots, channels=4, model=model) / 2
+        if self is TrainingSystem.ATP:
+            return AtpModel().effective_bandwidth_gbps(model)
+        if self is TrainingSystem.SWITCHML:
+            return SwitchMlModel().effective_bandwidth_gbps(model)
+        # Host parameter server: aggregation is CPU-bound on the PS side.
+        return 24.0
+
+
+def images_per_second(
+    model_spec: ModelSpec,
+    system: TrainingSystem,
+    workers: int = 8,
+    batch_size: int = 32,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> float:
+    """Modeled training throughput (the Fig. 12 bars)."""
+    if workers < 1 or batch_size < 1:
+        raise ValueError("workers and batch_size must be >= 1")
+    bandwidth = system.effective_bandwidth_gbps(cost_model)
+    comm_s = 2 * model_spec.gradient_bytes * 8 / (bandwidth * 1e9)  # push + pull
+    iteration_s = model_spec.compute_ms_per_iteration / 1e3 + comm_s
+    return workers * batch_size / iteration_s
+
+
+def run_functional_training(
+    workers: int = 3,
+    elements: int = 512,
+    iterations: int = 2,
+    seed: int = 0,
+    config: Optional[AskConfig] = None,
+) -> list[np.ndarray]:
+    """Run a tiny but *real* training-aggregation loop through the switch.
+
+    Each iteration every worker pushes a synthetic fixed-point gradient
+    (including negative values, exercising the modular arithmetic) and the
+    returned tensors are the exact elementwise sums — verified against
+    numpy by the integration tests.
+    """
+    rng = np.random.default_rng(seed)
+    cfg = config if config is not None else AskConfig.small(aggregators_per_aa=1024)
+    sums: list[np.ndarray] = []
+    for _ in range(iterations):
+        # A fresh service per iteration mirrors per-iteration task setup;
+        # channels persist within one service lifetime.
+        service = AskService(cfg, hosts=workers + 1)
+        gradients = {
+            f"h{w}": rng.integers(-1000, 1000, size=elements).tolist()
+            for w in range(workers)
+        }
+        summed = ask_allreduce(service, gradients, receiver=f"h{workers}")
+        sums.append(summed)
+    return sums

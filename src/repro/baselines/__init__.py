@@ -1,0 +1,33 @@
+"""Baseline systems the paper compares against (§5.1).
+
+- :mod:`repro.baselines.preaggr` — the host-only "PreAggr" solution:
+  sender-side sort-and-merge pre-aggregation (footnote 7).
+- :mod:`repro.baselines.noaggr` — pure DPDK transmission with no
+  aggregation (§5.7).
+- :mod:`repro.baselines.spark` — vanilla Spark plus the SparkSHM /
+  SparkRDMA variants, and the Fig. 3 AKV/s throughput anchors.
+- :mod:`repro.baselines.atp` / :mod:`repro.baselines.switchml` — the
+  synchronous (value-stream) INA systems used in Fig. 12.
+
+Each baseline has a *functional* part (it computes the same aggregation, so
+correctness can be cross-checked) and a *cost* part (calibrated timing for
+the paper-scale figures).
+"""
+
+from repro.baselines.atp import AtpModel
+from repro.baselines.noaggr import NoAggrBaseline
+from repro.baselines.preaggr import PreAggrBaseline, preaggregate
+from repro.baselines.spark import SparkVariant, spark_akvps, strawman_akvps, ask_akvps
+from repro.baselines.switchml import SwitchMlModel
+
+__all__ = [
+    "AtpModel",
+    "NoAggrBaseline",
+    "PreAggrBaseline",
+    "SparkVariant",
+    "SwitchMlModel",
+    "ask_akvps",
+    "preaggregate",
+    "spark_akvps",
+    "strawman_akvps",
+]

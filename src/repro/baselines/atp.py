@@ -1,0 +1,45 @@
+"""ATP (NSDI'21): synchronous value-stream INA, the Fig. 12 comparator.
+
+ATP aggregates gradient tensors in the switch with statically partitioned
+aggregators and sender synchronization.  For the training-throughput figure
+the relevant property is its effective aggregation bandwidth: ATP packets
+carry ~61 32-bit values in ~246-byte payloads, giving a goodput close to
+(but, due to its per-packet metadata, slightly below) ASK's multi-key
+goodput.  ATP cannot aggregate key-value streams at all — its aggregators
+are addressed by position, which is why the paper builds ASK (§2.1.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.costmodel import DEFAULT_COST_MODEL, CostModel
+
+
+@dataclass(frozen=True)
+class AtpModel:
+    """Cost model for ATP gradient aggregation."""
+
+    #: 32-bit gradient values per packet (ATP paper §4: 61-value payload).
+    values_per_packet: int = 61
+    #: Extra per-packet metadata beyond the common 54-byte headers.
+    extra_header_bytes: int = 12
+    #: Host packet rate of ATP's DPDK workers (calibrated to the goodput
+    #: ATP's own evaluation reports on 100 G hardware, ≈38 Gbps).
+    host_pps: float = 19.5e6
+
+    def payload_bytes(self) -> int:
+        return self.values_per_packet * 4
+
+    def effective_bandwidth_gbps(self, model: CostModel = DEFAULT_COST_MODEL) -> float:
+        """Goodput of gradient bytes on a 100 G link."""
+        payload = self.payload_bytes()
+        wire = model.packet_wire_bytes(payload) + self.extra_header_bytes
+        line = model.line_rate_gbps * payload / wire
+        pps = self.host_pps * payload * 8 / 1e9
+        return min(line, pps)
+
+    @property
+    def supports_key_value_streams(self) -> bool:
+        """ATP is a synchronous value-stream system (§2.1.3)."""
+        return False

@@ -1,0 +1,70 @@
+"""NoAggr: pure network transmission, no aggregation anywhere (§5.7).
+
+Every sender ships its raw tuples in 1500-byte MTU packets straight to the
+receiver, which aggregates on the host.  Two properties matter for the
+paper's comparison:
+
+- single-flow goodput is *higher* than ASK's (91.75 vs 73.96 Gbps) because
+  big MTU packets amortize headers better — ASK's bandwidth overhead,
+- but with ``n`` senders the receiver's single link becomes the bottleneck,
+  so per-sender throughput decays as ``1/n`` (11.88 Gbps at 8 senders)
+  while ASK's stays flat — the scalability argument of Fig. 13(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.perf.goodput import noaggr_goodput_gbps
+from repro.workloads.stream import exact_aggregate, merge_results
+
+
+@dataclass
+class NoAggrReport:
+    result: dict[bytes, int]
+    per_sender_goodput_gbps: float
+    jct_seconds: float
+
+
+class NoAggrBaseline:
+    """Raw transmission + receiver-side aggregation."""
+
+    def __init__(self, channels: int = 2, model: CostModel = DEFAULT_COST_MODEL) -> None:
+        self.channels = channels
+        self.model = model
+
+    def sender_goodput_gbps(self, num_senders: int) -> float:
+        """Average per-sender goodput with ``num_senders`` concurrent
+        senders: each sender can push ``noaggr_goodput_gbps`` but they share
+        the receiver's one downlink (Fig. 13(b))."""
+        if num_senders < 1:
+            raise ValueError("num_senders must be >= 1")
+        single = noaggr_goodput_gbps(self.channels, self.model)
+        receiver_share = (
+            self.model.line_rate_gbps * self.model.dpdk_efficiency / num_senders
+        )
+        payload = self.model.noaggr_payload_bytes()
+        receiver_share *= payload / self.model.packet_wire_bytes(payload)
+        return min(single, receiver_share)
+
+    def run(
+        self, streams: dict[str, list[tuple[bytes, int]]], value_bits: int = 64
+    ) -> NoAggrReport:
+        """Aggregate functionally at the receiver and price the transfer."""
+        result = merge_results(
+            [exact_aggregate(s, value_bits) for s in streams.values()], value_bits
+        )
+        num_senders = max(1, len(streams))
+        goodput = self.sender_goodput_gbps(num_senders)
+        bytes_per_sender = max(
+            (sum(len(k) + 4 for k, _ in s) for s in streams.values()), default=0
+        )
+        transfer = bytes_per_sender * 8 / (goodput * 1e9) if bytes_per_sender else 0.0
+        total_tuples = sum(len(s) for s in streams.values())
+        merge = total_tuples * self.model.ns_per_tuple_hash_merge / 1e9
+        return NoAggrReport(
+            result=result,
+            per_sender_goodput_gbps=goodput,
+            jct_seconds=transfer + merge,
+        )

@@ -1,0 +1,45 @@
+"""SwitchML (NSDI'21): synchronous value-stream INA with small packets.
+
+SwitchML streams gradients through statically allocated switch slots using
+small packets (64 values with RDMA in the best configuration, 32 without).
+The paper's Fig. 12 observation — "SwitchML's small packet size cannot
+fully utilize the network bandwidth" — is exactly what this model captures:
+per-packet headers and the host packet rate bound its effective bandwidth
+below ATP's and ASK's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.costmodel import DEFAULT_COST_MODEL, CostModel
+
+
+@dataclass(frozen=True)
+class SwitchMlModel:
+    """Cost model for SwitchML gradient aggregation."""
+
+    #: 32-bit values per packet (the non-RDMA DPDK configuration).
+    values_per_packet: int = 32
+    #: Host cores SwitchML dedicates to packet I/O.
+    io_cores: int = 8
+    #: Packet rate per I/O core.  Lower than ASK's DPDK channels because
+    #: each SwitchML packet also pays for float↔fixed-point quantization on
+    #: the host; calibrated to SwitchML's published ~31 Gbps goodput.
+    pps_per_core: float = 3.75e6
+
+    def payload_bytes(self) -> int:
+        return self.values_per_packet * 4
+
+    def effective_bandwidth_gbps(self, model: CostModel = DEFAULT_COST_MODEL) -> float:
+        """Goodput of gradient bytes on a 100 G link."""
+        payload = self.payload_bytes()
+        wire = model.packet_wire_bytes(payload)
+        line = model.line_rate_gbps * payload / wire
+        pps = self.io_cores * self.pps_per_core * payload * 8 / 1e9
+        return min(line, pps)
+
+    @property
+    def supports_key_value_streams(self) -> bool:
+        """SwitchML is a synchronous value-stream system (§2.1.3)."""
+        return False

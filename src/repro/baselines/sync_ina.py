@@ -1,0 +1,213 @@
+"""A functional synchronous (value-stream) INA switch — the SwitchML/ATP
+data-plane pattern (§2.1.3), implemented so the paper's central contrast is
+*executable*, not just asserted.
+
+Synchronous aggregation: all workers send aligned chunks of a value stream
+at the same pace.  A chunk's slot is found by static linear allocation
+(``chunk % num_slots``); each slot keeps a 1-bit-per-worker bitmap for
+deduplication (the mechanism ASK §2.3 says cannot extend to key-value
+streams because a key's appearances are unbounded).  When every worker has
+contributed, the switch emits the aggregate and the slot is immediately
+reused for the chunk one window ahead — which is why a bounded slot pool
+can stream unbounded tensors.
+
+The same machine pointed at a *key-value* stream deadlocks: completion
+("all workers contributed this key") never fires for keys that don't
+appear exactly once per worker, slots are never released, and the stream
+stalls — see :meth:`SynchronousInaSwitch.attempt_key_value_stream` and
+tests/baselines/test_sync_ina.py.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence
+
+import random
+
+
+class SynchronizationError(RuntimeError):
+    """A worker ran ahead of the slot-reuse window — the synchronous
+    pattern's hard requirement was violated."""
+
+
+@dataclass
+class _Slot:
+    """One aggregator: value accumulator + per-worker appearance bitmap."""
+
+    chunk: int = -1
+    values: list[int] = field(default_factory=list)
+    worker_bitmap: int = 0
+
+
+@dataclass
+class ChunkResult:
+    """An aggregate the switch released downstream."""
+
+    chunk: int
+    values: list[int]
+
+
+class SynchronousInaSwitch:
+    """The value-stream INA data plane (SwitchML-style)."""
+
+    def __init__(
+        self,
+        num_slots: int,
+        num_workers: int,
+        values_per_chunk: int = 32,
+        value_bits: int = 32,
+    ) -> None:
+        if num_slots < 1 or num_workers < 1 or values_per_chunk < 1:
+            raise ValueError("num_slots, num_workers, values_per_chunk must be >= 1")
+        self.num_slots = num_slots
+        self.num_workers = num_workers
+        self.values_per_chunk = values_per_chunk
+        self.mask = (1 << value_bits) - 1
+        self._slots = [_Slot() for _ in range(num_slots)]
+        self._full_bitmap = (1 << num_workers) - 1
+        self.duplicates_suppressed = 0
+        self.chunks_completed = 0
+
+    # ------------------------------------------------------------------
+    def on_packet(
+        self, worker: int, chunk: int, values: Sequence[int]
+    ) -> Optional[ChunkResult]:
+        """Process one worker's packet for one chunk.
+
+        Returns the completed aggregate when this packet was the last
+        missing contribution, else ``None``.  Duplicate contributions
+        (retransmissions) are suppressed by the worker bitmap — the 1-bit
+        dedup that works *only because* each worker sends each chunk
+        exactly once.
+        """
+        if not 0 <= worker < self.num_workers:
+            raise ValueError(f"worker {worker} out of range")
+        if len(values) != self.values_per_chunk:
+            raise ValueError("misaligned chunk: synchronous INA needs equal sizes")
+        slot = self._slots[chunk % self.num_slots]
+
+        if slot.chunk == -1 or (slot.chunk < chunk and slot.worker_bitmap == 0):
+            # Fresh slot (or one released by the previous window's chunk).
+            slot.chunk = chunk
+            slot.values = [0] * self.values_per_chunk
+        elif slot.chunk != chunk:
+            raise SynchronizationError(
+                f"slot {chunk % self.num_slots} still serves chunk {slot.chunk}; "
+                f"worker {worker} sent chunk {chunk} too early"
+            )
+
+        bit = 1 << worker
+        if slot.worker_bitmap & bit:
+            self.duplicates_suppressed += 1
+            return None
+        slot.worker_bitmap |= bit
+        for index, value in enumerate(values):
+            slot.values[index] = (slot.values[index] + value) & self.mask
+
+        if slot.worker_bitmap == self._full_bitmap:
+            result = ChunkResult(chunk, list(slot.values))
+            # Completion is *known immediately* (the synchronous luxury):
+            # release the aggregator for the chunk one window ahead.  The
+            # accumulator is cleared too — a duplicate arriving after the
+            # release must not contaminate the next tenant of the slot
+            # (SwitchML's two-pool trick serves the same purpose).
+            slot.worker_bitmap = 0
+            slot.values = [0] * self.values_per_chunk
+            slot.chunk = chunk  # kept for too-early detection
+            self.chunks_completed += 1
+            return result
+        return None
+
+    # ------------------------------------------------------------------
+    def occupied_slots(self) -> int:
+        return sum(1 for s in self._slots if s.worker_bitmap)
+
+    # ------------------------------------------------------------------
+    def attempt_key_value_stream(
+        self,
+        streams: Dict[int, Iterable[tuple[bytes, int]]],
+        key_to_chunk,
+    ) -> "KeyValueAttempt":
+        """Drive key-value streams through the synchronous machine.
+
+        ``key_to_chunk`` maps a key to a static chunk id (the only
+        addressing a synchronous design has).  The attempt records how the
+        pattern fails: keys that never gather all workers pin their slots
+        forever, and keys whose chunk collides with a pinned slot raise
+        :class:`SynchronizationError` — the §2.1.3 argument, executed.
+        """
+        attempt = KeyValueAttempt()
+        for worker, stream in streams.items():
+            for key, value in stream:
+                chunk = key_to_chunk(key)
+                padded = [value] + [0] * (self.values_per_chunk - 1)
+                try:
+                    result = self.on_packet(worker, chunk, padded)
+                except SynchronizationError:
+                    attempt.stalled_tuples += 1
+                    continue
+                except ValueError:
+                    attempt.stalled_tuples += 1
+                    continue
+                if result is not None:
+                    attempt.completed_keys += 1
+                else:
+                    attempt.pending_tuples += 1
+        attempt.pinned_slots = self.occupied_slots()
+        return attempt
+
+
+@dataclass
+class KeyValueAttempt:
+    """What happened when key-value streams met synchronous INA."""
+
+    completed_keys: int = 0
+    pending_tuples: int = 0
+    stalled_tuples: int = 0
+    pinned_slots: int = 0
+
+
+# ---------------------------------------------------------------------------
+# A worker-side driver for the legitimate (value-stream) use.
+# ---------------------------------------------------------------------------
+def synchronous_allreduce(
+    tensors: Dict[int, Sequence[int]],
+    num_slots: int = 8,
+    values_per_chunk: int = 4,
+    value_bits: int = 32,
+    loss_rate: float = 0.0,
+    seed: int = 0,
+) -> list[int]:
+    """All-reduce aligned tensors through the synchronous switch.
+
+    Workers proceed chunk by chunk in lockstep (the synchronization the
+    pattern requires); lost packets are retransmitted until the chunk
+    completes, with the worker bitmap absorbing duplicates.
+    """
+    sizes = {len(t) for t in tensors.values()}
+    if len(sizes) != 1:
+        raise ValueError("synchronous aggregation requires aligned tensors")
+    (size,) = sizes
+    if size % values_per_chunk:
+        raise ValueError("tensor size must be a multiple of values_per_chunk")
+    switch = SynchronousInaSwitch(
+        num_slots, len(tensors), values_per_chunk, value_bits
+    )
+    rng = random.Random(seed)
+    workers = sorted(tensors)
+    out: list[int] = [0] * size
+    for chunk in range(size // values_per_chunk):
+        lo = chunk * values_per_chunk
+        segment = {w: list(tensors[w][lo : lo + values_per_chunk]) for w in workers}
+        completed = None
+        while completed is None:
+            for position, worker in enumerate(workers):
+                if loss_rate and rng.random() < loss_rate:
+                    continue  # lost; the while-loop retransmits
+                result = switch.on_packet(position, chunk, segment[worker])
+                if result is not None:
+                    completed = result
+                    break  # lockstep: nobody sends past a completed chunk
+        out[lo : lo + values_per_chunk] = completed.values
+    return out

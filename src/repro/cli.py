@@ -1,0 +1,160 @@
+"""Command-line interface: regenerate paper results and inspect the system.
+
+::
+
+    python -m repro list                      # what can be regenerated
+    python -m repro run fig09 table1          # regenerate specific results
+    python -m repro run all                   # everything (a few minutes)
+    python -m repro demo                      # a 5-second end-to-end demo
+    python -m repro resources                 # switch resource report
+
+The heavy lifting lives in :mod:`repro.experiments`; the CLI only selects,
+runs and prints.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Sequence
+
+from repro.experiments import (
+    fig03_strawman,
+    fig07_offload,
+    fig08_multikey,
+    fig09_prioritization,
+    fig10_jct,
+    fig11_tct,
+    fig12_training,
+    fig13_scalability,
+    table1_traffic,
+)
+
+#: name -> (description, zero-arg callable returning the report text)
+EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
+    "fig03": (
+        "single-machine AKV/s: Spark vs strawman vs ASK",
+        lambda: fig03_strawman.format_report(fig03_strawman.run()),
+    ),
+    "fig07": (
+        "computation offload: ASK vs PreAggr JCT and CPU",
+        lambda: fig07_offload.format_report(fig07_offload.run()),
+    ),
+    "table1": (
+        "traffic reduction on the four datasets (functional)",
+        lambda: table1_traffic.format_report(table1_traffic.run()),
+    ),
+    "fig08": (
+        "multi-key vectorization: goodput curve + packing CDF",
+        lambda: fig08_multikey.format_report(fig08_multikey.run()),
+    ),
+    "fig09": (
+        "hot-key agnostic prioritization sweep",
+        lambda: fig09_prioritization.format_report(fig09_prioritization.run()),
+    ),
+    "fig10": (
+        "WordCount JCT: ASK vs Spark variants",
+        lambda: fig10_jct.format_report(fig10_jct.run()),
+    ),
+    "fig11": (
+        "mapper/reducer task completion times",
+        lambda: fig11_tct.format_report(fig11_tct.run()),
+    ),
+    "fig12": (
+        "distributed-training throughput",
+        lambda: fig12_training.format_report(fig12_training.run()),
+    ),
+    "fig13": (
+        "bandwidth overhead and scalability",
+        lambda: fig13_scalability.format_report(fig13_scalability.run()),
+    ),
+}
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    width = max(len(name) for name in EXPERIMENTS)
+    for name, (description, _runner) in EXPERIMENTS.items():
+        print(f"  {name:<{width}}  {description}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    names = list(EXPERIMENTS) if "all" in args.names else args.names
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print("use `python -m repro list`", file=sys.stderr)
+        return 2
+    for name in names:
+        description, runner = EXPERIMENTS[name]
+        print(f"\n### {name} — {description}")
+        started = time.perf_counter()
+        print(runner())
+        print(f"[{name} regenerated in {time.perf_counter() - started:.1f}s]")
+    return 0
+
+
+def cmd_demo(_args: argparse.Namespace) -> int:
+    from repro import AskConfig, AskService, FaultModel
+
+    service = AskService(
+        AskConfig.small(),
+        hosts=3,
+        fault=FaultModel(loss_rate=0.05, duplicate_rate=0.03, seed=1),
+    )
+    streams = {
+        "h0": [(b"in-network", 1), (b"aggregation", 2)] * 50,
+        "h1": [(b"in-network", 3)] * 50,
+    }
+    result = service.aggregate(streams, receiver="h2", check=True)
+    print("exact aggregation over a lossy fabric:")
+    for key, value in sorted(result.items()):
+        print(f"  {key.decode():>12}: {value}")
+    stats = result.stats
+    print(
+        f"switch absorbed {stats.switch_aggregation_ratio:.0%} of tuples, "
+        f"{stats.retransmissions} retransmissions healed"
+    )
+    return 0
+
+
+def cmd_resources(_args: argparse.Namespace) -> int:
+    from repro import AskConfig
+    from repro.net.simulator import Simulator
+    from repro.switch.switch import AskSwitch
+
+    switch = AskSwitch(AskConfig(), Simulator())
+    print(switch.resource_summary())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ASK (ASPLOS'23) reproduction — regenerate paper results",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list regenerable tables/figures").set_defaults(
+        func=cmd_list
+    )
+    run = sub.add_parser("run", help="regenerate one or more results")
+    run.add_argument("names", nargs="+", help="experiment names, or 'all'")
+    run.set_defaults(func=cmd_run)
+    sub.add_parser("demo", help="run a quick end-to-end demo").set_defaults(
+        func=cmd_demo
+    )
+    sub.add_parser(
+        "resources", help="print the default switch's pipeline/SRAM layout"
+    ).set_defaults(func=cmd_resources)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

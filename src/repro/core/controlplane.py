@@ -1,0 +1,84 @@
+"""Control plane spanning one or many switches.
+
+In a single rack the control plane is a thin veneer over the one switch
+controller.  In the multi-rack deployment of §7 a task has a region on
+*every sender-side TOR switch*, and the receiver's control-plane operations
+(allocate, fetch-and-reset, deallocate) fan out over all of them.  This
+module gives the receiver engine one object to talk to either way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.core.errors import TaskStateError
+from repro.switch.controller import Region, SwitchController
+
+
+class ControlPlane:
+    """Named switch controllers plus task→switches bookkeeping."""
+
+    def __init__(self) -> None:
+        self._controllers: Dict[str, SwitchController] = {}
+        self._task_switches: Dict[int, tuple[str, ...]] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, switch_name: str, controller: SwitchController) -> None:
+        if switch_name in self._controllers:
+            raise ValueError(f"switch {switch_name!r} already registered")
+        self._controllers[switch_name] = controller
+
+    def controller(self, switch_name: str) -> SwitchController:
+        return self._controllers[switch_name]
+
+    @property
+    def switch_names(self) -> frozenset[str]:
+        return frozenset(self._controllers)
+
+    # ------------------------------------------------------------------
+    def allocate(
+        self,
+        task_id: int,
+        switches: Iterable[str],
+        size: Optional[int] = None,
+    ) -> Dict[str, Region]:
+        """Reserve a region for ``task_id`` on every named switch.
+
+        All-or-nothing: if any switch cannot allocate, already-made
+        reservations are rolled back before the error propagates.
+        """
+        names = tuple(switches)
+        if not names:
+            raise ValueError("a task needs at least one switch")
+        if task_id in self._task_switches:
+            raise TaskStateError(f"task {task_id} already allocated")
+        regions: Dict[str, Region] = {}
+        try:
+            for name in names:
+                regions[name] = self._controllers[name].allocate_region(task_id, size)
+        except Exception:
+            for name in regions:
+                self._controllers[name].deallocate(task_id)
+            raise
+        self._task_switches[task_id] = names
+        return regions
+
+    def switches_of(self, task_id: int) -> tuple[str, ...]:
+        try:
+            return self._task_switches[task_id]
+        except KeyError:
+            raise TaskStateError(f"task {task_id} holds no regions") from None
+
+    # ------------------------------------------------------------------
+    def fetch_and_reset(self, task_id: int, part: int) -> dict[bytes, int]:
+        """Fetch-and-reset copy ``part`` of the task's region on every
+        involved switch, merged (aggregation is commutative)."""
+        merged: dict[bytes, int] = {}
+        for name in self.switches_of(task_id):
+            for key, value in self._controllers[name].fetch_and_reset(task_id, part).items():
+                merged[key] = merged.get(key, 0) + value
+        return merged
+
+    def deallocate(self, task_id: int) -> None:
+        for name in self._task_switches.pop(task_id, ()):
+            self._controllers[name].deallocate(task_id)

@@ -1,0 +1,183 @@
+"""The per-host ASK daemon (§3.1).
+
+One daemon runs on every server.  It owns the host's data channels (each
+bound to one worker thread in the prototype; here each is a
+:class:`~repro.core.sender.SenderChannel`), the receiver engine, and the
+shared-memory regions through which applications hand over and read back
+key-value data.  Sending tasks are load-balanced over data channels with
+``hash(task_id)`` and served FIFO per channel.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from dataclasses import dataclass
+
+from repro.core.config import AskConfig
+from repro.core.hashing import channel_hash
+from repro.core.packer import Packer
+from repro.core.packet import SWAP_CHANNEL_INDEX, AskPacket
+from repro.core.receiver import ReceiverEngine
+from repro.core.sender import SenderChannel, SendingJob
+from repro.core.shared_memory import SharedMemoryAllocator
+from repro.core.task import AggregationTask
+from repro.net.simulator import Simulator
+from repro.net.topology import NetworkNode
+from repro.core.controlplane import ControlPlane
+from repro.switch.controller import Region
+
+
+@dataclass
+class StreamHandle:
+    """A live, open-ended sending stream on one data channel.
+
+    Obtained from :meth:`HostDaemon.start_streaming`; the application feeds
+    tuples as they arrive (real-time streaming, §2.1.3's unbounded
+    key-value streams) and calls :meth:`finish` when the source ends,
+    which releases the channel's FIN.
+    """
+
+    daemon: "HostDaemon"
+    job: SendingJob
+    packer: Packer
+    channel: "SenderChannel"
+    closed: bool = False
+    tuples_fed: int = 0
+
+    def feed(self, tuples) -> int:
+        """Pack and enqueue more tuples; returns payloads appended."""
+        if self.closed:
+            raise RuntimeError("stream already finished")
+        self.packer.add_stream(tuples)
+        payloads = list(self.packer.payloads())
+        self.tuples_fed += len(tuples)
+        self.job.task.stats.input_tuples += len(tuples)
+        self.job.extend(payloads)
+        self.channel._pump()  # noqa: SLF001 - the daemon owns its channels
+        return len(payloads)
+
+    def finish(self) -> None:
+        """Close the stream; the FIN goes out once everything is ACKed."""
+        if self.closed:
+            return
+        self.closed = True
+        self.job.finish()
+        self.channel._pump()  # noqa: SLF001
+
+
+class HostDaemon(NetworkNode):
+    """The ASK daemon of one host."""
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        config: AskConfig,
+        control: ControlPlane,
+        send_fn: Callable[[AskPacket], None],
+        on_task_complete: Callable[[AggregationTask], None],
+    ) -> None:
+        super().__init__(name)
+        self.sim = sim
+        self.config = config
+        self.shm = SharedMemoryAllocator(name)
+        self.channels = [
+            SenderChannel(name, i, sim, config, send_fn, control.switch_names)
+            for i in range(config.data_channels_per_host)
+        ]
+        self.receiver = ReceiverEngine(
+            name, sim, config, control, send_fn, on_task_complete
+        )
+        self.malformed_packets = 0
+
+    # ------------------------------------------------------------------
+    # Network ingress (the downlink delivers here)
+    # ------------------------------------------------------------------
+    def receive(self, packet: AskPacket) -> None:
+        if packet.is_ack:
+            if packet.channel_index == SWAP_CHANNEL_INDEX:
+                self.receiver.on_swap_ack(packet)
+            elif 0 <= packet.channel_index < len(self.channels):
+                self.channels[packet.channel_index].on_ack(packet)
+            else:
+                # A malformed/foreign ACK must not crash the daemon; real
+                # DPDK stacks count and drop such packets.
+                self.malformed_packets += 1
+            return
+        self.receiver.on_packet(packet)
+
+    # ------------------------------------------------------------------
+    # Application-facing operations
+    # ------------------------------------------------------------------
+    def channel_for_task(self, task_id: int) -> SenderChannel:
+        """``hash(ID)`` load balancing of tasks over data channels (§3.1)."""
+        return self.channels[channel_hash(task_id) % len(self.channels)]
+
+    def start_sending(
+        self,
+        task: AggregationTask,
+        tuples: list[tuple[bytes, int]],
+        on_complete: Optional[Callable[[SendingJob], None]] = None,
+    ) -> SendingJob:
+        """Steps ⑤–⑧: application data arrives via shared memory, the daemon
+        packs it and enqueues the job on the hash-selected data channel."""
+        region = self.shm.allocate(task.task_id, role="send")
+        region.write(tuples)
+        region.seal()
+
+        packer = Packer(self.config)
+        packer.add_stream(region.tuples)
+        payloads = list(packer.payloads())
+        task.stats.pack_stats.append(packer.stats)
+
+        def _done(job: SendingJob) -> None:
+            task.senders_done.add(self.name)
+            self.shm.release(task.task_id, role="send")
+            if on_complete is not None:
+                on_complete(job)
+
+        job = SendingJob(task=task, dst=task.receiver, payloads=payloads, on_complete=_done)
+        self.channel_for_task(task.task_id).enqueue(job)
+        return job
+
+    def start_streaming(self, task: AggregationTask) -> StreamHandle:
+        """Open an unbounded sending stream for ``task`` on the
+        hash-selected data channel (§3.1 load balancing applies to
+        streaming tasks exactly as to batch ones)."""
+        region = self.shm.allocate(task.task_id, role="send")
+        packer = Packer(self.config)
+        task.stats.pack_stats.append(packer.stats)
+
+        def _done(job: SendingJob) -> None:
+            task.senders_done.add(self.name)
+            region.seal()
+            self.shm.release(task.task_id, role="send")
+
+        job = SendingJob(
+            task=task, dst=task.receiver, payloads=[], on_complete=_done,
+            finished=False,
+        )
+        channel = self.channel_for_task(task.task_id)
+        channel.enqueue(job)
+        return StreamHandle(self, job, packer, channel)
+
+    def open_receive_task(self, task: AggregationTask, regions: dict[str, Region]) -> None:
+        """Steps ①–③ receiver side: allocate shared memory and register the
+        task with the receiver engine."""
+        self.shm.allocate(task.task_id, role="recv")
+        self.receiver.open_task(task, regions)
+
+    def publish_result(self, task: AggregationTask) -> None:
+        """Step ⑩: place the final result in the task's shared memory."""
+        if task.result is None:
+            raise RuntimeError(f"task {task.task_id} has no result to publish")
+        self.shm.get(task.task_id, role="recv").publish_result(task.result.values)
+
+    # ------------------------------------------------------------------
+    @property
+    def idle(self) -> bool:
+        return all(ch.idle for ch in self.channels)
+
+    def sender_bytes(self) -> int:
+        return sum(ch.bytes_sent for ch in self.channels)

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the ASK reproduction.
+
+Every package raises subclasses of :class:`AskError` so applications can
+catch one base type; hardware-model violations (register access, SRAM
+budget) live in :mod:`repro.switch` but also derive from :class:`AskError`.
+"""
+
+from __future__ import annotations
+
+
+class AskError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(AskError, ValueError):
+    """An :class:`~repro.core.config.AskConfig` field is out of range or
+    inconsistent with another field."""
+
+
+class KeyTooLongError(AskError, ValueError):
+    """A key exceeds the longest length the switch data plane can store.
+
+    Long keys are not an error for the service as a whole — they bypass the
+    switch (§3.2.3) — but feeding one to a switch-side structure is a bug.
+    """
+
+
+class TaskStateError(AskError, RuntimeError):
+    """An aggregation task was driven through an invalid lifecycle
+    transition (e.g. fetching results before all senders sent FIN)."""
+
+
+class RegionExhaustedError(AskError, RuntimeError):
+    """The switch controller has no free aggregator region for a new task."""
+
+
+class ProtocolError(AskError, RuntimeError):
+    """A malformed or impossible packet was observed (indicates a bug in the
+    sender/switch logic, never expected under fault injection)."""

@@ -1,0 +1,182 @@
+"""Sender-side packet construction (§3.2).
+
+The packer turns a key-value stream into multi-key payloads:
+
+- every key is classified (short / medium / long) and, via the ordered
+  key-space partition, queued for its dedicated packet slot or coalesced
+  group — so one key always travels in the same slot and is always handled
+  by the same AA (no single-key-multiple-spot waste),
+- payloads are built by taking at most one tuple from each subspace queue;
+  empty queues leave their slot blank, which is the goodput loss Fig. 8(b)
+  quantifies,
+- long keys are batched into separate long-key payloads that bypass switch
+  aggregation entirely.
+
+The packer is pure: it knows nothing about sequence numbers or the network.
+The sender assigns sequence numbers when payloads enter the sliding window.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.config import AskConfig
+from repro.core.errors import KeyTooLongError
+from repro.core.keyspace import KeyClass, KeySpaceLayout
+from repro.core.packet import Slot
+
+
+@dataclass(frozen=True)
+class PackedPayload:
+    """One packet's worth of tuples, before transport framing."""
+
+    slots: tuple[Optional[Slot], ...]
+    bitmap: int
+    is_long: bool = False
+
+    @property
+    def tuple_slots(self) -> int:
+        """Occupied slots (the paper's "non-blank key-value tuples")."""
+        return self.bitmap.bit_count()
+
+
+@dataclass
+class PackStats:
+    """Packing efficiency statistics (drives Fig. 8(b))."""
+
+    tuples_in: int = 0
+    short_tuples: int = 0
+    medium_tuples: int = 0
+    long_tuples: int = 0
+    packets: int = 0
+    long_packets: int = 0
+    blank_slots: int = 0
+    #: histogram: occupied slots per normal packet -> packet count
+    occupancy_histogram: dict[int, int] = field(default_factory=dict)
+
+    def mean_occupied_slots(self) -> float:
+        """Average non-blank slots per (non-long) packet."""
+        total = sum(k * v for k, v in self.occupancy_histogram.items())
+        count = sum(self.occupancy_histogram.values())
+        return total / count if count else 0.0
+
+    def occupancy_cdf(self) -> list[tuple[int, float]]:
+        """(occupied slots, cumulative fraction of packets) pairs."""
+        count = sum(self.occupancy_histogram.values())
+        if not count:
+            return []
+        acc = 0
+        cdf = []
+        for slots in sorted(self.occupancy_histogram):
+            acc += self.occupancy_histogram[slots]
+            cdf.append((slots, acc / count))
+        return cdf
+
+
+class Packer:
+    """Builds multi-key payloads for one sending task."""
+
+    def __init__(self, config: AskConfig) -> None:
+        self.config = config
+        self.layout = KeySpaceLayout(config)
+        self.stats = PackStats()
+        self._short: list[deque] = [deque() for _ in range(self.layout.num_short_slots)]
+        self._groups: list[deque] = [deque() for _ in range(self.layout.num_groups)]
+        self._long: deque = deque()
+
+    # ------------------------------------------------------------------
+    def add(self, key: bytes, value: int) -> None:
+        """Queue one key-value tuple."""
+        self.stats.tuples_in += 1
+        value &= self.config.value_mask
+        try:
+            assignment = self.layout.assign(key)
+        except KeyTooLongError:
+            # Covers both genuinely long keys and the rare full-width keys
+            # whose padded form would be ambiguous (AmbiguousKeyError).
+            self.stats.long_tuples += 1
+            self._long.append((key, value))
+            return
+        if assignment.key_class is KeyClass.SHORT:
+            self.stats.short_tuples += 1
+            self._short[assignment.primary_slot].append((assignment.padded, value))
+        else:
+            self.stats.medium_tuples += 1
+            group = self.layout.group_of_slot(assignment.primary_slot)
+            segments = self.layout.segments(assignment.padded)
+            self._groups[group].append((segments, value))
+
+    def add_stream(self, stream: Iterable[tuple[bytes, int]]) -> None:
+        for key, value in stream:
+            self.add(key, value)
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> bool:
+        return (
+            any(self._short)
+            or any(self._groups)
+            or bool(self._long)
+        )
+
+    def payloads(self) -> Iterable[PackedPayload]:
+        """Drain the queues into payloads.
+
+        Normal payloads are emitted while any short/medium queue is
+        non-empty; long-key payloads follow, batched up to ``num_aas``
+        tuples per packet (the PktState bitmap width bounds the batch).
+        """
+        num_slots = self.config.num_aas
+        while any(self._short) or any(self._groups):
+            slots: list[Optional[Slot]] = [None] * num_slots
+            bitmap = 0
+            tuples_in_packet = 0
+            for index, queue in enumerate(self._short):
+                if not queue:
+                    continue
+                padded, value = queue.popleft()
+                slots[index] = Slot(padded, value)
+                bitmap |= 1 << index
+                tuples_in_packet += 1
+            for group, queue in enumerate(self._groups):
+                if not queue:
+                    continue
+                segments, value = queue.popleft()
+                group_slots = self.layout.group_slots(group)
+                last = len(group_slots) - 1
+                for pos, slot_index in enumerate(group_slots):
+                    slots[slot_index] = Slot(
+                        segments[pos], value if pos == last else 0
+                    )
+                    bitmap |= 1 << slot_index
+                tuples_in_packet += 1
+            self.stats.packets += 1
+            self.stats.blank_slots += num_slots - bitmap.bit_count()
+            # The histogram counts *logical* tuples: a medium key occupies
+            # m slots but is one key-value tuple (the paper's Fig. 8(b)
+            # metric, "non-blank key-value tuples per packet").
+            self.stats.occupancy_histogram[tuples_in_packet] = (
+                self.stats.occupancy_histogram.get(tuples_in_packet, 0) + 1
+            )
+            yield PackedPayload(tuple(slots), bitmap)
+
+        while self._long:
+            batch: list[Optional[Slot]] = []
+            while self._long and len(batch) < num_slots:
+                key, value = self._long.popleft()
+                batch.append(Slot(key, value))
+            bitmap = (1 << len(batch)) - 1
+            self.stats.long_packets += 1
+            yield PackedPayload(tuple(batch), bitmap, is_long=True)
+
+
+def pack_stream(
+    stream: Iterable[tuple[bytes, int]], config: AskConfig
+) -> tuple[list[PackedPayload], PackStats]:
+    """Convenience: pack a whole stream at once."""
+    packer = Packer(config)
+    packer.add_stream(stream)
+    payloads = list(packer.payloads())
+    return payloads, packer.stats

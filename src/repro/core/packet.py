@@ -1,0 +1,216 @@
+"""The ASK packet format (Fig. 5): a bitmap followed by key-value tuple slots.
+
+Packets are immutable.  The switch never mutates a packet in place — it
+builds a new one with :meth:`AskPacket.with_bitmap` when forwarding — so a
+duplicated delivery (the same object arriving twice through a faulty link)
+can never observe half-processed state.
+
+The payload always carries all ``N`` slots on the wire even when some are
+blank (§3.2.2 "ASK will leave the i-th slot blank"): the slot position *is*
+the AA index, so it cannot be compacted away.  Blank slots therefore cost
+goodput, which is what Fig. 8(b) measures.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.core import constants
+
+
+#: Pseudo channel index used by swap notifications and their ACKs, so the
+#: daemon can tell a swap ACK from a data-channel ACK.
+SWAP_CHANNEL_INDEX = -1
+
+
+class PacketFlag(enum.IntFlag):
+    """ASK header flags."""
+
+    DATA = 0x1
+    ACK = 0x2
+    FIN = 0x4
+    SWAP = 0x8  #: receiver → switch shadow-copy swap notification (§3.4)
+    LONG = 0x10  #: long-key payload; bypasses switch aggregation (§3.2.3)
+
+
+@dataclass(frozen=True)
+class Slot:
+    """One key-value tuple slot: a padded key segment and a value.
+
+    For a short key the slot holds the whole (padded) key.  For a medium key
+    the tuple spans the ``m`` slots of its group: every slot holds one
+    segment, and only the last slot carries the value (§3.2.3,
+    ``(key, val) = {(key_1, 0), ..., (key_k, val)}``).
+    """
+
+    key: bytes
+    value: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.key, bytes):
+            raise TypeError(f"slot key must be bytes, got {type(self.key).__name__}")
+
+
+@dataclass(frozen=True)
+class AskPacket:
+    """An ASK packet.
+
+    ``(src, channel_index)`` identifies the data channel, whose sequence
+    space ``seq`` belongs to.  ``bitmap`` bit *i* set means slot *i* carries
+    a tuple that has **not** been aggregated yet; the switch unsets bits as
+    it consumes tuples (§3.2.1).
+    """
+
+    flags: PacketFlag
+    task_id: int
+    src: str
+    dst: str
+    channel_index: int
+    seq: int
+    bitmap: int = 0
+    slots: tuple[Optional[Slot], ...] = ()
+    #: ECN congestion-experienced mark, set by congested links and echoed
+    #: in ACKs (§7 "Congestion Control").
+    ecn: bool = False
+
+    # ------------------------------------------------------------------
+    @property
+    def channel_key(self) -> tuple[str, int]:
+        """The data-channel identity owning this packet's sequence space."""
+        return (self.src, self.channel_index)
+
+    @property
+    def num_slots(self) -> int:
+        return len(self.slots)
+
+    @property
+    def is_data(self) -> bool:
+        return bool(self.flags & PacketFlag.DATA)
+
+    @property
+    def is_ack(self) -> bool:
+        return bool(self.flags & PacketFlag.ACK)
+
+    @property
+    def is_fin(self) -> bool:
+        return bool(self.flags & PacketFlag.FIN)
+
+    @property
+    def is_swap(self) -> bool:
+        return bool(self.flags & PacketFlag.SWAP)
+
+    @property
+    def is_long(self) -> bool:
+        return bool(self.flags & PacketFlag.LONG)
+
+    @property
+    def tuple_count(self) -> int:
+        """Live (bitmap-set) tuples in the payload.
+
+        A medium key contributes one count per occupied slot; use
+        :meth:`live_slots` when per-slot detail is needed.
+        """
+        return self.bitmap.bit_count()
+
+    def live_slots(self) -> list[tuple[int, Slot]]:
+        """(slot index, slot) pairs whose bitmap bit is still set."""
+        out = []
+        for i, slot in enumerate(self.slots):
+            if self.bitmap >> i & 1:
+                if slot is None:
+                    raise ValueError(f"bitmap bit {i} set but slot is blank")
+                out.append((i, slot))
+        return out
+
+    # ------------------------------------------------------------------
+    def with_bitmap(self, bitmap: int) -> "AskPacket":
+        """A copy of this packet carrying a rewritten bitmap (Eq. 10)."""
+        return replace(self, bitmap=bitmap)
+
+    def with_ecn(self) -> "AskPacket":
+        """A copy marked congestion-experienced (set by a congested link)."""
+        if self.ecn:
+            return self
+        return replace(self, ecn=True)
+
+    # ------------------------------------------------------------------
+    # Wire accounting
+    # ------------------------------------------------------------------
+    def frame_bytes(self) -> int:
+        """Bytes inside the Ethernet frame (headers + payload, no framing).
+
+        Long-key packets use a variable-length encoding (1-byte length +
+        key + 4-byte value per tuple); normal data packets always carry all
+        N fixed-size slots, blank or not.
+        """
+        if self.is_long:
+            payload = sum(
+                1 + len(slot.key) + 4 for slot in self.slots if slot is not None
+            )
+            return constants.HEADER_BYTES + payload
+        if self.flags & (PacketFlag.DATA | PacketFlag.FIN):
+            return constants.HEADER_BYTES + self.num_slots * constants.TUPLE_BYTES
+        return constants.HEADER_BYTES
+
+    def wire_bytes(self) -> int:
+        """Bytes of wire time consumed, including IPG/preamble/SFD/CRC."""
+        return self.frame_bytes() + constants.FRAMING_EXTRA
+
+    def goodput_bytes(self) -> int:
+        """Application-useful bytes: live tuples only (blank slots excluded)."""
+        live = sum(1 for i in range(self.num_slots) if self.bitmap >> i & 1)
+        return live * constants.TUPLE_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AskPacket({self.flags.name or self.flags}, task={self.task_id}, "
+            f"ch={self.channel_key}, seq={self.seq}, "
+            f"bitmap={self.bitmap:0{max(1, self.num_slots)}b})"
+        )
+
+
+def ack_for(packet: AskPacket, replier: str) -> AskPacket:
+    """Build the ACK for ``packet``, carrying the same sequence number.
+
+    Both the switch and the host receiver reply ACKs (§3.1); ``replier``
+    names which, for traces only — the sender treats them identically.
+    """
+    return AskPacket(
+        flags=PacketFlag.ACK,
+        task_id=packet.task_id,
+        src=replier,
+        dst=packet.src,
+        channel_index=packet.channel_index,
+        seq=packet.seq,
+        ecn=packet.ecn,  # the congestion echo
+    )
+
+
+def fin_packet(task_id: int, src: str, dst: str, channel_index: int, seq: int) -> AskPacket:
+    """Build the FIN that ends a sender's stream on one channel (§3.3)."""
+    return AskPacket(
+        flags=PacketFlag.FIN,
+        task_id=task_id,
+        src=src,
+        dst=dst,
+        channel_index=channel_index,
+        seq=seq,
+    )
+
+
+def swap_packet(task_id: int, src: str, dst: str, epoch: int) -> AskPacket:
+    """Build the shadow-copy swap notification (§3.4).
+
+    ``epoch`` rides in the sequence field; its parity is the desired copy
+    indicator value, making retransmitted notifications idempotent.
+    """
+    return AskPacket(
+        flags=PacketFlag.SWAP,
+        task_id=task_id,
+        src=src,
+        dst=dst,
+        channel_index=SWAP_CHANNEL_INDEX,
+        seq=epoch,
+    )

@@ -1,0 +1,266 @@
+"""Receiver-side engine (§3.1 teardown, §3.3 "Host Receiver", §3.4).
+
+The receiver daemon:
+
+- deduplicates incoming packets per sending channel with a receive window
+  and ACKs every arrival (duplicates included),
+- merges the tuples the switch could not absorb into the task's residual
+  map, reconstructing medium keys from their coalesced segments,
+- drives the shadow-copy swap loop: after ``swap_threshold_packets``
+  arrivals it reliably notifies the switch(es), then fetches and resets the
+  idle copy so hot keys can reclaim aggregators,
+- at teardown (all FINs in) fetches both copies, merges them with the
+  residual, publishes the result and releases the switch regions.
+
+A task may span several switches (the multi-rack deployment of §7: one
+region per sender-side TOR); swap notifications broadcast to all of them
+and control-plane fetches merge across them via
+:class:`~repro.core.controlplane.ControlPlane`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.core.config import AskConfig
+from repro.core.controlplane import ControlPlane
+from repro.core.errors import ProtocolError
+from repro.core.keyspace import KeySpaceLayout, unpad_key
+from repro.core.packet import AskPacket, ack_for, swap_packet
+from repro.core.results import AggregationResult
+from repro.core.task import AggregationTask, TaskPhase
+from repro.net.simulator import Simulator
+from repro.switch.controller import Region
+from repro.transport.reliability import ReceiveWindow
+
+SendFn = Callable[[AskPacket], None]
+CompletionFn = Callable[[AggregationTask], None]
+
+
+@dataclass
+class ReceiverTaskState:
+    """Receiver-side state for one in-progress task."""
+
+    task: AggregationTask
+    regions: Dict[str, Region]
+    residual: dict[bytes, int] = field(default_factory=dict)
+    swap_epoch: int = 0
+    swap_in_progress: bool = False
+    swap_acks_pending: set[str] = field(default_factory=set)
+    packets_since_swap: int = 0
+    pending_finalize: bool = False
+    swap_timer: Optional[object] = None
+
+    @property
+    def switches(self) -> tuple[str, ...]:
+        return tuple(self.regions)
+
+
+class ReceiverEngine:
+    """All receiver-side behaviour of one host daemon."""
+
+    def __init__(
+        self,
+        host: str,
+        sim: Simulator,
+        config: AskConfig,
+        control: ControlPlane,
+        send_fn: SendFn,
+        on_complete: CompletionFn,
+    ) -> None:
+        self.host = host
+        self.sim = sim
+        self.config = config
+        self.control = control
+        self.send_fn = send_fn
+        self.on_complete = on_complete
+        self.layout = KeySpaceLayout(config)
+        self._tasks: dict[int, ReceiverTaskState] = {}
+        self._windows: dict[tuple[str, int], ReceiveWindow] = {}
+        self.stray_packets = 0
+
+    # ------------------------------------------------------------------
+    def open_task(self, task: AggregationTask, regions: Dict[str, Region]) -> ReceiverTaskState:
+        state = ReceiverTaskState(task=task, regions=dict(regions))
+        self._tasks[task.task_id] = state
+        return state
+
+    def task_state(self, task_id: int) -> Optional[ReceiverTaskState]:
+        return self._tasks.get(task_id)
+
+    def _window(self, channel_key: tuple[str, int]) -> ReceiveWindow:
+        win = self._windows.get(channel_key)
+        if win is None:
+            win = ReceiveWindow(self.config.window_size)
+            self._windows[channel_key] = win
+        return win
+
+    # ------------------------------------------------------------------
+    # Packet ingress (forwarded DATA / FIN / LONG)
+    # ------------------------------------------------------------------
+    def on_packet(self, pkt: AskPacket) -> None:
+        """Handle a data-plane packet forwarded by the switch."""
+        window = self._window(pkt.channel_key)
+        fresh = window.is_new(pkt.seq)
+        # Every arrival is acknowledged, duplicate or not (§3.3): the ACK
+        # may have been the thing that got lost.
+        self.send_fn(ack_for(pkt, self.host))
+
+        state = self._tasks.get(pkt.task_id)
+        if state is None:
+            # Stray packet for an unknown/finished task — ACKed above so the
+            # sender stops retrying, otherwise ignored.
+            self.stray_packets += 1
+            return
+        stats = state.task.stats
+        if not fresh:
+            stats.duplicate_packets_dropped += 1
+            return
+        stats.packets_received += 1
+
+        if pkt.is_fin:
+            self._on_fin(state, pkt)
+            return
+        self._merge_packet(state, pkt)
+        state.packets_since_swap += 1
+        self._maybe_swap(state)
+
+    # ------------------------------------------------------------------
+    def _merge_packet(self, state: ReceiverTaskState, pkt: AskPacket) -> None:
+        """Aggregate the packet's remaining live tuples into the residual."""
+        mask = self.config.value_mask
+        residual = state.residual
+        merged = 0
+        if pkt.is_long:
+            for _index, slot in pkt.live_slots():
+                residual[slot.key] = (residual.get(slot.key, 0) + slot.value) & mask
+                merged += 1
+        else:
+            bitmap = pkt.bitmap
+            for slot_index in range(self.layout.num_short_slots):
+                if not bitmap >> slot_index & 1:
+                    continue
+                slot = pkt.slots[slot_index]
+                if slot is None:
+                    raise ProtocolError(f"live bit {slot_index} on blank slot")
+                key = unpad_key(slot.key)
+                residual[key] = (residual.get(key, 0) + slot.value) & mask
+                merged += 1
+            for group in range(self.layout.num_groups):
+                slots = self.layout.group_slots(group)
+                bits = [bool(bitmap >> s & 1) for s in slots]
+                if not any(bits):
+                    continue
+                if not all(bits):
+                    raise ProtocolError(
+                        f"medium group {group} arrived with a partial bitmap"
+                    )
+                segments = []
+                value = 0
+                for s in slots:
+                    slot = pkt.slots[s]
+                    if slot is None:
+                        raise ProtocolError(f"live bit {s} on blank slot")
+                    segments.append(slot.key)
+                    value = slot.value
+                key = unpad_key(b"".join(segments))
+                residual[key] = (residual.get(key, 0) + value) & mask
+                merged += 1
+        state.task.stats.tuples_merged_at_receiver += merged
+
+    # ------------------------------------------------------------------
+    # Shadow-copy swap loop (§3.4)
+    # ------------------------------------------------------------------
+    def _maybe_swap(self, state: ReceiverTaskState) -> None:
+        if not self.config.shadow_copy:
+            return
+        if state.swap_in_progress or state.task.phase is not TaskPhase.STREAMING:
+            return
+        if state.packets_since_swap < self.config.swap_threshold_packets:
+            return
+        state.swap_in_progress = True
+        state.packets_since_swap = 0
+        state.swap_epoch += 1
+        state.swap_acks_pending = set(state.switches)
+        self._send_swaps(state)
+
+    def _send_swaps(self, state: ReceiverTaskState) -> None:
+        """(Re)notify every switch that has not acknowledged this epoch."""
+        for switch_name in state.swap_acks_pending:
+            self.send_fn(
+                swap_packet(state.task.task_id, self.host, switch_name, state.swap_epoch)
+            )
+        # Swap notifications are retried until acknowledged; the desired
+        # indicator value in the packet makes retries idempotent.
+        state.swap_timer = self.sim.schedule(
+            self.config.retransmit_timeout_ns, self._swap_timeout, state, state.swap_epoch
+        )
+
+    def _swap_timeout(self, state: ReceiverTaskState, epoch: int) -> None:
+        if state.swap_in_progress and state.swap_epoch == epoch and state.swap_acks_pending:
+            self._send_swaps(state)
+
+    def on_swap_ack(self, pkt: AskPacket) -> None:
+        state = self._tasks.get(pkt.task_id)
+        if state is None or not state.swap_in_progress or pkt.seq != state.swap_epoch:
+            return
+        state.swap_acks_pending.discard(pkt.src)
+        if state.swap_acks_pending:
+            return
+        if state.swap_timer is not None:
+            state.swap_timer.cancel()
+            state.swap_timer = None
+        # Every switch now writes the other copy; after the control-plane
+        # round trip, fetch and reset the idle one.
+        read_part = 1 - (state.swap_epoch & 1)
+        self.sim.schedule(
+            self.config.control_latency_ns, self._complete_swap, state, read_part
+        )
+
+    def _complete_swap(self, state: ReceiverTaskState, read_part: int) -> None:
+        fetched = self.control.fetch_and_reset(state.task.task_id, read_part)
+        self._merge_fetched(state, fetched)
+        state.task.stats.swaps += 1
+        state.swap_in_progress = False
+        if state.pending_finalize:
+            self._finalize(state)
+
+    def _merge_fetched(self, state: ReceiverTaskState, fetched: dict[bytes, int]) -> None:
+        mask = self.config.value_mask
+        residual = state.residual
+        for key, value in fetched.items():
+            residual[key] = (residual.get(key, 0) + value) & mask
+        state.task.stats.tuples_fetched_from_switch += len(fetched)
+
+    # ------------------------------------------------------------------
+    # Teardown (§3.1 Task Teardown)
+    # ------------------------------------------------------------------
+    def _on_fin(self, state: ReceiverTaskState, pkt: AskPacket) -> None:
+        task = state.task
+        task.fins_received.add(pkt.channel_key)
+        if len(task.fins_received) < task.expected_fins:
+            return
+        if task.phase is TaskPhase.STREAMING:
+            task.advance(TaskPhase.FINALIZING)
+        if state.swap_in_progress:
+            state.pending_finalize = True
+            return
+        self._finalize(state)
+
+    def _finalize(self, state: ReceiverTaskState) -> None:
+        state.pending_finalize = False
+        self.sim.schedule(self.config.control_latency_ns, self._complete_finalize, state)
+
+    def _complete_finalize(self, state: ReceiverTaskState) -> None:
+        task = state.task
+        parts = (0, 1) if self.config.shadow_copy else (0,)
+        for part in parts:
+            fetched = self.control.fetch_and_reset(task.task_id, part)
+            self._merge_fetched(state, fetched)
+        self.control.deallocate(task.task_id)
+        task.result = AggregationResult(task.task_id, dict(state.residual), task.stats)
+        task.stats.completed_at_ns = self.sim.now
+        task.advance(TaskPhase.COMPLETE)
+        del self._tasks[task.task_id]
+        self.on_complete(task)

@@ -1,0 +1,109 @@
+"""Task results and statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.packer import PackStats
+
+
+@dataclass
+class TaskStats:
+    """Everything measured about one aggregation task.
+
+    Most evaluation numbers (Table 1, Fig. 8(b), parts of Fig. 13) are
+    computed from these counters.
+    """
+
+    # Input
+    input_tuples: int = 0
+    input_bytes: int = 0
+
+    # Sender side
+    data_packets_sent: int = 0
+    long_packets_sent: int = 0
+    retransmissions: int = 0
+    acks_from_switch: int = 0
+    acks_from_receiver: int = 0
+
+    # Receiver side
+    tuples_merged_at_receiver: int = 0
+    packets_received: int = 0
+    duplicate_packets_dropped: int = 0
+    swaps: int = 0
+    tuples_fetched_from_switch: int = 0
+
+    # Timing (simulation nanoseconds)
+    submitted_at_ns: int = 0
+    started_at_ns: Optional[int] = None
+    completed_at_ns: Optional[int] = None
+
+    # Packing efficiency, one entry per sender
+    pack_stats: list[PackStats] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def completion_time_ns(self) -> Optional[int]:
+        if self.completed_at_ns is None:
+            return None
+        return self.completed_at_ns - self.submitted_at_ns
+
+    @property
+    def tuples_aggregated_at_switch(self) -> int:
+        """Tuples the switch absorbed (input minus host-side residual)."""
+        return self.input_tuples - self.tuples_merged_at_receiver
+
+    @property
+    def switch_aggregation_ratio(self) -> float:
+        """Fraction of tuples aggregated on the switch (Table 1, row 1;
+        Fig. 9's y-axis)."""
+        if not self.input_tuples:
+            return 0.0
+        return self.tuples_aggregated_at_switch / self.input_tuples
+
+    @property
+    def switch_ack_ratio(self) -> float:
+        """Fraction of data packets fully absorbed by the switch
+        (Table 1, row 2)."""
+        total = self.data_packets_sent + self.long_packets_sent
+        if not total:
+            return 0.0
+        return self.acks_from_switch / total
+
+
+@dataclass
+class AggregationResult:
+    """The outcome of one aggregation task: the merged key→value map plus
+    the task's statistics."""
+
+    task_id: int
+    values: dict[bytes, int]
+    stats: TaskStats
+
+    def __getitem__(self, key: bytes) -> int:
+        return self.values[key]
+
+    def get(self, key: bytes, default: int = 0) -> int:
+        return self.values.get(key, default)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def items(self):
+        return self.values.items()
+
+
+def reference_aggregate(
+    streams: dict[str, list[tuple[bytes, int]]], value_mask: int
+) -> dict[bytes, int]:
+    """The exact aggregation (Eq. 2) every ASK run must reproduce.
+
+    Values are accumulated modulo ``value_mask + 1`` — the same fixed-width
+    arithmetic the switch registers perform.
+    """
+    out: dict[bytes, int] = {}
+    for stream in streams.values():
+        for key, value in stream:
+            out[key] = (out.get(key, 0) + value) & value_mask
+    return out

@@ -1,0 +1,230 @@
+"""Sender-side data channel (§3.1, §3.3 "Host Sender").
+
+A data channel owns one continuous sequence space, one sliding window and a
+FIFO of sending jobs (multiple aggregation tasks multiplex a channel).  The
+channel streams the active job's payloads while the window permits, recovers
+losses with the fine-grained timeout, and ends the job with a reliable FIN.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.config import AskConfig
+from repro.core.packer import PackedPayload
+from repro.core.packet import AskPacket, PacketFlag
+from repro.core.task import AggregationTask
+from repro.net.simulator import Simulator
+from repro.transport.congestion import CongestionWindow
+from repro.transport.reliability import RetransmitTimers
+from repro.transport.window import SlidingWindow, WindowEntry
+
+SendFn = Callable[[AskPacket], None]
+
+
+@dataclass
+class SendingJob:
+    """One task's outbound stream on one data channel.
+
+    Batch jobs are born ``finished`` (all payloads known up front).  A
+    streaming job starts with ``finished=False``: more payloads may be
+    appended while it runs, and the FIN is withheld until the application
+    closes the stream — the unbounded key-value streams of §2.1.3.
+    """
+
+    task: AggregationTask
+    dst: str
+    payloads: list[PackedPayload]
+    on_complete: Optional[Callable[["SendingJob"], None]] = None
+    finished: bool = True
+    next_payload: int = 0
+    unacked: int = 0
+    fin_sent: bool = False
+    fin_acked: bool = False
+
+    @property
+    def data_exhausted(self) -> bool:
+        return self.next_payload >= len(self.payloads)
+
+    def extend(self, payloads: list[PackedPayload]) -> None:
+        """Append more payloads (streaming feed)."""
+        if self.finished:
+            raise RuntimeError("cannot feed a finished job")
+        self.payloads.extend(payloads)
+
+    def finish(self) -> None:
+        """No more data will arrive; the FIN may go out once drained."""
+        self.finished = True
+
+
+@dataclass
+class _EntryTag:
+    """What a window entry is carrying."""
+
+    job: SendingJob
+    payload: Optional[PackedPayload]  #: None for the FIN
+
+    @property
+    def is_fin(self) -> bool:
+        return self.payload is None
+
+
+class SenderChannel:
+    """One data channel of a host daemon."""
+
+    def __init__(
+        self,
+        host: str,
+        index: int,
+        sim: Simulator,
+        config: AskConfig,
+        send_fn: SendFn,
+        switch_names: frozenset[str] = frozenset({"switch"}),
+    ) -> None:
+        self.host = host
+        self.index = index
+        self.sim = sim
+        self.config = config
+        self.send_fn = send_fn
+        self.switch_names = switch_names
+        self.window = SlidingWindow(config.window_size)
+        self.timers = RetransmitTimers(
+            sim, self.window, config.retransmit_timeout_ns, self._resend
+        )
+        # §7: optional ECN/AIMD congestion window, hard-capped at W so the
+        # switch receive window can never be outrun.
+        self.congestion: Optional[CongestionWindow] = None
+        if config.congestion_control:
+            self.congestion = CongestionWindow(
+                sim,
+                max_window=config.window_size,
+                initial=config.cwnd_initial,
+                freeze_ns=config.retransmit_timeout_ns,
+            )
+        self._jobs: deque[SendingJob] = deque()
+        self.packets_sent = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def active_job(self) -> Optional[SendingJob]:
+        return self._jobs[0] if self._jobs else None
+
+    @property
+    def idle(self) -> bool:
+        return not self._jobs and self.window.is_empty
+
+    def enqueue(self, job: SendingJob) -> None:
+        """Queue a sending job; jobs are served strictly FIFO (§3.1)."""
+        self._jobs.append(job)
+        if job.task.stats.started_at_ns is None:
+            job.task.stats.started_at_ns = self.sim.now
+        self._pump()
+
+    # ------------------------------------------------------------------
+    def _admits(self) -> bool:
+        """Reliability window and (if enabled) congestion window both open."""
+        if not self.window.can_send():
+            return False
+        if self.congestion is not None:
+            return self.congestion.allows(self.window.in_flight)
+        return True
+
+    def _pump(self) -> None:
+        """Send while the window allows and the active job has work."""
+        job = self.active_job
+        if job is None:
+            return
+        while self._admits() and not job.data_exhausted:
+            payload = job.payloads[job.next_payload]
+            job.next_payload += 1
+            job.unacked += 1
+            entry = self.window.open(_EntryTag(job, payload))
+            self._transmit(entry)
+        if job.finished and job.data_exhausted and job.unacked == 0 and not job.fin_sent:
+            if self._admits():
+                job.fin_sent = True
+                entry = self.window.open(_EntryTag(job, None))
+                self._transmit(entry)
+
+    def _build_packet(self, entry: WindowEntry) -> AskPacket:
+        tag: _EntryTag = entry.payload
+        if tag.is_fin:
+            flags = PacketFlag.FIN
+            slots: tuple = ()
+            bitmap = 0
+        else:
+            payload = tag.payload
+            flags = PacketFlag.DATA | PacketFlag.LONG if payload.is_long else PacketFlag.DATA
+            slots = payload.slots
+            bitmap = payload.bitmap
+        return AskPacket(
+            flags=flags,
+            task_id=tag.job.task.task_id,
+            src=self.host,
+            dst=tag.job.dst,
+            channel_index=self.index,
+            seq=entry.seq,
+            bitmap=bitmap,
+            slots=slots,
+        )
+
+    def _transmit(self, entry: WindowEntry) -> None:
+        packet = self._build_packet(entry)
+        entry.transmissions += 1
+        if entry.transmissions == 1:
+            entry.first_sent_ns = self.sim.now
+            tag: _EntryTag = entry.payload
+            if not tag.is_fin:
+                if tag.payload.is_long:
+                    tag.job.task.stats.long_packets_sent += 1
+                else:
+                    tag.job.task.stats.data_packets_sent += 1
+        entry.last_sent_ns = self.sim.now
+        self.packets_sent += 1
+        self.bytes_sent += packet.wire_bytes()
+        self.timers.arm(entry)
+        self.send_fn(packet)
+
+    def _resend(self, entry: WindowEntry) -> None:
+        tag: _EntryTag = entry.payload
+        tag.job.task.stats.retransmissions += 1
+        if self.congestion is not None:
+            self.congestion.on_timeout()
+        packet = self._build_packet(entry)
+        entry.transmissions += 1
+        entry.last_sent_ns = self.sim.now
+        self.packets_sent += 1
+        self.bytes_sent += packet.wire_bytes()
+        self.send_fn(packet)
+
+    # ------------------------------------------------------------------
+    def on_ack(self, ack: AskPacket) -> None:
+        """Process an ACK from the switch or the host receiver."""
+        entry = self.window.ack(ack.seq)
+        if entry is None:
+            return  # duplicate ACK; both endpoints may ACK one packet
+        if self.congestion is not None:
+            self.congestion.on_ack(ack.ecn)
+        self.timers.cancel(entry)
+        tag: _EntryTag = entry.payload
+        job = tag.job
+        if tag.is_fin:
+            job.fin_acked = True
+            self._finish_job(job)
+        else:
+            job.unacked -= 1
+            if ack.src in self.switch_names:
+                job.task.stats.acks_from_switch += 1
+            else:
+                job.task.stats.acks_from_receiver += 1
+        self._pump()
+
+    def _finish_job(self, job: SendingJob) -> None:
+        if self._jobs and self._jobs[0] is job:
+            self._jobs.popleft()
+        if job.on_complete is not None:
+            job.on_complete(job)
+        self._pump()

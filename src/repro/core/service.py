@@ -1,0 +1,368 @@
+"""`AskService` — the user-facing facade that wires everything together.
+
+A service instance is one rack: one ASK switch, N hosts with daemons, and
+the links between them.  Applications submit aggregation tasks (a set of
+sender streams plus one receiver) and run the simulation until completion::
+
+    from repro import AskConfig, AskService
+
+    service = AskService(AskConfig.small(), hosts=3)
+    result = service.aggregate(
+        {"h0": [(b"cat", 1), (b"dog", 2)], "h1": [(b"cat", 5)]},
+        receiver="h2",
+    )
+    assert result[b"cat"] == 6
+
+The full task workflow of Fig. 4 is followed: region allocation and sender
+notification cost one control-plane latency each before streaming begins,
+and teardown fetches the switch copies before the result is published.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.core.config import AskConfig
+from repro.core.controlplane import ControlPlane
+from repro.core.daemon import HostDaemon
+from repro.core.errors import TaskStateError
+from repro.core.packet import AskPacket
+from repro.core.results import AggregationResult, reference_aggregate
+from repro.core.task import AggregationTask, TaskPhase
+from repro.core.tenancy import DEFAULT_TENANT, encode_task_id
+from repro.net.fault import FaultModel
+from repro.net.simulator import Simulator
+from repro.net.topology import StarTopology
+from repro.net.trace import PacketTrace
+from repro.switch.switch import AskSwitch
+
+Stream = Sequence[tuple[bytes, int]]
+
+
+class StreamingSession:
+    """An open-ended aggregation task fed incrementally (§2.1.3 streaming).
+
+    Obtained from :meth:`AskService.open_stream`.  Feeds may happen before
+    the asynchronous task setup completes — they are buffered and flushed
+    once the senders' channels are live.  ``close()`` releases every
+    sender's FIN; the result appears on ``task.result`` after
+    ``run_to_completion``::
+
+        session = service.open_stream(["h0"], receiver="h1")
+        session.feed("h0", [(b"cpu", 97)])
+        service.run()                      # deliver what's in flight
+        session.feed("h0", [(b"cpu", 3)])
+        session.close()
+        service.run_to_completion()
+        assert session.task.result[b"cpu"] == 100
+    """
+
+    def __init__(self, task: AggregationTask, senders: tuple[str, ...]) -> None:
+        self.task = task
+        self.senders = senders
+        self._handles: dict[str, object] = {}
+        self._buffers: dict[str, list] = {host: [] for host in senders}
+        self._closed = False
+
+    # -- wiring (called by the service when setup completes) -----------
+    def _attach(self, host: str, handle) -> None:
+        self._handles[host] = handle
+        buffered = self._buffers.pop(host, [])
+        if buffered:
+            handle.feed(buffered)
+        if self._closed:
+            handle.finish()
+
+    @property
+    def is_live(self) -> bool:
+        """True once every sender's channel is attached."""
+        return len(self._handles) == len(self.senders)
+
+    # -- application API ------------------------------------------------
+    def feed(self, host: str, tuples: Iterable[tuple[bytes, int]]) -> None:
+        """Append tuples to one sender's stream."""
+        if self._closed:
+            raise TaskStateError("session is closed")
+        if host not in self.senders:
+            raise KeyError(f"{host!r} is not a sender of this session")
+        items = list(tuples)
+        handle = self._handles.get(host)
+        if handle is None:
+            self._buffers[host].extend(items)
+            self.task.stats.input_tuples += len(items)
+        else:
+            handle.feed(items)
+
+    def close(self) -> None:
+        """End every sender's stream; FINs flow once data is ACKed."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._handles.values():
+            handle.finish()
+
+    @property
+    def result(self):
+        return self.task.result
+
+
+class AskService:
+    """One ASK deployment: switch + hosts + fabric.
+
+    ``switch_factory`` selects the data-plane backend: the default PISA
+    :class:`~repro.switch.switch.AskSwitch`, or the run-to-completion
+    :class:`~repro.switch.trio.TrioSwitch` (§6) — the host side is
+    identical either way.
+    """
+
+    def __init__(
+        self,
+        config: Optional[AskConfig] = None,
+        hosts: Union[int, Iterable[str]] = 2,
+        fault: Optional[FaultModel] = None,
+        switch_name: str = "switch",
+        max_tasks: int = 64,
+        max_channels: int = 256,
+        switch_factory=AskSwitch,
+    ) -> None:
+        self.config = config if config is not None else AskConfig()
+        self.sim = Simulator()
+        self.trace = PacketTrace(enabled=self.config.trace)
+        self.switch = switch_factory(
+            self.config,
+            self.sim,
+            name=switch_name,
+            max_tasks=max_tasks,
+            max_channels=max_channels,
+            trace=self.trace if self.config.trace else None,
+        )
+        self.topology = StarTopology(
+            self.sim,
+            self.switch,
+            bandwidth_gbps=self.config.link_bandwidth_gbps,
+            latency_ns=self.config.link_latency_ns,
+            host_max_pps=self.config.host_max_pps,
+            fault=fault,
+            trace=self.trace if self.config.trace else None,
+            ecn_threshold_bytes=(
+                self.config.ecn_threshold_bytes
+                if self.config.congestion_control
+                else None
+            ),
+        )
+        self.switch.bind(self.topology)
+        self.control = ControlPlane()
+        self.control.register(switch_name, self.switch.controller)
+
+        if isinstance(hosts, int):
+            host_names = [f"h{i}" for i in range(hosts)]
+        else:
+            host_names = list(hosts)
+        self.daemons: dict[str, HostDaemon] = {}
+        for name in host_names:
+            daemon = HostDaemon(
+                name,
+                self.sim,
+                self.config,
+                self.control,
+                send_fn=self._sender_for(name),
+                on_task_complete=self._on_task_complete,
+            )
+            self.daemons[name] = daemon
+            self.topology.attach_host(daemon)
+
+        self._task_ids = itertools.count(1)
+        self.tasks: dict[int, AggregationTask] = {}
+
+    # ------------------------------------------------------------------
+    def _sender_for(self, host: str):
+        def send(packet: AskPacket) -> None:
+            self.topology.send_to_switch(host, packet, packet.wire_bytes())
+
+        return send
+
+    def _on_task_complete(self, task: AggregationTask) -> None:
+        self.daemons[task.receiver].publish_result(task)
+
+    def daemon(self, host: str) -> HostDaemon:
+        return self.daemons[host]
+
+    def _switches_for(self, task: AggregationTask) -> tuple[str, ...]:
+        """Switches that must hold a region for this task.
+
+        A single-rack service has one switch; the multi-rack service
+        overrides this to return every sender-side TOR (§7).
+        """
+        return (self.switch.name,)
+
+    @property
+    def hosts(self) -> list[str]:
+        return list(self.daemons)
+
+    # ------------------------------------------------------------------
+    # Task submission (Fig. 4 steps ①–⑧)
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        streams: dict[str, Stream],
+        receiver: str,
+        region_size: Optional[int] = None,
+        task_id: Optional[int] = None,
+        tenant_id: int = DEFAULT_TENANT,
+    ) -> AggregationTask:
+        """Submit an aggregation task.
+
+        ``streams`` maps sender host → its key-value stream; ``receiver`` is
+        the destination host (it may also appear among the senders, like the
+        co-located mappers of §5.5).  ``tenant_id`` is encoded into the task
+        ID (§7 multi-tenancy) so regions, channels and shared memory are
+        isolated per tenant, and switch-side quotas apply.  Returns the task
+        immediately; call :meth:`run` to drive it to completion.
+        """
+        if receiver not in self.daemons:
+            raise KeyError(f"unknown receiver host {receiver!r}")
+        for host in streams:
+            if host not in self.daemons:
+                raise KeyError(f"unknown sender host {host!r}")
+        if not streams:
+            raise ValueError("a task needs at least one sender stream")
+        if task_id is None:
+            task_id = encode_task_id(tenant_id, next(self._task_ids))
+        elif task_id in self.tasks:
+            raise TaskStateError(f"task id {task_id} already in use")
+
+        task = AggregationTask(
+            task_id=task_id,
+            receiver=receiver,
+            senders=tuple(streams),
+            region_size=region_size,
+        )
+        task.stats.submitted_at_ns = self.sim.now
+        task.stats.input_tuples = sum(len(s) for s in streams.values())
+        task.stats.input_bytes = sum(
+            len(k) + 4 for s in streams.values() for k, _ in s
+        )
+        self.tasks[task_id] = task
+
+        # Step ②③ after one control-plane latency: shared memory + region.
+        self.sim.schedule(
+            self.config.control_latency_ns, self._setup_task, task, dict(streams)
+        )
+        return task
+
+    def _setup_task(self, task: AggregationTask, streams: dict[str, Stream]) -> None:
+        regions = self.control.allocate(
+            task.task_id, self._switches_for(task), task.region_size
+        )
+        self.daemons[task.receiver].open_receive_task(task, regions)
+        task.advance(TaskPhase.SETUP)
+        # Step ④⑤: notify every sender over the control channel.
+        self.sim.schedule(self.config.control_latency_ns, self._start_senders, task, streams)
+
+    def _start_senders(self, task: AggregationTask, streams: dict[str, Stream]) -> None:
+        task.advance(TaskPhase.STREAMING)
+        for host, stream in streams.items():
+            self.daemons[host].start_sending(task, list(stream))
+
+    # ------------------------------------------------------------------
+    # Streaming tasks (unbounded key-value streams)
+    # ------------------------------------------------------------------
+    def open_stream(
+        self,
+        senders: Sequence[str],
+        receiver: str,
+        region_size: Optional[int] = None,
+        tenant_id: int = 0,
+    ) -> StreamingSession:
+        """Open an aggregation task whose streams are fed incrementally.
+
+        Real-time sources (the paper's streaming-processing motivation)
+        do not know their data up front; a streaming session keeps every
+        sender's channel live until :meth:`StreamingSession.close`.
+        """
+        if receiver not in self.daemons:
+            raise KeyError(f"unknown receiver host {receiver!r}")
+        for host in senders:
+            if host not in self.daemons:
+                raise KeyError(f"unknown sender host {host!r}")
+        if not senders:
+            raise ValueError("a streaming session needs at least one sender")
+        from repro.core.tenancy import encode_task_id
+
+        task_id = encode_task_id(tenant_id, next(self._task_ids))
+        task = AggregationTask(
+            task_id=task_id,
+            receiver=receiver,
+            senders=tuple(senders),
+            region_size=region_size,
+        )
+        task.stats.submitted_at_ns = self.sim.now
+        self.tasks[task_id] = task
+        session = StreamingSession(task, tuple(senders))
+        self.sim.schedule(
+            self.config.control_latency_ns, self._setup_streaming, task, session
+        )
+        return session
+
+    def _setup_streaming(self, task: AggregationTask, session: StreamingSession) -> None:
+        regions = self.control.allocate(
+            task.task_id, self._switches_for(task), task.region_size
+        )
+        self.daemons[task.receiver].open_receive_task(task, regions)
+        task.advance(TaskPhase.SETUP)
+        self.sim.schedule(
+            self.config.control_latency_ns, self._attach_streams, task, session
+        )
+
+    def _attach_streams(self, task: AggregationTask, session: StreamingSession) -> None:
+        task.advance(TaskPhase.STREAMING)
+        for host in session.senders:
+            session._attach(host, self.daemons[host].start_streaming(task))
+
+    # ------------------------------------------------------------------
+    # Driving the simulation
+    # ------------------------------------------------------------------
+    def run(
+        self, until: Optional[int] = None, max_events: Optional[int] = None
+    ) -> None:
+        """Run the fabric until all events drain (all tasks complete)."""
+        self.sim.run(until=until, max_events=max_events)
+
+    def run_to_completion(self, max_events: int = 20_000_000) -> None:
+        """Run and then assert every submitted task completed."""
+        self.sim.run(max_events=max_events)
+        unfinished = [t for t in self.tasks.values() if not t.is_complete]
+        if unfinished:
+            raise TaskStateError(
+                f"{len(unfinished)} task(s) did not complete: "
+                + ", ".join(f"{t.task_id}:{t.phase.value}" for t in unfinished)
+            )
+
+    # ------------------------------------------------------------------
+    def aggregate(
+        self,
+        streams: dict[str, Stream],
+        receiver: Optional[str] = None,
+        region_size: Optional[int] = None,
+        check: bool = False,
+    ) -> AggregationResult:
+        """One-shot convenience: submit, run to completion, return the result.
+
+        ``check=True`` additionally verifies the result against the exact
+        reference aggregation (useful in examples and tests).
+        """
+        if receiver is None:
+            receiver = self.hosts[-1]
+        task = self.submit(streams, receiver, region_size=region_size)
+        self.run_to_completion()
+        assert task.result is not None
+        if check:
+            expected = reference_aggregate(
+                {h: list(s) for h, s in streams.items()}, self.config.value_mask
+            )
+            if task.result.values != expected:
+                raise AssertionError(
+                    "aggregation result deviates from the exact reference"
+                )
+        return task.result

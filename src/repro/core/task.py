@@ -1,0 +1,71 @@
+"""Aggregation-task lifecycle (Fig. 4, steps ①–⑫)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.errors import TaskStateError
+from repro.core.results import AggregationResult, TaskStats
+
+
+class TaskPhase(enum.Enum):
+    """Lifecycle phases of an aggregation task."""
+
+    SUBMITTED = "submitted"  #: receiver handed the task to its daemon (①)
+    SETUP = "setup"  #: shared memory + switch region allocated (②③)
+    STREAMING = "streaming"  #: senders are streaming packets (⑧)
+    FINALIZING = "finalizing"  #: all FINs in; fetching switch results (⑨)
+    COMPLETE = "complete"  #: result delivered to the application (⑩⑪⑫)
+    FAILED = "failed"
+
+
+_ALLOWED = {
+    TaskPhase.SUBMITTED: {TaskPhase.SETUP, TaskPhase.FAILED},
+    TaskPhase.SETUP: {TaskPhase.STREAMING, TaskPhase.FAILED},
+    TaskPhase.STREAMING: {TaskPhase.FINALIZING, TaskPhase.FAILED},
+    TaskPhase.FINALIZING: {TaskPhase.COMPLETE, TaskPhase.FAILED},
+    TaskPhase.COMPLETE: set(),
+    TaskPhase.FAILED: set(),
+}
+
+
+@dataclass
+class AggregationTask:
+    """One multi-sender, single-receiver aggregation task."""
+
+    task_id: int
+    receiver: str
+    senders: tuple[str, ...]
+    region_size: Optional[int] = None
+    phase: TaskPhase = TaskPhase.SUBMITTED
+    stats: TaskStats = field(default_factory=TaskStats)
+    result: Optional[AggregationResult] = None
+
+    # Progress tracking used by the receiver daemon
+    fins_received: set = field(default_factory=set)
+    senders_done: set = field(default_factory=set)
+
+    def advance(self, phase: TaskPhase) -> None:
+        """Move to ``phase``, validating the lifecycle transition."""
+        if phase not in _ALLOWED[self.phase]:
+            raise TaskStateError(
+                f"task {self.task_id}: illegal transition "
+                f"{self.phase.value} -> {phase.value}"
+            )
+        self.phase = phase
+
+    @property
+    def is_complete(self) -> bool:
+        return self.phase is TaskPhase.COMPLETE
+
+    @property
+    def expected_fins(self) -> int:
+        return len(self.senders)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AggregationTask(id={self.task_id}, {self.phase.value}, "
+            f"senders={self.senders}, receiver={self.receiver!r})"
+        )

@@ -1,0 +1,87 @@
+"""Multi-tenancy (§7): tenant IDs encoded in task IDs, isolated quotas.
+
+"When there are aggregation tasks from multiple tenants, these tasks need
+to encode the tenant ID into the task ID.  Then the ASK daemon would
+isolate these tasks on the host, and ASK switch controller would isolate
+these tasks' memory regions in the switch."
+
+The encoding puts the tenant in the high 32 bits of the 64-bit task ID, so
+every component that already keys on task IDs (regions, match tables,
+shared memory, receiver state) is tenant-isolated for free; the switch
+controller additionally enforces per-tenant aggregator quotas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Tenant 0 is the implicit single-tenant default.
+DEFAULT_TENANT = 0
+
+_TENANT_BITS = 32
+_LOCAL_MASK = (1 << _TENANT_BITS) - 1
+
+
+def encode_task_id(tenant_id: int, local_task_id: int) -> int:
+    """Pack (tenant, local id) into one task ID."""
+    if not 0 <= tenant_id < (1 << _TENANT_BITS):
+        raise ValueError(f"tenant_id must fit 32 bits, got {tenant_id}")
+    if not 0 <= local_task_id <= _LOCAL_MASK:
+        raise ValueError(f"local_task_id must fit 32 bits, got {local_task_id}")
+    return (tenant_id << _TENANT_BITS) | local_task_id
+
+
+def tenant_of(task_id: int) -> int:
+    """Tenant encoded in a task ID (0 for plain single-tenant IDs)."""
+    return task_id >> _TENANT_BITS
+
+
+def local_task_of(task_id: int) -> int:
+    """The tenant-local task number."""
+    return task_id & _LOCAL_MASK
+
+
+class TenantQuotaError(Exception):
+    """A tenant asked for more switch memory than its quota allows."""
+
+
+@dataclass
+class TenantQuotas:
+    """Per-tenant aggregator budgets (per AA, per copy), enforced by the
+    switch controller at region-allocation time.
+
+    A tenant without an entry is unlimited (subject to physical memory);
+    ``set`` assigns a budget in aggregators.
+    """
+
+    _budgets: dict[int, int] = field(default_factory=dict)
+    _used: dict[int, int] = field(default_factory=dict)
+
+    def set(self, tenant_id: int, aggregators: int) -> None:
+        if aggregators < 0:
+            raise ValueError("quota must be >= 0")
+        self._budgets[tenant_id] = aggregators
+
+    def budget_of(self, tenant_id: int) -> int | None:
+        return self._budgets.get(tenant_id)
+
+    def used_by(self, tenant_id: int) -> int:
+        return self._used.get(tenant_id, 0)
+
+    # ------------------------------------------------------------------
+    def charge(self, task_id: int, size: int) -> None:
+        """Account a region allocation, raising if over budget."""
+        tenant = tenant_of(task_id)
+        budget = self._budgets.get(tenant)
+        used = self._used.get(tenant, 0)
+        if budget is not None and used + size > budget:
+            raise TenantQuotaError(
+                f"tenant {tenant} would use {used + size} aggregators, "
+                f"quota is {budget}"
+            )
+        self._used[tenant] = used + size
+
+    def refund(self, task_id: int, size: int) -> None:
+        """Release a region's accounting at deallocation."""
+        tenant = tenant_of(task_id)
+        self._used[tenant] = max(0, self._used.get(tenant, 0) - size)

@@ -1,0 +1,31 @@
+"""Experiment modules: one per table/figure of the paper's evaluation.
+
+Every module exposes ``run(...)`` returning a structured result and
+``format_report(result)`` returning the textual equivalent of the paper's
+figure — the rows/series the benchmark harness prints.  See DESIGN.md §3
+for the experiment index and EXPERIMENTS.md for paper-vs-measured values.
+"""
+
+from repro.experiments import (  # noqa: F401
+    fig03_strawman,
+    fig07_offload,
+    fig08_multikey,
+    fig09_prioritization,
+    fig10_jct,
+    fig11_tct,
+    fig12_training,
+    fig13_scalability,
+    table1_traffic,
+)
+
+__all__ = [
+    "fig03_strawman",
+    "fig07_offload",
+    "fig08_multikey",
+    "fig09_prioritization",
+    "fig10_jct",
+    "fig11_tct",
+    "fig12_training",
+    "fig13_scalability",
+    "table1_traffic",
+]

@@ -1,0 +1,111 @@
+"""Fast, exact aggregator-occupancy simulator (drives Fig. 9).
+
+The Fig. 9 experiment sweeps ~10^8 tuples over dozens of aggregator sizes —
+far beyond what the full packet-level simulator can do in Python.  This
+module exploits a structural property of FCFS aggregator allocation to
+compute the *exact* same outcome in O(distinct keys) per epoch:
+
+    Within one shadow-copy epoch, an aggregator cell is owned by the key
+    with the earliest first appearance among all keys hashing to it; every
+    tuple of an owner key aggregates on the switch, every tuple of a loser
+    key falls through to the host.
+
+So per epoch it suffices to know each key's first-appearance position and
+count.  The equivalence against the full PISA-pipeline switch is asserted
+by a dedicated consistency test (see tests/experiments/test_fastsim.py).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Outcome of one occupancy simulation."""
+
+    tuples: int
+    distinct_keys: int
+    aggregators: int
+    aggregated: int  #: tuples absorbed by the switch
+    epochs: int
+
+    @property
+    def switch_ratio(self) -> float:
+        """Fraction of tuples aggregated on the switch — Fig. 9's y-axis."""
+        return self.aggregated / self.tuples if self.tuples else 0.0
+
+
+def _hash_ranks(ranks: np.ndarray, num_aggregators: int, salt: int) -> np.ndarray:
+    """Deterministic multiplicative hash of integer keys to cells."""
+    mixed = (ranks.astype(np.uint64) + np.uint64(salt)) * np.uint64(2654435761)
+    mixed ^= mixed >> np.uint64(16)
+    return (mixed % np.uint64(num_aggregators)).astype(np.int64)
+
+
+def _epoch_aggregated(ranks: np.ndarray, cells: np.ndarray) -> int:
+    """Exact FCFS outcome for one epoch (empty table at epoch start)."""
+    unique, first_index, counts = np.unique(
+        ranks, return_index=True, return_counts=True
+    )
+    # ``cells`` is indexed by rank id; map this epoch's unique keys to cells.
+    epoch_cells = cells[unique]
+    order = np.argsort(first_index, kind="stable")  # keys by first appearance
+    winners = np.zeros(len(unique), dtype=bool)
+    seen_cells: dict[int, None] = {}
+    for idx in order:
+        cell = int(epoch_cells[idx])
+        if cell not in seen_cells:
+            seen_cells[cell] = None
+            winners[idx] = True
+    return int(counts[winners].sum())
+
+
+def simulate_occupancy(
+    ranks: np.ndarray,
+    num_aggregators: int,
+    shadow_copy: bool = False,
+    swap_every: int = 0,
+    salt: int = 17,
+) -> OccupancyResult:
+    """Simulate switch-memory contention for one key-rank stream.
+
+    Parameters
+    ----------
+    ranks:
+        The stream as integer key ranks, in arrival order.
+    num_aggregators:
+        Total aggregators available to the task.  With ``shadow_copy`` the
+        pool is split into two copies of half the size, exactly as
+        Algorithm 1 does — the comparison in Fig. 9 is at equal total
+        memory.
+    swap_every:
+        Tuples between shadow-copy swaps (the receiver's threshold scaled
+        to tuple granularity).  Ignored without ``shadow_copy``.
+    """
+    ranks = np.asarray(ranks, dtype=np.int64)
+    tuples = len(ranks)
+    distinct = int(len(np.unique(ranks))) if tuples else 0
+    if num_aggregators < 1:
+        raise ValueError("num_aggregators must be >= 1")
+
+    if not shadow_copy:
+        cells = _hash_ranks(np.arange(ranks.max() + 1 if tuples else 1), num_aggregators, salt)
+        aggregated = _epoch_aggregated(ranks, cells) if tuples else 0
+        return OccupancyResult(tuples, distinct, num_aggregators, aggregated, epochs=1)
+
+    if swap_every < 1:
+        raise ValueError("shadow_copy requires swap_every >= 1")
+    copy_size = max(1, num_aggregators // 2)
+    cells = _hash_ranks(np.arange(ranks.max() + 1 if tuples else 1), copy_size, salt)
+    aggregated = 0
+    epochs = 0
+    # Each epoch starts with a freshly reset copy: the periodic fetch-and-
+    # reset of Algorithm 1 means FCFS restarts from an empty table.
+    for start in range(0, tuples, swap_every):
+        epoch = ranks[start : start + swap_every]
+        aggregated += _epoch_aggregated(epoch, cells)
+        epochs += 1
+    return OccupancyResult(tuples, distinct, num_aggregators, aggregated, max(1, epochs))

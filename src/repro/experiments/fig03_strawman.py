@@ -1,0 +1,79 @@
+"""Fig. 3: aggregated key-value tuples per second (AKV/s) on one machine.
+
+(a)/(b): the strawman in-network solution vs vanilla Spark over CPU cores —
+the strawman reaches the single-key line rate (~145 M AKV/s) with 16 cores
+and peaks at 3.4× Spark's best; (c): full ASK with multi-key packets
+reaches ~1.15 G AKV/s, up to 155× Spark at equal core count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.spark import ask_akvps, spark_akvps, strawman_akvps
+from repro.perf.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.perf.metrics import Series, format_table
+
+#: Core counts on the Fig. 3 x-axis.
+CORE_POINTS = (1, 2, 4, 8, 16, 24, 32, 40, 48, 56)
+
+
+@dataclass
+class Fig3Result:
+    spark: Series
+    strawman: Series
+    ask: Series
+
+    def strawman_gain_at(self, cores: int) -> float:
+        return self.strawman.y_at(cores) / self.spark.y_at(cores)
+
+    def ask_gain_at(self, cores: int) -> float:
+        return self.ask.y_at(cores) / self.spark.y_at(cores)
+
+    @property
+    def peak_gain_strawman(self) -> float:
+        """Strawman peak over Spark peak (the paper's 3.4×)."""
+        return max(self.strawman.ys()) / max(self.spark.ys())
+
+    @property
+    def max_ask_gain(self) -> float:
+        """Best ASK-vs-Spark ratio at equal cores (the paper's 155×)."""
+        return max(self.ask_gain_at(c) for c in self.spark.xs())
+
+
+def run(model: CostModel = DEFAULT_COST_MODEL) -> Fig3Result:
+    spark = Series("Spark")
+    strawman = Series("Strawman INA")
+    ask = Series("ASK")
+    for cores in CORE_POINTS:
+        spark.add(cores, spark_akvps(cores))
+        strawman.add(cores, strawman_akvps(cores, model))
+        # ASK uses one data channel (one core) per channel; beyond 4
+        # channels the NIC line rate is the ceiling.
+        ask.add(cores, ask_akvps(channels=min(cores, 4), model=model))
+    return Fig3Result(spark, strawman, ask)
+
+
+def format_report(result: Fig3Result) -> str:
+    rows = []
+    for cores in result.spark.xs():
+        rows.append(
+            [
+                int(cores),
+                f"{result.spark.y_at(cores) / 1e6:.1f}M",
+                f"{result.strawman.y_at(cores) / 1e6:.1f}M",
+                f"{result.ask.y_at(cores) / 1e6:.1f}M",
+                f"{result.strawman_gain_at(int(cores)):.1f}x",
+                f"{result.ask_gain_at(int(cores)):.0f}x",
+            ]
+        )
+    table = format_table(
+        ["cores", "Spark AKV/s", "Strawman AKV/s", "ASK AKV/s", "strawman/spark", "ask/spark"],
+        rows,
+        title="Fig. 3 — single-machine aggregation throughput (AKV/s)",
+    )
+    summary = (
+        f"peak strawman/Spark: {result.peak_gain_strawman:.1f}x (paper: 3.4x)\n"
+        f"max ASK/Spark at equal cores: {result.max_ask_gain:.0f}x (paper: up to 155x)"
+    )
+    return f"{table}\n{summary}"

@@ -1,0 +1,88 @@
+"""Fig. 7: computation offload — ASK vs host-only PreAggr (§5.2.1).
+
+Setting: one sender, one receiver, 51.2 GB of uniformly distributed 8-byte
+key-value tuples (6.4 G tuples).  ASK is swept over 1/2/4 data channels,
+PreAggr over 8–56 threads.  Reported: job completion time and CPU%.
+
+Paper anchors: PreAggr 111.20 s @ 8 threads / 33.22 s @ 32; ASK ≈6 s with
+4 channels at 1.78–7.14 % CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.perf.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.perf.cpu import cpu_percent_ask, cpu_percent_preaggr, preaggr_seconds
+from repro.perf.goodput import ask_goodput_gbps
+from repro.perf.metrics import format_table
+
+#: §5.2.1 setting: 51.2 GB of 8-byte tuples.
+PAPER_DATA_BYTES = int(51.2e9)
+
+ASK_CHANNELS = (1, 2, 4)
+PREAGGR_THREADS = (8, 16, 24, 32, 40, 48, 56)
+
+
+@dataclass
+class OffloadPoint:
+    label: str
+    jct_seconds: float
+    cpu_percent: float
+
+
+@dataclass
+class Fig7Result:
+    data_bytes: int
+    ask: list[OffloadPoint] = field(default_factory=list)
+    preaggr: list[OffloadPoint] = field(default_factory=list)
+
+    def ask_point(self, channels: int) -> OffloadPoint:
+        return next(p for p in self.ask if p.label == f"{channels}dCh")
+
+    def preaggr_point(self, threads: int) -> OffloadPoint:
+        return next(p for p in self.preaggr if p.label == f"{threads}thr")
+
+
+def run(
+    data_bytes: int = PAPER_DATA_BYTES, model: CostModel = DEFAULT_COST_MODEL
+) -> Fig7Result:
+    result = Fig7Result(data_bytes)
+    tuples = data_bytes // model.tuple_bytes
+    slots = model.max_payload_bytes // model.tuple_bytes
+    setup_s = 0.2  # task setup + final switch fetch
+    for channels in ASK_CHANNELS:
+        goodput = ask_goodput_gbps(slots, channels, model)
+        jct = data_bytes * 8 / (goodput * 1e9) + setup_s
+        result.ask.append(
+            OffloadPoint(f"{channels}dCh", jct, cpu_percent_ask(channels, model))
+        )
+    for threads in PREAGGR_THREADS:
+        result.preaggr.append(
+            OffloadPoint(
+                f"{threads}thr",
+                preaggr_seconds(tuples, threads, model),
+                cpu_percent_preaggr(threads, model),
+            )
+        )
+    return result
+
+
+def format_report(result: Fig7Result) -> str:
+    rows = [
+        [p.label, f"{p.jct_seconds:.2f}", f"{p.cpu_percent:.2f}%"]
+        for p in result.ask + result.preaggr
+    ]
+    table = format_table(
+        ["config", "JCT (s)", "CPU"],
+        rows,
+        title=f"Fig. 7 — JCT and CPU for {result.data_bytes / 1e9:.1f} GB of tuples",
+    )
+    p8 = result.preaggr_point(8).jct_seconds
+    p32 = result.preaggr_point(32).jct_seconds
+    a4 = result.ask_point(4).jct_seconds
+    summary = (
+        f"PreAggr 8 threads: {p8:.1f}s (paper 111.2s); 32 threads: {p32:.1f}s "
+        f"(paper 33.2s); ASK 4dCh: {a4:.1f}s (paper ~6s)"
+    )
+    return f"{table}\n{summary}"

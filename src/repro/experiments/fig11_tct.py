@@ -1,0 +1,71 @@
+"""Fig. 11: mapper and reducer task-completion times (§5.5).
+
+The decomposition behind Fig. 10's JCT win: ASK mappers skip the CPU
+pre-aggregation entirely (mean TCT ≈1.67 s vs 15.89–17.67 s for the
+baselines at 10^8 tuples/mapper), while ASK reducers run longer because
+they aggregate the co-located mappers' share on the CPU.  The mapper
+saving far exceeds the reducer cost, hence the overall JCT reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.mapreduce.costs import Backend, MapReduceCostModel, MapReduceSpec
+from repro.perf.metrics import format_table
+
+BACKENDS = (Backend.SPARK, Backend.SPARK_SHM, Backend.SPARK_RDMA, Backend.ASK)
+
+#: Paper anchors at 1e8 tuples/mapper.
+PAPER_ASK_MAPPER_TCT = 1.67
+PAPER_BASELINE_MAPPER_TCT = (15.89, 17.67)
+
+
+@dataclass
+class Fig11Result:
+    tuples_per_mapper: int
+    mapper_tct: dict[str, float] = field(default_factory=dict)
+    reducer_tct: dict[str, float] = field(default_factory=dict)
+
+    def mapper_saving_vs(self, backend: str) -> float:
+        return self.mapper_tct[backend] - self.mapper_tct["ask"]
+
+    def reducer_cost_vs(self, backend: str) -> float:
+        return self.reducer_tct["ask"] - self.reducer_tct[backend]
+
+
+def run(tuples_per_mapper: int = 100_000_000) -> Fig11Result:
+    cost = MapReduceCostModel()
+    spec = MapReduceSpec(tuples_per_mapper=tuples_per_mapper)
+    result = Fig11Result(tuples_per_mapper)
+    for backend in BACKENDS:
+        times = cost.times(spec, backend)
+        result.mapper_tct[backend.value] = times.mapper_tct_s
+        result.reducer_tct[backend.value] = times.reducer_tct_s
+    return result
+
+
+def format_report(result: Fig11Result) -> str:
+    rows = [
+        [
+            backend.value,
+            f"{result.mapper_tct[backend.value]:.2f}",
+            f"{result.reducer_tct[backend.value]:.2f}",
+        ]
+        for backend in BACKENDS
+    ]
+    table = format_table(
+        ["backend", "mapper TCT (s)", "reducer TCT (s)"],
+        rows,
+        title=(
+            f"Fig. 11 — task completion times at "
+            f"{result.tuples_per_mapper // 10**7}e7 tuples/mapper"
+        ),
+    )
+    return (
+        f"{table}\nASK mapper TCT {result.mapper_tct['ask']:.2f}s "
+        f"(paper {PAPER_ASK_MAPPER_TCT}s); baselines "
+        f"{min(result.mapper_tct[b.value] for b in BACKENDS[:3]):.2f}–"
+        f"{max(result.mapper_tct[b.value] for b in BACKENDS[:3]):.2f}s "
+        f"(paper {PAPER_BASELINE_MAPPER_TCT[0]}–{PAPER_BASELINE_MAPPER_TCT[1]}s)"
+    )

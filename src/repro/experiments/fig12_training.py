@@ -1,0 +1,66 @@
+"""Fig. 12: distributed-training throughput — ASK vs ATP vs SwitchML (§5.6).
+
+Eight workers train image-classification models through a BytePS-style
+parameter server whose gradient push is aggregated in-network.  The paper's
+observations, which this experiment reproduces in shape:
+
+- the three INA systems perform similarly (all remove the same bottleneck),
+- ASK and ATP slightly outperform SwitchML on some (communication-heavy)
+  models because SwitchML's small packets underuse the link,
+- all INA systems beat the host parameter server, more so for VGG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.training.models import MODELS
+from repro.apps.training.ps import TrainingSystem, images_per_second
+from repro.perf.metrics import format_table
+
+SYSTEMS = (
+    TrainingSystem.ASK,
+    TrainingSystem.ATP,
+    TrainingSystem.SWITCHML,
+    TrainingSystem.BYTEPS,
+)
+
+
+@dataclass
+class Fig12Result:
+    workers: int
+    batch_size: int
+    #: images_per_second[model][system]
+    throughput: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def relative_to_ask(self, model: str, system: str) -> float:
+        return self.throughput[model][system] / self.throughput[model]["ask"]
+
+
+def run(workers: int = 8, batch_size: int = 32) -> Fig12Result:
+    result = Fig12Result(workers, batch_size)
+    for name, spec in MODELS.items():
+        result.throughput[name] = {
+            system.value: images_per_second(spec, system, workers, batch_size)
+            for system in SYSTEMS
+        }
+    return result
+
+
+def format_report(result: Fig12Result) -> str:
+    rows = []
+    for model, per_system in result.throughput.items():
+        rows.append(
+            [model]
+            + [f"{per_system[s.value]:.0f}" for s in SYSTEMS]
+            + [f"{result.relative_to_ask(model, 'switchml') * 100:.0f}%"]
+        )
+    table = format_table(
+        ["model", "ASK", "ATP", "SwitchML", "BytePS", "SwitchML/ASK"],
+        rows,
+        title=(
+            f"Fig. 12 — training throughput (images/s, {result.workers} workers, "
+            f"batch {result.batch_size})"
+        ),
+    )
+    return table

@@ -1,0 +1,85 @@
+"""Seedable network fault injection.
+
+The ASK reliability mechanism (§3.3 of the paper) must survive packet loss,
+duplication, reordering and long delays ("very stale packets").  This module
+produces exactly that event space.  Each decision is drawn from a dedicated
+``random.Random`` stream so a fixed seed yields a fixed fault schedule.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FaultDecision:
+    """The fate of one transmitted packet."""
+
+    drop: bool = False
+    duplicate: bool = False
+    extra_delay_ns: int = 0
+    duplicate_delay_ns: int = 0
+
+
+@dataclass
+class FaultModel:
+    """Per-packet fault distribution.
+
+    Parameters
+    ----------
+    loss_rate:
+        Probability a packet disappears in flight.
+    duplicate_rate:
+        Probability a second copy of the packet is delivered (after
+        ``duplicate_delay_ns`` drawn uniformly up to ``max_extra_delay_ns``).
+    reorder_rate:
+        Probability a packet is held back by a uniform extra delay up to
+        ``max_extra_delay_ns``, which lets later packets overtake it.
+    max_extra_delay_ns:
+        Upper bound for reorder/duplicate delays.  Choosing this larger than
+        the sender window round-trip exercises the paper's "stale packet"
+        corner case (§3.3).
+    seed:
+        RNG seed; two models with the same seed produce identical schedules.
+    """
+
+    loss_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    max_extra_delay_ns: int = 50_000
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        for name in ("loss_rate", "duplicate_rate", "reorder_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1], got {value}")
+        self._rng = random.Random(self.seed)
+
+    @classmethod
+    def reliable(cls) -> "FaultModel":
+        """A fault model that never injects faults."""
+        return cls()
+
+    @property
+    def is_reliable(self) -> bool:
+        return (
+            self.loss_rate == 0.0
+            and self.duplicate_rate == 0.0
+            and self.reorder_rate == 0.0
+        )
+
+    def decide(self) -> FaultDecision:
+        """Draw the fate of the next packet."""
+        decision = FaultDecision()
+        if self.loss_rate and self._rng.random() < self.loss_rate:
+            decision.drop = True
+            return decision
+        if self.reorder_rate and self._rng.random() < self.reorder_rate:
+            decision.extra_delay_ns = self._rng.randint(1, self.max_extra_delay_ns)
+        if self.duplicate_rate and self._rng.random() < self.duplicate_rate:
+            decision.duplicate = True
+            decision.duplicate_delay_ns = self._rng.randint(1, self.max_extra_delay_ns)
+        return decision

@@ -1,0 +1,123 @@
+"""Point-to-point FIFO links with bandwidth, latency and fault injection.
+
+A link models one direction of a cable: packets are serialized one after
+another at ``bandwidth_bits_per_ns`` and then propagate for ``latency_ns``.
+Faults are applied *after* serialization, so a dropped packet still consumed
+transmit time — matching how real NIC/switch queues behave.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.net.fault import FaultModel
+from repro.net.simulator import Simulator
+
+DeliverFn = Callable[[Any], None]
+
+GBPS_TO_BITS_PER_NS = 1.0  # 1 Gbps == 1 bit/ns, a convenient identity.
+
+
+def gbps_to_bits_per_ns(gbps: float) -> float:
+    """100 Gbps == 100 bits/ns; the unit identity keeps the math readable."""
+    return gbps * GBPS_TO_BITS_PER_NS
+
+
+class Link:
+    """One direction of a cable between two nodes.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    bandwidth_gbps:
+        Serialization rate.  ``None`` means infinitely fast (useful for
+        control-plane links in functional tests).
+    latency_ns:
+        Propagation delay added after serialization completes.
+    fault:
+        Optional fault model; defaults to a perfectly reliable link.
+    name:
+        Used in traces and repr only.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_gbps: Optional[float] = None,
+        latency_ns: int = 1_000,
+        fault: Optional[FaultModel] = None,
+        name: str = "link",
+        ecn_threshold_bytes: Optional[int] = None,
+    ) -> None:
+        self.sim = sim
+        self.bandwidth_gbps = bandwidth_gbps
+        self.latency_ns = int(latency_ns)
+        self.fault = fault if fault is not None else FaultModel.reliable()
+        self.name = name
+        self.ecn_threshold_bytes = ecn_threshold_bytes
+        self._tx_free_at = 0  # serialization is FIFO: next byte may start here
+        self.packets_sent = 0
+        self.packets_dropped = 0
+        self.packets_duplicated = 0
+        self.packets_marked = 0
+        self.bytes_sent = 0
+        self.max_backlog_bytes = 0
+
+    # ------------------------------------------------------------------
+    def serialization_ns(self, size_bytes: int) -> int:
+        """Time to push ``size_bytes`` onto the wire at link bandwidth."""
+        if self.bandwidth_gbps is None:
+            return 0
+        bits = size_bytes * 8
+        return max(1, int(round(bits / gbps_to_bits_per_ns(self.bandwidth_gbps))))
+
+    def send(self, packet: Any, size_bytes: int, deliver: DeliverFn) -> None:
+        """Transmit ``packet`` and invoke ``deliver(packet)`` on arrival.
+
+        Serialization is FIFO: a packet handed over while the transmitter is
+        busy waits its turn.  Fault decisions (drop/duplicate/reorder) are
+        drawn per packet from the link's :class:`FaultModel`.
+        """
+        self.packets_sent += 1
+        self.bytes_sent += size_bytes
+        backlog = self.backlog_bytes()
+        self.max_backlog_bytes = max(self.max_backlog_bytes, backlog)
+        if (
+            self.ecn_threshold_bytes is not None
+            and backlog > self.ecn_threshold_bytes
+            and hasattr(packet, "with_ecn")
+        ):
+            packet = packet.with_ecn()
+            self.packets_marked += 1
+        start = max(self.sim.now, self._tx_free_at)
+        tx_done = start + self.serialization_ns(size_bytes)
+        self._tx_free_at = tx_done
+
+        decision = self.fault.decide()
+        if decision.drop:
+            self.packets_dropped += 1
+            return
+        arrival = tx_done + self.latency_ns + decision.extra_delay_ns
+        self.sim.at(arrival, deliver, packet)
+        if decision.duplicate:
+            self.packets_duplicated += 1
+            dup_arrival = tx_done + self.latency_ns + decision.duplicate_delay_ns
+            self.sim.at(dup_arrival, deliver, packet)
+
+    # ------------------------------------------------------------------
+    def backlog_bytes(self) -> int:
+        """Bytes currently queued for serialization (the ECN signal)."""
+        if self.bandwidth_gbps is None:
+            return 0
+        pending_ns = max(0, self._tx_free_at - self.sim.now)
+        return int(pending_ns * gbps_to_bits_per_ns(self.bandwidth_gbps) / 8)
+
+    @property
+    def utilization_window_end(self) -> int:
+        """Simulation time at which the transmitter becomes idle."""
+        return self._tx_free_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        bw = "inf" if self.bandwidth_gbps is None else f"{self.bandwidth_gbps}Gbps"
+        return f"Link({self.name}, {bw}, lat={self.latency_ns}ns)"

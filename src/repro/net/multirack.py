@@ -1,0 +1,193 @@
+"""Multi-rack topology: one ASK TOR switch per rack, full-mesh core (§7).
+
+Every host is wired to its rack's TOR switch exactly as in
+:class:`~repro.net.topology.StarTopology`; TOR switches are wired pairwise
+with (faster, wider) core links.  Each switch sees the fabric through a
+:class:`RackView` that exposes the same interface a single-rack switch gets
+from its star topology — ``host_names`` (this rack's hosts, which the §7
+bypass rule keys on) and ``send_to_host`` (which transparently routes
+cross-rack traffic over the core, including control packets addressed to a
+remote switch by name).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, Optional
+
+from repro.net.fault import FaultModel
+from repro.net.link import Link
+from repro.net.nic import Nic
+from repro.net.simulator import Simulator
+from repro.net.topology import NetworkNode, StarTopology
+from repro.net.trace import PacketTrace
+
+
+class RackView:
+    """One switch's view of a multi-rack fabric.
+
+    Implements the topology interface :class:`~repro.switch.switch.AskSwitch`
+    binds to: local ``host_names`` plus ``send_to_host`` that routes
+    anywhere (local downlink, or core link toward the owning rack).
+    """
+
+    def __init__(self, fabric: "MultiRackTopology", rack: str) -> None:
+        self._fabric = fabric
+        self.rack = rack
+
+    @property
+    def host_names(self) -> list[str]:
+        return self._fabric.hosts_of(self.rack)
+
+    def send_to_host(self, destination: str, packet: Any, size_bytes: int) -> None:
+        self._fabric.route_from_switch(self.rack, destination, packet, size_bytes)
+
+
+class MultiRackTopology:
+    """Racks of hosts behind per-rack switches, interconnected pairwise."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_gbps: Optional[float] = 100.0,
+        latency_ns: int = 1_000,
+        core_bandwidth_gbps: Optional[float] = 400.0,
+        core_latency_ns: int = 2_000,
+        host_max_pps: Optional[float] = None,
+        fault: Optional[FaultModel] = None,
+        trace: Optional[PacketTrace] = None,
+        ecn_threshold_bytes: Optional[int] = None,
+    ) -> None:
+        self.sim = sim
+        self.bandwidth_gbps = bandwidth_gbps
+        self.latency_ns = latency_ns
+        self.core_bandwidth_gbps = core_bandwidth_gbps
+        self.core_latency_ns = core_latency_ns
+        self.host_max_pps = host_max_pps
+        self._fault_template = fault
+        self.trace = trace
+        self.ecn_threshold_bytes = ecn_threshold_bytes
+        self._stars: Dict[str, StarTopology] = {}
+        self._switches: Dict[str, NetworkNode] = {}
+        self._switch_rack: Dict[str, str] = {}  # switch name -> rack
+        self._host_rack: Dict[str, str] = {}
+        self._core_links: Dict[tuple[str, str], Nic] = {}
+        self._fault_salt = 0
+
+    # ------------------------------------------------------------------
+    def _make_fault(self) -> Optional[FaultModel]:
+        if self._fault_template is None:
+            return None
+        self._fault_salt += 1
+        template = copy.copy(self._fault_template)
+        return FaultModel(
+            loss_rate=template.loss_rate,
+            duplicate_rate=template.duplicate_rate,
+            reorder_rate=template.reorder_rate,
+            max_extra_delay_ns=template.max_extra_delay_ns,
+            seed=template.seed * 7_368_787 + self._fault_salt,
+        )
+
+    # ------------------------------------------------------------------
+    def add_rack(self, rack: str, switch: NetworkNode) -> RackView:
+        """Create a rack around ``switch``, wiring core links to all
+        existing racks, and return the switch's fabric view."""
+        if rack in self._stars:
+            raise ValueError(f"rack {rack!r} already exists")
+        if switch.name in self._switch_rack:
+            raise ValueError(f"switch {switch.name!r} already placed")
+        # Each rack's star derives per-link fault streams from its own
+        # reseeded template so racks differ but stay reproducible.
+        star = StarTopology(
+            self.sim,
+            switch,
+            bandwidth_gbps=self.bandwidth_gbps,
+            latency_ns=self.latency_ns,
+            host_max_pps=self.host_max_pps,
+            fault=self._make_fault(),
+            trace=self.trace,
+            ecn_threshold_bytes=self.ecn_threshold_bytes,
+        )
+        self._stars[rack] = star
+        self._switches[rack] = switch
+        self._switch_rack[switch.name] = rack
+        for other in list(self._stars):
+            if other != rack:
+                self._wire_core(rack, other)
+        return RackView(self, rack)
+
+    def _wire_core(self, a: str, b: str) -> None:
+        for src, dst in ((a, b), (b, a)):
+            link = Link(
+                self.sim,
+                self.core_bandwidth_gbps,
+                self.core_latency_ns,
+                fault=self._make_fault(),
+                name=f"core:{src}->{dst}",
+                ecn_threshold_bytes=self.ecn_threshold_bytes,
+            )
+            self._core_links[(src, dst)] = Nic(self.sim, link, None)
+
+    def attach_host(self, rack: str, host: NetworkNode) -> None:
+        if host.name in self._host_rack:
+            raise ValueError(f"host {host.name!r} already attached")
+        self._stars[rack].attach_host(host)
+        self._host_rack[host.name] = rack
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def hosts_of(self, rack: str) -> list[str]:
+        return self._stars[rack].host_names
+
+    def rack_of_host(self, host: str) -> str:
+        return self._host_rack[host]
+
+    def rack_of_switch(self, switch_name: str) -> str:
+        return self._switch_rack[switch_name]
+
+    def switch_of(self, rack: str) -> NetworkNode:
+        return self._switches[rack]
+
+    @property
+    def racks(self) -> list[str]:
+        return list(self._stars)
+
+    @property
+    def host_names(self) -> list[str]:
+        return list(self._host_rack)
+
+    # ------------------------------------------------------------------
+    # Data movement
+    # ------------------------------------------------------------------
+    def send_to_switch(self, host: str, packet: Any, size_bytes: int) -> None:
+        """Host uplink: always to the host's own TOR."""
+        rack = self._host_rack[host]
+        self._stars[rack].send_to_switch(host, packet, size_bytes)
+
+    def route_from_switch(
+        self, rack: str, destination: str, packet: Any, size_bytes: int
+    ) -> None:
+        """Route a packet leaving ``rack``'s switch toward ``destination``
+        — a host (local or remote) or a remote switch by name."""
+        if destination in self._switch_rack:
+            target_rack = self._switch_rack[destination]
+            if target_rack == rack:
+                # Addressed to this very switch; deliver directly (a swap
+                # notification that was routed here).
+                self._switches[rack].receive(packet)
+                return
+            self._send_core(rack, target_rack, packet, size_bytes)
+            return
+        target_rack = self._host_rack[destination]
+        if target_rack == rack:
+            self._stars[rack].send_to_host(destination, packet, size_bytes)
+        else:
+            self._send_core(rack, target_rack, packet, size_bytes)
+
+    def _send_core(self, src_rack: str, dst_rack: str, packet: Any, size_bytes: int) -> None:
+        nic = self._core_links[(src_rack, dst_rack)]
+        destination_switch = self._switches[dst_rack]
+        if self.trace is not None:
+            self.trace.record(self.sim.now, f"core:{src_rack}->{dst_rack}", "tx", packet)
+        nic.send(packet, size_bytes, destination_switch.receive)

@@ -1,0 +1,60 @@
+"""NIC model: per-port packets-per-second and bandwidth caps.
+
+The paper observes that ASK's single-host throughput is bounded by the host's
+packet rate (PPS) when packets are small (Fig. 8a, "ASK's throughput is
+bounded by the PPS on the host").  The NIC model captures that bound for the
+functional simulations; the analytic counterpart lives in
+:mod:`repro.perf.goodput`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.net.link import DeliverFn, Link
+from repro.net.simulator import NS_PER_S, Simulator
+
+
+class Nic:
+    """A transmit port that rate-limits packets before a :class:`Link`.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    link:
+        The outgoing link this NIC feeds.
+    max_pps:
+        Maximum packets per second this port can emit (DPDK TX ring + PCIe
+        doorbell cost).  ``None`` disables the cap.
+    """
+
+    def __init__(self, sim: Simulator, link: Link, max_pps: Optional[float] = None) -> None:
+        self.sim = sim
+        self.link = link
+        self.max_pps = max_pps
+        self._next_slot = 0
+        self.packets_sent = 0
+        self.bytes_sent = 0
+
+    def min_packet_gap_ns(self) -> int:
+        """Minimum spacing between consecutive packet launches."""
+        if self.max_pps is None:
+            return 0
+        return max(1, int(round(NS_PER_S / self.max_pps)))
+
+    def send(self, packet: Any, size_bytes: int, deliver: DeliverFn) -> None:
+        """Send through the PPS shaper, then the link.
+
+        Packets are launched at the later of "now" and the next free PPS
+        slot; the link then applies serialization and propagation.
+        """
+        self.packets_sent += 1
+        self.bytes_sent += size_bytes
+        gap = self.min_packet_gap_ns()
+        launch = max(self.sim.now, self._next_slot)
+        self._next_slot = launch + gap
+        if launch <= self.sim.now:
+            self.link.send(packet, size_bytes, deliver)
+        else:
+            self.sim.at(launch, self.link.send, packet, size_bytes, deliver)

@@ -1,0 +1,63 @@
+"""Packet/event trace recording.
+
+Traces are append-only logs of (time, site, kind, packet) tuples used by the
+integration tests to assert ordering properties (e.g. "no data packet reaches
+the receiver before the switch saw it") and by the examples to narrate a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """A single trace entry."""
+
+    time_ns: int
+    site: str
+    kind: str
+    detail: Any = None
+
+    def __str__(self) -> str:
+        return f"[{self.time_ns:>12}ns] {self.site:<16} {self.kind:<18} {self.detail}"
+
+
+@dataclass
+class PacketTrace:
+    """An in-memory trace with simple filtering helpers."""
+
+    enabled: bool = True
+    records: list[TraceRecord] = field(default_factory=list)
+
+    def record(self, time_ns: int, site: str, kind: str, detail: Any = None) -> None:
+        if self.enabled:
+            self.records.append(TraceRecord(time_ns, site, kind, detail))
+
+    def filter(
+        self,
+        site: Optional[str] = None,
+        kind: Optional[str] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> list[TraceRecord]:
+        """Return records matching all provided criteria."""
+        out = []
+        for rec in self.records:
+            if site is not None and rec.site != site:
+                continue
+            if kind is not None and rec.kind != kind:
+                continue
+            if predicate is not None and not predicate(rec):
+                continue
+            out.append(rec)
+        return out
+
+    def count(self, site: Optional[str] = None, kind: Optional[str] = None) -> int:
+        return len(self.filter(site=site, kind=kind))
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,44 @@
+"""Calibrated performance model.
+
+Pure Python cannot move 100 Gbps, so the quantities that only hardware can
+produce — line-rate goodput, CPU utilization, wall-clock job times — come
+from an analytic model whose every constant is either stated by the paper
+(the 78-byte framing law, the 100 us RTO) or back-derived from a number the
+paper reports (e.g. the 139 ns/tuple host pre-aggregation cost follows from
+"51.2 GB raw data … 111.20 s with 8 threads" in §5.2.1).  See
+:class:`repro.perf.costmodel.CostModel` for the full provenance table.
+
+The functional simulator (:mod:`repro.core`, :mod:`repro.switch`) produces
+all *ratio* and *distribution* results (Table 1, Fig. 8(b), Fig. 9);
+this package produces the *rates* and *times* (Figs. 3, 7, 8(a), 10–13).
+"""
+
+from repro.perf.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.perf.cpu import cpu_percent_ask, cpu_percent_preaggr, preaggr_seconds
+from repro.perf.goodput import (
+    ask_goodput_gbps,
+    ideal_goodput_gbps,
+    noaggr_goodput_gbps,
+    pcie_bytes_per_packet,
+    pps_bound_gbps,
+)
+from repro.perf.metrics import GoodputSample, Series, gbps, mean
+from repro.perf.report import service_report
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "GoodputSample",
+    "Series",
+    "ask_goodput_gbps",
+    "cpu_percent_ask",
+    "cpu_percent_preaggr",
+    "gbps",
+    "ideal_goodput_gbps",
+    "mean",
+    "noaggr_goodput_gbps",
+    "pcie_bytes_per_packet",
+    "pps_bound_gbps",
+    "preaggr_seconds",
+    "service_report",
+]

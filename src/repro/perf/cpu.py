@@ -1,0 +1,43 @@
+"""Host CPU models (Fig. 7's right axis, §5.2.1).
+
+The paper's CPU numbers decompose exactly: each ASK data channel busy-polls
+one DPDK core, so CPU% = channels / 56 (1.78 % / 3.57 % / 7.14 % for
+1/2/4 channels on the 56-core servers).  PreAggr burns ``threads`` cores
+while its sort-merge runs.
+"""
+
+from __future__ import annotations
+
+from repro.perf.costmodel import DEFAULT_COST_MODEL, CostModel
+
+
+def cpu_percent_ask(channels: int, model: CostModel = DEFAULT_COST_MODEL) -> float:
+    """ASK daemon CPU%: one busy-polling core per data channel."""
+    return 100.0 * channels / model.cores_per_server
+
+
+def cpu_percent_preaggr(threads: int, model: CostModel = DEFAULT_COST_MODEL) -> float:
+    """PreAggr CPU% while the aggregation runs."""
+    return 100.0 * min(threads, model.cores_per_server) / model.cores_per_server
+
+
+def preaggr_seconds(
+    tuples: int, threads: int, model: CostModel = DEFAULT_COST_MODEL
+) -> float:
+    """Wall-clock seconds for host pre-aggregation of ``tuples`` tuples.
+
+    Derived from the paper's anchors: 6.4e9 tuples take 111.2 s on 8
+    threads and 33.22 s on 32 (§5.2.1); the contention term interpolates.
+    """
+    if threads < 1:
+        raise ValueError("threads must be >= 1")
+    effective = threads * model.thread_efficiency(threads)
+    return tuples * model.ns_per_tuple_preaggr / 1e9 / effective
+
+
+def hash_merge_seconds(
+    tuples: int, threads: int = 1, model: CostModel = DEFAULT_COST_MODEL
+) -> float:
+    """Wall-clock seconds to hash-merge ``tuples`` tuples on ``threads``."""
+    effective = threads * model.thread_efficiency(threads)
+    return tuples * model.ns_per_tuple_hash_merge / 1e9 / effective

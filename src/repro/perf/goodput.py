@@ -1,0 +1,106 @@
+"""Goodput laws (Fig. 8(a), Fig. 13): ideal, PPS-bound and PCIe-bound.
+
+The paper's ideal law for ``x`` 8-byte tuples per packet:
+
+    goodput = 8x / (8x + 78) · 100 Gbps                      (§5.3)
+
+Measured goodput is the minimum of three ceilings:
+
+- the ideal law (wire is saturated),
+- the host packet rate × payload (small packets are PPS-bound; the paper
+  observes this binds up to 32 tuples/packet),
+- the PCIe DMA rate, which dips when a frame barely spills into an extra
+  cacheline and the transfer re-aligns to an even CPU cycle (footnote 10) —
+  the source of the glitches at 18 and 26 tuples/packet.
+"""
+
+from __future__ import annotations
+
+from repro.perf.costmodel import DEFAULT_COST_MODEL, CostModel
+
+
+def ideal_goodput_gbps(tuples_per_packet: int, model: CostModel = DEFAULT_COST_MODEL) -> float:
+    """The paper's ideal goodput law ``8x/(8x+78) * line_rate``."""
+    payload = tuples_per_packet * model.tuple_bytes
+    return payload / (payload + model.wire_overhead_bytes) * model.line_rate_gbps
+
+
+def pps_bound_gbps(
+    tuples_per_packet: int,
+    channels: int = 4,
+    model: CostModel = DEFAULT_COST_MODEL,
+) -> float:
+    """Goodput ceiling imposed by host packet rate."""
+    payload = tuples_per_packet * model.tuple_bytes
+    pps = min(channels * model.pps_per_channel, model.host_max_pps)
+    return pps * payload * 8 / 1e9
+
+
+def pcie_bytes_per_packet(
+    tuples_per_packet: int, model: CostModel = DEFAULT_COST_MODEL
+) -> int:
+    """PCIe byte-times consumed DMAing one packet to the NIC.
+
+    Frame bytes + per-TLP overhead + (when the frame barely spills into a
+    new cacheline and is below the bulk-DMA threshold) a realignment stall.
+    """
+    frame = model.frame_bytes(tuples_per_packet * model.tuple_bytes)
+    tlps = -(-frame // model.tlp_max_payload)  # ceil division
+    total = frame + tlps * model.tlp_overhead_bytes
+    spill = frame % model.cacheline_bytes
+    if 0 < spill <= model.spill_bytes and frame < model.bulk_dma_threshold:
+        total += model.dma_stall_bytes
+    return total
+
+
+def pcie_bound_gbps(
+    tuples_per_packet: int, model: CostModel = DEFAULT_COST_MODEL
+) -> float:
+    """Goodput ceiling imposed by the PCIe DMA path."""
+    payload = tuples_per_packet * model.tuple_bytes
+    return model.pcie_gbps * payload / pcie_bytes_per_packet(tuples_per_packet, model)
+
+
+def channel_wire_bound_gbps(
+    payload_bytes: int, channels: int, model: CostModel = DEFAULT_COST_MODEL
+) -> float:
+    """Goodput ceiling from per-channel TX-queue drain rate."""
+    wire = model.packet_wire_bytes(payload_bytes)
+    return channels * model.channel_wire_gbps * payload_bytes / wire
+
+
+def ask_goodput_gbps(
+    tuples_per_packet: int,
+    channels: int = 4,
+    model: CostModel = DEFAULT_COST_MODEL,
+) -> float:
+    """Modeled single-host ASK goodput (the Fig. 8(a) curve)."""
+    payload = tuples_per_packet * model.tuple_bytes
+    return min(
+        ideal_goodput_gbps(tuples_per_packet, model),
+        pps_bound_gbps(tuples_per_packet, channels, model),
+        pcie_bound_gbps(tuples_per_packet, model),
+        channel_wire_bound_gbps(payload, channels, model),
+    )
+
+
+def noaggr_goodput_gbps(
+    channels: int = 2, model: CostModel = DEFAULT_COST_MODEL
+) -> float:
+    """Modeled NoAggr (pure DPDK, 1500 B MTU) goodput (Fig. 13(a))."""
+    payload = model.noaggr_payload_bytes()
+    wire = model.packet_wire_bytes(payload)
+    line = model.line_rate_gbps * model.dpdk_efficiency * payload / wire
+    per_channel_pps = min(channels * model.pps_per_channel, model.host_max_pps)
+    pps_bound = per_channel_pps * payload * 8 / 1e9
+    return min(line, pps_bound, channel_wire_bound_gbps(payload, channels, model))
+
+
+def ask_wire_gbps(
+    tuples_per_packet: int, channels: int = 4, model: CostModel = DEFAULT_COST_MODEL
+) -> float:
+    """Wire throughput (goodput + overhead) for a given goodput point —
+    Fig. 13's filled-vs-empty bars."""
+    payload = tuples_per_packet * model.tuple_bytes
+    goodput = ask_goodput_gbps(tuples_per_packet, channels, model)
+    return goodput * model.packet_wire_bytes(payload) / payload

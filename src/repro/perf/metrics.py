@@ -1,0 +1,74 @@
+"""Small measurement helpers shared by experiments and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+def gbps(bytes_count: int, duration_ns: int) -> float:
+    """Convert (bytes, nanoseconds) to gigabits per second."""
+    if duration_ns <= 0:
+        return 0.0
+    return bytes_count * 8 / duration_ns
+
+
+def mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+@dataclass(frozen=True)
+class GoodputSample:
+    """One point of a goodput curve."""
+
+    x: float
+    goodput_gbps: float
+    label: str = ""
+
+
+@dataclass
+class Series:
+    """A named series of (x, y) points with pretty-printing for benchmark
+    output — the textual equivalent of one line in a paper figure."""
+
+    name: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((x, y))
+
+    def xs(self) -> list[float]:
+        return [x for x, _ in self.points]
+
+    def ys(self) -> list[float]:
+        return [y for _, y in self.points]
+
+    def y_at(self, x: float) -> float:
+        for px, py in self.points:
+            if px == x:
+                return py
+        raise KeyError(f"no point at x={x} in series {self.name!r}")
+
+    def format(self, x_label: str = "x", y_label: str = "y", y_fmt: str = ".2f") -> str:
+        header = f"{self.name}: {x_label} -> {y_label}"
+        rows = "  ".join(f"{x:g}:{y:{y_fmt}}" for x, y in self.points)
+        return f"{header}\n  {rows}"
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table (benchmark output helper)."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

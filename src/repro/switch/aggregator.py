@@ -1,0 +1,204 @@
+"""Aggregator arrays: the switch's computation-and-storage units (§3.2.1).
+
+Each aggregator is one register cell of ``2n`` bits holding a kPart (key
+segment) and a vPart (running sum).  An :class:`AggregatorArray` (AA) wraps
+one register array; the :class:`AggregatorPool` is the two-dimensional array
+of AAs — the first dimension selects the AA (== the packet slot), the second
+the aggregator within it.
+
+Short keys use one aggregator; medium keys use one aggregator in each AA of
+a coalesced group, addressed by a single unified index (§3.2.3).  Values are
+accumulated modulo ``2**value_bits`` exactly as a fixed-width hardware adder
+would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import AskConfig
+from repro.switch.pisa import Pipeline
+from repro.switch.registers import PassContext, RegisterArray
+
+#: An aggregator cell: (kPart, vPart).  ``None`` kPart means blank.
+Cell = tuple[Optional[bytes], int]
+
+BLANK: Cell = (None, 0)
+
+
+@dataclass
+class AggregateOutcome:
+    """Result of one slot/group aggregation attempt."""
+
+    success: bool
+    reserved: bool = False  #: True when a blank aggregator was claimed
+
+
+class AggregatorArray:
+    """One AA: a register array of (kPart, vPart) cells."""
+
+    def __init__(self, name: str, size: int, key_bits: int, value_bits: int) -> None:
+        self.key_bits = key_bits
+        self.value_bits = value_bits
+        self.value_mask = (1 << value_bits) - 1
+        self.registers: RegisterArray[Cell] = RegisterArray(
+            name, size, width_bits=key_bits + value_bits, initial=BLANK
+        )
+
+    @property
+    def name(self) -> str:
+        return self.registers.name
+
+    @property
+    def size(self) -> int:
+        return self.registers.size
+
+    # ------------------------------------------------------------------
+    def try_aggregate(
+        self,
+        ctx: PassContext,
+        index: int,
+        segment: bytes,
+        add_value: Optional[int],
+        enabled: bool = True,
+    ) -> AggregateOutcome:
+        """The AA's single RMW for this pass.
+
+        Compares the stored kPart with ``segment``; on blank-or-match the
+        cell is claimed/updated and ``add_value`` (if not ``None``) is added
+        to the vPart.  ``enabled=False`` models the predicated no-op a P4
+        action takes when an earlier condition already failed — the access
+        still happens (the array is still touched once this pass) but the
+        cell is left unchanged.
+        """
+
+        outcome = AggregateOutcome(success=False)
+
+        def alu(old: Cell) -> tuple[Cell, None]:
+            if not enabled:
+                return old, None
+            stored_key, stored_val = old
+            if stored_key is None:
+                outcome.success = True
+                outcome.reserved = True
+                value = 0 if add_value is None else add_value & self.value_mask
+                return (segment, value), None
+            if stored_key == segment:
+                outcome.success = True
+                if add_value is None:
+                    return old, None
+                return (stored_key, (stored_val + add_value) & self.value_mask), None
+            return old, None
+
+        self.registers.execute(ctx, index, alu)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Control-plane (switch CPU) access used by fetch-and-reset.
+    # ------------------------------------------------------------------
+    def control_cell(self, index: int) -> Cell:
+        return self.registers.control_read(index)
+
+    def control_clear(self, index: int) -> None:
+        self.registers.control_write(index, BLANK)
+
+    def occupied_in(self, start: int, stop: int) -> int:
+        """Occupied aggregators in ``[start, stop)`` — memory-utilization stat."""
+        return sum(
+            1 for i in range(start, stop) if self.registers.control_read(i)[0] is not None
+        )
+
+
+class AggregatorPool:
+    """The two-dimensional AA pool plus its pipeline placement.
+
+    AAs are declared onto the pipeline starting at ``first_stage``, four per
+    stage, in slot order — which automatically places each medium group's
+    ``m`` AAs in the same or physically adjacent stages, as §3.2.3 requires.
+    """
+
+    def __init__(self, config: AskConfig, pipeline: Pipeline, first_stage: int) -> None:
+        self.config = config
+        self.arrays: list[AggregatorArray] = []
+        for slot in range(config.num_aas):
+            self.arrays.append(
+                AggregatorArray(
+                    f"AA{slot}",
+                    config.aggregators_per_aa,
+                    config.key_bits,
+                    config.value_bits,
+                )
+            )
+        self.next_free_stage = pipeline.declare_spread(
+            first_stage, [aa.registers for aa in self.arrays]
+        )
+        # Cumulative statistics (switch-side observability).
+        self.tuples_aggregated = 0
+        self.tuples_failed = 0
+        self.aggregators_reserved = 0
+
+    def __getitem__(self, slot: int) -> AggregatorArray:
+        return self.arrays[slot]
+
+    def __len__(self) -> int:
+        return len(self.arrays)
+
+    # ------------------------------------------------------------------
+    def aggregate_short(
+        self, ctx: PassContext, slot: int, index: int, segment: bytes, value: int
+    ) -> bool:
+        """Aggregate a short key-value tuple in AA ``slot`` at ``index``."""
+        outcome = self.arrays[slot].try_aggregate(ctx, index, segment, value)
+        self._count(outcome, 1)
+        return outcome.success
+
+    def aggregate_group(
+        self,
+        ctx: PassContext,
+        slots: tuple[int, ...],
+        index: int,
+        segments: tuple[bytes, ...],
+        value: int,
+    ) -> bool:
+        """Aggregate a medium key across its coalesced group.
+
+        Stage-by-stage predicated execution: each AA performs its single
+        RMW; once a segment mismatches, later AAs run disabled.  The
+        blank-prefix invariant (rows are always fully blank or fully
+        written) guarantees this sequential scheme is all-or-nothing — see
+        DESIGN.md §4.5.
+        """
+        if len(slots) != len(segments):
+            raise ValueError("segment count must match the group width")
+        ok = True
+        last = len(slots) - 1
+        for pos, (slot, segment) in enumerate(zip(slots, segments)):
+            add = value if pos == last else None
+            outcome = self.arrays[slot].try_aggregate(ctx, index, segment, add, enabled=ok)
+            if ok and not outcome.success:
+                ok = False
+            if outcome.reserved:
+                self.aggregators_reserved += 1
+        if ok:
+            self.tuples_aggregated += 1
+        else:
+            self.tuples_failed += 1
+        return ok
+
+    def _count(self, outcome: AggregateOutcome, tuples: int) -> None:
+        if outcome.success:
+            self.tuples_aggregated += tuples
+        else:
+            self.tuples_failed += tuples
+        if outcome.reserved:
+            self.aggregators_reserved += 1
+
+    # ------------------------------------------------------------------
+    def occupancy(self, start: int, stop: int) -> float:
+        """Fraction of aggregators occupied in ``[start, stop)`` across AAs."""
+        total = (stop - start) * len(self.arrays)
+        if total == 0:
+            return 0.0
+        occupied = sum(aa.occupied_in(start, stop) for aa in self.arrays)
+        return occupied / total

@@ -1,0 +1,222 @@
+"""Switch controller: the control plane of the ASK switch.
+
+The controller performs everything that does not happen per packet:
+
+- allocating and deallocating per-task aggregator regions (step ③/⑫ of the
+  workflow in Fig. 4) with multi-tenant isolation,
+- registering data channels to dense reliability-state slots ("Bounding
+  Switch States", §3.3),
+- control-plane reads of aggregator memory — the *fetch-and-reset* that the
+  host receiver drives during shadow-copy swaps and at task teardown (§3.4).
+
+Control-plane operations go through the switch CPU (PCIe), not the
+match-action pipeline, so they use the registers' control interface and are
+atomic with respect to packet passes (the simulator serializes events).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.config import AskConfig
+from repro.core.errors import RegionExhaustedError, TaskStateError
+from repro.core.keyspace import KeyClass, KeySpaceLayout, unpad_key
+from repro.core.tenancy import TenantQuotas
+from repro.switch.aggregator import AggregatorPool
+from repro.switch.shadow import ShadowDirectory
+
+
+@dataclass(frozen=True)
+class Region:
+    """A task's slice of every AA: aggregator indices ``[offset, offset+size)``
+    within each copy."""
+
+    task_id: int
+    task_slot: int
+    offset: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+
+class SwitchController:
+    """Allocation and control-plane access for one ASK switch."""
+
+    def __init__(
+        self,
+        config: AskConfig,
+        pool: AggregatorPool,
+        shadow: ShadowDirectory,
+        max_tasks: int = 64,
+        max_channels: int = 256,
+    ) -> None:
+        self.config = config
+        self.pool = pool
+        self.shadow = shadow
+        self.layout = KeySpaceLayout(config)
+        self.max_tasks = max_tasks
+        self.max_channels = max_channels
+        self._regions: Dict[int, Region] = {}
+        self._free_task_slots = list(range(max_tasks - 1, -1, -1))
+        self._channel_slots: Dict[tuple[str, int], int] = {}
+        self.fetches = 0
+        #: Per-tenant aggregator budgets (§7 multi-tenancy); tenants are
+        #: decoded from the high bits of the task ID.
+        self.tenant_quotas = TenantQuotas()
+
+    # ------------------------------------------------------------------
+    # Region allocation (first-fit over the per-copy aggregator space)
+    # ------------------------------------------------------------------
+    def allocate_region(self, task_id: int, size: Optional[int] = None) -> Region:
+        """Reserve ``size`` aggregators per AA (per copy) for ``task_id``.
+
+        ``size=None`` requests the largest free extent.  Raises
+        :class:`RegionExhaustedError` when no extent fits and
+        :class:`TaskStateError` on double allocation.
+        """
+        if task_id in self._regions:
+            raise TaskStateError(f"task {task_id} already holds a region")
+        if not self._free_task_slots:
+            raise RegionExhaustedError("no free task slots on the switch")
+        free = self._free_extents()
+        if not free:
+            raise RegionExhaustedError("aggregator space exhausted")
+        if size is None:
+            offset, extent = max(free, key=lambda item: item[1])
+            size = extent
+        else:
+            if size < 1:
+                raise ValueError("region size must be >= 1")
+            for offset, extent in free:
+                if extent >= size:
+                    break
+            else:
+                raise RegionExhaustedError(
+                    f"no free extent of {size} aggregators (largest: "
+                    f"{max(extent for _, extent in free)})"
+                )
+        self.tenant_quotas.charge(task_id, size)
+        region = Region(task_id, self._free_task_slots.pop(), offset, size)
+        self._regions[task_id] = region
+        return region
+
+    def _free_extents(self) -> list[tuple[int, int]]:
+        """Free (offset, length) extents in the per-copy aggregator space."""
+        copy_size = self.config.copy_size
+        used = sorted((r.offset, r.end) for r in self._regions.values())
+        extents = []
+        cursor = 0
+        for start, end in used:
+            if start > cursor:
+                extents.append((cursor, start - cursor))
+            cursor = max(cursor, end)
+        if cursor < copy_size:
+            extents.append((cursor, copy_size - cursor))
+        return extents
+
+    def deallocate(self, task_id: int) -> None:
+        """Release a task's region (step ⑫), clearing its aggregators."""
+        region = self._regions.pop(task_id, None)
+        if region is None:
+            raise TaskStateError(f"task {task_id} holds no region")
+        for part in range(2 if self.config.shadow_copy else 1):
+            self._clear_region(region, part)
+        self.shadow.clear(region.task_slot)
+        self._free_task_slots.append(region.task_slot)
+        self.tenant_quotas.refund(task_id, region.size)
+
+    def lookup_region(self, task_id: int) -> Optional[Region]:
+        """Data-plane match table: task id → region."""
+        return self._regions.get(task_id)
+
+    # ------------------------------------------------------------------
+    # Channel registry
+    # ------------------------------------------------------------------
+    def channel_slot(self, channel_key: tuple[str, int]) -> int:
+        """Dense reliability-state slot for a data channel.
+
+        Channels are persistent for the lifetime of the ASK service (§3.3),
+        so slots are never recycled.
+        """
+        slot = self._channel_slots.get(channel_key)
+        if slot is None:
+            if len(self._channel_slots) >= self.max_channels:
+                raise RegionExhaustedError(
+                    f"switch supports at most {self.max_channels} data channels"
+                )
+            slot = len(self._channel_slots)
+            self._channel_slots[channel_key] = slot
+        return slot
+
+    @property
+    def num_channels(self) -> int:
+        return len(self._channel_slots)
+
+    # ------------------------------------------------------------------
+    # Fetch-and-reset (control plane)
+    # ------------------------------------------------------------------
+    def fetch_and_reset(self, task_id: int, part: int) -> dict[bytes, int]:
+        """Read all key→value pairs of copy ``part`` of a task's region and
+        clear it (Alg. 1 ``Read()`` plus cleanup).
+
+        Medium keys are reconstructed from their coalesced group rows: a row
+        is valid when every segment cell is occupied, the key is the
+        unpadded concatenation of segments and the value lives in the last
+        cell (§3.2.3).
+        """
+        region = self._regions.get(task_id)
+        if region is None:
+            raise TaskStateError(f"task {task_id} holds no region")
+        self.fetches += 1
+        base = self.shadow.part_offset(part)
+        result: dict[bytes, int] = {}
+        mask = self.config.value_mask
+
+        for slot in range(self.layout.num_short_slots):
+            aa = self.pool[slot]
+            for idx in range(base + region.offset, base + region.end):
+                key, value = aa.control_cell(idx)
+                if key is None:
+                    continue
+                plain = unpad_key(key)
+                result[plain] = (result.get(plain, 0) + value) & mask
+                aa.control_clear(idx)
+
+        for group in range(self.layout.num_groups):
+            slots = self.layout.group_slots(group)
+            for idx in range(base + region.offset, base + region.end):
+                cells = [self.pool[s].control_cell(idx) for s in slots]
+                if any(cell[0] is None for cell in cells):
+                    continue
+                padded = b"".join(cell[0] for cell in cells)  # type: ignore[misc]
+                plain = unpad_key(padded)
+                value = cells[-1][1]
+                result[plain] = (result.get(plain, 0) + value) & mask
+                for s in slots:
+                    self.pool[s].control_clear(idx)
+        return result
+
+    def _clear_region(self, region: Region, part: int) -> None:
+        base = self.shadow.part_offset(part)
+        for aa in self.pool.arrays:
+            for idx in range(base + region.offset, base + region.end):
+                aa.control_clear(idx)
+
+    # ------------------------------------------------------------------
+    def region_occupancy(self, task_id: int, part: int) -> float:
+        """Fraction of a region's aggregators occupied — Fig. 9's metric."""
+        region = self._regions.get(task_id)
+        if region is None:
+            raise TaskStateError(f"task {task_id} holds no region")
+        base = self.shadow.part_offset(part)
+        occupied = sum(
+            aa.occupied_in(base + region.offset, base + region.end)
+            for aa in self.pool.arrays
+        )
+        return occupied / (region.size * len(self.pool))
+
+    def slot_kind(self, slot: int) -> KeyClass:
+        return self.layout.slot_kind(slot)

@@ -1,0 +1,147 @@
+"""Switch-side reliability state: ``seen``, ``max_seq`` and ``PktState`` (§3.3).
+
+The switch is the receiver endpoint of every sender→switch flow.  For each
+data channel it keeps:
+
+- ``max_seq`` — highest sequence number observed; packets at or below
+  ``max_seq - W`` are *stale* and dropped before touching any other state,
+- ``seen`` — the per-packet appearance record.  Two interchangeable designs
+  are provided: the conceptual 2W-bit array (Eqs. 5–7), which needs three
+  register accesses per pass and therefore only runs on a *relaxed* register
+  array, and the memory-compact W-bit design (Eq. 8) built from the atomic
+  ``set_bit``/``clr_bitc`` instructions, which is the one real hardware can
+  execute,
+- ``PktState`` — one bitmap per in-window packet recording which tuples the
+  switch consumed, so a retransmitted partially-aggregated packet carries
+  only its unaggregated tuples onward (Eqs. 9–10).
+
+All three are register arrays indexed by ``channel_slot * W + offset`` so
+one physical array serves every data channel (the paper's "Bounding Switch
+States": 1056 B per channel, 264 KB for 64 servers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import AskConfig
+from repro.switch.registers import PassContext, RegisterArray
+
+
+@dataclass(frozen=True)
+class DedupVerdict:
+    """Outcome of the dedup stage for one packet."""
+
+    stale: bool
+    observed: bool  #: True when this (channel, seq) appeared before
+
+
+class DedupUnit:
+    """The reliability registers for all channels of one switch.
+
+    Parameters
+    ----------
+    config:
+        Supplies ``window_size`` (W), ``use_compact_seen`` and the PktState
+        bitmap width (``num_aas``).
+    max_channels:
+        Data channels this switch can serve; controls register sizing.
+    """
+
+    def __init__(self, config: AskConfig, max_channels: int) -> None:
+        self.window = config.window_size
+        self.compact = config.use_compact_seen
+        self.max_channels = max_channels
+
+        self.max_seq: RegisterArray[int] = RegisterArray(
+            "max_seq", max_channels, width_bits=32, initial=-1
+        )
+        if self.compact:
+            self.seen: RegisterArray[int] = RegisterArray(
+                "seen", max_channels * self.window, width_bits=1, initial=0
+            )
+        else:
+            # The conceptual 2W-bit design performs a read, a set and a
+            # clear in one pass — three accesses — so it only exists on a
+            # relaxed register array.  Kept for the ablation (DESIGN.md §4.2).
+            self.seen = RegisterArray(
+                "seen_2w",
+                max_channels * 2 * self.window,
+                width_bits=1,
+                initial=0,
+                relax_access_limit=True,
+            )
+        self.pkt_state: RegisterArray[int] = RegisterArray(
+            "PktState", max_channels * self.window, width_bits=config.num_aas, initial=0
+        )
+
+        self.stale_drops = 0
+        self.duplicates_detected = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def sram_bytes(self) -> int:
+        """Total reliability SRAM (the paper's 1056 B/channel accounting)."""
+        return self.max_seq.sram_bytes + self.seen.sram_bytes + self.pkt_state.sram_bytes
+
+    def sram_bytes_per_channel(self) -> float:
+        return self.sram_bytes / self.max_channels
+
+    # ------------------------------------------------------------------
+    def check(self, ctx: PassContext, channel_slot: int, seq: int) -> DedupVerdict:
+        """Run the dedup stage: stale guard then ``seen`` lookup/update."""
+        if not 0 <= channel_slot < self.max_channels:
+            raise IndexError(f"channel slot {channel_slot} out of range")
+
+        def bump(old: int) -> tuple[int, int]:
+            return (max(old, seq), max(old, seq))
+
+        new_max = self.max_seq.execute(ctx, channel_slot, bump)
+        if seq <= new_max - self.window:
+            self.stale_drops += 1
+            return DedupVerdict(stale=True, observed=True)
+
+        if self.compact:
+            observed = self._check_compact(ctx, channel_slot, seq)
+        else:
+            observed = self._check_reference(ctx, channel_slot, seq)
+        if observed:
+            self.duplicates_detected += 1
+        return DedupVerdict(stale=False, observed=bool(observed))
+
+    def _check_compact(self, ctx: PassContext, channel_slot: int, seq: int) -> int:
+        """The W-bit compact design (Eq. 8).
+
+        Even segments record appearance as 1 (``set_bit`` returns the old
+        value); odd segments record it as 0 (``clr_bitc`` returns the
+        complement of the old value).  A single atomic instruction records
+        the observation, reports the previous record, and re-initializes the
+        bit for the segment one window away.
+        """
+        offset = seq % self.window
+        segment = (seq // self.window) % 2
+        index = channel_slot * self.window + offset
+        if segment == 0:
+            return self.seen.set_bit(ctx, index)
+        return self.seen.clr_bitc(ctx, index)
+
+    def _check_reference(self, ctx: PassContext, channel_slot: int, seq: int) -> int:
+        """The conceptual 2W-bit design (Eqs. 5–7): read, record, clear ahead."""
+        window2 = 2 * self.window
+        base = channel_slot * window2
+        idx = seq % window2
+        observed = self.seen.read(ctx, base + idx)
+        self.seen.write(ctx, base + idx, 1)
+        self.seen.write(ctx, base + (idx + self.window) % window2, 0)
+        return observed
+
+    # ------------------------------------------------------------------
+    def record_bitmap(self, ctx: PassContext, channel_slot: int, seq: int, bitmap: int) -> None:
+        """First appearance: persist the post-aggregation bitmap (Eq. 9)."""
+        index = channel_slot * self.window + seq % self.window
+        self.pkt_state.write(ctx, index, bitmap)
+
+    def load_bitmap(self, ctx: PassContext, channel_slot: int, seq: int) -> int:
+        """Retransmission: restore the recorded bitmap (Eq. 10)."""
+        index = channel_slot * self.window + seq % self.window
+        return self.pkt_state.read(ctx, index)

@@ -1,0 +1,141 @@
+"""PISA pipeline model: stages with bounded resources, ordered traversal.
+
+A pipeline is a sequence of match-action stages (Fig. 2 of the paper).  Each
+stage may declare at most :data:`~repro.core.constants.REGISTER_ARRAYS_PER_STAGE`
+register arrays and hold at most :data:`~repro.core.constants.SRAM_PER_STAGE_BYTES`
+of SRAM.  A packet pass visits stages in order only — the stage index stamped
+on every array lets :class:`~repro.switch.registers.PassContext` reject any
+program that tries to flow backwards.
+"""
+
+from __future__ import annotations
+
+from repro.core import constants
+from repro.core.errors import AskError
+from repro.switch.registers import PassContext, RegisterArray
+
+
+class PipelineBudgetError(AskError, RuntimeError):
+    """A stage or pipeline resource budget was exceeded."""
+
+
+class Stage:
+    """One match-action stage."""
+
+    def __init__(
+        self,
+        index: int,
+        max_arrays: int = constants.REGISTER_ARRAYS_PER_STAGE,
+        sram_budget_bytes: int = constants.SRAM_PER_STAGE_BYTES,
+    ) -> None:
+        self.index = index
+        self.max_arrays = max_arrays
+        self.sram_budget_bytes = sram_budget_bytes
+        self.arrays: list[RegisterArray] = []
+
+    def add_array(self, array: RegisterArray) -> RegisterArray:
+        """Place ``array`` in this stage, enforcing the stage budgets."""
+        if len(self.arrays) >= self.max_arrays:
+            raise PipelineBudgetError(
+                f"stage {self.index} already holds {self.max_arrays} register "
+                f"arrays; cannot add {array.name!r}"
+            )
+        new_total = self.sram_used_bytes + array.sram_bytes
+        if new_total > self.sram_budget_bytes:
+            raise PipelineBudgetError(
+                f"stage {self.index} SRAM budget exceeded: "
+                f"{new_total} > {self.sram_budget_bytes} bytes adding {array.name!r}"
+            )
+        array.stage_index = self.index
+        self.arrays.append(array)
+        return array
+
+    @property
+    def sram_used_bytes(self) -> int:
+        return sum(a.sram_bytes for a in self.arrays)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Stage({self.index}, arrays={[a.name for a in self.arrays]})"
+
+
+class Pipeline:
+    """A sequence of stages plus pass bookkeeping.
+
+    ``declare(stage_index, array)`` places an array; ``begin_pass`` opens a
+    :class:`PassContext` for one packet.  Stages are created lazily up to
+    ``max_stages``.
+    """
+
+    def __init__(
+        self,
+        max_stages: int = constants.STAGES_PER_PIPELINE,
+        max_arrays_per_stage: int = constants.REGISTER_ARRAYS_PER_STAGE,
+        sram_per_stage_bytes: int = constants.SRAM_PER_STAGE_BYTES,
+    ) -> None:
+        self.max_stages = max_stages
+        self.max_arrays_per_stage = max_arrays_per_stage
+        self.sram_per_stage_bytes = sram_per_stage_bytes
+        self.stages: list[Stage] = []
+        self.passes = 0
+
+    def stage(self, index: int) -> Stage:
+        """Get (lazily creating) stage ``index``."""
+        if index >= self.max_stages:
+            raise PipelineBudgetError(
+                f"stage {index} requested but pipeline has only "
+                f"{self.max_stages} stages"
+            )
+        while len(self.stages) <= index:
+            self.stages.append(
+                Stage(
+                    len(self.stages),
+                    max_arrays=self.max_arrays_per_stage,
+                    sram_budget_bytes=self.sram_per_stage_bytes,
+                )
+            )
+        return self.stages[index]
+
+    def declare(self, stage_index: int, array: RegisterArray) -> RegisterArray:
+        """Place ``array`` in ``stage_index``, enforcing budgets."""
+        return self.stage(stage_index).add_array(array)
+
+    def declare_spread(self, first_stage: int, arrays: list[RegisterArray]) -> int:
+        """Place ``arrays`` consecutively starting at ``first_stage``, filling
+        each stage before moving to the next.  Returns the first free stage
+        after placement.  Arrays placed this way keep their declaration
+        order across adjacent stages — exactly the physical-adjacency
+        requirement of the coalesced medium-key groups (§3.2.3).
+        """
+        stage_idx = first_stage
+        for array in arrays:
+            while True:
+                stage = self.stage(stage_idx)
+                if len(stage.arrays) < stage.max_arrays:
+                    stage.add_array(array)
+                    break
+                stage_idx += 1
+        return stage_idx + 1
+
+    def begin_pass(self, label: str = "") -> PassContext:
+        """Open the access context for one packet traversal."""
+        self.passes += 1
+        return PassContext(label)
+
+    @property
+    def sram_used_bytes(self) -> int:
+        return sum(s.sram_used_bytes for s in self.stages)
+
+    @property
+    def num_stages_used(self) -> int:
+        return len(self.stages)
+
+    def summary(self) -> str:
+        """Human-readable resource report, used by examples and docs."""
+        lines = [
+            f"pipeline: {self.num_stages_used}/{self.max_stages} stages, "
+            f"{self.sram_used_bytes / 1024:.1f} KiB SRAM"
+        ]
+        for stage in self.stages:
+            names = ", ".join(f"{a.name}({a.sram_bytes}B)" for a in stage.arrays)
+            lines.append(f"  stage {stage.index}: {names}")
+        return "\n".join(lines)

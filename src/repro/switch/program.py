@@ -1,0 +1,189 @@
+"""The ASK switch program: what one packet pass does (§3.2–§3.4).
+
+The per-packet pipeline pass, in stage order:
+
+1. **Dedup front** — update ``max_seq`` (stale guard), then the ``seen``
+   record (compact or reference design).
+2. **Copy indicator** — read the task's shadow-copy write part.
+3. **Vectorized aggregation** — feed the *i*-th live tuple to the *i*-th AA:
+   short slots individually, medium groups coalesced with a unified index.
+   Each successful tuple clears its bitmap bit(s).
+4. **PktState back** — first appearance: record the post-aggregation bitmap
+   (Eq. 9); retransmission: restore the recorded bitmap (Eq. 10).
+5. **Verdict** — all bits cleared → consume the packet and ACK the sender;
+   otherwise forward the remaining tuples to the host receiver.  FIN and
+   long-key packets always forward (the receiver is their endpoint) but
+   still traverse the dedup stage so every sequence number of a channel
+   touches ``seen`` exactly as the compact design requires.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.config import AskConfig
+from repro.core.errors import ProtocolError
+from repro.core.hashing import address_hash
+from repro.core.keyspace import KeySpaceLayout
+from repro.core.packet import AskPacket, ack_for
+from repro.switch.aggregator import AggregatorPool
+from repro.switch.controller import Region, SwitchController
+from repro.switch.dedup import DedupUnit
+from repro.switch.registers import PassContext
+from repro.switch.shadow import ShadowDirectory
+
+
+class SwitchAction(enum.Enum):
+    """What the pipeline decided to do with a packet."""
+
+    DROP = "drop"  #: consumed with no reply (stale packets)
+    ACK = "ack"  #: fully aggregated; ACK returned to the sender
+    FORWARD = "forward"  #: forwarded (possibly with a rewritten bitmap)
+
+
+@dataclass
+class SwitchDecision:
+    """The outcome of one pass: an action plus the packets to emit."""
+
+    action: SwitchAction
+    emit: list[AskPacket] = field(default_factory=list)
+
+
+@dataclass
+class ProgramStats:
+    """Cumulative data-plane counters (Table 1's numerators come from here)."""
+
+    data_packets: int = 0
+    packets_acked: int = 0  #: fully aggregated and consumed at the switch
+    packets_forwarded: int = 0
+    stale_drops: int = 0
+    retransmissions_seen: int = 0
+    tuples_seen: int = 0
+    tuples_aggregated: int = 0
+    swaps: int = 0
+    fins: int = 0
+    long_packets: int = 0
+
+
+class AskSwitchProgram:
+    """Pure packet-pass logic; the :class:`~repro.switch.switch.AskSwitch`
+    facade owns timing and I/O."""
+
+    def __init__(
+        self,
+        config: AskConfig,
+        controller: SwitchController,
+        pool: AggregatorPool,
+        dedup: DedupUnit,
+        shadow: ShadowDirectory,
+        switch_name: str = "switch",
+    ) -> None:
+        self.config = config
+        self.controller = controller
+        self.pool = pool
+        self.dedup = dedup
+        self.shadow = shadow
+        self.layout = KeySpaceLayout(config)
+        self.switch_name = switch_name
+        self.stats = ProgramStats()
+
+    # ------------------------------------------------------------------
+    def process(self, ctx: PassContext, pkt: AskPacket) -> SwitchDecision:
+        """Run one packet through the pipeline and return the decision."""
+        if pkt.is_ack:
+            # ACKs are plain routed traffic: no ASK state is touched.
+            return SwitchDecision(SwitchAction.FORWARD, [pkt])
+        if pkt.is_swap:
+            return self._process_swap(ctx, pkt)
+        return self._process_data(ctx, pkt)
+
+    # ------------------------------------------------------------------
+    def _process_swap(self, ctx: PassContext, pkt: AskPacket) -> SwitchDecision:
+        region = self.controller.lookup_region(pkt.task_id)
+        if region is not None:
+            # The packet carries the desired indicator value (epoch parity),
+            # making duplicated swap notifications idempotent.
+            self.shadow.apply_swap(ctx, region.task_slot, pkt.seq & 1)
+            self.stats.swaps += 1
+        return SwitchDecision(SwitchAction.ACK, [ack_for(pkt, self.switch_name)])
+
+    # ------------------------------------------------------------------
+    def _process_data(self, ctx: PassContext, pkt: AskPacket) -> SwitchDecision:
+        channel_slot = self.controller.channel_slot(pkt.channel_key)
+        verdict = self.dedup.check(ctx, channel_slot, pkt.seq)
+        if verdict.stale:
+            self.stats.stale_drops += 1
+            return SwitchDecision(SwitchAction.DROP)
+
+        self.stats.data_packets += 1
+        region = self.controller.lookup_region(pkt.task_id)
+        passthrough = pkt.is_fin or pkt.is_long
+        aggregatable = pkt.is_data and not passthrough and region is not None
+
+        if not verdict.observed:
+            bitmap = pkt.bitmap
+            if aggregatable and bitmap:
+                self.stats.tuples_seen += bitmap.bit_count()
+                bitmap = self._aggregate(ctx, pkt, region)  # type: ignore[arg-type]
+                self.stats.tuples_aggregated += pkt.bitmap.bit_count() - bitmap.bit_count()
+            self.dedup.record_bitmap(ctx, channel_slot, pkt.seq, bitmap)
+        else:
+            self.stats.retransmissions_seen += 1
+            bitmap = self.dedup.load_bitmap(ctx, channel_slot, pkt.seq)
+
+        if pkt.is_fin:
+            self.stats.fins += 1
+            return SwitchDecision(SwitchAction.FORWARD, [pkt.with_bitmap(bitmap)])
+        if pkt.is_long:
+            self.stats.long_packets += 1
+            return SwitchDecision(SwitchAction.FORWARD, [pkt.with_bitmap(bitmap)])
+        if bitmap == 0:
+            self.stats.packets_acked += 1
+            return SwitchDecision(SwitchAction.ACK, [ack_for(pkt, self.switch_name)])
+        self.stats.packets_forwarded += 1
+        return SwitchDecision(SwitchAction.FORWARD, [pkt.with_bitmap(bitmap)])
+
+    # ------------------------------------------------------------------
+    def _aggregate(self, ctx: PassContext, pkt: AskPacket, region: Region) -> int:
+        """Vectorized aggregation of all live tuples; returns the new bitmap."""
+        part = self.shadow.write_part(ctx, region.task_slot)
+        base = self.shadow.part_offset(part) + region.offset
+        bitmap = pkt.bitmap
+
+        # Short-key slots: one AA each, in slot (== stage) order.
+        for slot in range(self.layout.num_short_slots):
+            if not bitmap >> slot & 1:
+                continue
+            tup = pkt.slots[slot]
+            if tup is None:
+                raise ProtocolError(f"bitmap bit {slot} set on a blank slot")
+            index = base + address_hash(tup.key) % region.size
+            if self.pool.aggregate_short(ctx, slot, index, tup.key, tup.value):
+                bitmap &= ~(1 << slot)
+
+        # Medium-key groups: coalesced, unified index over the whole key.
+        for group in range(self.layout.num_groups):
+            slots = self.layout.group_slots(group)
+            bits = [bool(bitmap >> s & 1) for s in slots]
+            if not any(bits):
+                continue
+            if not all(bits):
+                raise ProtocolError(
+                    f"medium group {group} has a partially-set bitmap; "
+                    "group tuples must be aggregated all-or-nothing"
+                )
+            segments = []
+            value = 0
+            for s in slots:
+                tup = pkt.slots[s]
+                if tup is None:
+                    raise ProtocolError(f"bitmap bit {s} set on a blank slot")
+                segments.append(tup.key)
+                value = tup.value  # the value rides in the last slot
+            padded = b"".join(segments)
+            index = base + address_hash(padded) % region.size
+            if self.pool.aggregate_group(ctx, slots, index, tuple(segments), value):
+                for s in slots:
+                    bitmap &= ~(1 << s)
+        return bitmap

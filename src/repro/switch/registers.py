@@ -1,0 +1,171 @@
+"""Register arrays with the PISA access restriction.
+
+The restriction that shaped ASK's whole memory layout (§2.2.1, §3.2.1):
+
+    "each register array can only perform one read and one write in one pass"
+
+is enforced here.  Every packet pass opens a :class:`PassContext`; a
+:class:`RegisterArray` raises :class:`RegisterAccessError` on its second
+access within the same context.  The single permitted access is a
+read-modify-write executed atomically (that is what a stage ALU does), which
+is also how the atomic ``set_bit`` / ``clr_bitc`` instructions of the compact
+``seen`` design are expressed.
+
+A deliberately *relaxed* array (``relax_access_limit=True``) is available for
+the paper's conceptual 2W-bit ``seen`` baseline, which needs three accesses
+per pass and therefore is not implementable on real hardware — the ablation
+test suite demonstrates exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generic, Optional, TypeVar
+
+from repro.core.errors import AskError
+
+T = TypeVar("T")
+
+
+class RegisterAccessError(AskError, RuntimeError):
+    """A register array was accessed more than once in one packet pass, or
+    accessed against the pipeline's stage order."""
+
+
+class PassContext:
+    """One packet's traversal of the pipeline.
+
+    Tracks which register arrays have been accessed and the index of the
+    stage last visited; a pass may never move to an earlier stage (a packet
+    cannot flow backwards through the pipeline).
+    """
+
+    __slots__ = ("_accessed", "_current_stage", "label")
+
+    def __init__(self, label: str = "") -> None:
+        self._accessed: set[int] = set()
+        self._current_stage = -1
+        self.label = label
+
+    def note_access(self, array: "RegisterArray") -> None:
+        if not array.relax_access_limit:
+            if id(array) in self._accessed:
+                raise RegisterAccessError(
+                    f"register array {array.name!r} accessed twice in one pass"
+                    f"{' (' + self.label + ')' if self.label else ''}"
+                )
+            self._accessed.add(id(array))
+        if array.stage_index is not None:
+            if array.stage_index < self._current_stage:
+                raise RegisterAccessError(
+                    f"pass moved backwards: array {array.name!r} lives in stage "
+                    f"{array.stage_index} but stage {self._current_stage} was "
+                    "already visited"
+                )
+            self._current_stage = array.stage_index
+
+
+class RegisterArray(Generic[T]):
+    """A stage-local register array.
+
+    Parameters
+    ----------
+    name:
+        Identifier for diagnostics.
+    size:
+        Number of cells.
+    width_bits:
+        Bits per cell; drives the SRAM budget accounting in
+        :class:`~repro.switch.pisa.Stage`.
+    initial:
+        Initial cell value (shared immutable default, e.g. ``0`` or ``None``).
+    relax_access_limit:
+        Disable the one-access-per-pass check.  Only the conceptual 2W-bit
+        ``seen`` baseline uses this; the real ASK program never does.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size: int,
+        width_bits: int,
+        initial: T = 0,  # type: ignore[assignment]
+        relax_access_limit: bool = False,
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"register array {name!r} needs size >= 1")
+        if width_bits < 1:
+            raise ValueError(f"register array {name!r} needs width >= 1 bit")
+        self.name = name
+        self.size = size
+        self.width_bits = width_bits
+        self.relax_access_limit = relax_access_limit
+        self._initial = initial
+        self._cells: list[T] = [initial] * size
+        self.stage_index: Optional[int] = None  # assigned when placed in a Stage
+        self.accesses = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def sram_bytes(self) -> int:
+        """SRAM the array occupies, rounded up to whole bytes."""
+        return (self.size * self.width_bits + 7) // 8
+
+    # ------------------------------------------------------------------
+    def execute(self, ctx: PassContext, index: int, alu: Callable[[T], tuple[T, Any]]) -> Any:
+        """The one read-modify-write this pass may perform.
+
+        ``alu(old) -> (new, result)`` runs atomically on the cell; ``result``
+        is what the pass carries forward in packet metadata (PHV).
+        """
+        ctx.note_access(self)
+        if not 0 <= index < self.size:
+            raise IndexError(f"{self.name}[{index}] out of range (size {self.size})")
+        self.accesses += 1
+        old = self._cells[index]
+        new, result = alu(old)
+        self._cells[index] = new
+        return result
+
+    def read(self, ctx: PassContext, index: int) -> T:
+        """Read-only access (still consumes the pass's single access)."""
+        return self.execute(ctx, index, lambda old: (old, old))
+
+    def write(self, ctx: PassContext, index: int, value: T) -> None:
+        """Write-only access (still consumes the pass's single access)."""
+        self.execute(ctx, index, lambda _old: (value, None))
+
+    # --- atomic bit instructions (footnotes 4 and 5 of the paper) -------
+    def set_bit(self, ctx: PassContext, index: int) -> int:
+        """Atomically set the bit and return its previous value."""
+        return self.execute(ctx, index, lambda old: (1, old))
+
+    def clr_bitc(self, ctx: PassContext, index: int) -> int:
+        """Atomically clear the bit and return the complement of its
+        previous value."""
+        return self.execute(ctx, index, lambda old: (0, 1 - old))
+
+    # ------------------------------------------------------------------
+    # Control-plane access.  The switch CPU reads/writes registers out of
+    # band (PCIe), not through the match-action pipeline, so no PassContext
+    # is involved.  ASK's controller uses this for fetch-and-reset (§3.4).
+    # ------------------------------------------------------------------
+    def control_read(self, index: int) -> T:
+        return self._cells[index]
+
+    def control_write(self, index: int, value: T) -> None:
+        self._cells[index] = value
+
+    def control_reset(self, start: int = 0, end: Optional[int] = None) -> None:
+        """Reset a range of cells to the initial value."""
+        stop = self.size if end is None else end
+        for i in range(start, stop):
+            self._cells[i] = self._initial
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RegisterArray({self.name!r}, size={self.size}, "
+            f"width={self.width_bits}b, stage={self.stage_index})"
+        )

@@ -1,0 +1,147 @@
+"""`AskSwitch` — the network-facing switch facade.
+
+Builds the pipeline layout (Fig. 6 / §4):
+
+- stage 0: ``max_seq``, ``seen``, ``copy_indicator`` (the dedup/shadow front),
+- stages 1…: the AA pool, four AAs per stage, medium groups automatically on
+  physically adjacent stages,
+- one final stage: ``PktState`` (written after the aggregation outcome is
+  known, §3.3).
+
+On packet arrival the program runs immediately (state changes are atomic per
+packet — the PISA guarantee) and the resulting packets leave the switch
+after ``switch_pipeline_latency_ns``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import AskConfig
+from repro.core.packet import AskPacket
+from repro.net.simulator import Simulator
+from repro.net.topology import NetworkNode, StarTopology
+from repro.net.trace import PacketTrace
+from repro.switch.aggregator import AggregatorPool
+from repro.switch.controller import SwitchController
+from repro.switch.dedup import DedupUnit
+from repro.switch.pisa import Pipeline
+from repro.switch.program import AskSwitchProgram, SwitchDecision
+from repro.switch.shadow import ShadowDirectory
+
+
+class AskSwitch(NetworkNode):
+    """One ASK-enabled top-of-rack switch."""
+
+    def __init__(
+        self,
+        config: AskConfig,
+        sim: Simulator,
+        name: str = "switch",
+        max_tasks: int = 64,
+        max_channels: int = 256,
+        trace: Optional[PacketTrace] = None,
+        max_stages: int = 64,
+    ) -> None:
+        super().__init__(name)
+        self.config = config
+        self.sim = sim
+        self.trace = trace
+
+        # ``max_stages`` defaults above a single physical pipeline's 16
+        # because the prototype chains pipelines when one is not enough
+        # (§4: "multiple pipelines can be ... chained together").  The
+        # default full geometry fits in 10 stages of one pipeline.
+        self.pipeline = Pipeline(max_stages=max_stages)
+        self.dedup = DedupUnit(config, max_channels)
+        self.shadow = ShadowDirectory(config, max_tasks)
+        front = self.pipeline.stage(0)
+        front.add_array(self.dedup.max_seq)
+        front.add_array(self.dedup.seen)
+        front.add_array(self.shadow.indicator)
+        self.pool = AggregatorPool(config, self.pipeline, first_stage=1)
+        self.pipeline.declare(self.pool.next_free_stage, self.dedup.pkt_state)
+
+        self.controller = SwitchController(
+            config, self.pool, self.shadow, max_tasks=max_tasks, max_channels=max_channels
+        )
+        self.program = AskSwitchProgram(
+            config, self.controller, self.pool, self.dedup, self.shadow, switch_name=name
+        )
+        self.topology: Optional[StarTopology] = None
+
+    # ------------------------------------------------------------------
+    def bind(self, topology: StarTopology) -> None:
+        """Attach the switch to its topology (done by the service builder)."""
+        self.topology = topology
+
+    @property
+    def stats(self):
+        return self.program.stats
+
+    # ------------------------------------------------------------------
+    @property
+    def local_hosts(self) -> frozenset[str]:
+        """Hosts attached to this switch's rack."""
+        if self.topology is None:
+            return frozenset()
+        return frozenset(self.topology.host_names)
+
+    def _should_run_program(self, packet: AskPacket) -> bool:
+        """The §7 bypass rule: the ASK program runs only at the sender-side
+        TOR (the switch whose rack originated the packet) and for control
+        packets addressed to this switch.  Everything else — ACKs, and
+        cross-rack traffic transiting toward the receiver host — is routed
+        untouched, so the receiver-side TOR keeps no per-channel state.
+        """
+        if packet.is_ack:
+            return False
+        if packet.is_swap:
+            return packet.dst == self.name
+        return packet.src in self.local_hosts
+
+    def receive(self, packet: AskPacket) -> None:
+        """Ingress: run the pipeline pass (or pure routing for transit
+        traffic), emit results after the pipeline latency."""
+        if self.trace is not None:
+            self.trace.record(self.sim.now, self.name, "ingress", packet)
+        if not self._should_run_program(packet):
+            self.sim.schedule(
+                self.config.switch_pipeline_latency_ns, self._route, packet
+            )
+            return
+        ctx = self.pipeline.begin_pass(label=f"{packet.flags!r} seq={packet.seq}")
+        decision = self.program.process(ctx, packet)
+        if decision.emit:
+            self.sim.schedule(
+                self.config.switch_pipeline_latency_ns, self._emit, decision
+            )
+        elif self.trace is not None:
+            self.trace.record(self.sim.now, self.name, "drop", packet)
+
+    def _route(self, packet: AskPacket) -> None:
+        """Plain routing: deliver toward the destination untouched."""
+        if self.topology is None:
+            raise RuntimeError("switch is not bound to a topology")
+        if self.trace is not None:
+            self.trace.record(self.sim.now, self.name, "route", packet)
+        self.topology.send_to_host(packet.dst, packet, packet.wire_bytes())
+
+    def _emit(self, decision: SwitchDecision) -> None:
+        if self.topology is None:
+            raise RuntimeError("switch is not bound to a topology")
+        for pkt in decision.emit:
+            if self.trace is not None:
+                self.trace.record(self.sim.now, self.name, decision.action.value, pkt)
+            self.topology.send_to_host(pkt.dst, pkt, pkt.wire_bytes())
+
+    # ------------------------------------------------------------------
+    def resource_summary(self) -> str:
+        """Pipeline resource report (stages, SRAM), for docs and examples."""
+        lines = [self.pipeline.summary()]
+        lines.append(
+            f"reliability SRAM: {self.dedup.sram_bytes_per_channel():.0f} B/channel "
+            f"({self.dedup.sram_bytes / 1024:.1f} KiB total for "
+            f"{self.dedup.max_channels} channels)"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,14 @@
+"""Reliability building blocks shared by the host sender and receiver.
+
+The paper's reliability design (§3.3) splits the classic transport roles:
+senders keep the full sliding-window machinery (window, timers,
+retransmission), the switch keeps only a compact per-channel receive record,
+and the host receiver keeps a software receive window.  This package holds
+the host-side primitives; the switch-side ones live in
+:mod:`repro.switch.dedup`.
+"""
+
+from repro.transport.reliability import ReceiveWindow, RetransmitTimers
+from repro.transport.window import SlidingWindow, WindowEntry
+
+__all__ = ["ReceiveWindow", "RetransmitTimers", "SlidingWindow", "WindowEntry"]

@@ -1,0 +1,79 @@
+"""ECN-based congestion control (§7 "Congestion Control").
+
+ASK is compatible with ECN-based INA congestion control à la ATP/PANAMA:
+switch/link queues mark packets when their backlog exceeds a threshold,
+receivers (and the switch's own ACKs) echo the mark, and the sender runs
+AIMD on a congestion window.  The one ASK-specific rule, stated by the
+paper, is a hard cap:
+
+    "the congestion window should not exceed the maximum window defined in
+    the reliability mechanism, protecting the switch receive window from
+    malfunctioning."
+"""
+
+from __future__ import annotations
+
+from repro.net.simulator import Simulator
+
+
+class CongestionWindow:
+    """AIMD congestion window for one data channel.
+
+    Additive increase: +1/cwnd per non-marked ACK (one packet per RTT).
+    Multiplicative decrease: halve on an ECN echo, at most once per
+    ``freeze_ns`` (one congestion event per window of data, as in DCTCP's
+    ancestor New Reno).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        max_window: int,
+        initial: float = 4.0,
+        minimum: float = 1.0,
+        freeze_ns: int = 100_000,
+    ) -> None:
+        if not 1 <= minimum <= initial <= max_window:
+            raise ValueError(
+                f"need 1 <= minimum ({minimum}) <= initial ({initial}) "
+                f"<= max_window ({max_window})"
+            )
+        self.sim = sim
+        self.max_window = max_window  # the reliability window W — hard cap
+        self.minimum = minimum
+        self.cwnd = float(initial)
+        self.freeze_ns = freeze_ns
+        self._frozen_until = -1
+        self.decreases = 0
+        self.increases = 0
+
+    # ------------------------------------------------------------------
+    def allows(self, in_flight: int) -> bool:
+        """May another packet enter the network?"""
+        return in_flight < int(self.cwnd)
+
+    def on_ack(self, ecn_echo: bool) -> None:
+        """Update the window from one ACK."""
+        if ecn_echo:
+            if self.sim.now >= self._frozen_until:
+                self.cwnd = max(self.minimum, self.cwnd / 2)
+                self._frozen_until = self.sim.now + self.freeze_ns
+                self.decreases += 1
+            return
+        self.cwnd = min(float(self.max_window), self.cwnd + 1.0 / max(self.cwnd, 1.0))
+        self.increases += 1
+
+    def on_timeout(self) -> None:
+        """A retransmission timeout is the strongest congestion signal."""
+        if self.sim.now >= self._frozen_until:
+            self.cwnd = self.minimum
+            self._frozen_until = self.sim.now + self.freeze_ns
+            self.decreases += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def window_packets(self) -> int:
+        return int(self.cwnd)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CongestionWindow(cwnd={self.cwnd:.2f}, cap={self.max_window})"

@@ -1,0 +1,93 @@
+"""Retransmission timers and the host receive window (§3.3).
+
+ASK deliberately does **not** use out-of-order ACKs as a loss signal —
+both the switch and the host receiver reply ACKs, so reordering is normal —
+and relies on a fine-grained timeout instead (100 us vs the Linux default
+200 ms).  :class:`RetransmitTimers` implements that policy on top of the
+event simulator.
+
+:class:`ReceiveWindow` is the host receiver's dedup record: first
+appearances within the current window are processed, duplicates are dropped
+(but still acknowledged), and packets older than ``max_seq - W`` are treated
+as duplicates of something long since handled.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.net.simulator import Simulator
+from repro.transport.window import SlidingWindow, WindowEntry
+
+
+class RetransmitTimers:
+    """Per-packet timeout management for one data channel."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        window: SlidingWindow,
+        timeout_ns: int,
+        resend: Callable[[WindowEntry], None],
+    ) -> None:
+        self.sim = sim
+        self.window = window
+        self.timeout_ns = timeout_ns
+        self._resend = resend
+        self.retransmissions = 0
+
+    def arm(self, entry: WindowEntry) -> None:
+        """(Re)arm the timeout for an entry that was just transmitted."""
+        if entry.timer is not None:
+            entry.timer.cancel()
+        entry.timer = self.sim.schedule(self.timeout_ns, self._fire, entry)
+
+    def cancel(self, entry: WindowEntry) -> None:
+        if entry.timer is not None:
+            entry.timer.cancel()
+            entry.timer = None
+
+    def _fire(self, entry: WindowEntry) -> None:
+        # The entry may have been ACKed between scheduling and firing; the
+        # ACK path cancels the timer, but a cancelled event that already
+        # popped is also possible, so re-check.
+        if entry.acked or self.window.get(entry.seq) is not entry:
+            return
+        self.retransmissions += 1
+        self._resend(entry)
+        self.arm(entry)
+
+
+class ReceiveWindow:
+    """Host-receiver dedup for one incoming data channel.
+
+    Software memory is plentiful on the host, so this keeps an explicit set
+    of seen sequence numbers within the active window — behaviourally
+    equivalent to the switch's compact ``seen`` but trivially auditable.
+    Entries below ``max_seq - window`` are pruned; arrivals that old are
+    reported as duplicates, mirroring the switch's stale-packet guard.
+    """
+
+    def __init__(self, window: int) -> None:
+        self.window = window
+        self.max_seq = -1
+        self._seen: set[int] = set()
+        self.duplicates = 0
+        self.accepted = 0
+
+    def is_new(self, seq: int) -> bool:
+        """Record ``seq``; True exactly on its first in-window appearance."""
+        if seq <= self.max_seq - self.window:
+            self.duplicates += 1
+            return False
+        if seq in self._seen:
+            self.duplicates += 1
+            return False
+        self._seen.add(seq)
+        if seq > self.max_seq:
+            self.max_seq = seq
+            floor = self.max_seq - self.window
+            if floor > 0:
+                self._seen = {s for s in self._seen if s > floor}
+        self.accepted += 1
+        return True

@@ -1,0 +1,87 @@
+"""The sender sliding window (§3.3, "Host Sender").
+
+The window admits sequence number ``s`` only while ``s < base + W`` where
+``base`` is the lowest unacknowledged sequence.  This bounds the *span* of
+in-flight packets to ``W``, which is precisely the property the switch's
+compact ``seen`` array and stale-packet guard rely on: any packet the sender
+can legally (re)transmit satisfies ``seq > max_seq - W``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass
+class WindowEntry:
+    """Book-keeping for one in-flight packet."""
+
+    seq: int
+    payload: Any
+    first_sent_ns: int = 0
+    last_sent_ns: int = 0
+    transmissions: int = 0
+    acked: bool = False
+    timer: Any = None  #: the pending retransmit Event, if any
+
+
+@dataclass
+class SlidingWindow:
+    """Sequence-number admission control for one data channel.
+
+    The sequence space is continuous for the lifetime of the channel (ASK
+    reuses persistent connections across aggregation tasks to bound switch
+    state, §3.3), so there is exactly one :class:`SlidingWindow` per data
+    channel, not per task.
+    """
+
+    size: int
+    next_seq: int = 0
+    _entries: dict[int, WindowEntry] = field(default_factory=dict)
+
+    @property
+    def base(self) -> int:
+        """Lowest unacknowledged sequence (== next_seq when idle)."""
+        if not self._entries:
+            return self.next_seq
+        return min(self._entries)
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    def can_send(self) -> bool:
+        """True when a new sequence number may enter the network."""
+        return self.next_seq < self.base + self.size
+
+    def open(self, payload: Any) -> WindowEntry:
+        """Admit a new packet, assigning it the next sequence number."""
+        if not self.can_send():
+            raise RuntimeError(
+                f"window full: base={self.base}, next={self.next_seq}, W={self.size}"
+            )
+        entry = WindowEntry(seq=self.next_seq, payload=payload)
+        self._entries[entry.seq] = entry
+        self.next_seq += 1
+        return entry
+
+    def get(self, seq: int) -> Optional[WindowEntry]:
+        return self._entries.get(seq)
+
+    def ack(self, seq: int) -> Optional[WindowEntry]:
+        """Process an ACK.  Returns the entry on first ACK, None on
+        duplicates or ACKs for already-closed sequences (both normal: the
+        switch and the receiver may each ACK the same packet)."""
+        entry = self._entries.pop(seq, None)
+        if entry is not None:
+            entry.acked = True
+        return entry
+
+    def outstanding(self) -> list[WindowEntry]:
+        """Unacked entries in sequence order."""
+        return [self._entries[s] for s in sorted(self._entries)]

@@ -1,0 +1,38 @@
+"""Workload generation: key-value streams and synthetic datasets.
+
+The paper evaluates on production text corpora (yelp, 20-Newsgroups, Blog
+Authorship Corpus, LMDB movie reviews) plus artificial uniform and Zipf
+streams.  The production corpora are not redistributable, so
+:mod:`repro.workloads.datasets` synthesizes corpora whose key-frequency
+statistics (Zipf exponent, vocabulary size, word-length profile) are
+calibrated per dataset — the only properties the evaluation actually
+consumes (Table 1, Fig. 8(b)).
+"""
+
+from repro.workloads.datasets import DATASETS, SyntheticCorpus, get_dataset
+from repro.workloads.generators import (
+    uniform_stream,
+    zipf_counts,
+    zipf_stream,
+)
+from repro.workloads.stream import (
+    distinct_keys,
+    exact_aggregate,
+    merge_results,
+    split_round_robin,
+    total_bytes,
+)
+
+__all__ = [
+    "DATASETS",
+    "SyntheticCorpus",
+    "distinct_keys",
+    "exact_aggregate",
+    "get_dataset",
+    "merge_results",
+    "split_round_robin",
+    "total_bytes",
+    "uniform_stream",
+    "zipf_counts",
+    "zipf_stream",
+]

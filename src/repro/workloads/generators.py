@@ -1,0 +1,86 @@
+"""Artificial stream generators: uniform and Zipf key distributions (§5.4).
+
+The Fig. 9 experiment uses three stream orders:
+
+- ``"zipf"`` — hot keys appear at the *front* of the stream (the paper's
+  "Zipf dataset"),
+- ``"zipf_reverse"`` — cold keys first (the adversarial order for FCFS
+  aggregator allocation),
+- ``"shuffled"`` — appearance order randomized (the realistic online case).
+
+Keys default to 4-byte little-endian rank encodings so they stay in the
+short-key space; pass ``key_fn`` for word-like keys.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Literal, Optional
+
+import numpy as np
+
+Order = Literal["zipf", "zipf_reverse", "shuffled"]
+
+
+def _default_key(rank: int) -> bytes:
+    return int(rank).to_bytes(4, "little")
+
+
+def zipf_counts(num_tuples: int, num_keys: int, alpha: float) -> np.ndarray:
+    """Expected appearance count of each key rank under bounded Zipf.
+
+    ``counts[r]`` is the number of tuples carrying the rank-``r`` key
+    (rank 0 = hottest); counts sum to ``num_tuples`` exactly, with the
+    remainder assigned to the hottest ranks.
+    """
+    if num_keys < 1 or num_tuples < 0:
+        raise ValueError("num_keys >= 1 and num_tuples >= 0 required")
+    weights = 1.0 / np.power(np.arange(1, num_keys + 1, dtype=np.float64), alpha)
+    probs = weights / weights.sum()
+    counts = np.floor(probs * num_tuples).astype(np.int64)
+    shortfall = num_tuples - int(counts.sum())
+    counts[:shortfall] += 1
+    return counts
+
+
+def zipf_stream(
+    num_tuples: int,
+    num_keys: int,
+    alpha: float = 1.0,
+    order: Order = "shuffled",
+    seed: int = 0,
+    value: int = 1,
+    key_fn: Optional[Callable[[int], bytes]] = None,
+) -> list[tuple[bytes, int]]:
+    """A Zipf-distributed key-value stream.
+
+    The per-key multiplicities are deterministic (expected counts), so the
+    aggregate statistics of the stream are exactly Zipf regardless of the
+    seed; the ``seed`` only controls the ``"shuffled"`` appearance order.
+    """
+    key_fn = key_fn or _default_key
+    counts = zipf_counts(num_tuples, num_keys, alpha)
+    ranks = np.repeat(np.arange(num_keys, dtype=np.int64), counts)
+    if order == "zipf":
+        pass  # hottest ranks first (np.repeat emits rank order)
+    elif order == "zipf_reverse":
+        ranks = ranks[::-1]
+    elif order == "shuffled":
+        rng = np.random.default_rng(seed)
+        rng.shuffle(ranks)
+    else:
+        raise ValueError(f"unknown order {order!r}")
+    return [(key_fn(int(rank)), value) for rank in ranks]
+
+
+def uniform_stream(
+    num_tuples: int,
+    num_keys: int,
+    seed: int = 0,
+    value: int = 1,
+    key_fn: Optional[Callable[[int], bytes]] = None,
+) -> list[tuple[bytes, int]]:
+    """A uniform-key stream: every key is equally likely."""
+    key_fn = key_fn or _default_key
+    rng = np.random.default_rng(seed)
+    ranks = rng.integers(0, num_keys, size=num_tuples)
+    return [(key_fn(int(rank)), value) for rank in ranks]

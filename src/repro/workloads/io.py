@@ -1,0 +1,81 @@
+"""Stream persistence: save/load key-value traces.
+
+Real deployments feed ASK from files of key-value records; this module
+provides a simple, robust trace format so workloads can be generated once
+and replayed across runs (and so users can feed their own traces to the
+service or the experiments).
+
+Format: one record per line, ``<hex-encoded key><TAB><decimal value>``.
+Hex encoding keeps arbitrary binary keys (tabs, newlines, NULs) round-trip
+safe while staying grep-able for ASCII keys.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+Pathish = Union[str, Path]
+
+
+class TraceFormatError(ValueError):
+    """A trace file line could not be parsed."""
+
+
+def dump_stream(stream: Iterable[tuple[bytes, int]], path: Pathish) -> int:
+    """Write a stream to ``path``; returns the number of records written."""
+    count = 0
+    with open(path, "w", encoding="ascii") as fh:
+        for key, value in stream:
+            fh.write(f"{key.hex()}\t{int(value)}\n")
+            count += 1
+    return count
+
+
+def _parse_line(line: str, lineno: int) -> tuple[bytes, int]:
+    parts = line.rstrip("\n").split("\t")
+    if len(parts) != 2:
+        raise TraceFormatError(f"line {lineno}: expected '<hexkey>\\t<value>'")
+    hex_key, value_text = parts
+    try:
+        key = bytes.fromhex(hex_key)
+    except ValueError as exc:
+        raise TraceFormatError(f"line {lineno}: bad hex key: {exc}") from exc
+    try:
+        value = int(value_text)
+    except ValueError as exc:
+        raise TraceFormatError(f"line {lineno}: bad value: {exc}") from exc
+    return key, value
+
+
+def iter_stream(path: Pathish) -> Iterator[tuple[bytes, int]]:
+    """Lazily iterate a trace file (for streams larger than memory)."""
+    with open(path, "r", encoding="ascii") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            if not line.strip():
+                continue
+            yield _parse_line(line, lineno)
+
+
+def load_stream(path: Pathish) -> list[tuple[bytes, int]]:
+    """Load a whole trace file into memory."""
+    return list(iter_stream(path))
+
+
+def dumps_stream(stream: Iterable[tuple[bytes, int]]) -> str:
+    """Serialize a stream to a string (convenience for tests/docs)."""
+    buffer = io.StringIO()
+    for key, value in stream:
+        buffer.write(f"{key.hex()}\t{int(value)}\n")
+    return buffer.getvalue()
+
+
+def loads_stream(text: str) -> list[tuple[bytes, int]]:
+    """Parse a serialized stream from a string."""
+    out = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        out.append(_parse_line(line, lineno))
+    return out

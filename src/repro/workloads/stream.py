@@ -1,0 +1,58 @@
+"""Key-value stream utilities.
+
+A stream is simply a list of ``(key: bytes, value: int)`` tuples — the
+sequence form of Eq. 1.  These helpers compute the exact aggregation
+reference (Eq. 2), split streams across senders, and summarize streams for
+reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+Stream = Sequence[tuple[bytes, int]]
+
+
+def exact_aggregate(stream: Iterable[tuple[bytes, int]], value_bits: int = 64) -> dict[bytes, int]:
+    """Exact aggregation of one stream with fixed-width value arithmetic."""
+    mask = (1 << value_bits) - 1
+    out: dict[bytes, int] = {}
+    for key, value in stream:
+        out[key] = (out.get(key, 0) + value) & mask
+    return out
+
+
+def merge_results(
+    results: Iterable[dict[bytes, int]], value_bits: int = 64
+) -> dict[bytes, int]:
+    """Merge several aggregation maps (commutative, Eq. 2)."""
+    mask = (1 << value_bits) - 1
+    out: dict[bytes, int] = {}
+    for result in results:
+        for key, value in result.items():
+            out[key] = (out.get(key, 0) + value) & mask
+    return out
+
+
+def distinct_keys(stream: Iterable[tuple[bytes, int]]) -> int:
+    """Number of distinct keys in a stream."""
+    return len({key for key, _ in stream})
+
+
+def total_bytes(stream: Iterable[tuple[bytes, int]]) -> int:
+    """Application bytes of a stream (key bytes + 4-byte value each)."""
+    return sum(len(key) + 4 for key, _ in stream)
+
+
+def split_round_robin(stream: Stream, parts: int) -> list[list[tuple[bytes, int]]]:
+    """Deal a stream across ``parts`` senders, preserving relative order.
+
+    Round-robin keeps each sender's sub-stream statistically identical to
+    the original — the multi-sender analogue of one logical stream.
+    """
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    out: list[list[tuple[bytes, int]]] = [[] for _ in range(parts)]
+    for index, item in enumerate(stream):
+        out[index % parts].append(item)
+    return out

@@ -1,0 +1,77 @@
+"""Deterministic word synthesis for the text corpora.
+
+Real vocabularies correlate frequency with brevity ("the", "of", "a" are the
+hottest words), so the synthesizer makes hot ranks short: the rank-0 word is
+1–3 letters, and expected length grows logarithmically with rank up to ~14
+letters.  This matters for fidelity: hot keys land in the switch's *short*
+key space and the cold tail exercises the medium/long paths, mirroring what
+WordCount over English text does (§3.2.3 chooses m=2 exactly because of
+this length profile).
+"""
+
+from __future__ import annotations
+
+import random
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+def word_length_for_rank(
+    rank: int,
+    rng: random.Random,
+    max_len: int = 14,
+    long_prob: float = 0.08,
+    short_tail_prob: float = 0.32,
+) -> int:
+    """Expected-word-length model: short for hot ranks, longer in the tail.
+
+    Calibrated so a frequency-weighted WordCount stream looks like English:
+    the hot head ("the", "of", "and", …) is 1–4 letters, the bulk of the
+    tail is 5–8 letters (the medium-key space §3.2.3 is sized for, m=2),
+    and a small slice exceeds 8 letters and takes the long-key bypass.
+    The head is deliberately wide (the few hundred hottest ranks) because
+    that is where most of the tuple mass lives under Zipf sampling.
+    """
+    if rank < 1000:
+        return 2 + rank % 3  # the hot head: 2-4 letters
+    draw = rng.random()
+    if draw < short_tail_prob:
+        return rng.randint(3, 4)  # short words also exist in the tail
+    if draw < 1.0 - long_prob:
+        return rng.randint(5, 8)  # the medium bulk
+    return rng.randint(9, min(13, max_len))  # the long-key slice
+
+
+def make_vocabulary(
+    size: int,
+    seed: int,
+    max_len: int = 14,
+    long_prob: float = 0.08,
+    short_tail_prob: float = 0.32,
+) -> list[bytes]:
+    """``size`` distinct words, deterministic in ``seed``; index == rank.
+
+    ``long_prob`` is the probability a tail word exceeds the medium-key
+    capacity (9+ letters) — a per-corpus property: newsgroup text is full
+    of long technical tokens, review text much less so.
+    """
+    rng = random.Random(seed)
+    vocab: list[bytes] = []
+    seen: set[bytes] = set()
+    for rank in range(size):
+        while True:
+            length = word_length_for_rank(rank, rng, max_len, long_prob, short_tail_prob)
+            word = "".join(rng.choice(_ALPHABET) for _ in range(length)).encode()
+            if word not in seen:
+                seen.add(word)
+                vocab.append(word)
+                break
+    return vocab
+
+
+def length_histogram(vocab: list[bytes]) -> dict[int, int]:
+    """Word-length distribution of a vocabulary (docs/tests helper)."""
+    hist: dict[int, int] = {}
+    for word in vocab:
+        hist[len(word)] = hist.get(len(word), 0) + 1
+    return hist

@@ -1,0 +1,143 @@
+"""Tests for the mini MapReduce engine and its cost model."""
+
+import pytest
+
+from repro.apps.mapreduce.costs import Backend, MapReduceCostModel, MapReduceSpec
+from repro.apps.mapreduce.engine import run_wordcount
+from repro.apps.mapreduce.wordcount import mapper_stream, wordcount_streams
+from repro.net.fault import FaultModel
+from repro.workloads.datasets import get_dataset
+from repro.workloads.stream import exact_aggregate, merge_results
+
+
+# ---------------------------------------------------------------------------
+# Workload generation
+# ---------------------------------------------------------------------------
+def test_mapper_stream_shares_global_key_space():
+    a = mapper_stream(0, 500, distinct_keys=50)
+    b = mapper_stream(1, 500, distinct_keys=50)
+    keys_a = {k for k, _ in a}
+    keys_b = {k for k, _ in b}
+    assert keys_a & keys_b  # WordCount: mappers count the same words
+
+
+def test_mapper_streams_differ_by_id():
+    assert mapper_stream(0, 100, 50) != mapper_stream(1, 100, 50)
+
+
+def test_wordcount_streams_shape():
+    streams = wordcount_streams(3, 2, 100, 50)
+    assert set(streams) == {"m0", "m1", "m2"}
+    assert all(len(s) == 200 for s in streams.values())
+
+
+def test_wordcount_streams_can_use_a_corpus():
+    corpus = get_dataset("yelp", 300)
+    streams = wordcount_streams(2, 1, 50, 0, corpus=corpus)
+    vocab = set(corpus.vocabulary)
+    assert all(k in vocab for s in streams.values() for k, _ in s)
+
+
+# ---------------------------------------------------------------------------
+# Functional engine
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def small_streams():
+    return wordcount_streams(3, 2, 300, distinct_keys=128)
+
+
+def test_all_backends_produce_identical_results(small_streams):
+    reports = {
+        backend: run_wordcount(small_streams, backend, reducers_per_machine=1)
+        for backend in ("ask", "spark", "spark_shm", "spark_rdma")
+    }
+    reference = merge_results(
+        [exact_aggregate(s, 32) for s in small_streams.values()], 32
+    )
+    for backend, report in reports.items():
+        assert report.result == reference, backend
+
+
+def test_ask_backend_absorbs_traffic_on_the_switch(small_streams):
+    report = run_wordcount(small_streams, "ask", reducers_per_machine=1)
+    assert report.switch_aggregation_ratio > 0.5
+    assert report.switch_acked_packets > 0
+
+
+def test_ask_backend_survives_faults(small_streams):
+    fault = FaultModel(loss_rate=0.05, duplicate_rate=0.03, reorder_rate=0.05, seed=13)
+    lossy = run_wordcount(small_streams, "ask", reducers_per_machine=1, fault=fault)
+    clean = run_wordcount(small_streams, "spark", reducers_per_machine=1)
+    assert lossy.result == clean.result
+
+
+def test_more_reducers_same_result(small_streams):
+    one = run_wordcount(small_streams, "ask", reducers_per_machine=1)
+    two = run_wordcount(small_streams, "ask", reducers_per_machine=2)
+    assert one.result == two.result
+    assert two.reducers == 6
+
+
+def test_unknown_backend_rejected(small_streams):
+    with pytest.raises(ValueError):
+        run_wordcount(small_streams, "flink")
+
+
+# ---------------------------------------------------------------------------
+# Cost model (Figs. 10/11 anchors)
+# ---------------------------------------------------------------------------
+def test_ask_mapper_tct_matches_paper():
+    times = MapReduceCostModel().times(
+        MapReduceSpec(tuples_per_mapper=100_000_000), Backend.ASK
+    )
+    assert times.mapper_tct_s == pytest.approx(1.67, abs=0.15)
+
+
+def test_baseline_mapper_tct_matches_paper_band():
+    for backend in (Backend.SPARK, Backend.SPARK_SHM, Backend.SPARK_RDMA):
+        times = MapReduceCostModel().times(
+            MapReduceSpec(tuples_per_mapper=100_000_000), backend
+        )
+        assert 15.0 <= times.mapper_tct_s <= 19.5
+
+
+def test_ask_reducers_run_longer_than_baselines():
+    cost = MapReduceCostModel()
+    spec = MapReduceSpec(tuples_per_mapper=100_000_000)
+    ask = cost.times(spec, Backend.ASK)
+    spark = cost.times(spec, Backend.SPARK)
+    assert ask.reducer_tct_s > spark.reducer_tct_s
+
+
+def test_jct_reduction_in_paper_band():
+    cost = MapReduceCostModel()
+    for tuples in (50_000_000, 100_000_000, 200_000_000):
+        spec = MapReduceSpec(tuples_per_mapper=tuples)
+        ask = cost.times(spec, Backend.ASK).jct_s
+        for backend in (Backend.SPARK, Backend.SPARK_SHM, Backend.SPARK_RDMA):
+            base = cost.times(spec, backend).jct_s
+            reduction = 1 - ask / base
+            assert 0.65 <= reduction <= 0.78  # paper: 67.3%–75.1%
+
+
+def test_spark_variants_differ_only_marginally():
+    # §5.5: SparkRDMA and SparkSHM give no significant gain over Spark.
+    cost = MapReduceCostModel()
+    spec = MapReduceSpec(tuples_per_mapper=100_000_000)
+    jcts = [
+        cost.times(spec, b).jct_s
+        for b in (Backend.SPARK, Backend.SPARK_SHM, Backend.SPARK_RDMA)
+    ]
+    assert (max(jcts) - min(jcts)) / max(jcts) < 0.02
+
+
+def test_ask_backend_has_no_spark_variant():
+    with pytest.raises(ValueError):
+        Backend.ASK.spark_variant
+
+
+def test_spec_totals():
+    spec = MapReduceSpec()
+    assert spec.total_mappers == 96
+    assert spec.total_reducers == 96
+    assert spec.total_tuples == 96 * spec.tuples_per_mapper

@@ -1,0 +1,94 @@
+"""Tests for the RDD-style dataflow API (the Spark-plugin analogue)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.apps.mapreduce.rdd import Dataset
+from repro.core.config import AskConfig
+from repro.net.fault import FaultModel
+
+
+def test_parallelize_deals_round_robin():
+    ds = Dataset.parallelize(range(10), machines=3)
+    assert ds.count() == 10
+    assert sorted(ds.collect()) == list(range(10))
+
+
+def test_transformations_are_lazy_and_pure():
+    calls = []
+
+    def spy(x):
+        calls.append(x)
+        return x * 2
+
+    ds = Dataset.parallelize([1, 2, 3], machines=1)
+    mapped = ds.map(spy)
+    assert calls == []  # nothing ran yet
+    assert mapped.collect() == [2, 4, 6]
+    # The base dataset is untouched (derivation, not mutation).
+    assert ds.collect() == [1, 2, 3]
+
+
+def test_map_filter_flatmap_compose():
+    ds = (
+        Dataset.parallelize(["a b", "c d e", "f"], machines=2)
+        .flat_map(str.split)
+        .filter(lambda w: w != "c")
+        .map(str.upper)
+    )
+    assert sorted(ds.collect()) == ["A", "B", "D", "E", "F"]
+
+
+def test_wordcount_via_reduce_by_key():
+    text = ["the cat sat", "the cat", "the"]
+    counts = (
+        Dataset.parallelize(text, machines=3)
+        .flat_map(str.split)
+        .map(lambda w: (w.encode(), 1))
+        .reduce_by_key()
+    )
+    expected = Counter(w for line in text for w in line.split())
+    assert counts == {w.encode(): c for w, c in expected.items()}
+
+
+def test_count_by_value_convenience():
+    words = [b"x", b"y", b"x", b"x"]
+    counts = Dataset.parallelize(words, machines=2).count_by_value()
+    assert counts == {b"x": 3, b"y": 1}
+
+
+def test_reduce_by_key_survives_faults():
+    fault = FaultModel(loss_rate=0.08, duplicate_rate=0.05, seed=11)
+    stream = [(("k%02d" % (i % 12)).encode(), 1) for i in range(300)]
+    counts = Dataset.parallelize(stream, machines=3).reduce_by_key(fault=fault)
+    assert sum(counts.values()) == 300
+    assert len(counts) == 12
+
+
+def test_reduce_by_key_accepts_custom_config():
+    counts = Dataset.parallelize([(b"a", 5)], machines=1).reduce_by_key(
+        config=AskConfig.small(aggregators_per_aa=32), region_size=4
+    )
+    assert counts == {b"a": 5}
+
+
+def test_reduce_by_key_rejects_non_bytes_keys():
+    ds = Dataset.parallelize([("str-key", 1)], machines=1)
+    with pytest.raises(TypeError, match="bytes"):
+        ds.reduce_by_key()
+
+
+def test_empty_partitions_are_fine():
+    ds = Dataset.from_partitions({"m0": [(b"a", 1)], "m1": []})
+    assert ds.reduce_by_key() == {b"a": 1}
+
+
+def test_all_empty_returns_empty():
+    ds = Dataset.from_partitions({"m0": [], "m1": []})
+    assert ds.reduce_by_key() == {}
+
+
+def test_needs_a_partition():
+    with pytest.raises(ValueError):
+        Dataset.from_partitions({})

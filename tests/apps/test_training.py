@@ -1,0 +1,137 @@
+"""Tests for the training substrate: value-stream adaptation and Fig. 12."""
+
+import numpy as np
+import pytest
+
+from repro.apps.training.allreduce import ask_allreduce, tensor_to_tuples, tuples_to_tensor
+from repro.apps.training.models import MODELS, get_model
+from repro.apps.training.ps import TrainingSystem, images_per_second, run_functional_training
+from repro.core.config import AskConfig
+from repro.core.service import AskService
+
+
+# ---------------------------------------------------------------------------
+# Tensor <-> tuple adaptation
+# ---------------------------------------------------------------------------
+def test_tensor_to_tuples_uses_index_keys():
+    tuples = tensor_to_tuples([10, 20, 30])
+    assert tuples == [
+        ((0).to_bytes(4, "little"), 10),
+        ((1).to_bytes(4, "little"), 20),
+        ((2).to_bytes(4, "little"), 30),
+    ]
+
+
+def test_roundtrip_including_negative_values():
+    tensor = [5, -3, 0, -(2**20)]
+    encoded = {
+        k: v & 0xFFFFFFFF for k, v in tensor_to_tuples(tensor)
+    }
+    decoded = tuples_to_tensor(encoded, 4)
+    assert decoded.tolist() == tensor
+
+
+def test_missing_indices_decode_to_zero():
+    decoded = tuples_to_tensor({(2).to_bytes(4, "little"): 9}, 4)
+    assert decoded.tolist() == [0, 0, 9, 0]
+
+
+def test_out_of_bounds_index_rejected():
+    with pytest.raises(ValueError):
+        tuples_to_tensor({(9).to_bytes(4, "little"): 1}, 4)
+
+
+def test_allreduce_sums_across_workers():
+    service = AskService(AskConfig.small(aggregators_per_aa=512), hosts=3)
+    result = ask_allreduce(
+        service,
+        {"h0": [1, 2, 3, -4], "h1": [10, -20, 30, 40]},
+        receiver="h2",
+    )
+    assert result.tolist() == [11, -18, 33, 36]
+
+
+def test_allreduce_requires_aligned_tensors():
+    service = AskService(AskConfig.small(), hosts=3)
+    with pytest.raises(ValueError):
+        ask_allreduce(service, {"h0": [1], "h1": [1, 2]})
+
+
+def test_functional_training_matches_numpy(monkeypatch):
+    rng_check = np.random.default_rng(42)
+    expected_rounds = []
+    for _ in range(2):
+        grads = [rng_check.integers(-1000, 1000, size=64) for _ in range(2)]
+        expected_rounds.append(sum(grads))
+    sums = run_functional_training(workers=2, elements=64, iterations=2, seed=42)
+    for got, expected in zip(sums, expected_rounds):
+        assert got.tolist() == expected.tolist()
+
+
+# ---------------------------------------------------------------------------
+# Model catalog and throughput model (Fig. 12)
+# ---------------------------------------------------------------------------
+def test_model_catalog_matches_torchvision_parameter_counts():
+    assert get_model("resnet50").parameters == 25_557_032
+    assert get_model("vgg16").parameters == 138_357_544
+    assert set(MODELS) == {
+        "resnet50",
+        "resnet101",
+        "resnet152",
+        "vgg11",
+        "vgg16",
+        "vgg19",
+    }
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(KeyError):
+        get_model("transformer")
+
+
+def test_gradient_bytes_are_fp32():
+    spec = get_model("resnet50")
+    assert spec.gradient_bytes == spec.parameters * 4
+
+
+def test_ina_systems_beat_host_ps_everywhere():
+    for spec in MODELS.values():
+        host = images_per_second(spec, TrainingSystem.BYTEPS)
+        for system in (TrainingSystem.ASK, TrainingSystem.ATP, TrainingSystem.SWITCHML):
+            assert images_per_second(spec, system) > host
+
+
+def test_ask_and_atp_similar_switchml_slightly_behind():
+    # §5.6's Fig. 12 shape.
+    for name in ("vgg16", "vgg19"):
+        spec = get_model(name)
+        ask = images_per_second(spec, TrainingSystem.ASK)
+        atp = images_per_second(spec, TrainingSystem.ATP)
+        sml = images_per_second(spec, TrainingSystem.SWITCHML)
+        assert abs(ask - atp) / atp < 0.05
+        assert sml < ask
+        assert sml > 0.8 * ask  # "slightly" — not dramatically
+
+
+def test_communication_heavy_models_show_bigger_ina_gaps():
+    resnet = get_model("resnet50")
+    vgg = get_model("vgg19")
+
+    def gap(spec):
+        ask = images_per_second(spec, TrainingSystem.ASK)
+        sml = images_per_second(spec, TrainingSystem.SWITCHML)
+        return (ask - sml) / ask
+
+    assert gap(vgg) > gap(resnet)
+
+
+def test_throughput_scales_with_workers():
+    spec = get_model("resnet50")
+    assert images_per_second(spec, TrainingSystem.ASK, workers=16) == pytest.approx(
+        2 * images_per_second(spec, TrainingSystem.ASK, workers=8)
+    )
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        images_per_second(get_model("vgg11"), TrainingSystem.ASK, workers=0)

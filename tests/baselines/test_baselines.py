@@ -1,0 +1,137 @@
+"""Tests for the baseline systems."""
+
+import pytest
+
+from repro.baselines.atp import AtpModel
+from repro.baselines.noaggr import NoAggrBaseline
+from repro.baselines.preaggr import PreAggrBaseline, preaggregate
+from repro.baselines.spark import SparkVariant, ask_akvps, spark_akvps, strawman_akvps
+from repro.baselines.switchml import SwitchMlModel
+from repro.workloads.stream import exact_aggregate
+
+
+# ---------------------------------------------------------------------------
+# PreAggr
+# ---------------------------------------------------------------------------
+def test_preaggregate_equals_reference():
+    stream = [(b"b", 1), (b"a", 2), (b"b", 3), (b"c", 4)]
+    assert preaggregate(stream) == exact_aggregate(stream)
+
+
+def test_preaggregate_modular():
+    assert preaggregate([(b"a", 200), (b"a", 100)], value_bits=8) == {b"a": 44}
+
+
+def test_preaggr_run_result_and_costs():
+    baseline = PreAggrBaseline(threads=8)
+    streams = {"h0": [(b"a", 1)] * 10, "h1": [(b"a", 2), (b"b", 3)]}
+    report = baseline.run(streams)
+    assert report.result == {b"a": 12, b"b": 3}
+    assert report.input_tuples == 12
+    assert report.intermediate_tuples == 3
+    assert report.cpu_percent == pytest.approx(14.29, abs=0.01)
+    assert report.jct_seconds > 0
+
+
+def test_preaggr_jct_dominated_by_sender_sort():
+    baseline = PreAggrBaseline(threads=8)
+    jct = baseline.jct_seconds(input_tuples=int(6.4e9), intermediate_tuples=32_000_000)
+    assert jct == pytest.approx(111.2, rel=0.05)
+
+
+def test_preaggr_more_threads_is_faster_but_sublinear():
+    slow = PreAggrBaseline(threads=8).jct_seconds(int(1e9), 1000)
+    fast = PreAggrBaseline(threads=32).jct_seconds(int(1e9), 1000)
+    assert fast < slow
+    assert fast > slow / 4
+
+
+def test_preaggr_validates_threads():
+    with pytest.raises(ValueError):
+        PreAggrBaseline(threads=0)
+
+
+# ---------------------------------------------------------------------------
+# NoAggr
+# ---------------------------------------------------------------------------
+def test_noaggr_functional_result():
+    report = NoAggrBaseline().run({"h0": [(b"a", 1)], "h1": [(b"a", 2)]})
+    assert report.result == {b"a": 3}
+
+
+def test_noaggr_per_sender_throughput_decays_as_1_over_n():
+    baseline = NoAggrBaseline(channels=2)
+    single = baseline.sender_goodput_gbps(1)
+    at8 = baseline.sender_goodput_gbps(8)
+    assert single == pytest.approx(91.75, abs=0.5)
+    # Paper Fig. 13(b): 11.88 Gbps at 8 senders.
+    assert at8 == pytest.approx(11.5, abs=0.7)
+
+
+def test_noaggr_validates_sender_count():
+    with pytest.raises(ValueError):
+        NoAggrBaseline().sender_goodput_gbps(0)
+
+
+# ---------------------------------------------------------------------------
+# Spark / strawman / ASK AKV/s (Fig. 3 anchors)
+# ---------------------------------------------------------------------------
+def test_spark_akvps_interpolates_anchors():
+    assert spark_akvps(16) == pytest.approx(29.06e6)
+    assert spark_akvps(24) == pytest.approx((29.06e6 + 38.0e6) / 2, rel=0.01)
+    assert spark_akvps(100) == pytest.approx(42.74e6)  # clamped past 56
+
+
+def test_spark_akvps_validates_cores():
+    with pytest.raises(ValueError):
+        spark_akvps(0)
+
+
+def test_strawman_reaches_line_rate_at_16_cores():
+    # §2.2.2: "INA achieves line rate of 100 Gbps with 16 cores".
+    line = 100e9 / (86 * 8)
+    assert strawman_akvps(16) >= 0.98 * line
+    assert strawman_akvps(17) == pytest.approx(line)  # fully line-limited
+    assert strawman_akvps(8) < 0.6 * line
+
+
+def test_strawman_peak_is_3_4x_spark_peak():
+    assert strawman_akvps(56) / spark_akvps(56) == pytest.approx(3.4, abs=0.1)
+
+
+def test_ask_akvps_155x_spark_at_equal_cores():
+    assert ask_akvps(4) / spark_akvps(4) == pytest.approx(155, abs=5)
+
+
+def test_spark_variants_cost_ordering():
+    # Vanilla writes intermediates to disk; SHM and RDMA don't.
+    assert (
+        SparkVariant.VANILLA.intermediate_write_gbps()
+        < SparkVariant.SHM.intermediate_write_gbps()
+    )
+    assert SparkVariant.RDMA.shuffle_gbps() > SparkVariant.VANILLA.shuffle_gbps()
+
+
+# ---------------------------------------------------------------------------
+# ATP / SwitchML
+# ---------------------------------------------------------------------------
+def test_ina_systems_cannot_do_key_value_streams():
+    assert not AtpModel().supports_key_value_streams
+    assert not SwitchMlModel().supports_key_value_streams
+
+
+def test_ina_bandwidth_ordering_matches_fig12():
+    # ASK ≈ ATP, both above SwitchML (small packets), per §5.6.
+    from repro.apps.training.ps import TrainingSystem
+
+    ask = TrainingSystem.ASK.effective_bandwidth_gbps()
+    atp = AtpModel().effective_bandwidth_gbps()
+    switchml = SwitchMlModel().effective_bandwidth_gbps()
+    assert switchml < ask
+    assert switchml < atp
+    assert abs(ask - atp) / atp < 0.15  # "similar performance"
+
+
+def test_atp_payload_geometry():
+    assert AtpModel().payload_bytes() == 244
+    assert SwitchMlModel().payload_bytes() == 128

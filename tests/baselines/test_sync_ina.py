@@ -1,0 +1,112 @@
+"""Tests for the functional synchronous-INA baseline and the §2.1.3 contrast."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sync_ina import (
+    SynchronizationError,
+    SynchronousInaSwitch,
+    synchronous_allreduce,
+)
+from repro.core.hashing import address_hash
+
+
+# ---------------------------------------------------------------------------
+# The legitimate use: value streams
+# ---------------------------------------------------------------------------
+def test_allreduce_matches_numpy():
+    rng = np.random.default_rng(1)
+    tensors = {w: rng.integers(-100, 100, size=64).tolist() for w in range(3)}
+    result = synchronous_allreduce(tensors, num_slots=4, values_per_chunk=8)
+    expected = (sum(np.array(t) for t in tensors.values())) & 0xFFFFFFFF
+    assert np.array_equal(np.array(result) & 0xFFFFFFFF, expected)
+
+
+def test_allreduce_exact_under_loss():
+    rng = np.random.default_rng(2)
+    tensors = {w: rng.integers(0, 50, size=32).tolist() for w in range(4)}
+    lossless = synchronous_allreduce(tensors, loss_rate=0.0)
+    lossy = synchronous_allreduce(tensors, loss_rate=0.3, seed=9)
+    assert lossless == lossy
+
+
+def test_slots_are_circularly_reused():
+    # A long tensor streams through a tiny slot pool — the synchronous
+    # pattern's key capability (§2.1.3).
+    tensors = {0: list(range(400)), 1: list(range(400))}
+    result = synchronous_allreduce(tensors, num_slots=2, values_per_chunk=4)
+    assert result == [2 * v for v in range(400)]
+
+
+def test_duplicates_suppressed_by_worker_bitmap():
+    switch = SynchronousInaSwitch(num_slots=2, num_workers=2, values_per_chunk=1)
+    switch.on_packet(0, 0, [5])
+    switch.on_packet(0, 0, [5])  # retransmission
+    result = switch.on_packet(1, 0, [7])
+    assert result is not None and result.values == [12]
+    assert switch.duplicates_suppressed == 1
+
+
+def test_running_ahead_of_the_window_rejected():
+    switch = SynchronousInaSwitch(num_slots=2, num_workers=2, values_per_chunk=1)
+    switch.on_packet(0, 0, [1])  # chunk 0 incomplete (worker 1 missing)
+    with pytest.raises(SynchronizationError):
+        switch.on_packet(0, 2, [1])  # chunk 2 needs slot 0 — still busy
+
+
+def test_misaligned_chunks_rejected():
+    switch = SynchronousInaSwitch(num_slots=2, num_workers=2, values_per_chunk=4)
+    with pytest.raises(ValueError):
+        switch.on_packet(0, 0, [1, 2])
+    with pytest.raises(ValueError):
+        synchronous_allreduce({0: [1, 2], 1: [1, 2, 3]})
+
+
+# ---------------------------------------------------------------------------
+# The §2.1.3 contrast: key-value streams break the synchronous machine
+# ---------------------------------------------------------------------------
+def _kv_streams():
+    # Realistic WordCount-ish shards: keys appear a *different* number of
+    # times per worker, and some keys exist on one worker only.
+    return {
+        0: [(b"the", 3), (b"cat", 1), (b"the", 2), (b"rare0", 1)],
+        1: [(b"the", 5), (b"dog", 4), (b"rare1", 1)],
+    }
+
+
+def test_key_value_streams_pin_slots_and_stall():
+    switch = SynchronousInaSwitch(num_slots=4, num_workers=2, values_per_chunk=1)
+    attempt = switch.attempt_key_value_stream(
+        _kv_streams(), key_to_chunk=lambda k: address_hash(k) % 64
+    )
+    # Completion fires at most for keys that happen to appear exactly once
+    # per worker; everything else pins aggregators or stalls outright.
+    assert attempt.pinned_slots > 0
+    assert attempt.pending_tuples + attempt.stalled_tuples > attempt.completed_keys
+
+
+def test_ask_handles_the_same_streams_exactly():
+    from repro.core.config import AskConfig
+    from repro.core.service import AskService
+
+    streams = {f"h{w}": s for w, s in _kv_streams().items()}
+    service = AskService(AskConfig.small(), hosts=3)
+    result = service.aggregate(streams, receiver="h2", check=True)
+    assert result[b"the"] == 10
+    assert result[b"rare0"] == 1
+
+
+def test_value_streams_are_a_special_case_ask_also_covers():
+    # The converse direction of §2.1.3: value streams *can* be adapted to
+    # asynchronous aggregation (ASK's §5.6 backward compatibility).
+    from repro.apps.training.allreduce import ask_allreduce
+    from repro.core.config import AskConfig
+    from repro.core.service import AskService
+
+    tensors = {0: [1, 2, 3, 4], 1: [10, 20, 30, 40]}
+    sync = synchronous_allreduce(tensors, num_slots=2, values_per_chunk=2)
+    service = AskService(AskConfig.small(aggregators_per_aa=256), hosts=3)
+    ask = ask_allreduce(
+        service, {f"h{w}": t for w, t in tensors.items()}, receiver="h2"
+    )
+    assert list(ask) == sync

@@ -1,0 +1,34 @@
+"""Shared fixtures for the ASK reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import AskConfig
+from repro.net.simulator import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def small_config() -> AskConfig:
+    """The scaled-down geometry used by most functional tests."""
+    return AskConfig.small()
+
+
+@pytest.fixture
+def tiny_config() -> AskConfig:
+    """A minimal geometry (4 short slots, 1 medium group) for unit tests
+    that need to hand-compute layouts."""
+    return AskConfig(
+        num_aas=4,
+        aggregators_per_aa=16,
+        medium_key_groups=1,
+        medium_group_width=2,
+        window_size=8,
+        data_channels_per_host=1,
+        swap_threshold_packets=16,
+    )

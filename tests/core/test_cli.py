@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+def test_list_names_every_experiment(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_run_single_experiment(capsys):
+    assert main(["run", "fig13"]) == 0
+    out = capsys.readouterr().out
+    assert "per-sender" in out
+    assert "regenerated" in out
+
+
+def test_run_unknown_experiment_fails(capsys):
+    assert main(["run", "fig99"]) == 2
+    assert "unknown" in capsys.readouterr().err
+
+
+def test_run_mixes_known_and_unknown(capsys):
+    assert main(["run", "fig13", "nope"]) == 2
+
+
+def test_demo_is_exact(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "in-network" in out
+    assert "exact aggregation" in out
+
+
+def test_resources_prints_pipeline(capsys):
+    assert main(["resources"]) == 0
+    out = capsys.readouterr().out
+    assert "pipeline" in out and "SRAM" in out
+
+
+def test_experiment_registry_covers_every_paper_result():
+    assert set(EXPERIMENTS) == {
+        "fig03",
+        "fig07",
+        "table1",
+        "fig08",
+        "fig09",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+    }
+
+
+def test_missing_command_is_an_argparse_error():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,190 @@
+"""Tests for key classification, padding and the ordered key-space partition."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.config import AskConfig
+from repro.core.errors import KeyTooLongError
+from repro.core.keyspace import (
+    AmbiguousKeyError,
+    KeyClass,
+    KeySpaceLayout,
+    classify_key,
+    pad_key,
+    unpad_key,
+)
+
+
+@pytest.fixture
+def cfg():
+    return AskConfig(
+        num_aas=8,
+        aggregators_per_aa=16,
+        medium_key_groups=2,
+        medium_group_width=2,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Classification
+# ---------------------------------------------------------------------------
+def test_classify_by_length(cfg):
+    assert classify_key(b"abc", cfg) is KeyClass.SHORT
+    assert classify_key(b"abcd", cfg) is KeyClass.SHORT
+    assert classify_key(b"abcde", cfg) is KeyClass.MEDIUM
+    assert classify_key(b"abcdefgh", cfg) is KeyClass.MEDIUM
+    assert classify_key(b"abcdefghi", cfg) is KeyClass.LONG
+
+
+def test_classify_without_medium_groups():
+    cfg = AskConfig(num_aas=8, medium_key_groups=0, aggregators_per_aa=16)
+    assert classify_key(b"abcde", cfg) is KeyClass.LONG
+
+
+# ---------------------------------------------------------------------------
+# Padding
+# ---------------------------------------------------------------------------
+def test_pad_appends_terminator_and_zeros():
+    assert pad_key(b"ab", 4) == b"ab\x80\x00"
+    assert pad_key(b"", 4) == b"\x80\x00\x00\x00"
+
+
+def test_full_width_key_stored_verbatim():
+    assert pad_key(b"abcd", 4) == b"abcd"
+
+
+def test_pad_rejects_too_long():
+    with pytest.raises(KeyTooLongError):
+        pad_key(b"abcde", 4)
+
+
+def test_ambiguous_full_width_key_rejected():
+    # b"ab\x80\x00" is the padded form of b"ab"; as a verbatim 4-byte key it
+    # would alias it, so it is rejected.
+    with pytest.raises(AmbiguousKeyError):
+        pad_key(b"ab\x80\x00", 4)
+    with pytest.raises(AmbiguousKeyError):
+        pad_key(b"abc\x80", 4)
+
+
+def test_unpad_inverts_pad():
+    for key in (b"", b"a", b"ab", b"abc", b"abcd", b"a\x00", b"a\x80"):
+        try:
+            padded = pad_key(key, 4)
+        except AmbiguousKeyError:
+            continue
+        assert unpad_key(padded) == key
+
+
+@given(st.binary(min_size=0, max_size=4))
+def test_pad_unpad_roundtrip_property(key):
+    try:
+        padded = pad_key(key, 4)
+    except AmbiguousKeyError:
+        return
+    assert len(padded) == 4 or len(key) == 4
+    assert unpad_key(padded) == key
+
+
+@given(st.binary(min_size=0, max_size=3), st.binary(min_size=0, max_size=3))
+def test_distinct_keys_never_share_padded_form(a, b):
+    if a == b:
+        return
+    assert pad_key(a, 4) != pad_key(b, 4)
+
+
+# ---------------------------------------------------------------------------
+# Layout / assignment
+# ---------------------------------------------------------------------------
+def test_assignment_is_stable(cfg):
+    layout = KeySpaceLayout(cfg)
+    a1 = layout.assign(b"word")
+    a2 = layout.assign(b"word")
+    assert a1 == a2
+
+
+def test_short_key_gets_one_slot_in_short_range(cfg):
+    layout = KeySpaceLayout(cfg)
+    assignment = layout.assign(b"cat")
+    assert assignment.key_class is KeyClass.SHORT
+    assert len(assignment.slots) == 1
+    assert 0 <= assignment.primary_slot < cfg.num_short_slots
+
+
+def test_medium_key_gets_a_whole_group(cfg):
+    layout = KeySpaceLayout(cfg)
+    assignment = layout.assign(b"medium")
+    assert assignment.key_class is KeyClass.MEDIUM
+    assert len(assignment.slots) == cfg.medium_group_width
+    assert assignment.slots[0] >= cfg.num_short_slots
+    assert assignment.slots == tuple(
+        range(assignment.slots[0], assignment.slots[0] + cfg.medium_group_width)
+    )
+
+
+def test_long_key_raises(cfg):
+    layout = KeySpaceLayout(cfg)
+    with pytest.raises(KeyTooLongError):
+        layout.assign(b"averylongkey")
+
+
+def test_ambiguous_short_key_promoted_to_medium(cfg):
+    layout = KeySpaceLayout(cfg)
+    assignment = layout.assign(b"ab\x80\x00")
+    assert assignment.key_class is KeyClass.MEDIUM
+
+
+def test_ambiguous_medium_key_raises_key_too_long(cfg):
+    layout = KeySpaceLayout(cfg)
+    with pytest.raises(KeyTooLongError):
+        layout.assign(b"abcdef\x80\x00")
+
+
+def test_segments_split_padded_medium_key(cfg):
+    layout = KeySpaceLayout(cfg)
+    assignment = layout.assign(b"yours")
+    segments = layout.segments(assignment.padded)
+    assert len(segments) == 2
+    assert b"".join(segments) == assignment.padded
+    assert all(len(s) == cfg.key_bytes for s in segments)
+
+
+def test_segments_validates_length(cfg):
+    layout = KeySpaceLayout(cfg)
+    with pytest.raises(ValueError):
+        layout.segments(b"short")
+
+
+def test_group_slots_and_group_of_slot(cfg):
+    layout = KeySpaceLayout(cfg)
+    assert layout.group_slots(0) == (4, 5)
+    assert layout.group_slots(1) == (6, 7)
+    assert layout.group_of_slot(5) == 0
+    assert layout.group_of_slot(6) == 1
+    with pytest.raises(IndexError):
+        layout.group_slots(2)
+    with pytest.raises(ValueError):
+        layout.group_of_slot(0)
+
+
+def test_slot_kind(cfg):
+    layout = KeySpaceLayout(cfg)
+    assert layout.slot_kind(0) is KeyClass.SHORT
+    assert layout.slot_kind(4) is KeyClass.MEDIUM
+    with pytest.raises(IndexError):
+        layout.slot_kind(8)
+
+
+def test_short_keys_spread_over_all_short_slots(cfg):
+    layout = KeySpaceLayout(cfg)
+    slots = {layout.assign(("k%03d" % i).encode()).primary_slot for i in range(200)}
+    assert slots == set(range(cfg.num_short_slots))
+
+
+def test_medium_keys_spread_over_all_groups(cfg):
+    layout = KeySpaceLayout(cfg)
+    firsts = {
+        layout.assign(("medky%03d" % i).encode()[:6]).slots[0] for i in range(200)
+    }
+    assert firsts == {4, 6}

@@ -1,0 +1,67 @@
+"""API-stability tests: everything the README/docs promise is importable."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_top_level_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_version_is_set():
+    assert repro.__version__
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.core.service",
+        "repro.core.multirack_service",
+        "repro.core.controlplane",
+        "repro.core.tenancy",
+        "repro.switch.trio",
+        "repro.switch.program",
+        "repro.net.multirack",
+        "repro.transport.congestion",
+        "repro.apps.mapreduce.rdd",
+        "repro.apps.training.allreduce",
+        "repro.baselines.sync_ina",
+        "repro.workloads.io",
+        "repro.perf.report",
+        "repro.experiments.fastsim",
+        "repro.experiments.ablations",
+        "repro.cli",
+    ],
+)
+def test_documented_modules_import(module):
+    importlib.import_module(module)
+
+
+def test_readme_quickstart_verbatim():
+    from repro import AskConfig, AskService
+
+    service = AskService(AskConfig.small(), hosts=3)
+    result = service.aggregate(
+        {"h0": [(b"cat", 1), (b"dog", 2)], "h1": [(b"cat", 5)]},
+        receiver="h2",
+    )
+    assert result[b"cat"] == 6
+
+
+def test_subpackage_all_lists_are_accurate():
+    for package_name in (
+        "repro.core",
+        "repro.net",
+        "repro.switch",
+        "repro.transport",
+        "repro.workloads",
+        "repro.baselines",
+        "repro.perf",
+    ):
+        package = importlib.import_module(package_name)
+        for name in getattr(package, "__all__", []):
+            assert hasattr(package, name), f"{package_name}.{name} missing"

@@ -1,0 +1,106 @@
+"""Tests for receiver-side behaviour observed through the service.
+
+The receiver engine is driven by the full service here (building a faithful
+stand-alone harness would duplicate the switch); each test pins one
+receiver-specific behaviour.
+"""
+
+from repro.core.config import AskConfig
+from repro.core.service import AskService
+from repro.net.fault import FaultModel
+
+
+def _run(streams, config=None, fault=None, hosts=2, receiver=None, **agg):
+    cfg = config or AskConfig.small()
+    service = AskService(cfg, hosts=hosts, fault=fault)
+    receiver = receiver or service.hosts[-1]
+    result = service.aggregate(streams, receiver=receiver, **agg)
+    return service, result
+
+
+def test_residual_tuples_merged_locally():
+    # A one-cell region forces collisions; the loser tuples must be merged
+    # by the receiver, not lost.
+    streams = {"h0": [(("k%02d" % i).encode(), 1) for i in range(30)] * 2}
+    service, result = _run(streams, region_size=1, check=True)
+    assert result.stats.tuples_merged_at_receiver > 0
+
+
+def test_medium_keys_reconstructed_at_receiver():
+    # Region of one cell: the second distinct medium key of a group
+    # collides and is forwarded; the receiver must reassemble it from its
+    # segments.
+    streams = {"h0": [(b"medium" + bytes([65 + i]), 1) for i in range(20)]}
+    service, result = _run(streams, region_size=1, check=True)
+    assert len(result) == 20
+
+
+def test_duplicate_forwarded_packets_dropped():
+    fault = FaultModel(duplicate_rate=0.5, seed=3)
+    streams = {"h0": [(("k%02d" % i).encode(), 1) for i in range(40)]}
+    service, result = _run(streams, region_size=1, fault=fault, check=True)
+    assert result.stats.duplicate_packets_dropped > 0
+
+
+def test_swap_loop_runs_and_preserves_exactness():
+    cfg = AskConfig.small(swap_threshold_packets=2)
+    streams = {"h0": [(("k%02d" % (i % 40)).encode(), 1) for i in range(400)]}
+    service, result = _run(streams, config=cfg, region_size=2, check=True)
+    assert result.stats.swaps >= 1
+    assert result.stats.tuples_fetched_from_switch > 0
+
+
+def test_swap_survives_lossy_network():
+    cfg = AskConfig.small(swap_threshold_packets=2)
+    fault = FaultModel(loss_rate=0.1, duplicate_rate=0.05, seed=17)
+    streams = {"h0": [(("k%02d" % (i % 40)).encode(), 1) for i in range(400)]}
+    service, result = _run(streams, config=cfg, region_size=2, fault=fault, check=True)
+    assert result.stats.swaps >= 1
+
+
+def test_no_swaps_when_shadow_disabled():
+    cfg = AskConfig.small(shadow_copy=False, swap_threshold_packets=2)
+    streams = {"h0": [(("k%02d" % (i % 20)).encode(), 1) for i in range(200)]}
+    service, result = _run(streams, config=cfg, check=True)
+    assert result.stats.swaps == 0
+
+
+def test_fin_counted_once_per_sender():
+    streams = {"h0": [(b"a", 1)], "h1": [(b"a", 2)]}
+    service, result = _run(streams, hosts=3, check=True)
+    task = service.tasks[result.task_id]
+    assert len(task.fins_received) == 2
+
+
+def test_stray_packets_for_finished_tasks_ignored():
+    # Duplicates arriving after teardown must be ACKed but not processed;
+    # exactness of a following task on the same channels shows no state
+    # leaked.
+    fault = FaultModel(duplicate_rate=0.3, max_extra_delay_ns=200_000, seed=9)
+    cfg = AskConfig.small()
+    service = AskService(cfg, hosts=2, fault=fault)
+    first = service.aggregate({"h0": [(b"a", 1)] * 60}, receiver="h1", check=True)
+    second = service.aggregate({"h0": [(b"a", 5)] * 60}, receiver="h1", check=True)
+    assert first[b"a"] == 60
+    assert second[b"a"] == 300
+
+
+def test_packets_received_counts_first_arrivals_only():
+    streams = {"h0": [(("k%02d" % i).encode(), 1) for i in range(50)]}
+    fault = FaultModel(duplicate_rate=0.4, seed=5)
+    service, result = _run(streams, region_size=1, fault=fault, check=True)
+    stats = result.stats
+    assert stats.packets_received <= stats.data_packets_sent + stats.long_packets_sent + 1
+
+
+def test_malformed_ack_counted_not_crashing():
+    from repro.core.packet import AskPacket, PacketFlag
+
+    service = AskService(AskConfig.small(), hosts=2)
+    daemon = service.daemon("h0")
+    bogus = AskPacket(PacketFlag.ACK, 1, "switch", "h0", channel_index=99, seq=0)
+    daemon.receive(bogus)
+    assert daemon.malformed_packets == 1
+    # The daemon still works afterwards.
+    result = service.aggregate({"h0": [(b"a", 1)]}, receiver="h1", check=True)
+    assert result[b"a"] == 1

@@ -1,0 +1,48 @@
+"""Tests for task statistics and the reference aggregator."""
+
+from repro.core.results import AggregationResult, TaskStats, reference_aggregate
+
+
+def test_reference_aggregate_sums_by_key():
+    streams = {
+        "h0": [(b"a", 1), (b"b", 2)],
+        "h1": [(b"a", 3)],
+    }
+    assert reference_aggregate(streams, (1 << 32) - 1) == {b"a": 4, b"b": 2}
+
+
+def test_reference_aggregate_modular_arithmetic():
+    streams = {"h0": [(b"a", 0xFF), (b"a", 0x02)]}
+    assert reference_aggregate(streams, 0xFF) == {b"a": 1}
+
+
+def test_switch_aggregation_ratio():
+    stats = TaskStats(input_tuples=100, tuples_merged_at_receiver=15)
+    assert stats.tuples_aggregated_at_switch == 85
+    assert stats.switch_aggregation_ratio == 0.85
+
+
+def test_switch_ack_ratio():
+    stats = TaskStats(data_packets_sent=8, long_packets_sent=2, acks_from_switch=6)
+    assert stats.switch_ack_ratio == 0.6
+
+
+def test_ratios_are_zero_without_traffic():
+    stats = TaskStats()
+    assert stats.switch_aggregation_ratio == 0.0
+    assert stats.switch_ack_ratio == 0.0
+
+
+def test_completion_time():
+    stats = TaskStats(submitted_at_ns=100)
+    assert stats.completion_time_ns is None
+    stats.completed_at_ns = 350
+    assert stats.completion_time_ns == 250
+
+
+def test_aggregation_result_mapping_interface():
+    result = AggregationResult(1, {b"a": 4, b"b": 2}, TaskStats())
+    assert result[b"a"] == 4
+    assert result.get(b"missing") == 0
+    assert len(result) == 2
+    assert dict(result.items()) == {b"a": 4, b"b": 2}

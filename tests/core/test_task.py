@@ -1,0 +1,63 @@
+"""Tests for the aggregation-task lifecycle."""
+
+import pytest
+
+from repro.core.errors import TaskStateError
+from repro.core.task import AggregationTask, TaskPhase
+
+
+def _task():
+    return AggregationTask(task_id=1, receiver="h2", senders=("h0", "h1"))
+
+
+def test_initial_phase_is_submitted():
+    assert _task().phase is TaskPhase.SUBMITTED
+
+
+def test_normal_lifecycle():
+    task = _task()
+    for phase in (
+        TaskPhase.SETUP,
+        TaskPhase.STREAMING,
+        TaskPhase.FINALIZING,
+        TaskPhase.COMPLETE,
+    ):
+        task.advance(phase)
+    assert task.is_complete
+
+
+def test_skipping_a_phase_rejected():
+    task = _task()
+    with pytest.raises(TaskStateError):
+        task.advance(TaskPhase.STREAMING)
+
+
+def test_moving_backwards_rejected():
+    task = _task()
+    task.advance(TaskPhase.SETUP)
+    with pytest.raises(TaskStateError):
+        task.advance(TaskPhase.SETUP)
+
+
+def test_complete_is_terminal():
+    task = _task()
+    task.advance(TaskPhase.SETUP)
+    task.advance(TaskPhase.STREAMING)
+    task.advance(TaskPhase.FINALIZING)
+    task.advance(TaskPhase.COMPLETE)
+    with pytest.raises(TaskStateError):
+        task.advance(TaskPhase.FAILED)
+
+
+def test_failure_allowed_from_any_active_phase():
+    for intermediate in range(4):
+        task = _task()
+        phases = [TaskPhase.SETUP, TaskPhase.STREAMING, TaskPhase.FINALIZING]
+        for phase in phases[:intermediate]:
+            task.advance(phase)
+        task.advance(TaskPhase.FAILED)
+        assert task.phase is TaskPhase.FAILED
+
+
+def test_expected_fins_equals_sender_count():
+    assert _task().expected_fins == 2

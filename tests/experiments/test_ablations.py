@@ -1,0 +1,52 @@
+"""Tests for the design-choice ablations (DESIGN.md §4)."""
+
+import pytest
+
+from repro.core.config import AskConfig
+from repro.experiments.ablations import (
+    aggregator_footprint,
+    coalesced_lookup_rejects_x1y2,
+    naive_segment_lookup,
+    seen_memory_comparison,
+)
+
+
+def test_naive_segment_placement_has_the_x1y2_false_match():
+    outcome = naive_segment_lookup()
+    assert outcome["x1x2_matches"] is True
+    # The paper's bug: X1Y2 validates although it was never inserted.
+    assert outcome["false_match_x1y2"] is True
+
+
+def test_coalesced_placement_does_not_alias_x1y2():
+    assert coalesced_lookup_rejects_x1y2() is True
+
+
+def test_random_placement_wastes_aggregators():
+    cfg = AskConfig.small(shadow_copy=False, aggregators_per_aa=4096)
+    # 8 distinct keys, each appearing 64 times in round-robin order: random
+    # placement scatters each key over many AAs.
+    stream = [(("k%d" % (i % 8)).encode(), 1) for i in range(512)]
+    partitioned = aggregator_footprint(stream, cfg, randomized=False)
+    randomized = aggregator_footprint(stream, cfg, randomized=True)
+    assert partitioned == 8  # exactly one aggregator per key
+    assert randomized >= 3 * partitioned  # single-key-multiple-spot waste
+
+
+def test_partitioned_footprint_is_one_cell_per_key_always():
+    cfg = AskConfig.small(shadow_copy=False)
+    stream = [(("key%02d" % (i % 13)).encode(), 1) for i in range(200)]
+    assert aggregator_footprint(stream, cfg, randomized=False) == 13
+
+
+def test_compact_seen_halves_memory():
+    comparison = seen_memory_comparison(window=256)
+    assert comparison.compact_bits_per_channel == 256
+    assert comparison.reference_bits_per_channel == 512
+    assert comparison.memory_saving == pytest.approx(0.5)
+
+
+def test_only_compact_seen_fits_the_access_budget():
+    comparison = seen_memory_comparison()
+    assert comparison.compact_accesses_per_pass == 1
+    assert comparison.reference_accesses_per_pass > 1

@@ -1,0 +1,231 @@
+"""Smoke + shape tests for every experiment module (scaled parameters)."""
+
+import pytest
+
+from repro.experiments import (
+    fig03_strawman,
+    fig07_offload,
+    fig08_multikey,
+    fig09_prioritization,
+    fig10_jct,
+    fig11_tct,
+    fig12_training,
+    fig13_scalability,
+    table1_traffic,
+)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 3
+# ---------------------------------------------------------------------------
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig03_strawman.run()
+
+    def test_headline_ratios(self, result):
+        assert result.peak_gain_strawman == pytest.approx(3.4, abs=0.1)
+        assert result.max_ask_gain == pytest.approx(155, abs=8)
+
+    def test_spark_is_slowest_everywhere(self, result):
+        for cores in result.spark.xs():
+            assert result.spark.y_at(cores) < result.strawman.y_at(cores)
+            assert result.spark.y_at(cores) < result.ask.y_at(cores)
+
+    def test_report_mentions_paper_anchors(self, result):
+        text = fig03_strawman.format_report(result)
+        assert "155x" in text and "3.4x" in text
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7
+# ---------------------------------------------------------------------------
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig07_offload.run()
+
+    def test_preaggr_anchors(self, result):
+        assert result.preaggr_point(8).jct_seconds == pytest.approx(111.2, rel=0.01)
+        assert result.preaggr_point(32).jct_seconds == pytest.approx(33.22, rel=0.01)
+
+    def test_ask_beats_preaggr_with_a_fraction_of_cpu(self, result):
+        ask = result.ask_point(4)
+        best_preaggr = min(p.jct_seconds for p in result.preaggr)
+        assert ask.jct_seconds < best_preaggr / 3
+        assert ask.cpu_percent < 8.0
+
+    def test_ask_jct_scales_with_channels(self, result):
+        assert result.ask_point(1).jct_seconds > result.ask_point(2).jct_seconds
+        assert result.ask_point(2).jct_seconds > result.ask_point(4).jct_seconds
+
+    def test_report_format(self, result):
+        assert "JCT" in fig07_offload.format_report(result)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8
+# ---------------------------------------------------------------------------
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig08_multikey.run(tuples_per_dataset=15_000)
+
+    def test_goodput_glitch_positions(self, result):
+        fig8a, _ = result
+        assert fig8a.glitch_depth(18) > 0
+        assert fig8a.glitch_depth(26) > 0
+
+    def test_uniform_packs_nearly_full(self, result):
+        _, fig8b = result
+        assert fig8b.mean_occupancy("Uniform") > 29
+
+    def test_yelp_is_worst_but_still_multikey(self, result):
+        _, fig8b = result
+        datasets = [n for n in fig8b.stats if n != "Uniform"]
+        worst = min(datasets, key=fig8b.mean_occupancy)
+        assert worst == "yelp"
+        assert fig8b.mean_occupancy("yelp") > 10  # >> 1 key/packet systems
+
+    def test_report_format(self, result):
+        text = fig08_multikey.format_report(result)
+        assert "glitch" in text and "yelp" in text
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9
+# ---------------------------------------------------------------------------
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig09_prioritization.run(
+            num_keys=2**10, num_tuples=60_000, ratio_exponents=range(-6, 1)
+        )
+
+    def test_prioritization_rescues_cold_first_streams(self, result):
+        ratio = 1 / 16
+        without = result.ratio_at("Zipf (reverse)", ratio, prioritized=False)
+        with_prio = result.ratio_at("Zipf (reverse)", ratio, prioritized=True)
+        assert without < 0.1
+        assert with_prio > 0.85
+
+    def test_prioritization_is_order_agnostic(self, result):
+        # With the shadow copy, hot-first and cold-first converge (§3.4).
+        ratio = 1 / 16
+        hot = result.ratio_at("Zipf", ratio, prioritized=True)
+        cold = result.ratio_at("Zipf (reverse)", ratio, prioritized=True)
+        assert abs(hot - cold) < 0.05
+
+    def test_fcfs_depends_heavily_on_order(self, result):
+        ratio = 1 / 16
+        hot = result.ratio_at("Zipf", ratio, prioritized=False)
+        cold = result.ratio_at("Zipf (reverse)", ratio, prioritized=False)
+        assert hot - cold > 0.3
+
+    def test_more_aggregators_help_fcfs(self, result):
+        series = result.without["Uniform"]
+        ys = series.ys()
+        assert ys == sorted(ys)
+
+    def test_one_sixteenth_ratio_headline(self, result):
+        # Paper: 1/16 ratio achieves ~95.85% with prioritization.
+        assert result.ratio_at("Zipf", 1 / 16, prioritized=True) > 0.9
+
+    def test_report_format(self, result):
+        assert "1/16" in fig09_prioritization.format_report(result)
+
+
+# ---------------------------------------------------------------------------
+# Figs. 10/11
+# ---------------------------------------------------------------------------
+class TestFig10And11:
+    def test_jct_reduction_band(self):
+        result = fig10_jct.run(sizes=(50_000_000, 100_000_000))
+        low, high = result.reduction_range()
+        assert 0.65 <= low <= high <= 0.78
+
+    def test_functional_cross_check(self):
+        reports = fig10_jct.run_functional(tuples_per_mapper=150, distinct_keys=64)
+        results = {b: r.result for b, r in reports.items()}
+        assert len({frozenset(r.items()) for r in results.values()}) == 1
+
+    def test_fig11_anchors(self):
+        result = fig11_tct.run()
+        assert result.mapper_tct["ask"] == pytest.approx(1.67, abs=0.15)
+        assert result.mapper_saving_vs("spark") > result.reducer_cost_vs("spark")
+
+    def test_fig11_report(self):
+        assert "mapper" in fig11_tct.format_report(fig11_tct.run())
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12
+# ---------------------------------------------------------------------------
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig12_training.run()
+
+    def test_covers_all_models_and_systems(self, result):
+        assert set(result.throughput) == {
+            "resnet50",
+            "resnet101",
+            "resnet152",
+            "vgg11",
+            "vgg16",
+            "vgg19",
+        }
+
+    def test_shape(self, result):
+        for model, per_system in result.throughput.items():
+            assert per_system["ask"] > per_system["byteps"]
+            assert per_system["switchml"] <= per_system["ask"] * 1.001
+
+    def test_report(self, result):
+        assert "images/s" in fig12_training.format_report(result)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13
+# ---------------------------------------------------------------------------
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig13_scalability.run()
+
+    def test_peaks(self, result):
+        assert max(result.ask_goodput.ys()) == pytest.approx(73.96, abs=0.5)
+        assert max(result.noaggr_goodput.ys()) == pytest.approx(91.75, abs=0.5)
+
+    def test_ask_flat_noaggr_decays(self, result):
+        assert result.ask_per_sender.y_at(1) == result.ask_per_sender.y_at(8)
+        assert result.noaggr_per_sender.y_at(8) == pytest.approx(
+            result.noaggr_per_sender.y_at(1) / 8, rel=0.05
+        )
+
+    def test_noaggr_at_8_matches_paper(self, result):
+        assert result.noaggr_per_sender.y_at(8) == pytest.approx(11.88, abs=0.7)
+
+    def test_report(self, result):
+        assert "per-sender" in fig13_scalability.format_report(result)
+
+
+# ---------------------------------------------------------------------------
+# Table 1 (scaled-down smoke; the full run is the benchmark's job)
+# ---------------------------------------------------------------------------
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table1_traffic.run(num_tuples=8_000)
+
+    def test_all_datasets_present(self, result):
+        assert set(result.rows) == {"yelp", "NG", "BAC", "LMDB"}
+
+    def test_ratios_in_plausible_bands(self, result):
+        for row in result.rows.values():
+            assert 70 <= row.tuple_ratio <= 100
+            assert 40 <= row.packet_ratio <= 100
+
+    def test_report(self, result):
+        text = table1_traffic.format_report(result)
+        assert "yelp" in text and "paper" in text

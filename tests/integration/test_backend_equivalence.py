@@ -1,0 +1,74 @@
+"""Property: the PISA and Trio backends compute the same aggregates.
+
+The two data planes differ in everything internal (register arrays vs DRAM
+tables, coalesced segments vs full keys, shadow copies vs none) but the
+service contract is the same; any divergence in final results would be a
+bug in one of them.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import AskConfig
+from repro.core.service import AskService
+from repro.net.fault import FaultModel
+from repro.switch.trio import TrioSwitch
+
+
+def _aggregate(factory, streams, fault_seed, region_size):
+    cfg = AskConfig.small(shadow_copy=False, swap_threshold_packets=16)
+    kwargs = {"switch_factory": factory} if factory is not None else {}
+    fault = FaultModel(
+        loss_rate=0.05, duplicate_rate=0.05, reorder_rate=0.05, seed=fault_seed
+    )
+    service = AskService(cfg, hosts=2, fault=fault, **kwargs)
+    return service.aggregate(
+        {"h0": list(streams)}, receiver="h1", region_size=region_size, check=True
+    )
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(0, 1000),
+    num_keys=st.integers(1, 25),
+    tuples=st.integers(1, 150),
+    region=st.sampled_from([1, 4, 16]),
+    key_length=st.sampled_from([3, 6, 14]),  # short / medium / long keys
+)
+def test_pisa_and_trio_agree(seed, num_keys, tuples, region, key_length):
+    rng = random.Random(seed)
+    keys = [("k%0*d" % (key_length - 1, i)).encode() for i in range(num_keys)]
+    stream = [(rng.choice(keys), rng.randint(0, 2**20)) for _ in range(tuples)]
+    pisa = _aggregate(None, stream, seed, region)
+    trio = _aggregate(TrioSwitch, stream, seed, region)
+    assert pisa.values == trio.values
+    # Totals are conserved on both backends.
+    assert (
+        pisa.stats.tuples_aggregated_at_switch + pisa.stats.tuples_merged_at_receiver
+        == tuples
+    )
+    assert (
+        trio.stats.tuples_aggregated_at_switch + trio.stats.tuples_merged_at_receiver
+        == tuples
+    )
+
+
+def test_trio_never_aggregates_less_than_pisa_on_mixed_keys():
+    rng = random.Random(3)
+    keys = (
+        [("s%02d" % i).encode() for i in range(10)]
+        + [("med%03d" % i).encode() for i in range(10)]
+        + [("long-key-%06d" % i).encode() for i in range(10)]
+    )
+    stream = [(rng.choice(keys), 1) for _ in range(600)]
+    pisa = _aggregate(None, stream, 3, region_size=32)
+    trio = _aggregate(TrioSwitch, stream, 3, region_size=32)
+    assert (
+        trio.stats.switch_aggregation_ratio >= pisa.stats.switch_aggregation_ratio
+    )

@@ -1,0 +1,145 @@
+"""The headline correctness property (§3.3): exactly-once aggregation.
+
+For any loss/duplication/reordering schedule the network can produce, the
+merged result (switch copies + receiver residual) must equal the exact
+reference aggregation — no tuple lost, none double-counted.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import AskConfig
+from repro.core.service import AskService
+from repro.net.fault import FaultModel
+from repro.workloads.generators import zipf_stream
+from repro.workloads.stream import exact_aggregate, merge_results
+
+
+def _expected(streams):
+    return merge_results([exact_aggregate(s, 32) for s in streams.values()], 32)
+
+
+def _run(streams, fault, config=None, hosts=None, region_size=None):
+    cfg = config or AskConfig.small()
+    hosts = hosts or (len(streams) + 1)
+    service = AskService(cfg, hosts=hosts, fault=fault)
+    receiver = service.hosts[-1]
+    result = service.aggregate(
+        {h: s for h, s in streams.items()}, receiver=receiver, region_size=region_size
+    )
+    assert result.values == _expected(streams), "exactly-once violated"
+    return result
+
+
+FAULT_MATRIX = [
+    FaultModel.reliable(),
+    FaultModel(loss_rate=0.02, seed=1),
+    FaultModel(loss_rate=0.15, seed=2),
+    FaultModel(duplicate_rate=0.15, seed=3),
+    FaultModel(reorder_rate=0.25, max_extra_delay_ns=80_000, seed=4),
+    FaultModel(loss_rate=0.05, duplicate_rate=0.05, reorder_rate=0.1, seed=5),
+    FaultModel(loss_rate=0.1, duplicate_rate=0.1, reorder_rate=0.2, seed=6),
+]
+
+
+@pytest.mark.parametrize("fault", FAULT_MATRIX, ids=lambda f: f"loss{f.loss_rate}-dup{f.duplicate_rate}-re{f.reorder_rate}")
+def test_exactly_once_under_fault_matrix(fault):
+    rng = random.Random(11)
+    words = [("w%03d" % i).encode() for i in range(60)]
+    streams = {
+        f"h{i}": [(rng.choice(words), rng.randint(1, 50)) for _ in range(300)]
+        for i in range(2)
+    }
+    result = _run(streams, fault)
+    if not fault.is_reliable and fault.loss_rate:
+        assert result.stats.retransmissions > 0
+
+
+def test_exactly_once_with_mixed_key_classes_under_loss():
+    rng = random.Random(5)
+    keys = (
+        [("k%02d" % i).encode() for i in range(20)]  # short
+        + [("medium%02d" % i).encode()[:7] for i in range(20)]  # medium
+        + [("a-long-key-%04d" % i).encode() for i in range(10)]  # long
+    )
+    streams = {"h0": [(rng.choice(keys), rng.randint(1, 9)) for _ in range(600)]}
+    _run(streams, FaultModel(loss_rate=0.08, duplicate_rate=0.05, seed=21))
+
+
+def test_exactly_once_with_tiny_region_heavy_collisions():
+    # Region of 1 aggregator: nearly everything is partially aggregated and
+    # forwarded, exercising PktState bitmaps under retransmission.
+    rng = random.Random(7)
+    streams = {
+        "h0": [(("k%02d" % rng.randint(0, 30)).encode(), 1) for _ in range(400)]
+    }
+    _run(streams, FaultModel(loss_rate=0.1, duplicate_rate=0.08, seed=8), region_size=1)
+
+
+def test_exactly_once_with_swaps_under_faults():
+    cfg = AskConfig.small(swap_threshold_packets=3)
+    stream = zipf_stream(800, 64, alpha=1.0, order="shuffled", seed=2)
+    _run(
+        {"h0": stream},
+        FaultModel(loss_rate=0.07, duplicate_rate=0.07, reorder_rate=0.1, seed=31),
+        config=cfg,
+        region_size=4,
+    )
+
+
+def test_exactly_once_with_many_senders():
+    rng = random.Random(13)
+    streams = {
+        f"h{i}": [(("k%02d" % rng.randint(0, 40)).encode(), 1) for _ in range(200)]
+        for i in range(5)
+    }
+    _run(streams, FaultModel(loss_rate=0.05, duplicate_rate=0.05, seed=17))
+
+
+def test_window_spanning_stream_under_extreme_reordering():
+    # More packets than 3 windows, with delays long enough to create stale
+    # arrivals at the switch.
+    cfg = AskConfig.small(window_size=4)
+    stream = [(("k%02d" % (i % 8)).encode(), 1) for i in range(400)]
+    _run(
+        {"h0": stream},
+        FaultModel(reorder_rate=0.4, duplicate_rate=0.2, max_extra_delay_ns=400_000, seed=3),
+        config=cfg,
+    )
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    seed=st.integers(0, 10_000),
+    loss=st.floats(0, 0.2),
+    dup=st.floats(0, 0.2),
+    reorder=st.floats(0, 0.3),
+    num_keys=st.integers(1, 40),
+    tuples=st.integers(1, 250),
+    senders=st.integers(1, 3),
+)
+def test_exactly_once_property(seed, loss, dup, reorder, num_keys, tuples, senders):
+    """Randomized end-to-end exactly-once: any workload, any fault mix."""
+    rng = random.Random(seed)
+    keys = [("k%03d" % i).encode() for i in range(num_keys)]
+    streams = {
+        f"h{i}": [
+            (rng.choice(keys), rng.randint(0, 2**31)) for _ in range(tuples)
+        ]
+        for i in range(senders)
+    }
+    fault = FaultModel(
+        loss_rate=loss,
+        duplicate_rate=dup,
+        reorder_rate=reorder,
+        max_extra_delay_ns=100_000,
+        seed=seed,
+    )
+    _run(streams, fault, region_size=8)

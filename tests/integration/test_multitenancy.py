@@ -1,0 +1,117 @@
+"""Tests for §7 multi-tenancy: tenant-encoded task IDs, isolation, quotas."""
+
+import pytest
+
+from repro.core.config import AskConfig
+from repro.core.service import AskService
+from repro.core.tenancy import (
+    TenantQuotaError,
+    TenantQuotas,
+    encode_task_id,
+    local_task_of,
+    tenant_of,
+)
+
+
+# ---------------------------------------------------------------------------
+# Encoding
+# ---------------------------------------------------------------------------
+def test_task_id_roundtrip():
+    task_id = encode_task_id(7, 42)
+    assert tenant_of(task_id) == 7
+    assert local_task_of(task_id) == 42
+
+
+def test_plain_ids_belong_to_default_tenant():
+    assert tenant_of(5) == 0
+
+
+def test_encoding_bounds_checked():
+    with pytest.raises(ValueError):
+        encode_task_id(-1, 0)
+    with pytest.raises(ValueError):
+        encode_task_id(0, 1 << 32)
+
+
+def test_distinct_tenants_never_collide():
+    ids = {encode_task_id(t, n) for t in range(4) for n in range(4)}
+    assert len(ids) == 16
+
+
+# ---------------------------------------------------------------------------
+# Quotas
+# ---------------------------------------------------------------------------
+def test_quota_charging_and_refund():
+    quotas = TenantQuotas()
+    quotas.set(3, 100)
+    quotas.charge(encode_task_id(3, 1), 60)
+    with pytest.raises(TenantQuotaError):
+        quotas.charge(encode_task_id(3, 2), 60)
+    quotas.refund(encode_task_id(3, 1), 60)
+    quotas.charge(encode_task_id(3, 2), 60)
+
+
+def test_unlimited_without_quota():
+    quotas = TenantQuotas()
+    quotas.charge(encode_task_id(9, 1), 10**6)
+
+
+def test_quota_is_per_tenant():
+    quotas = TenantQuotas()
+    quotas.set(1, 10)
+    quotas.charge(encode_task_id(1, 1), 10)
+    quotas.charge(encode_task_id(2, 1), 1000)  # other tenant unaffected
+
+
+# ---------------------------------------------------------------------------
+# End to end
+# ---------------------------------------------------------------------------
+def test_tenants_share_the_switch_with_exact_isolation():
+    service = AskService(AskConfig.small(), hosts=3)
+    a = service.submit(
+        {"h0": [(b"key", 1)] * 80}, receiver="h2", region_size=8, tenant_id=1
+    )
+    b = service.submit(
+        {"h1": [(b"key", 9)] * 80}, receiver="h2", region_size=8, tenant_id=2
+    )
+    service.run_to_completion()
+    assert tenant_of(a.task_id) == 1
+    assert tenant_of(b.task_id) == 2
+    assert a.result.values == {b"key": 80}
+    assert b.result.values == {b"key": 720}
+
+
+def test_switch_enforces_tenant_quota_end_to_end():
+    service = AskService(AskConfig.small(), hosts=2)
+    service.switch.controller.tenant_quotas.set(5, 8)
+    ok = service.submit(
+        {"h0": [(b"a", 1)] * 10}, receiver="h1", region_size=8, tenant_id=5
+    )
+    service.run_to_completion()
+    assert ok.result is not None
+    # The next region for tenant 5 exceeds its 8-aggregator quota.
+    over = service.submit(
+        {"h0": [(b"a", 1)] * 10}, receiver="h1", region_size=8, tenant_id=5
+    )
+    # The first task completed and refunded; so this one fits again —
+    # verify the quota *would* reject concurrent over-use instead:
+    service.run_to_completion()
+    assert over.result is not None
+    t1 = service.submit(
+        {"h0": [(b"a", 1)] * 200}, receiver="h1", region_size=8, tenant_id=5
+    )
+    t2 = service.submit(
+        {"h0": [(b"a", 1)] * 200}, receiver="h1", region_size=8, tenant_id=5
+    )
+    with pytest.raises(TenantQuotaError):
+        service.run_to_completion()
+
+
+def test_quota_released_at_teardown():
+    service = AskService(AskConfig.small(), hosts=2)
+    service.switch.controller.tenant_quotas.set(4, 8)
+    for _ in range(3):  # sequential tasks fit one after another
+        result = service.aggregate(
+            {"h0": [(b"a", 1)] * 20}, receiver="h1", region_size=8
+        )
+        assert result[b"a"] == 20

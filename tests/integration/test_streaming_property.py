@@ -1,0 +1,58 @@
+"""Property: streaming sessions are exact for any feed/run interleaving."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import AskConfig
+from repro.core.service import AskService
+from repro.net.fault import FaultModel
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    seed=st.integers(0, 10_000),
+    bursts=st.integers(1, 8),
+    run_between=st.booleans(),
+    loss=st.floats(0, 0.12),
+)
+def test_streaming_exactly_once_property(seed, bursts, run_between, loss):
+    rng = random.Random(seed)
+    fault = FaultModel(loss_rate=loss, duplicate_rate=loss / 2, seed=seed)
+    service = AskService(AskConfig.small(), hosts=3, fault=fault)
+    session = service.open_stream(["h0", "h1"], receiver="h2", region_size=4)
+    expected: dict[bytes, int] = {}
+    for _ in range(bursts):
+        host = rng.choice(["h0", "h1"])
+        batch = [
+            (("k%02d" % rng.randint(0, 12)).encode(), rng.randint(1, 9))
+            for _ in range(rng.randint(1, 40))
+        ]
+        for key, value in batch:
+            expected[key] = (expected.get(key, 0) + value) & 0xFFFFFFFF
+        session.feed(host, batch)
+        if run_between:
+            service.run()
+    session.close()
+    service.run_to_completion()
+    assert session.result.values == expected
+
+
+def test_large_sequence_numbers_do_not_break_dedup():
+    """Channels are persistent across many tasks; sequence numbers grow
+    without bound and the window machinery must stay exact far beyond the
+    initial windows."""
+    cfg = AskConfig.small(window_size=4)
+    service = AskService(cfg, hosts=2)
+    for round_number in range(30):  # ~30 windows of traffic on one channel
+        result = service.aggregate(
+            {"h0": [(b"k", 1)] * 10}, receiver="h1", check=True
+        )
+        assert result[b"k"] == 10
+    channel = service.daemon("h0").channels[0]
+    assert channel.window.next_seq > 300

@@ -1,0 +1,127 @@
+"""Integration tests beyond exactly-once: isolation, persistence, hardware
+constraints holding end-to-end, and functional scalability."""
+
+import random
+
+import pytest
+
+from repro.core.config import AskConfig
+from repro.core.service import AskService
+from repro.net.fault import FaultModel
+from repro.net.simulator import to_seconds
+
+
+def test_concurrent_tasks_never_mix_under_faults():
+    fault = FaultModel(loss_rate=0.05, duplicate_rate=0.05, seed=42)
+    service = AskService(AskConfig.small(), hosts=4, fault=fault)
+    # Same keys, different tasks and receivers: results must stay disjoint.
+    t1 = service.submit({"h0": [(b"key", 1)] * 120}, receiver="h2", region_size=8)
+    t2 = service.submit({"h1": [(b"key", 7)] * 120}, receiver="h3", region_size=8)
+    service.run_to_completion()
+    assert t1.result.values == {b"key": 120}
+    assert t2.result.values == {b"key": 840}
+
+
+def test_many_sequential_tasks_on_persistent_channels():
+    service = AskService(AskConfig.small(window_size=8), hosts=2)
+    for round_number in range(1, 8):
+        result = service.aggregate(
+            {"h0": [(b"x", 1)] * 25}, receiver="h1", check=True
+        )
+        assert result[b"x"] == 25
+    # All rounds multiplexed one persistent channel / sequence space.
+    assert service.switch.controller.num_channels == 1
+
+
+def test_full_default_geometry_end_to_end():
+    service = AskService(AskConfig(), hosts=2)
+    # Short 4-byte keys spread over the 16 short-key slots.
+    stream = [(("%04d" % (i % 500)).encode(), 1) for i in range(20_000)]
+    result = service.aggregate({"h0": stream}, receiver="h1", check=True)
+    assert len(result) == 500
+    # Multi-key packets: far fewer packets than tuples.
+    assert result.stats.data_packets_sent < len(stream) / 8
+
+
+def test_hardware_constraints_hold_for_entire_run():
+    """Every packet pass in a full run satisfies the PISA access rules —
+    RegisterAccessError would propagate out of service.run()."""
+    cfg = AskConfig.small(swap_threshold_packets=4)
+    fault = FaultModel(loss_rate=0.05, duplicate_rate=0.05, reorder_rate=0.1, seed=2)
+    service = AskService(cfg, hosts=3, fault=fault)
+    rng = random.Random(0)
+    streams = {
+        h: [(("k%02d" % rng.randint(0, 30)).encode(), 1) for _ in range(300)]
+        for h in ("h0", "h1")
+    }
+    service.aggregate(streams, receiver="h2", region_size=8, check=True)
+    assert service.switch.pipeline.passes > 0
+
+
+def test_switch_absorbs_most_traffic_with_ample_memory():
+    service = AskService(AskConfig.small(aggregators_per_aa=2048), hosts=2)
+    stream = [(("k%03d" % (i % 50)).encode(), 1) for i in range(2000)]
+    result = service.aggregate({"h0": stream}, receiver="h1", check=True)
+    assert result.stats.switch_aggregation_ratio > 0.95
+    assert result.stats.switch_ack_ratio > 0.9
+
+
+def test_per_sender_throughput_flat_with_more_senders():
+    """Functional Fig. 13(b): with the switch absorbing traffic, adding
+    senders leaves per-sender completion time (≈ throughput) constant."""
+
+    def sender_time(num_senders):
+        # 1 Gbps links: if traffic funneled to the receiver, time would
+        # grow with the sender count; switch absorption keeps it flat.
+        cfg = AskConfig.small(
+            aggregators_per_aa=2048, link_latency_ns=200, link_bandwidth_gbps=1.0
+        )
+        service = AskService(cfg, hosts=num_senders + 1)
+        stream = [(("k%02d" % (i % 30)).encode(), 1) for i in range(2000)]
+        streams = {f"h{i}": list(stream) for i in range(num_senders)}
+        result = service.aggregate(streams, receiver=f"h{num_senders}", check=True)
+        return to_seconds(result.stats.completion_time_ns)
+
+    alone = sender_time(1)
+    crowd = sender_time(4)
+    assert crowd < alone * 1.6  # roughly flat, not ~4x like NoAggr
+
+
+def test_receiver_bottleneck_when_nothing_aggregates():
+    """The NoAggr contrast: disjoint keys per sender at region size 1 mean
+    almost everything funnels to the receiver link, so completion time
+    grows with the sender count."""
+
+    def sender_time(num_senders):
+        # 1 Gbps links make serialization (not setup latency) dominate.
+        cfg = AskConfig.small(link_latency_ns=200, link_bandwidth_gbps=1.0)
+        service = AskService(cfg, hosts=num_senders + 1)
+        streams = {
+            f"h{i}": [(("%d%03d" % (i, j)).encode(), 1) for j in range(2000)]
+            for i in range(num_senders)
+        }
+        result = service.aggregate(streams, receiver=f"h{num_senders}", region_size=1)
+        return to_seconds(result.stats.completion_time_ns)
+
+    alone = sender_time(1)
+    crowd = sender_time(4)
+    assert crowd > alone * 2.0
+
+
+def test_trace_enabled_service_records_the_flow():
+    cfg = AskConfig.small(trace=True)
+    service = AskService(cfg, hosts=2)
+    service.aggregate({"h0": [(b"a", 1)]}, receiver="h1")
+    kinds = {record.kind for record in service.trace}
+    assert "ingress" in kinds
+    assert "ack" in kinds or "forward" in kinds
+
+
+def test_completion_time_is_plausible():
+    service = AskService(AskConfig.small(), hosts=2)
+    result = service.aggregate({"h0": [(b"a", 1)] * 100}, receiver="h1")
+    elapsed = result.stats.completion_time_ns
+    assert elapsed is not None
+    # Setup costs two control-plane latencies; everything must finish in
+    # simulated milliseconds, not seconds.
+    assert 2 * 10_000 < elapsed < 50_000_000

@@ -1,0 +1,82 @@
+"""Tests for fault injection."""
+
+import pytest
+
+from repro.net.fault import FaultModel
+
+
+def test_reliable_model_never_injects():
+    model = FaultModel.reliable()
+    assert model.is_reliable
+    for _ in range(1000):
+        decision = model.decide()
+        assert not decision.drop
+        assert not decision.duplicate
+        assert decision.extra_delay_ns == 0
+
+
+def test_rates_must_be_probabilities():
+    with pytest.raises(ValueError):
+        FaultModel(loss_rate=1.5)
+    with pytest.raises(ValueError):
+        FaultModel(duplicate_rate=-0.1)
+    with pytest.raises(ValueError):
+        FaultModel(reorder_rate=2.0)
+
+
+def test_loss_rate_one_drops_everything():
+    model = FaultModel(loss_rate=1.0, seed=1)
+    assert all(model.decide().drop for _ in range(100))
+
+
+def test_duplicate_rate_one_duplicates_every_survivor():
+    model = FaultModel(duplicate_rate=1.0, seed=1)
+    for _ in range(100):
+        decision = model.decide()
+        assert decision.duplicate
+        assert decision.duplicate_delay_ns >= 1
+
+
+def test_same_seed_same_schedule():
+    a = FaultModel(loss_rate=0.3, duplicate_rate=0.2, reorder_rate=0.2, seed=99)
+    b = FaultModel(loss_rate=0.3, duplicate_rate=0.2, reorder_rate=0.2, seed=99)
+    for _ in range(500):
+        da, db = a.decide(), b.decide()
+        assert (da.drop, da.duplicate, da.extra_delay_ns, da.duplicate_delay_ns) == (
+            db.drop,
+            db.duplicate,
+            db.extra_delay_ns,
+            db.duplicate_delay_ns,
+        )
+
+
+def test_different_seeds_differ():
+    a = FaultModel(loss_rate=0.5, seed=1)
+    b = FaultModel(loss_rate=0.5, seed=2)
+    outcomes_a = [a.decide().drop for _ in range(200)]
+    outcomes_b = [b.decide().drop for _ in range(200)]
+    assert outcomes_a != outcomes_b
+
+
+def test_loss_rate_statistics():
+    model = FaultModel(loss_rate=0.25, seed=7)
+    drops = sum(model.decide().drop for _ in range(10_000))
+    assert 2_200 < drops < 2_800
+
+
+def test_reorder_delay_bounded():
+    model = FaultModel(reorder_rate=1.0, max_extra_delay_ns=500, seed=3)
+    for _ in range(200):
+        assert 1 <= model.decide().extra_delay_ns <= 500
+
+
+def test_dropped_packet_not_also_duplicated():
+    model = FaultModel(loss_rate=1.0, duplicate_rate=1.0, seed=5)
+    decision = model.decide()
+    assert decision.drop and not decision.duplicate
+
+
+def test_is_reliable_false_with_any_rate():
+    assert not FaultModel(loss_rate=0.01).is_reliable
+    assert not FaultModel(duplicate_rate=0.01).is_reliable
+    assert not FaultModel(reorder_rate=0.01).is_reliable

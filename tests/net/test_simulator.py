@@ -1,0 +1,144 @@
+"""Tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.net.simulator import (
+    NS_PER_S,
+    Simulator,
+    SimulationError,
+    microseconds,
+    milliseconds,
+    seconds,
+    to_seconds,
+)
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(30, fired.append, "c")
+    sim.schedule(10, fired.append, "a")
+    sim.schedule(20, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    sim = Simulator()
+    fired = []
+    for label in "abcde":
+        sim.schedule(5, fired.append, label)
+    sim.run()
+    assert fired == list("abcde")
+
+
+def test_now_advances_to_event_time():
+    sim = Simulator()
+    sim.schedule(42, lambda: None)
+    sim.run()
+    assert sim.now == 42
+
+
+def test_nested_scheduling_from_callback():
+    sim = Simulator()
+    fired = []
+
+    def outer():
+        fired.append("outer")
+        sim.schedule(5, fired.append, "inner")
+
+    sim.schedule(10, outer)
+    sim.run()
+    assert fired == ["outer", "inner"]
+    assert sim.now == 15
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(10, fired.append, "x")
+    event.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    event = sim.schedule(10, lambda: None)
+    event.cancel()
+    event.cancel()
+    sim.run()
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_at_in_the_past_rejected():
+    sim = Simulator()
+    sim.schedule(100, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(50, lambda: None)
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, "a")
+    sim.schedule(100, fired.append, "b")
+    sim.run(until=50)
+    assert fired == ["a"]
+    assert sim.now == 50
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_run_until_includes_events_at_boundary():
+    sim = Simulator()
+    fired = []
+    sim.schedule(50, fired.append, "edge")
+    sim.run(until=50)
+    assert fired == ["edge"]
+
+
+def test_max_events_guard_raises():
+    sim = Simulator()
+
+    def loop():
+        sim.schedule(1, loop)
+
+    sim.schedule(1, loop)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulator()
+    assert sim.step() is False
+
+
+def test_pending_counts_live_events_only():
+    sim = Simulator()
+    sim.schedule(1, lambda: None)
+    event = sim.schedule(2, lambda: None)
+    event.cancel()
+    assert sim.pending == 1
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for _ in range(7):
+        sim.schedule(1, lambda: None)
+    sim.run()
+    assert sim.events_processed == 7
+
+
+def test_time_unit_helpers():
+    assert microseconds(1.5) == 1_500
+    assert milliseconds(2) == 2_000_000
+    assert seconds(1) == NS_PER_S
+    assert to_seconds(NS_PER_S) == 1.0
+    assert to_seconds(seconds(3.25)) == pytest.approx(3.25)

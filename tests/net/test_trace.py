@@ -1,0 +1,44 @@
+"""Tests for packet traces."""
+
+from repro.net.trace import PacketTrace, TraceRecord
+
+
+def _sample() -> PacketTrace:
+    trace = PacketTrace()
+    trace.record(1, "switch", "ingress", "p1")
+    trace.record(2, "switch", "ack", "p1")
+    trace.record(3, "h0", "ingress", "p2")
+    return trace
+
+
+def test_record_and_len():
+    trace = _sample()
+    assert len(trace) == 3
+
+
+def test_filter_by_site():
+    assert len(_sample().filter(site="switch")) == 2
+
+
+def test_filter_by_kind_and_predicate():
+    trace = _sample()
+    assert len(trace.filter(kind="ingress")) == 2
+    assert len(trace.filter(kind="ingress", predicate=lambda r: r.time_ns > 1)) == 1
+
+
+def test_disabled_trace_records_nothing():
+    trace = PacketTrace(enabled=False)
+    trace.record(1, "x", "y")
+    assert len(trace) == 0
+
+
+def test_count_and_iteration():
+    trace = _sample()
+    assert trace.count(site="h0") == 1
+    assert [r.site for r in trace] == ["switch", "switch", "h0"]
+
+
+def test_record_str_format():
+    rec = TraceRecord(5, "switch", "drop", "pkt")
+    text = str(rec)
+    assert "switch" in text and "drop" in text and "5" in text

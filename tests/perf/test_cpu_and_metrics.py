@@ -1,0 +1,88 @@
+"""Tests for the CPU model and measurement helpers."""
+
+import pytest
+
+from repro.perf.costmodel import DEFAULT_COST_MODEL
+from repro.perf.cpu import (
+    cpu_percent_ask,
+    cpu_percent_preaggr,
+    hash_merge_seconds,
+    preaggr_seconds,
+)
+from repro.perf.metrics import GoodputSample, Series, format_table, gbps, mean
+
+
+def test_ask_cpu_matches_paper_percentages():
+    # §5.2.1: 1.78 % / 3.57 % / 7.14 % for 1/2/4 data channels on 56 cores.
+    assert cpu_percent_ask(1) == pytest.approx(1.786, abs=0.01)
+    assert cpu_percent_ask(2) == pytest.approx(3.571, abs=0.01)
+    assert cpu_percent_ask(4) == pytest.approx(7.143, abs=0.01)
+
+
+def test_preaggr_cpu_anchors():
+    assert cpu_percent_preaggr(8) == pytest.approx(14.29, abs=0.01)
+    assert cpu_percent_preaggr(56) == 100.0
+    assert cpu_percent_preaggr(100) == 100.0  # capped at the core count
+
+
+def test_preaggr_seconds_matches_paper_anchors():
+    # §5.2.1: 6.4e9 tuples -> 111.20 s @ 8 threads, 33.22 s @ 32 threads.
+    assert preaggr_seconds(6.4e9, 8) == pytest.approx(111.2, rel=0.01)
+    assert preaggr_seconds(6.4e9, 32) == pytest.approx(33.22, rel=0.01)
+
+
+def test_preaggr_thread_scaling_is_sublinear_beyond_8():
+    t8 = preaggr_seconds(6.4e9, 8)
+    t32 = preaggr_seconds(6.4e9, 32)
+    assert t32 > t8 / 4  # contention: 4x threads < 4x speedup
+
+
+def test_preaggr_requires_threads():
+    with pytest.raises(ValueError):
+        preaggr_seconds(1000, 0)
+
+
+def test_hash_merge_cheaper_than_sort_merge():
+    assert hash_merge_seconds(1e9) < preaggr_seconds(1e9, 1)
+
+
+def test_thread_efficiency_monotone():
+    model = DEFAULT_COST_MODEL
+    assert model.thread_efficiency(4) == 1.0
+    assert model.thread_efficiency(16) > model.thread_efficiency(56)
+
+
+# ---------------------------------------------------------------------------
+# metrics helpers
+# ---------------------------------------------------------------------------
+def test_gbps_conversion():
+    assert gbps(125, 10) == pytest.approx(100.0)  # 125 B in 10 ns = 100 Gbps
+    assert gbps(100, 0) == 0.0
+
+
+def test_mean():
+    assert mean([1.0, 2.0, 3.0]) == 2.0
+    assert mean([]) == 0.0
+
+
+def test_series_lookup_and_format():
+    series = Series("test")
+    series.add(1, 10.0)
+    series.add(2, 20.0)
+    assert series.y_at(2) == 20.0
+    with pytest.raises(KeyError):
+        series.y_at(3)
+    assert "test" in series.format()
+
+
+def test_format_table_aligns_columns():
+    text = format_table(["a", "bbb"], [[1, 2], [333, 4]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert len({len(line) for line in lines[1:]}) <= 2  # consistent width
+
+
+def test_goodput_sample_is_frozen():
+    sample = GoodputSample(1, 2.0, "x")
+    with pytest.raises(Exception):
+        sample.x = 2  # type: ignore[misc]

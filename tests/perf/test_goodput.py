@@ -1,0 +1,109 @@
+"""Tests pinning the goodput model to the paper's anchors."""
+
+import pytest
+
+from repro.perf.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.perf.goodput import (
+    ask_goodput_gbps,
+    ask_wire_gbps,
+    ideal_goodput_gbps,
+    noaggr_goodput_gbps,
+    pcie_bytes_per_packet,
+    pps_bound_gbps,
+)
+
+
+def test_ideal_law_matches_paper_formula():
+    # goodput = 8x / (8x + 78) * 100 (§5.3).
+    assert ideal_goodput_gbps(32) == pytest.approx(256 / 334 * 100)
+    assert ideal_goodput_gbps(1) == pytest.approx(8 / 86 * 100)
+
+
+def test_goodput_linear_in_pps_bound_region():
+    # Below 32 tuples the curve is PPS-bound and linear in x (§5.3),
+    # except at the PCIe glitch points.
+    g8 = ask_goodput_gbps(8)
+    g16 = ask_goodput_gbps(16)
+    assert g16 == pytest.approx(2 * g8, rel=1e-6)
+
+
+def test_goodput_matches_ideal_beyond_32():
+    for x in (34, 40, 48, 64):
+        assert ask_goodput_gbps(x) == pytest.approx(ideal_goodput_gbps(x))
+
+
+def test_crossover_at_32_tuples():
+    # 32 is the last PPS-bound point; the paper: "when the tuples per packet
+    # exceed 32, the experiment result matches the theoretical value".
+    assert ask_goodput_gbps(32) < ideal_goodput_gbps(32)
+    assert ask_goodput_gbps(34) == pytest.approx(ideal_goodput_gbps(34))
+
+
+@pytest.mark.parametrize("glitch", [18, 26])
+def test_pcie_glitches_at_paper_positions(glitch):
+    below = ask_goodput_gbps(glitch - 1)
+    at = ask_goodput_gbps(glitch)
+    above = ask_goodput_gbps(glitch + 1)
+    assert at < below and at < above  # a local dip
+
+
+def test_no_other_glitches_in_pps_region():
+    dips = []
+    for x in range(2, 32):
+        if (
+            ask_goodput_gbps(x) < ask_goodput_gbps(x - 1)
+            and ask_goodput_gbps(x) < ask_goodput_gbps(x + 1)
+        ):
+            dips.append(x)
+    assert dips == [18, 26]
+
+
+def test_ask_plateau_matches_fig13():
+    # Paper Fig. 13(a): ASK goodput 73.96 Gbps with 4 channels.
+    assert ask_goodput_gbps(32, channels=4) == pytest.approx(73.96, abs=0.5)
+
+
+def test_ask_needs_four_channels_to_saturate():
+    g = [ask_goodput_gbps(32, channels=c) for c in (1, 2, 3, 4)]
+    assert g[0] < g[1] < g[2] < g[3]
+
+
+def test_noaggr_peak_matches_fig13():
+    # Paper: NoAggr goodput 91.75 Gbps, saturating with 2 channels.
+    assert noaggr_goodput_gbps(2) == pytest.approx(91.75, abs=0.5)
+    assert noaggr_goodput_gbps(1) < noaggr_goodput_gbps(2)
+    assert noaggr_goodput_gbps(4) == pytest.approx(noaggr_goodput_gbps(2))
+
+
+def test_noaggr_beats_ask_on_single_flow():
+    # The bandwidth-overhead argument of §5.7.1.
+    assert noaggr_goodput_gbps(2) > ask_goodput_gbps(32, 4)
+
+
+def test_wire_exceeds_goodput_by_framing_overhead():
+    goodput = ask_goodput_gbps(32, 4)
+    wire = ask_wire_gbps(32, 4)
+    assert wire / goodput == pytest.approx(334 / 256)
+
+
+def test_pps_bound_scales_with_channels():
+    assert pps_bound_gbps(32, 2) == pytest.approx(2 * pps_bound_gbps(32, 1))
+
+
+def test_pcie_bytes_include_tlp_overhead():
+    model = DEFAULT_COST_MODEL
+    frame = model.frame_bytes(32 * 8)  # 310 B -> 2 TLPs
+    assert pcie_bytes_per_packet(32) == frame + 2 * model.tlp_overhead_bytes
+
+
+def test_pcie_stall_only_below_bulk_threshold():
+    model = CostModel()
+    # x=18 spills (frame 198 = 3*64+6) and is below the bulk threshold.
+    assert pcie_bytes_per_packet(18) > model.frame_bytes(18 * 8) + model.tlp_overhead_bytes
+    # x=34 spills identically (frame 326 = 5*64+6) but is bulk-DMA.
+    assert pcie_bytes_per_packet(34) == model.frame_bytes(34 * 8) + 2 * model.tlp_overhead_bytes
+
+
+def test_strawman_single_key_goodput_is_tiny():
+    # One tuple per packet: 8/86 of the line rate at best (§2.3).
+    assert ideal_goodput_gbps(1) < 10.0

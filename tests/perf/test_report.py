@@ -1,0 +1,56 @@
+"""Tests for the run-report generator."""
+
+from repro.core.config import AskConfig
+from repro.core.multirack_service import MultiRackService
+from repro.core.service import AskService
+from repro.net.fault import FaultModel
+from repro.perf.report import service_report
+
+
+def test_report_covers_tasks_switch_and_links():
+    fault = FaultModel(loss_rate=0.05, duplicate_rate=0.05, seed=3)
+    service = AskService(AskConfig.small(), hosts=2, fault=fault)
+    service.aggregate({"h0": [(b"a", 1)] * 100}, receiver="h1", check=True)
+    report = service_report(service)
+    assert "tasks" in report
+    assert "complete" in report
+    assert "switch switch:" in report
+    assert "h0->switch" in report and "switch->h1" in report
+    assert "dropped" in report
+
+
+def test_report_shows_ecn_marks_when_cc_enabled():
+    cfg = AskConfig.small(
+        congestion_control=True,
+        ecn_threshold_bytes=1_000,
+        link_bandwidth_gbps=1.0,
+        retransmit_timeout_us=1000.0,
+        window_size=64,
+    )
+    service = AskService(cfg, hosts=2)
+    service.aggregate(
+        {"h0": [(("k%02d" % (i % 30)).encode(), 1) for i in range(1500)]},
+        receiver="h1",
+        check=True,
+    )
+    report = service_report(service)
+    marked = service.topology.uplink("h0").link.packets_marked
+    assert marked > 0
+    assert str(marked) in report
+
+
+def test_report_works_for_multirack():
+    service = MultiRackService(
+        AskConfig.small(), racks={"r0": ["a", "b"], "r1": ["c"]}
+    )
+    service.aggregate({"a": [(b"x", 1)] * 40, "c": [(b"x", 2)] * 40}, receiver="b")
+    report = service_report(service)
+    assert "switch tor-r0:" in report and "switch tor-r1:" in report
+
+
+def test_report_on_unfinished_service_is_safe():
+    service = AskService(AskConfig.small(), hosts=2)
+    service.submit({"h0": [(b"a", 1)]}, receiver="h1")
+    report = service_report(service)  # nothing ran yet
+    assert "submitted" in report
+    assert "-" in report  # no elapsed time yet

@@ -1,0 +1,83 @@
+"""Tests for the PISA pipeline resource model."""
+
+import pytest
+
+from repro.switch.pisa import Pipeline, PipelineBudgetError
+from repro.switch.registers import RegisterArray
+
+
+def _array(name, size=16, width=32):
+    return RegisterArray(name, size, width)
+
+
+def test_stage_holds_at_most_four_arrays():
+    pipeline = Pipeline()
+    for i in range(4):
+        pipeline.declare(0, _array(f"a{i}"))
+    with pytest.raises(PipelineBudgetError):
+        pipeline.declare(0, _array("a4"))
+
+
+def test_stage_sram_budget_enforced():
+    pipeline = Pipeline(sram_per_stage_bytes=100)
+    pipeline.declare(0, _array("ok", size=16, width=32))  # 64 B
+    with pytest.raises(PipelineBudgetError):
+        pipeline.declare(0, _array("too-big", size=16, width=32))
+
+
+def test_stage_count_bounded():
+    pipeline = Pipeline(max_stages=2)
+    pipeline.stage(1)
+    with pytest.raises(PipelineBudgetError):
+        pipeline.stage(2)
+
+
+def test_declare_assigns_stage_index():
+    pipeline = Pipeline()
+    array = pipeline.declare(3, _array("x"))
+    assert array.stage_index == 3
+
+
+def test_declare_spread_fills_stages_in_order():
+    pipeline = Pipeline()
+    arrays = [_array(f"aa{i}") for i in range(10)]
+    next_free = pipeline.declare_spread(1, arrays)
+    assert [a.stage_index for a in arrays] == [1, 1, 1, 1, 2, 2, 2, 2, 3, 3]
+    assert next_free == 4
+
+
+def test_declare_spread_keeps_adjacent_pairs_physically_adjacent():
+    # Medium groups need their m arrays in the same or adjacent stages.
+    pipeline = Pipeline()
+    arrays = [_array(f"aa{i}") for i in range(16)]
+    pipeline.declare_spread(0, arrays)
+    for first, second in zip(arrays, arrays[1:]):
+        assert second.stage_index - first.stage_index in (0, 1)
+
+
+def test_sram_used_totals():
+    pipeline = Pipeline()
+    pipeline.declare(0, _array("a", size=8, width=64))  # 64 B
+    pipeline.declare(1, _array("b", size=8, width=64))
+    assert pipeline.sram_used_bytes == 128
+
+
+def test_lazy_stage_creation():
+    pipeline = Pipeline()
+    pipeline.stage(5)
+    assert pipeline.num_stages_used == 6
+
+
+def test_summary_mentions_every_array():
+    pipeline = Pipeline()
+    pipeline.declare(0, _array("seen"))
+    pipeline.declare(1, _array("AA0"))
+    text = pipeline.summary()
+    assert "seen" in text and "AA0" in text
+
+
+def test_begin_pass_counts_passes():
+    pipeline = Pipeline()
+    pipeline.begin_pass()
+    pipeline.begin_pass()
+    assert pipeline.passes == 2

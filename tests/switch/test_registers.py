@@ -1,0 +1,139 @@
+"""Tests for register arrays and the PISA access restriction."""
+
+import pytest
+
+from repro.switch.registers import PassContext, RegisterAccessError, RegisterArray
+
+
+def test_single_access_per_pass_allowed():
+    array = RegisterArray("r", 8, 32)
+    ctx = PassContext()
+    array.write(ctx, 0, 7)
+    assert array.control_read(0) == 7
+
+
+def test_second_access_in_same_pass_raises():
+    array = RegisterArray("r", 8, 32)
+    ctx = PassContext()
+    array.read(ctx, 0)
+    with pytest.raises(RegisterAccessError):
+        array.read(ctx, 1)
+
+
+def test_read_then_write_same_pass_raises():
+    # One read-modify-write is the budget; a separate read then write is two.
+    array = RegisterArray("r", 8, 32)
+    ctx = PassContext()
+    array.read(ctx, 0)
+    with pytest.raises(RegisterAccessError):
+        array.write(ctx, 0, 1)
+
+
+def test_rmw_via_execute_is_one_access():
+    array = RegisterArray("r", 8, 32)
+    ctx = PassContext()
+    result = array.execute(ctx, 3, lambda old: (old + 5, old))
+    assert result == 0
+    assert array.control_read(3) == 5
+
+
+def test_fresh_pass_resets_the_budget():
+    array = RegisterArray("r", 8, 32)
+    array.read(PassContext(), 0)
+    array.read(PassContext(), 0)  # new pass, fine
+
+
+def test_two_arrays_one_pass_each_ok():
+    a = RegisterArray("a", 4, 32)
+    b = RegisterArray("b", 4, 32)
+    ctx = PassContext()
+    a.read(ctx, 0)
+    b.read(ctx, 0)
+
+
+def test_relaxed_array_allows_multiple_accesses():
+    array = RegisterArray("relaxed", 8, 1, relax_access_limit=True)
+    ctx = PassContext()
+    array.read(ctx, 0)
+    array.write(ctx, 0, 1)
+    array.write(ctx, 4, 0)
+
+
+def test_stage_order_cannot_go_backwards():
+    early = RegisterArray("early", 4, 32)
+    late = RegisterArray("late", 4, 32)
+    early.stage_index = 0
+    late.stage_index = 3
+    ctx = PassContext()
+    late.read(ctx, 0)
+    with pytest.raises(RegisterAccessError):
+        early.read(ctx, 0)
+
+
+def test_stage_order_forward_and_same_stage_ok():
+    a = RegisterArray("a", 4, 32)
+    b = RegisterArray("b", 4, 32)
+    c = RegisterArray("c", 4, 32)
+    a.stage_index = b.stage_index = 1
+    c.stage_index = 2
+    ctx = PassContext()
+    a.read(ctx, 0)
+    b.read(ctx, 0)
+    c.read(ctx, 0)
+
+
+def test_set_bit_returns_previous_value():
+    array = RegisterArray("seen", 8, 1)
+    assert array.set_bit(PassContext(), 2) == 0
+    assert array.set_bit(PassContext(), 2) == 1
+    assert array.control_read(2) == 1
+
+
+def test_clr_bitc_returns_complement_of_previous():
+    array = RegisterArray("seen", 8, 1)
+    array.control_write(5, 1)
+    assert array.clr_bitc(PassContext(), 5) == 0  # was 1 -> complement 0
+    assert array.clr_bitc(PassContext(), 5) == 1  # was 0 -> complement 1
+    assert array.control_read(5) == 0
+
+
+def test_index_bounds_checked():
+    array = RegisterArray("r", 4, 32)
+    with pytest.raises(IndexError):
+        array.read(PassContext(), 4)
+
+
+def test_sram_accounting_rounds_up_to_bytes():
+    assert RegisterArray("bits", 10, 1).sram_bytes == 2
+    assert RegisterArray("words", 4, 64).sram_bytes == 32
+
+
+def test_control_plane_bypasses_pass_budget():
+    array = RegisterArray("r", 4, 32)
+    ctx = PassContext()
+    array.read(ctx, 0)
+    # Control-plane reads/writes are out-of-band (switch CPU over PCIe).
+    array.control_write(1, 9)
+    assert array.control_read(1) == 9
+
+
+def test_control_reset_range():
+    array = RegisterArray("r", 6, 32, initial=0)
+    for i in range(6):
+        array.control_write(i, i + 1)
+    array.control_reset(2, 4)
+    assert [array.control_read(i) for i in range(6)] == [1, 2, 0, 0, 5, 6]
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        RegisterArray("bad", 0, 32)
+    with pytest.raises(ValueError):
+        RegisterArray("bad", 4, 0)
+
+
+def test_access_counter():
+    array = RegisterArray("r", 4, 32)
+    array.read(PassContext(), 0)
+    array.read(PassContext(), 1)
+    assert array.accesses == 2

@@ -1,0 +1,71 @@
+"""Tests for the shadow-copy directory."""
+
+import pytest
+
+from repro.core.config import AskConfig
+from repro.switch.registers import PassContext
+from repro.switch.shadow import ShadowDirectory
+
+
+def _shadow(enabled=True, aggregators=64):
+    cfg = AskConfig.small(shadow_copy=enabled, aggregators_per_aa=aggregators)
+    return ShadowDirectory(cfg, max_tasks=4)
+
+
+def test_initial_write_part_is_zero():
+    shadow = _shadow()
+    assert shadow.write_part(PassContext(), 0) == 0
+
+
+def test_swap_flips_write_part():
+    shadow = _shadow()
+    shadow.apply_swap(PassContext(), 0, 1)
+    assert shadow.write_part(PassContext(), 0) == 1
+
+
+def test_swap_is_idempotent_for_duplicated_notifications():
+    shadow = _shadow()
+    shadow.apply_swap(PassContext(), 0, 1)
+    shadow.apply_swap(PassContext(), 0, 1)  # retransmitted notification
+    assert shadow.write_part(PassContext(), 0) == 1
+
+
+def test_read_part_is_the_other_copy():
+    shadow = _shadow()
+    assert shadow.read_part_of(0) == 1
+    assert shadow.read_part_of(1) == 0
+
+
+def test_part_offset_is_copy_size():
+    shadow = _shadow(aggregators=64)
+    assert shadow.part_offset(0) == 0
+    assert shadow.part_offset(1) == 32
+
+
+def test_disabled_shadow_single_copy():
+    shadow = _shadow(enabled=False)
+    assert shadow.write_part(PassContext(), 0) == 0
+    assert shadow.read_part_of(0) == 0
+    assert shadow.part_offset(0) == 0
+    with pytest.raises(ValueError):
+        shadow.part_offset(1)
+
+
+def test_tasks_have_independent_indicators():
+    shadow = _shadow()
+    shadow.apply_swap(PassContext(), 1, 1)
+    assert shadow.write_part(PassContext(), 0) == 0
+    assert shadow.write_part(PassContext(), 1) == 1
+
+
+def test_clear_resets_indicator_for_slot_reuse():
+    shadow = _shadow()
+    shadow.apply_swap(PassContext(), 0, 1)
+    shadow.clear(0)
+    assert shadow.write_part(PassContext(), 0) == 0
+
+
+def test_invalid_part_rejected():
+    shadow = _shadow()
+    with pytest.raises(ValueError):
+        shadow.part_offset(2)

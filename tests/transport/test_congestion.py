@@ -1,0 +1,79 @@
+"""Tests for the ECN/AIMD congestion control (§7)."""
+
+import pytest
+
+from repro.net.simulator import Simulator
+from repro.transport.congestion import CongestionWindow
+
+
+def _cw(max_window=16, initial=4.0, **kwargs):
+    return Simulator(), CongestionWindow(Simulator(), max_window, initial, **kwargs)
+
+
+def test_additive_increase_on_clean_acks():
+    sim = Simulator()
+    cw = CongestionWindow(sim, max_window=16, initial=4.0)
+    before = cw.cwnd
+    for _ in range(4):  # one window of ACKs ~ +1
+        cw.on_ack(ecn_echo=False)
+    assert cw.cwnd == pytest.approx(before + 1, abs=0.1)
+
+
+def test_multiplicative_decrease_on_ecn():
+    sim = Simulator()
+    cw = CongestionWindow(sim, max_window=16, initial=8.0)
+    cw.on_ack(ecn_echo=True)
+    assert cw.cwnd == 4.0
+    assert cw.decreases == 1
+
+
+def test_at_most_one_decrease_per_freeze_period():
+    sim = Simulator()
+    cw = CongestionWindow(sim, max_window=16, initial=8.0, freeze_ns=1000)
+    cw.on_ack(ecn_echo=True)
+    cw.on_ack(ecn_echo=True)  # still frozen
+    assert cw.cwnd == 4.0
+    sim.schedule(2000, lambda: None)
+    sim.run()
+    cw.on_ack(ecn_echo=True)
+    assert cw.cwnd == 2.0
+
+
+def test_never_exceeds_the_reliability_window():
+    # §7: "the congestion window should not exceed the maximum window
+    # defined in the reliability mechanism".
+    sim = Simulator()
+    cw = CongestionWindow(sim, max_window=8, initial=8.0)
+    for _ in range(1000):
+        cw.on_ack(ecn_echo=False)
+    assert cw.cwnd <= 8.0
+
+
+def test_never_falls_below_minimum():
+    sim = Simulator()
+    cw = CongestionWindow(sim, max_window=16, initial=2.0, minimum=1.0, freeze_ns=0)
+    for _ in range(10):
+        cw.on_ack(ecn_echo=True)
+    assert cw.cwnd >= 1.0
+
+
+def test_timeout_collapses_to_minimum():
+    sim = Simulator()
+    cw = CongestionWindow(sim, max_window=16, initial=12.0, minimum=1.0)
+    cw.on_timeout()
+    assert cw.cwnd == 1.0
+
+
+def test_allows_gates_on_integer_window():
+    sim = Simulator()
+    cw = CongestionWindow(sim, max_window=16, initial=2.5)
+    assert cw.allows(0) and cw.allows(1)
+    assert not cw.allows(2)  # int(2.5) == 2 packets at a time
+
+
+def test_invalid_parameters_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        CongestionWindow(sim, max_window=4, initial=8.0)
+    with pytest.raises(ValueError):
+        CongestionWindow(sim, max_window=4, initial=2.0, minimum=3.0)

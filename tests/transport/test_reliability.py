@@ -1,0 +1,98 @@
+"""Tests for host-side retransmit timers and the receive window."""
+
+from repro.net.simulator import Simulator
+from repro.transport.reliability import ReceiveWindow, RetransmitTimers
+from repro.transport.window import SlidingWindow
+
+
+# ---------------------------------------------------------------------------
+# ReceiveWindow
+# ---------------------------------------------------------------------------
+def test_first_arrival_is_new():
+    window = ReceiveWindow(8)
+    assert window.is_new(0)
+    assert window.accepted == 1
+
+
+def test_repeat_arrival_is_duplicate():
+    window = ReceiveWindow(8)
+    window.is_new(3)
+    assert not window.is_new(3)
+    assert window.duplicates == 1
+
+
+def test_out_of_order_first_arrivals_are_new():
+    window = ReceiveWindow(8)
+    assert window.is_new(5)
+    assert window.is_new(2)
+    assert window.is_new(7)
+
+
+def test_stale_arrival_treated_as_duplicate():
+    window = ReceiveWindow(4)
+    window.is_new(10)
+    assert not window.is_new(6)  # 6 <= 10 - 4
+
+
+def test_pruning_keeps_memory_bounded():
+    window = ReceiveWindow(4)
+    for seq in range(1000):
+        window.is_new(seq)
+    assert len(window._seen) <= 4
+
+
+def test_gap_sequences_never_marked_seen():
+    window = ReceiveWindow(8)
+    window.is_new(0)
+    window.is_new(4)
+    assert window.is_new(2)  # the gap arrives late but in-window
+
+
+# ---------------------------------------------------------------------------
+# RetransmitTimers
+# ---------------------------------------------------------------------------
+def _timer_harness(timeout_ns=1000):
+    sim = Simulator()
+    window = SlidingWindow(size=4)
+    resent = []
+    timers = RetransmitTimers(sim, window, timeout_ns, resent.append)
+    return sim, window, timers, resent
+
+
+def test_timer_fires_after_timeout_and_rearms():
+    sim, window, timers, resent = _timer_harness(1000)
+    entry = window.open("p")
+    timers.arm(entry)
+    sim.run(until=3500)
+    assert len(resent) == 3
+    assert timers.retransmissions == 3
+
+
+def test_cancel_stops_retransmission():
+    sim, window, timers, resent = _timer_harness(1000)
+    entry = window.open("p")
+    timers.arm(entry)
+    timers.cancel(entry)
+    sim.run(until=10_000)
+    assert resent == []
+
+
+def test_acked_entry_not_retransmitted_even_if_timer_fires():
+    sim, window, timers, resent = _timer_harness(1000)
+    entry = window.open("p")
+    timers.arm(entry)
+    window.ack(entry.seq)  # acked but timer not cancelled
+    sim.run(until=5000)
+    assert resent == []
+
+
+def test_rearm_replaces_previous_timer():
+    sim, window, timers, resent = _timer_harness(1000)
+    entry = window.open("p")
+    timers.arm(entry)
+    sim.run(until=500)
+    timers.arm(entry)  # e.g. retransmitted by other means
+    sim.run(until=1400)
+    assert resent == []  # original 1000 ns deadline was replaced
+    sim.run(until=1600)
+    assert len(resent) == 1

@@ -1,0 +1,86 @@
+"""Tests for the sender sliding window."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transport.window import SlidingWindow
+
+
+def test_admits_window_size_packets():
+    window = SlidingWindow(size=3)
+    for expected_seq in range(3):
+        assert window.can_send()
+        assert window.open(f"p{expected_seq}").seq == expected_seq
+    assert not window.can_send()
+
+
+def test_open_beyond_window_raises():
+    window = SlidingWindow(size=1)
+    window.open("p")
+    with pytest.raises(RuntimeError):
+        window.open("q")
+
+
+def test_base_is_lowest_unacked():
+    window = SlidingWindow(size=4)
+    for _ in range(4):
+        window.open("p")
+    window.ack(0)
+    window.ack(2)
+    assert window.base == 1
+
+
+def test_ack_of_base_opens_exactly_that_much_room():
+    window = SlidingWindow(size=2)
+    window.open("a")
+    window.open("b")
+    window.ack(1)  # out-of-order ack: base still 0
+    assert not window.can_send()
+    window.ack(0)
+    assert window.can_send()
+
+
+def test_duplicate_ack_returns_none():
+    window = SlidingWindow(size=2)
+    entry = window.open("a")
+    assert window.ack(0) is entry
+    assert window.ack(0) is None
+
+
+def test_ack_unknown_seq_returns_none():
+    window = SlidingWindow(size=2)
+    assert window.ack(17) is None
+
+
+def test_outstanding_in_sequence_order():
+    window = SlidingWindow(size=4)
+    for _ in range(4):
+        window.open("p")
+    window.ack(1)
+    assert [e.seq for e in window.outstanding()] == [0, 2, 3]
+
+
+def test_idle_base_equals_next_seq():
+    window = SlidingWindow(size=2)
+    window.open("a")
+    window.ack(0)
+    assert window.is_empty
+    assert window.base == window.next_seq == 1
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.booleans(), max_size=200))
+def test_in_flight_span_never_exceeds_window(actions):
+    """The invariant the switch's compact seen relies on: every in-flight
+    sequence number satisfies seq > max_assigned - W."""
+    window = SlidingWindow(size=5)
+    for do_send in actions:
+        if do_send and window.can_send():
+            window.open("p")
+        elif not window.is_empty:
+            window.ack(window.base)
+        if not window.is_empty:
+            seqs = [e.seq for e in window.outstanding()]
+            assert max(seqs) - min(seqs) < 5
+            assert window.next_seq - min(seqs) <= 5

@@ -1,0 +1,103 @@
+"""Tests for the synthetic corpora and word synthesis."""
+
+import random
+
+import pytest
+
+from repro.workloads.datasets import DATASETS, SyntheticCorpus, get_dataset
+from repro.workloads.stream import distinct_keys, exact_aggregate, merge_results, split_round_robin, total_bytes
+from repro.workloads.text import length_histogram, make_vocabulary, word_length_for_rank
+
+
+def test_all_paper_datasets_exist():
+    assert set(DATASETS) == {"yelp", "NG", "BAC", "LMDB"}
+
+
+def test_unknown_dataset_rejected():
+    with pytest.raises(KeyError):
+        get_dataset("imagenet")
+
+
+def test_vocabulary_is_deterministic():
+    a = get_dataset("yelp", 500).vocabulary
+    b = SyntheticCorpus(DATASETS["yelp"], 500).vocabulary
+    assert a == b
+
+
+def test_vocabulary_words_are_distinct():
+    vocab = make_vocabulary(2000, seed=1)
+    assert len(set(vocab)) == 2000
+
+
+def test_hot_head_is_short():
+    vocab = make_vocabulary(2000, seed=1)
+    assert all(len(word) <= 4 for word in vocab[:100])
+
+
+def test_tail_contains_medium_and_long_words():
+    vocab = make_vocabulary(5000, seed=1)
+    hist = length_histogram(vocab[1000:])
+    assert any(5 <= length <= 8 for length in hist)
+    assert any(length > 8 for length in hist)
+
+
+def test_long_prob_controls_long_tail():
+    few = make_vocabulary(4000, seed=1, long_prob=0.02)
+    many = make_vocabulary(4000, seed=1, long_prob=0.4)
+    assert sum(len(w) > 8 for w in many) > sum(len(w) > 8 for w in few)
+
+
+def test_word_length_bounded():
+    rng = random.Random(0)
+    for rank in (0, 10, 1000, 100_000):
+        for _ in range(50):
+            assert 1 <= word_length_for_rank(rank, rng) <= 14
+
+
+def test_stream_is_wordcount_shaped():
+    stream = get_dataset("yelp", 1000).stream(500, seed=1)
+    assert len(stream) == 500
+    assert all(value == 1 for _, value in stream)
+
+
+def test_stream_respects_vocabulary():
+    corpus = get_dataset("NG", 300)
+    vocab = set(corpus.vocabulary)
+    assert all(key in vocab for key, _ in corpus.stream(400))
+
+
+def test_stream_deterministic_per_seed():
+    corpus = get_dataset("BAC", 400)
+    assert corpus.stream(200, seed=5) == corpus.stream(200, seed=5)
+    assert corpus.stream(200, seed=5) != corpus.stream(200, seed=6)
+
+
+# ---------------------------------------------------------------------------
+# stream utilities
+# ---------------------------------------------------------------------------
+def test_exact_aggregate():
+    assert exact_aggregate([(b"a", 1), (b"a", 2), (b"b", 5)]) == {b"a": 3, b"b": 5}
+
+
+def test_merge_results():
+    merged = merge_results([{b"a": 1}, {b"a": 2, b"b": 1}])
+    assert merged == {b"a": 3, b"b": 1}
+
+
+def test_split_round_robin_preserves_multiset_and_order():
+    stream = [(b"k%d" % i, i) for i in range(10)]
+    parts = split_round_robin(stream, 3)
+    assert [len(p) for p in parts] == [4, 3, 3]
+    assert sorted(sum(parts, [])) == sorted(stream)
+    assert parts[0] == [stream[0], stream[3], stream[6], stream[9]]
+
+
+def test_split_round_robin_validates_parts():
+    with pytest.raises(ValueError):
+        split_round_robin([], 0)
+
+
+def test_distinct_keys_and_total_bytes():
+    stream = [(b"ab", 1), (b"ab", 2), (b"cde", 3)]
+    assert distinct_keys(stream) == 2
+    assert total_bytes(stream) == (2 + 4) * 2 + (3 + 4)

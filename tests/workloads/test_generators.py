@@ -1,0 +1,84 @@
+"""Tests for the uniform/Zipf stream generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.generators import uniform_stream, zipf_counts, zipf_stream
+
+
+def test_zipf_counts_sum_exactly():
+    counts = zipf_counts(10_000, 100, alpha=1.0)
+    assert counts.sum() == 10_000
+
+
+def test_zipf_counts_monotone_nonincreasing():
+    counts = zipf_counts(10_000, 100, alpha=1.0)
+    assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+
+def test_zipf_counts_follow_inverse_rank_law():
+    counts = zipf_counts(1_000_000, 1000, alpha=1.0)
+    # counts[0]/counts[9] ~ 10 under 1/r.
+    assert counts[0] / counts[9] == pytest.approx(10, rel=0.05)
+
+
+def test_higher_alpha_is_more_skewed():
+    mild = zipf_counts(100_000, 1000, alpha=0.5)
+    steep = zipf_counts(100_000, 1000, alpha=1.5)
+    assert steep[0] > mild[0]
+
+
+def test_zipf_stream_hot_first_order():
+    stream = zipf_stream(1000, 50, alpha=1.0, order="zipf")
+    ranks = [int.from_bytes(k, "little") for k, _ in stream]
+    assert ranks == sorted(ranks)
+
+
+def test_zipf_stream_reverse_order():
+    stream = zipf_stream(1000, 50, alpha=1.0, order="zipf_reverse")
+    ranks = [int.from_bytes(k, "little") for k, _ in stream]
+    assert ranks == sorted(ranks, reverse=True)
+
+
+def test_shuffled_order_is_seed_deterministic():
+    a = zipf_stream(500, 50, order="shuffled", seed=3)
+    b = zipf_stream(500, 50, order="shuffled", seed=3)
+    c = zipf_stream(500, 50, order="shuffled", seed=4)
+    assert a == b
+    assert a != c
+
+
+def test_orders_contain_the_same_multiset():
+    hot = zipf_stream(700, 40, order="zipf")
+    rev = zipf_stream(700, 40, order="zipf_reverse")
+    mix = zipf_stream(700, 40, order="shuffled", seed=1)
+    assert sorted(hot) == sorted(rev) == sorted(mix)
+
+
+def test_unknown_order_rejected():
+    with pytest.raises(ValueError):
+        zipf_stream(10, 5, order="sideways")  # type: ignore[arg-type]
+
+
+def test_custom_key_fn():
+    stream = zipf_stream(10, 3, key_fn=lambda r: b"word%d" % r)
+    assert all(k.startswith(b"word") for k, _ in stream)
+
+
+def test_uniform_stream_covers_key_space():
+    stream = uniform_stream(5000, 10, seed=1)
+    ranks = {int.from_bytes(k, "little") for k, _ in stream}
+    assert ranks == set(range(10))
+
+
+def test_uniform_stream_roughly_balanced():
+    stream = uniform_stream(10_000, 10, seed=2)
+    counts = np.zeros(10)
+    for k, _ in stream:
+        counts[int.from_bytes(k, "little")] += 1
+    assert counts.min() > 800 and counts.max() < 1200
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        zipf_counts(10, 0, alpha=1.0)

@@ -1,0 +1,73 @@
+"""Tests for trace persistence."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workloads.io import (
+    TraceFormatError,
+    dump_stream,
+    dumps_stream,
+    iter_stream,
+    load_stream,
+    loads_stream,
+)
+
+
+def test_file_roundtrip(tmp_path):
+    stream = [(b"cat", 1), (b"dog", -2), (b"\x00\ttab\n", 3)]
+    path = tmp_path / "trace.tsv"
+    assert dump_stream(stream, path) == 3
+    assert load_stream(path) == stream
+
+
+def test_iter_stream_is_lazy_and_equal(tmp_path):
+    stream = [(b"k%d" % i, i) for i in range(100)]
+    path = tmp_path / "trace.tsv"
+    dump_stream(stream, path)
+    iterator = iter_stream(path)
+    assert next(iterator) == (b"k0", 0)
+    assert list(iterator) == stream[1:]
+
+
+def test_blank_lines_ignored():
+    assert loads_stream("\n" + dumps_stream([(b"a", 1)]) + "\n\n") == [(b"a", 1)]
+
+
+def test_bad_hex_rejected():
+    with pytest.raises(TraceFormatError, match="bad hex"):
+        loads_stream("zz\t1")
+
+
+def test_bad_value_rejected():
+    with pytest.raises(TraceFormatError, match="bad value"):
+        loads_stream("61\tnotanumber")
+
+
+def test_missing_tab_rejected():
+    with pytest.raises(TraceFormatError, match="expected"):
+        loads_stream("6161")
+
+
+@given(
+    st.lists(
+        st.tuples(st.binary(min_size=0, max_size=20), st.integers(-(2**40), 2**40)),
+        max_size=50,
+    )
+)
+def test_string_roundtrip_property(stream):
+    assert loads_stream(dumps_stream(stream)) == stream
+
+
+def test_corpus_traces_replay_through_the_service(tmp_path):
+    from repro.core.config import AskConfig
+    from repro.core.service import AskService
+    from repro.workloads.datasets import get_dataset
+
+    stream = get_dataset("yelp", 500).stream(400, seed=1)
+    path = tmp_path / "yelp.tsv"
+    dump_stream(stream, path)
+    replayed = load_stream(path)
+    service = AskService(AskConfig.small(), hosts=2)
+    result = service.aggregate({"h0": replayed}, receiver="h1", check=True)
+    assert result.stats.input_tuples == 400
