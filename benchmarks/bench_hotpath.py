@@ -1,0 +1,195 @@
+#!/usr/bin/env python
+"""Hot-path benchmark and determinism guard.
+
+Runs one lossy multi-host aggregation (loss + duplication + reordering +
+retransmission churn — the workload that made the seed's O(W) per-packet
+scans visible) three times in one process:
+
+1. optimized fast path (the code as checked in),
+2. optimized again — same seed must reproduce the identical schedule,
+3. seed baseline via :func:`repro.transport.reference.reference_mode`,
+   which swaps the pre-PR implementations back in.
+
+It measures simulator events/sec and transmitted packets/sec, then enforces
+the determinism contract: all three runs must agree on the final ``sim.now``,
+``events_processed``, retransmission count, per-host packet counts,
+receive-window accept/duplicate totals and the aggregated values themselves
+(which must also equal the exact :func:`reference_aggregate` answer).  Any
+mismatch exits non-zero — an optimization that changes a single decision
+fails the build, however much faster it is.
+
+Results land in ``BENCH_hotpath.json`` (repo root by default).  ``--smoke``
+shrinks the workload for CI.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py [--smoke] [-o FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import AskConfig, AskService, FaultModel  # noqa: E402
+from repro.core.results import reference_aggregate  # noqa: E402
+from repro.transport.reference import reference_mode  # noqa: E402
+
+#: The benchmark scenario.  Fixed so numbers are comparable across runs and
+#: machines; change it only together with the checked-in baseline JSON.
+FULL = dict(hosts=4, tuples_per_sender=20_000, window=256, num_keys=512, seed=7)
+SMOKE = dict(hosts=3, tuples_per_sender=2_000, window=64, num_keys=128, seed=7)
+
+
+def build_streams(params: dict) -> dict[str, list[tuple[bytes, int]]]:
+    rng = random.Random(params["seed"])
+    keys = [("k%03d" % i).encode() for i in range(params["num_keys"])]
+    return {
+        f"h{i}": [
+            (rng.choice(keys), rng.randint(1, 99))
+            for _ in range(params["tuples_per_sender"])
+        ]
+        for i in range(params["hosts"] - 1)
+    }
+
+
+def run_scenario(params: dict) -> dict:
+    """One full aggregation; returns timing plus the decision fingerprint."""
+    config = AskConfig.small(
+        window_size=params["window"], retransmit_timeout_us=50.0
+    )
+    fault = FaultModel(
+        loss_rate=0.05,
+        duplicate_rate=0.03,
+        reorder_rate=0.10,
+        max_extra_delay_ns=200_000,
+        seed=params["seed"],
+    )
+    service = AskService(config, hosts=params["hosts"], fault=fault)
+    streams = build_streams(params)
+    receiver = f"h{params['hosts'] - 1}"
+
+    wall_start = time.perf_counter()
+    result = service.aggregate(streams, receiver=receiver)
+    wall = time.perf_counter() - wall_start
+
+    expected = reference_aggregate(streams, config.value_mask)
+    if dict(result.items()) != expected:
+        raise AssertionError("aggregated values diverge from the exact answer")
+
+    packets = sum(d.sender_packets() for d in service.daemons.values())
+    accepted, duplicates = service.daemons[receiver].receiver_packets()
+    values_digest = hashlib.sha256(
+        repr(sorted(result.items())).encode()
+    ).hexdigest()
+    events = service.sim.events_processed
+    return {
+        "wall_seconds": round(wall, 4),
+        "events_per_sec": round(events / wall, 1),
+        "packets_per_sec": round(packets / wall, 1),
+        "fingerprint": {
+            "events_processed": events,
+            "final_now_ns": service.sim.now,
+            "retransmissions": result.stats.retransmissions,
+            "data_packets_sent": result.stats.data_packets_sent,
+            "packets_received": result.stats.packets_received,
+            "duplicates_dropped": result.stats.duplicate_packets_dropped,
+            "sender_packets_total": packets,
+            "recv_window_accepted": accepted,
+            "recv_window_duplicates": duplicates,
+            "values_sha256": values_digest,
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="small workload for CI"
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_hotpath.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    if not args.output.parent.is_dir():
+        parser.error(f"output directory does not exist: {args.output.parent}")
+    params = SMOKE if args.smoke else FULL
+
+    print(f"scenario: {params}")
+    optimized = run_scenario(params)
+    print(
+        f"optimized : {optimized['wall_seconds']:8.3f}s  "
+        f"{optimized['events_per_sec']:>10,.0f} ev/s  "
+        f"{optimized['packets_per_sec']:>9,.0f} pkt/s"
+    )
+    repeat = run_scenario(params)
+    print(
+        f"repeat    : {repeat['wall_seconds']:8.3f}s  "
+        f"{repeat['events_per_sec']:>10,.0f} ev/s  "
+        f"{repeat['packets_per_sec']:>9,.0f} pkt/s"
+    )
+    with reference_mode():
+        reference = run_scenario(params)
+    print(
+        f"reference : {reference['wall_seconds']:8.3f}s  "
+        f"{reference['events_per_sec']:>10,.0f} ev/s  "
+        f"{reference['packets_per_sec']:>9,.0f} pkt/s"
+    )
+
+    repeat_identical = optimized["fingerprint"] == repeat["fingerprint"]
+    reference_identical = optimized["fingerprint"] == reference["fingerprint"]
+    speedup_events = round(
+        optimized["events_per_sec"] / reference["events_per_sec"], 3
+    )
+    speedup_packets = round(
+        optimized["packets_per_sec"] / reference["packets_per_sec"], 3
+    )
+
+    report = {
+        "benchmark": "hotpath",
+        "mode": "smoke" if args.smoke else "full",
+        "scenario": params,
+        "python": platform.python_version(),
+        "optimized": optimized,
+        "optimized_repeat": repeat,
+        "reference": reference,
+        "speedup": {
+            "events_per_sec": speedup_events,
+            "packets_per_sec": speedup_packets,
+        },
+        "determinism": {
+            "repeat_identical": repeat_identical,
+            "reference_identical": reference_identical,
+        },
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"speedup: {speedup_packets}x pkt/s, {speedup_events}x ev/s")
+    print(f"report: {args.output}")
+
+    if not repeat_identical:
+        print("FAIL: same seed, different schedule across repeated runs",
+              file=sys.stderr)
+        return 2
+    if not reference_identical:
+        print("FAIL: optimized fast path diverges from the seed reference",
+              file=sys.stderr)
+        return 2
+    print("determinism guard: OK (3 runs, identical fingerprints)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -181,3 +181,11 @@ class HostDaemon(NetworkNode):
 
     def sender_bytes(self) -> int:
         return sum(ch.bytes_sent for ch in self.channels)
+
+    def sender_packets(self) -> int:
+        """Total packets transmitted by this host (retransmissions included)."""
+        return sum(ch.packets_sent for ch in self.channels)
+
+    def receiver_packets(self) -> tuple[int, int]:
+        """(accepted, duplicates) receive-window totals for this host."""
+        return self.receiver.window_stats()

@@ -9,6 +9,8 @@ make every key in subspace *i* collide into a fraction of each AA.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 FNV_PRIME_32 = 0x01000193
 FNV_OFFSET_32 = 0x811C9DC5
 
@@ -26,13 +28,22 @@ def fnv1a32(data: bytes, offset: int = FNV_OFFSET_32) -> int:
     return value
 
 
+def _partition_hash_uncached(key: bytes) -> int:
+    return fnv1a32(key, FNV_OFFSET_32)
+
+
+@lru_cache(maxsize=None)
 def partition_hash(key: bytes) -> int:
     """The key-space partition hash F (§3.2.2).
 
     ``partition_hash(key) % num_subspaces`` selects the packet slot / AA a
     key is dedicated to.  Must be uniform so subspaces are balanced.
+
+    Memoized: the hash is pure, streams revisit the same keys constantly
+    (the working set is the task's keyspace, which is bounded), and the
+    byte-wise FNV loop is a hot-path cost otherwise.
     """
-    return fnv1a32(key, FNV_OFFSET_32)
+    return _partition_hash_uncached(key)
 
 
 def _fmix32(value: int) -> int:
@@ -51,13 +62,18 @@ def _fmix32(value: int) -> int:
     return value
 
 
+def _address_hash_uncached(key: bytes) -> int:
+    return _fmix32(fnv1a32(key, _ADDR_OFFSET_32))
+
+
+@lru_cache(maxsize=None)
 def address_hash(key: bytes) -> int:
     """The within-AA aggregator index hash (§3.2.1, ``hash(key)``).
 
     Independent of :func:`partition_hash` so that the keys of one subspace
-    spread over the whole AA.
+    spread over the whole AA.  Memoized like :func:`partition_hash`.
     """
-    return _fmix32(fnv1a32(key, _ADDR_OFFSET_32))
+    return _address_hash_uncached(key)
 
 
 def channel_hash(task_id: int) -> int:

@@ -75,35 +75,35 @@ class AskPacket:
     #: in ACKs (§7 "Congestion Control").
     ecn: bool = False
 
-    # ------------------------------------------------------------------
-    @property
-    def channel_key(self) -> tuple[str, int]:
-        """The data-channel identity owning this packet's sequence space."""
-        return (self.src, self.channel_index)
+    # Flag predicates and the frame size are consulted several times per
+    # hop on every packet; deriving them through IntFlag.__and__ each time
+    # dominated the transport fast path, so they are computed once here.
+    # (Plain attributes, not dataclass fields: replace() re-derives them
+    # and they stay out of __eq__/__hash__.)
+    def __post_init__(self) -> None:
+        flags = int(self.flags)
+        set_ = object.__setattr__
+        set_(self, "channel_key", (self.src, self.channel_index))
+        set_(self, "is_data", bool(flags & 0x1))
+        set_(self, "is_ack", bool(flags & 0x2))
+        set_(self, "is_fin", bool(flags & 0x4))
+        set_(self, "is_swap", bool(flags & 0x8))
+        set_(self, "is_long", bool(flags & 0x10))
+        if flags & 0x10:  # LONG: variable-length tuple encoding
+            payload = sum(
+                1 + len(slot.key) + 4 for slot in self.slots if slot is not None
+            )
+            frame = constants.HEADER_BYTES + payload
+        elif flags & 0x5:  # DATA | FIN: all N fixed-size slots on the wire
+            frame = constants.HEADER_BYTES + len(self.slots) * constants.TUPLE_BYTES
+        else:
+            frame = constants.HEADER_BYTES
+        set_(self, "_frame_bytes", frame)
 
+    # ------------------------------------------------------------------
     @property
     def num_slots(self) -> int:
         return len(self.slots)
-
-    @property
-    def is_data(self) -> bool:
-        return bool(self.flags & PacketFlag.DATA)
-
-    @property
-    def is_ack(self) -> bool:
-        return bool(self.flags & PacketFlag.ACK)
-
-    @property
-    def is_fin(self) -> bool:
-        return bool(self.flags & PacketFlag.FIN)
-
-    @property
-    def is_swap(self) -> bool:
-        return bool(self.flags & PacketFlag.SWAP)
-
-    @property
-    def is_long(self) -> bool:
-        return bool(self.flags & PacketFlag.LONG)
 
     @property
     def tuple_count(self) -> int:
@@ -127,7 +127,19 @@ class AskPacket:
     # ------------------------------------------------------------------
     def with_bitmap(self, bitmap: int) -> "AskPacket":
         """A copy of this packet carrying a rewritten bitmap (Eq. 10)."""
-        return replace(self, bitmap=bitmap)
+        if bitmap == self.bitmap:
+            return self  # immutable, so sharing is safe
+        return AskPacket(
+            flags=self.flags,
+            task_id=self.task_id,
+            src=self.src,
+            dst=self.dst,
+            channel_index=self.channel_index,
+            seq=self.seq,
+            bitmap=bitmap,
+            slots=self.slots,
+            ecn=self.ecn,
+        )
 
     def with_ecn(self) -> "AskPacket":
         """A copy marked congestion-experienced (set by a congested link)."""
@@ -143,20 +155,14 @@ class AskPacket:
 
         Long-key packets use a variable-length encoding (1-byte length +
         key + 4-byte value per tuple); normal data packets always carry all
-        N fixed-size slots, blank or not.
+        N fixed-size slots, blank or not.  Computed once in
+        ``__post_init__`` — packets are immutable.
         """
-        if self.is_long:
-            payload = sum(
-                1 + len(slot.key) + 4 for slot in self.slots if slot is not None
-            )
-            return constants.HEADER_BYTES + payload
-        if self.flags & (PacketFlag.DATA | PacketFlag.FIN):
-            return constants.HEADER_BYTES + self.num_slots * constants.TUPLE_BYTES
-        return constants.HEADER_BYTES
+        return self._frame_bytes
 
     def wire_bytes(self) -> int:
         """Bytes of wire time consumed, including IPG/preamble/SFD/CRC."""
-        return self.frame_bytes() + constants.FRAMING_EXTRA
+        return self._frame_bytes + constants.FRAMING_EXTRA
 
     def goodput_bytes(self) -> int:
         """Application-useful bytes: live tuples only (blank slots excluded)."""

@@ -76,6 +76,20 @@ class ReceiverEngine:
         self.send_fn = send_fn
         self.on_complete = on_complete
         self.layout = KeySpaceLayout(config)
+        # Per-packet merge is hot: precompute each medium group's slot tuple
+        # and bitmap mask once so _merge_packet tests group liveness with one
+        # AND instead of rebuilding per-slot boolean lists per packet.
+        self._group_masks: list[tuple[tuple[int, ...], int]] = []
+        for group in range(self.layout.num_groups):
+            slots = self.layout.group_slots(group)
+            mask = 0
+            for s in slots:
+                mask |= 1 << s
+            self._group_masks.append((slots, mask))
+        self._medium_mask = 0
+        for _, mask in self._group_masks:
+            self._medium_mask |= mask
+        self._short_mask = (1 << self.layout.num_short_slots) - 1
         self._tasks: dict[int, ReceiverTaskState] = {}
         self._windows: dict[tuple[str, int], ReceiveWindow] = {}
         self.stray_packets = 0
@@ -95,6 +109,12 @@ class ReceiverEngine:
             win = ReceiveWindow(self.config.window_size)
             self._windows[channel_key] = win
         return win
+
+    def window_stats(self) -> tuple[int, int]:
+        """(accepted, duplicates) totals across all receive windows."""
+        accepted = sum(w.accepted for w in self._windows.values())
+        duplicates = sum(w.duplicates for w in self._windows.values())
+        return accepted, duplicates
 
     # ------------------------------------------------------------------
     # Packet ingress (forwarded DATA / FIN / LONG)
@@ -138,35 +158,38 @@ class ReceiverEngine:
                 merged += 1
         else:
             bitmap = pkt.bitmap
-            for slot_index in range(self.layout.num_short_slots):
-                if not bitmap >> slot_index & 1:
-                    continue
+            # Walk only the set short bits (lowest first, matching slot
+            # order) instead of scanning every short slot per packet.
+            short_bits = bitmap & self._short_mask
+            while short_bits:
+                slot_index = (short_bits & -short_bits).bit_length() - 1
+                short_bits &= short_bits - 1
                 slot = pkt.slots[slot_index]
                 if slot is None:
                     raise ProtocolError(f"live bit {slot_index} on blank slot")
                 key = unpad_key(slot.key)
                 residual[key] = (residual.get(key, 0) + slot.value) & mask
                 merged += 1
-            for group in range(self.layout.num_groups):
-                slots = self.layout.group_slots(group)
-                bits = [bool(bitmap >> s & 1) for s in slots]
-                if not any(bits):
-                    continue
-                if not all(bits):
-                    raise ProtocolError(
-                        f"medium group {group} arrived with a partial bitmap"
-                    )
-                segments = []
-                value = 0
-                for s in slots:
-                    slot = pkt.slots[s]
-                    if slot is None:
-                        raise ProtocolError(f"live bit {s} on blank slot")
-                    segments.append(slot.key)
-                    value = slot.value
-                key = unpad_key(b"".join(segments))
-                residual[key] = (residual.get(key, 0) + value) & mask
-                merged += 1
+            if bitmap & self._medium_mask:
+                for group, (slots, gmask) in enumerate(self._group_masks):
+                    hit = bitmap & gmask
+                    if not hit:
+                        continue
+                    if hit != gmask:
+                        raise ProtocolError(
+                            f"medium group {group} arrived with a partial bitmap"
+                        )
+                    segments = []
+                    value = 0
+                    for s in slots:
+                        slot = pkt.slots[s]
+                        if slot is None:
+                            raise ProtocolError(f"live bit {s} on blank slot")
+                        segments.append(slot.key)
+                        value = slot.value
+                    key = unpad_key(b"".join(segments))
+                    residual[key] = (residual.get(key, 0) + value) & mask
+                    merged += 1
         state.task.stats.tuples_merged_at_receiver += merged
 
     # ------------------------------------------------------------------

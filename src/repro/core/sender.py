@@ -104,6 +104,7 @@ class SenderChannel:
                 freeze_ns=config.retransmit_timeout_ns,
             )
         self._jobs: deque[SendingJob] = deque()
+        self._fin_retry_pending = False
         self.packets_sent = 0
         self.bytes_sent = 0
 
@@ -148,6 +149,18 @@ class SenderChannel:
                 job.fin_sent = True
                 entry = self.window.open(_EntryTag(job, None))
                 self._transmit(entry)
+            elif not self._fin_retry_pending:
+                # The FIN is due but the window refused it (e.g. a frozen
+                # congestion window at drain time).  With all data ACKed
+                # there is no outstanding ACK left to re-pump the channel,
+                # so without this self-scheduled retry the job would stall
+                # forever.
+                self._fin_retry_pending = True
+                self.sim.schedule(0, self._retry_fin)
+
+    def _retry_fin(self) -> None:
+        self._fin_retry_pending = False
+        self._pump()
 
     def _build_packet(self, entry: WindowEntry) -> AskPacket:
         tag: _EntryTag = entry.payload

@@ -22,6 +22,12 @@ class FaultDecision:
     duplicate_delay_ns: int = 0
 
 
+#: Shared outcomes for the two alternatives that carry no per-packet state.
+#: Callers must treat decisions as read-only.
+_CLEAN = FaultDecision()
+_DROP = FaultDecision(drop=True)
+
+
 @dataclass
 class FaultModel:
     """Per-packet fault distribution.
@@ -72,14 +78,25 @@ class FaultModel:
         )
 
     def decide(self) -> FaultDecision:
-        """Draw the fate of the next packet."""
-        decision = FaultDecision()
-        if self.loss_rate and self._rng.random() < self.loss_rate:
-            decision.drop = True
-            return decision
-        if self.reorder_rate and self._rng.random() < self.reorder_rate:
-            decision.extra_delay_ns = self._rng.randint(1, self.max_extra_delay_ns)
-        if self.duplicate_rate and self._rng.random() < self.duplicate_rate:
-            decision.duplicate = True
-            decision.duplicate_delay_ns = self._rng.randint(1, self.max_extra_delay_ns)
-        return decision
+        """Draw the fate of the next packet.
+
+        The RNG draw order is part of the determinism contract: each rate
+        draws at most once per packet, in loss → reorder → duplicate order.
+        The common no-fault outcome returns a shared decision object (which
+        callers only read) to keep the per-packet path allocation-free.
+        """
+        rng = self._rng
+        if self.loss_rate and rng.random() < self.loss_rate:
+            return _DROP
+        extra_delay = 0
+        if self.reorder_rate and rng.random() < self.reorder_rate:
+            extra_delay = rng.randint(1, self.max_extra_delay_ns)
+        if self.duplicate_rate and rng.random() < self.duplicate_rate:
+            return FaultDecision(
+                duplicate=True,
+                extra_delay_ns=extra_delay,
+                duplicate_delay_ns=rng.randint(1, self.max_extra_delay_ns),
+            )
+        if extra_delay:
+            return FaultDecision(extra_delay_ns=extra_delay)
+        return _CLEAN

@@ -57,6 +57,10 @@ class Link:
         self.name = name
         self.ecn_threshold_bytes = ecn_threshold_bytes
         self._tx_free_at = 0  # serialization is FIFO: next byte may start here
+        # Packet sizes repeat (ACKs, full data frames), so serialization
+        # times are memoized; the cache stays tiny and keeps the hot send
+        # path free of float division per packet.
+        self._ser_cache: dict[int, int] = {}
         self.packets_sent = 0
         self.packets_dropped = 0
         self.packets_duplicated = 0
@@ -67,10 +71,16 @@ class Link:
     # ------------------------------------------------------------------
     def serialization_ns(self, size_bytes: int) -> int:
         """Time to push ``size_bytes`` onto the wire at link bandwidth."""
+        cached = self._ser_cache.get(size_bytes)
+        if cached is not None:
+            return cached
         if self.bandwidth_gbps is None:
-            return 0
-        bits = size_bytes * 8
-        return max(1, int(round(bits / gbps_to_bits_per_ns(self.bandwidth_gbps))))
+            ns = 0
+        else:
+            bits = size_bytes * 8
+            ns = max(1, int(round(bits / gbps_to_bits_per_ns(self.bandwidth_gbps))))
+        self._ser_cache[size_bytes] = ns
+        return ns
 
     def send(self, packet: Any, size_bytes: int, deliver: DeliverFn) -> None:
         """Transmit ``packet`` and invoke ``deliver(packet)`` on arrival.
@@ -81,16 +91,26 @@ class Link:
         """
         self.packets_sent += 1
         self.bytes_sent += size_bytes
-        backlog = self.backlog_bytes()
-        self.max_backlog_bytes = max(self.max_backlog_bytes, backlog)
-        if (
-            self.ecn_threshold_bytes is not None
-            and backlog > self.ecn_threshold_bytes
-            and hasattr(packet, "with_ecn")
-        ):
-            packet = packet.with_ecn()
-            self.packets_marked += 1
-        start = max(self.sim.now, self._tx_free_at)
+        now = self.sim.now
+        if self.bandwidth_gbps is not None and self._tx_free_at > now:
+            # Inlined backlog_bytes(): this runs per packet.
+            backlog = int(
+                (self._tx_free_at - now)
+                * gbps_to_bits_per_ns(self.bandwidth_gbps)
+                / 8
+            )
+            if backlog > self.max_backlog_bytes:
+                self.max_backlog_bytes = backlog
+            if (
+                self.ecn_threshold_bytes is not None
+                and backlog > self.ecn_threshold_bytes
+                and hasattr(packet, "with_ecn")
+            ):
+                packet = packet.with_ecn()
+                self.packets_marked += 1
+        start = self._tx_free_at
+        if now > start:
+            start = now
         tx_done = start + self.serialization_ns(size_bytes)
         self._tx_free_at = tx_done
 

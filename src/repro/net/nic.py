@@ -33,15 +33,16 @@ class Nic:
         self.sim = sim
         self.link = link
         self.max_pps = max_pps
+        # The gap is fixed for the NIC's lifetime; precomputed so the
+        # per-packet send path does no float division.
+        self._gap_ns = 0 if max_pps is None else max(1, int(round(NS_PER_S / max_pps)))
         self._next_slot = 0
         self.packets_sent = 0
         self.bytes_sent = 0
 
     def min_packet_gap_ns(self) -> int:
         """Minimum spacing between consecutive packet launches."""
-        if self.max_pps is None:
-            return 0
-        return max(1, int(round(NS_PER_S / self.max_pps)))
+        return self._gap_ns
 
     def send(self, packet: Any, size_bytes: int, deliver: DeliverFn) -> None:
         """Send through the PPS shaper, then the link.
@@ -51,10 +52,11 @@ class Nic:
         """
         self.packets_sent += 1
         self.bytes_sent += size_bytes
-        gap = self.min_packet_gap_ns()
-        launch = max(self.sim.now, self._next_slot)
-        self._next_slot = launch + gap
-        if launch <= self.sim.now:
+        now = self.sim.now
+        launch = self._next_slot
+        if now >= launch:
+            self._next_slot = now + self._gap_ns
             self.link.send(packet, size_bytes, deliver)
         else:
+            self._next_slot = launch + self._gap_ns
             self.sim.at(launch, self.link.send, packet, size_bytes, deliver)

@@ -5,12 +5,33 @@ instant fire in scheduling order (a monotonically increasing tiebreaker keeps
 the heap deterministic), so a simulation with a fixed seed is exactly
 reproducible — a requirement for the property-based reliability tests, which
 must be able to shrink failing schedules.
+
+Per-event bookkeeping is O(1) (amortized O(log n) for the heap itself):
+
+- heap entries are plain ``(time, order, event)`` tuples, so sift
+  comparisons resolve on the integer fields in C instead of calling
+  ``Event.__lt__`` (the single hottest call site of the seed event loop);
+- cancellation is still lazy — the event stays in the heap and is skipped
+  when popped — but the simulator keeps a live-event counter so ``pending``
+  is O(1) instead of a full-heap sweep;
+- when cancelled events outnumber live ones (retransmit timers cancel one
+  event per ACK, so long lossy runs used to bloat the heap without bound),
+  the heap is compacted in one O(n) pass, amortized against the cancels
+  that triggered it;
+- ``run`` and ``step`` count processed events in one place
+  (``_events_processed``), so the ``max_events`` guard and the
+  ``events_processed`` property can never disagree, and a heap holding only
+  cancelled events drains instead of tripping the guard.
 """
 
 from __future__ import annotations
 
 import heapq
 from typing import Any, Callable, Optional
+
+#: Compaction only kicks in above this many cancelled events, so small
+#: simulations never pay for a heap rebuild.
+_COMPACT_MIN_CANCELLED = 64
 
 
 class SimulationError(RuntimeError):
@@ -25,7 +46,7 @@ class Event:
     popped.
     """
 
-    __slots__ = ("time", "order", "callback", "args", "cancelled")
+    __slots__ = ("time", "order", "callback", "args", "cancelled", "_sim")
 
     def __init__(self, time: int, order: int, callback: Callable[..., Any], args: tuple):
         self.time = time
@@ -33,10 +54,19 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Prevent the callback from running; safe to call more than once."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        # _sim is dropped when the event leaves the heap, so a late cancel
+        # (e.g. of a timer that already fired) cannot skew the live count.
+        sim = self._sim
+        if sim is not None:
+            self._sim = None
+            sim._on_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.order) < (other.time, other.order)
@@ -62,9 +92,14 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._heap: list[Event] = []
+        #: min-heap of (time, order, Event); the int prefix keeps tuple
+        #: comparison in C and the unique order means Events never compare.
+        self._heap: list[tuple[int, int, Event]] = []
         self._order = 0
         self._events_processed = 0
+        self._live = 0  #: non-cancelled events currently in the heap
+        self._cancelled_in_heap = 0
+        self.compactions = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -73,17 +108,64 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay_ns`` from now."""
         if delay_ns < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay_ns})")
-        return self.at(self.now + int(delay_ns), callback, *args)
+        # Inlined at(): a non-negative delay can never land in the past.
+        time_ns = self.now + int(delay_ns)
+        order = self._order
+        self._order = order + 1
+        event = Event(time_ns, order, callback, args)
+        event._sim = self
+        heapq.heappush(self._heap, (time_ns, order, event))
+        self._live += 1
+        return event
 
     def at(self, time_ns: int, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at an absolute simulation time."""
+        time_ns = int(time_ns)
         if time_ns < self.now:
             raise SimulationError(
                 f"cannot schedule at t={time_ns} before current time t={self.now}"
             )
-        event = Event(int(time_ns), self._order, callback, args)
-        self._order += 1
-        heapq.heappush(self._heap, event)
+        order = self._order
+        self._order = order + 1
+        event = Event(time_ns, order, callback, args)
+        event._sim = self
+        heapq.heappush(self._heap, (time_ns, order, event))
+        self._live += 1
+        return event
+
+    # ------------------------------------------------------------------
+    # Cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _on_cancel(self) -> None:
+        """A live in-heap event was just cancelled; compact if they dominate."""
+        self._live -= 1
+        self._cancelled_in_heap += 1
+        if (
+            self._cancelled_in_heap > _COMPACT_MIN_CANCELLED
+            and self._cancelled_in_heap * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled events and re-heapify — O(n), amortized O(1) per
+        cancel since at least half the heap is discarded each time.
+
+        Mutates the heap list in place: ``run`` holds a local reference to
+        it while a callback may trigger this compaction.
+        """
+        self._heap[:] = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
+        self.compactions += 1
+
+    def _pop(self) -> Event:
+        """Pop the head event and settle its bookkeeping."""
+        event = heapq.heappop(self._heap)[2]
+        if event.cancelled:
+            self._cancelled_in_heap -= 1
+        else:
+            self._live -= 1
+            event._sim = None
         return event
 
     # ------------------------------------------------------------------
@@ -92,7 +174,7 @@ class Simulator:
     def step(self) -> bool:
         """Run the next pending event.  Returns False when the heap is empty."""
         while self._heap:
-            event = heapq.heappop(self._heap)
+            event = self._pop()
             if event.cancelled:
                 continue
             self.now = event.time
@@ -107,31 +189,52 @@ class Simulator:
 
         ``until`` is an absolute time; events scheduled at exactly ``until``
         still run.  ``max_events`` guards against accidental livelock in
-        tests.
+        tests; it counts events processed *by this call* (cancelled events
+        that are merely discarded do not count, and a heap holding only
+        cancelled events drains normally).
         """
-        processed = 0
-        while self._heap:
-            if max_events is not None and processed >= max_events:
+        heap = self._heap
+        heappop = heapq.heappop
+        start = self._events_processed
+        if until is None and max_events is None:
+            # The common full-drain loop, with bookkeeping inlined.
+            while heap:
+                time_ns, _order, event = heappop(heap)
+                if event.cancelled:
+                    self._cancelled_in_heap -= 1
+                    continue
+                self._live -= 1
+                event._sim = None
+                self.now = time_ns
+                self._events_processed += 1
+                event.callback(*event.args)
+            return
+        while heap:
+            head_time, _order, head = heap[0]
+            if head.cancelled:
+                heappop(heap)
+                self._cancelled_in_heap -= 1
+                continue
+            if until is not None and head_time > until:
+                self.now = until
+                return
+            if max_events is not None and self._events_processed - start >= max_events:
                 raise SimulationError(
                     f"simulation exceeded max_events={max_events} at t={self.now}"
                 )
-            head = self._heap[0]
-            if head.cancelled:
-                heapq.heappop(self._heap)
-                continue
-            if until is not None and head.time > until:
-                self.now = until
-                return
-            if not self.step():
-                break
-            processed += 1
+            heappop(heap)
+            self._live -= 1
+            head._sim = None
+            self.now = head_time
+            self._events_processed += 1
+            head.callback(*head.args)
         if until is not None and self.now < until:
             self.now = until
 
     @property
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1)."""
+        return self._live
 
     @property
     def events_processed(self) -> int:

@@ -85,6 +85,20 @@ class AskSwitchProgram:
         self.dedup = dedup
         self.shadow = shadow
         self.layout = KeySpaceLayout(config)
+        # _aggregate runs per packet: precompute the short-slot mask and
+        # each medium group's (slots, mask) so liveness tests are single
+        # AND operations instead of per-slot scans.
+        self._short_mask = (1 << self.layout.num_short_slots) - 1
+        self._group_info: list[tuple[tuple[int, ...], int]] = []
+        for group in range(self.layout.num_groups):
+            slots = self.layout.group_slots(group)
+            gmask = 0
+            for s in slots:
+                gmask |= 1 << s
+            self._group_info.append((slots, gmask))
+        self._medium_mask = 0
+        for _, gmask in self._group_info:
+            self._medium_mask |= gmask
         self.switch_name = switch_name
         self.stats = ProgramStats()
 
@@ -151,10 +165,12 @@ class AskSwitchProgram:
         base = self.shadow.part_offset(part) + region.offset
         bitmap = pkt.bitmap
 
-        # Short-key slots: one AA each, in slot (== stage) order.
-        for slot in range(self.layout.num_short_slots):
-            if not bitmap >> slot & 1:
-                continue
+        # Short-key slots: one AA each, walking only the set bits (lowest
+        # first — the same slot/stage order as the seed's full scan).
+        short_bits = bitmap & self._short_mask
+        while short_bits:
+            slot = (short_bits & -short_bits).bit_length() - 1
+            short_bits &= short_bits - 1
             tup = pkt.slots[slot]
             if tup is None:
                 raise ProtocolError(f"bitmap bit {slot} set on a blank slot")
@@ -163,27 +179,27 @@ class AskSwitchProgram:
                 bitmap &= ~(1 << slot)
 
         # Medium-key groups: coalesced, unified index over the whole key.
-        for group in range(self.layout.num_groups):
-            slots = self.layout.group_slots(group)
-            bits = [bool(bitmap >> s & 1) for s in slots]
-            if not any(bits):
-                continue
-            if not all(bits):
-                raise ProtocolError(
-                    f"medium group {group} has a partially-set bitmap; "
-                    "group tuples must be aggregated all-or-nothing"
-                )
-            segments = []
-            value = 0
-            for s in slots:
-                tup = pkt.slots[s]
-                if tup is None:
-                    raise ProtocolError(f"bitmap bit {s} set on a blank slot")
-                segments.append(tup.key)
-                value = tup.value  # the value rides in the last slot
-            padded = b"".join(segments)
-            index = base + address_hash(padded) % region.size
-            if self.pool.aggregate_group(ctx, slots, index, tuple(segments), value):
+        if bitmap & self._medium_mask:
+            for group, (slots, gmask) in enumerate(self._group_info):
+                hit = bitmap & gmask
+                if not hit:
+                    continue
+                if hit != gmask:
+                    raise ProtocolError(
+                        f"medium group {group} has a partially-set bitmap; "
+                        "group tuples must be aggregated all-or-nothing"
+                    )
+                segments = []
+                value = 0
                 for s in slots:
-                    bitmap &= ~(1 << s)
+                    tup = pkt.slots[s]
+                    if tup is None:
+                        raise ProtocolError(f"bitmap bit {s} set on a blank slot")
+                    segments.append(tup.key)
+                    value = tup.value  # the value rides in the last slot
+                padded = b"".join(segments)
+                index = base + address_hash(padded) % region.size
+                if self.pool.aggregate_group(ctx, slots, index, tuple(segments), value):
+                    for s in slots:
+                        bitmap &= ~(1 << s)
         return bitmap

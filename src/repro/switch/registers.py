@@ -25,6 +25,12 @@ from repro.core.errors import AskError
 
 T = TypeVar("T")
 
+# Shared value-free ALUs: these run on every packet pass, so they are built
+# once instead of allocating a fresh closure per register access.
+_READ_ALU = lambda old: (old, old)  # noqa: E731
+_SET_BIT_ALU = lambda old: (1, old)  # noqa: E731
+_CLR_BITC_ALU = lambda old: (0, 1 - old)  # noqa: E731
+
 
 class RegisterAccessError(AskError, RuntimeError):
     """A register array was accessed more than once in one packet pass, or
@@ -117,7 +123,26 @@ class RegisterArray(Generic[T]):
         ``alu(old) -> (new, result)`` runs atomically on the cell; ``result``
         is what the pass carries forward in packet metadata (PHV).
         """
-        ctx.note_access(self)
+        # PassContext.note_access inlined: this check pair runs on every
+        # register access of every packet pass.
+        if not self.relax_access_limit:
+            key = id(self)
+            accessed = ctx._accessed
+            if key in accessed:
+                raise RegisterAccessError(
+                    f"register array {self.name!r} accessed twice in one pass"
+                    f"{' (' + ctx.label + ')' if ctx.label else ''}"
+                )
+            accessed.add(key)
+        stage = self.stage_index
+        if stage is not None:
+            if stage < ctx._current_stage:
+                raise RegisterAccessError(
+                    f"pass moved backwards: array {self.name!r} lives in stage "
+                    f"{stage} but stage {ctx._current_stage} was "
+                    "already visited"
+                )
+            ctx._current_stage = stage
         if not 0 <= index < self.size:
             raise IndexError(f"{self.name}[{index}] out of range (size {self.size})")
         self.accesses += 1
@@ -128,7 +153,7 @@ class RegisterArray(Generic[T]):
 
     def read(self, ctx: PassContext, index: int) -> T:
         """Read-only access (still consumes the pass's single access)."""
-        return self.execute(ctx, index, lambda old: (old, old))
+        return self.execute(ctx, index, _READ_ALU)
 
     def write(self, ctx: PassContext, index: int, value: T) -> None:
         """Write-only access (still consumes the pass's single access)."""
@@ -137,12 +162,12 @@ class RegisterArray(Generic[T]):
     # --- atomic bit instructions (footnotes 4 and 5 of the paper) -------
     def set_bit(self, ctx: PassContext, index: int) -> int:
         """Atomically set the bit and return its previous value."""
-        return self.execute(ctx, index, lambda old: (1, old))
+        return self.execute(ctx, index, _SET_BIT_ALU)
 
     def clr_bitc(self, ctx: PassContext, index: int) -> int:
         """Atomically clear the bit and return the complement of its
         previous value."""
-        return self.execute(ctx, index, lambda old: (0, 1 - old))
+        return self.execute(ctx, index, _CLR_BITC_ALU)
 
     # ------------------------------------------------------------------
     # Control-plane access.  The switch CPU reads/writes registers out of

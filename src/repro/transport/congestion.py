@@ -41,26 +41,38 @@ class CongestionWindow:
         self.sim = sim
         self.max_window = max_window  # the reliability window W — hard cap
         self.minimum = minimum
-        self.cwnd = float(initial)
+        self._cwnd = float(initial)
+        self._cwnd_int = int(self._cwnd)
         self.freeze_ns = freeze_ns
         self._frozen_until = -1
         self.decreases = 0
         self.increases = 0
 
+    # ``allows`` runs on every admission attempt of every packet, so the
+    # integer window is cached and refreshed only when cwnd changes.
+    @property
+    def cwnd(self) -> float:
+        return self._cwnd
+
+    @cwnd.setter
+    def cwnd(self, value: float) -> None:
+        self._cwnd = value
+        self._cwnd_int = int(value)
+
     # ------------------------------------------------------------------
     def allows(self, in_flight: int) -> bool:
         """May another packet enter the network?"""
-        return in_flight < int(self.cwnd)
+        return in_flight < self._cwnd_int
 
     def on_ack(self, ecn_echo: bool) -> None:
         """Update the window from one ACK."""
         if ecn_echo:
             if self.sim.now >= self._frozen_until:
-                self.cwnd = max(self.minimum, self.cwnd / 2)
+                self.cwnd = max(self.minimum, self._cwnd / 2)
                 self._frozen_until = self.sim.now + self.freeze_ns
                 self.decreases += 1
             return
-        self.cwnd = min(float(self.max_window), self.cwnd + 1.0 / max(self.cwnd, 1.0))
+        self.cwnd = min(float(self.max_window), self._cwnd + 1.0 / max(self._cwnd, 1.0))
         self.increases += 1
 
     def on_timeout(self) -> None:
@@ -73,7 +85,7 @@ class CongestionWindow:
     # ------------------------------------------------------------------
     @property
     def window_packets(self) -> int:
-        return int(self.cwnd)
+        return self._cwnd_int
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CongestionWindow(cwnd={self.cwnd:.2f}, cap={self.max_window})"

@@ -4,7 +4,9 @@ ASK deliberately does **not** use out-of-order ACKs as a loss signal —
 both the switch and the host receiver reply ACKs, so reordering is normal —
 and relies on a fine-grained timeout instead (100 us vs the Linux default
 200 ms).  :class:`RetransmitTimers` implements that policy on top of the
-event simulator.
+event simulator; re-arming cancels the previous timer event lazily, and the
+simulator compacts its heap when cancelled timers pile up in long lossy
+runs, so per-packet timer churn stays O(log n) with a bounded heap.
 
 :class:`ReceiveWindow` is the host receiver's dedup record: first
 appearances within the current window are processed, duplicates are dropped
@@ -61,33 +63,50 @@ class RetransmitTimers:
 class ReceiveWindow:
     """Host-receiver dedup for one incoming data channel.
 
-    Software memory is plentiful on the host, so this keeps an explicit set
-    of seen sequence numbers within the active window — behaviourally
-    equivalent to the switch's compact ``seen`` but trivially auditable.
-    Entries below ``max_seq - window`` are pruned; arrivals that old are
-    reported as duplicates, mirroring the switch's stale-packet guard.
+    Behaviourally equivalent to the switch's compact ``seen``: the live
+    sequence range is ``(max_seq - W, max_seq]`` — exactly W values, one per
+    residue mod W — so a W-slot ring indexed by ``seq % W`` records first
+    appearances in O(1) with no pruning pass at all.  A ring slot holding a
+    different sequence than the arrival is always safe to overwrite: two
+    sequences sharing a residue differ by at least W, and accepting the
+    larger one moved ``max_seq`` far enough that the smaller is caught by
+    the stale guard before the ring is ever consulted.
+
+    That stale guard (``seq <= max_seq - W`` ⇒ duplicate) is the single
+    source of truth for the window floor: a sequence at exactly the floor is
+    stale *and* evicted, so the guard and the ring can never disagree about
+    it.  (The seed implementation pruned its ``_seen`` set only when
+    ``floor > 0``, leaving seq 0 resident forever; see
+    :class:`repro.transport.reference.ReferenceReceiveWindow`.)
     """
 
     def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
         self.window = window
         self.max_seq = -1
-        self._seen: set[int] = set()
+        self._ring: list[int] = [-1] * window
         self.duplicates = 0
         self.accepted = 0
+
+    @property
+    def _seen(self) -> set[int]:
+        """Live seen sequences (introspection; the hot path never builds it)."""
+        floor = self.max_seq - self.window
+        return {s for s in self._ring if s >= 0 and s > floor}
 
     def is_new(self, seq: int) -> bool:
         """Record ``seq``; True exactly on its first in-window appearance."""
         if seq <= self.max_seq - self.window:
             self.duplicates += 1
             return False
-        if seq in self._seen:
+        slot = seq % self.window
+        ring = self._ring
+        if ring[slot] == seq:
             self.duplicates += 1
             return False
-        self._seen.add(seq)
+        ring[slot] = seq
         if seq > self.max_seq:
             self.max_seq = seq
-            floor = self.max_seq - self.window
-            if floor > 0:
-                self._seen = {s for s in self._seen if s > floor}
         self.accepted += 1
         return True

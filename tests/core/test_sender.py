@@ -132,6 +132,72 @@ def test_ack_replier_attribution():
     assert job.task.stats.acks_from_receiver == 1
 
 
+def test_fin_retries_when_congestion_window_shut_at_drain():
+    # Seed regression: if the last data ACK arrives while the congestion
+    # window is shut, _pump() finds the job drained but _admits() False and
+    # simply returns.  No outstanding packet remains to generate another
+    # ACK, so nothing ever re-pumps the channel: the FIN is never sent and
+    # the job stalls forever.  The fix self-schedules a zero-delay retry.
+    cfg = AskConfig.small(
+        window_size=4,
+        retransmit_timeout_us=100.0,
+        congestion_control=True,
+        cwnd_initial=2.0,
+    )
+    sim = Simulator()
+    sent = []
+    channel = SenderChannel(
+        "h0", 0, sim, cfg, sent.append, switch_names=frozenset({"switch"})
+    )
+    completions = []
+    channel.enqueue(_job(cfg, [(b"cat", 1)], completions=completions))
+    assert len(sent) == 1
+
+    # Shut the window via the ECN halving path: with the floor lowered,
+    # the final (congestion-echo) ACK halves cwnd below one packet, so the
+    # post-ACK pump refuses the FIN.  (The invariant minimum >= 1 normally
+    # prevents this; tampering stands in for an adversarial ECN storm.)
+    channel.congestion.minimum = 0.0
+    channel.congestion.cwnd = 0.5
+    channel.on_ack(ack_for(sent[0].with_ecn(), "switch"))
+    assert not any(p.is_fin for p in sent)  # FIN admission was refused
+
+    # Reopen the window; the self-scheduled retry must send the FIN
+    # without any further external stimulus.  (run bounded below the RTO so
+    # the FIN's own retransmit timer does not fire.)
+    channel.congestion.cwnd = 1.0
+    sim.run(until=50_000)
+    fins = [p for p in sent if p.is_fin]
+    assert len(fins) == 1
+
+    _ack(channel, fins[0], replier="h1")
+    assert len(completions) == 1
+    assert channel.idle
+
+
+def test_fin_retry_not_scheduled_twice():
+    cfg = AskConfig.small(
+        window_size=4,
+        retransmit_timeout_us=100.0,
+        congestion_control=True,
+        cwnd_initial=2.0,
+    )
+    sim = Simulator()
+    sent = []
+    channel = SenderChannel(
+        "h0", 0, sim, cfg, sent.append, switch_names=frozenset({"switch"})
+    )
+    channel.enqueue(_job(cfg, [(b"cat", 1)]))
+    channel.congestion.minimum = 0.0
+    channel.congestion.cwnd = 0.5
+    channel.on_ack(ack_for(sent[0].with_ecn(), "switch"))
+    pending_after_ack = sim.pending
+    # Repeated pumps while the retry is pending must not pile up events.
+    channel._pump()
+    channel._pump()
+    assert sim.pending == pending_after_ack
+
+
 def test_stats_count_first_transmissions_only():
     cfg, sim, sent, channel = _harness(window=2, rto_us=5.0)
     job = _job(cfg, [(b"cat", 1)])

@@ -136,6 +136,91 @@ def test_events_processed_counter():
     assert sim.events_processed == 7
 
 
+def test_max_events_ignores_trailing_cancelled_events():
+    # Seed regression: run(max_events=N) checked its guard before discarding
+    # cancelled heap entries, so a heap whose only remaining entries were
+    # cancelled tripped the guard instead of draining.
+    sim = Simulator()
+    fired = []
+    sim.schedule(1, fired.append, "live")
+    sim.schedule(2, fired.append, "cancelled").cancel()
+    sim.schedule(3, fired.append, "cancelled-too").cancel()
+    sim.run(max_events=1)
+    assert fired == ["live"]
+    assert sim.pending == 0
+
+
+def test_run_and_step_agree_on_events_processed():
+    def drive_run():
+        sim = Simulator()
+        events = [sim.schedule(i + 1, lambda: None) for i in range(10)]
+        for event in events[1::2]:
+            event.cancel()
+        sim.run()
+        return sim.events_processed
+
+    def drive_step():
+        sim = Simulator()
+        events = [sim.schedule(i + 1, lambda: None) for i in range(10)]
+        for event in events[1::2]:
+            event.cancel()
+        while sim.step():
+            pass
+        return sim.events_processed
+
+    assert drive_run() == drive_step() == 5
+
+
+def test_max_events_counts_this_call_only():
+    sim = Simulator()
+    for _ in range(5):
+        sim.schedule(1, lambda: None)
+    sim.run()
+    sim.schedule(1, lambda: None)
+    sim.run(max_events=1)  # earlier events must not count against the guard
+    assert sim.events_processed == 6
+
+
+def test_late_cancel_after_fire_keeps_pending_accurate():
+    sim = Simulator()
+    event = sim.schedule(1, lambda: None)
+    sim.schedule(2, lambda: None)
+    sim.step()
+    event.cancel()  # already fired; must not decrement the live count
+    assert sim.pending == 1
+    sim.run()
+    assert sim.events_processed == 2
+
+
+def test_heap_compacts_when_cancelled_events_dominate():
+    sim = Simulator()
+    events = [sim.schedule(i + 1, lambda: None) for i in range(200)]
+    for event in events[:150]:
+        event.cancel()
+    assert sim.compactions >= 1
+    assert len(sim._heap) < 200  # cancelled entries were actually dropped
+    assert sim.pending == 50
+    sim.run()
+    assert sim.events_processed == 50
+
+
+def test_compaction_preserves_firing_order():
+    sim = Simulator()
+    fired = []
+    keep = []
+    for i in range(300):
+        event = sim.schedule(300 - i, fired.append, 300 - i)
+        if i % 3 == 0:
+            keep.append(event)
+    keep_set = set(map(id, keep))
+    for event in [entry[2] for entry in sim._heap]:
+        if id(event) not in keep_set:
+            event.cancel()
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(keep)
+
+
 def test_time_unit_helpers():
     assert microseconds(1.5) == 1_500
     assert milliseconds(2) == 2_000_000

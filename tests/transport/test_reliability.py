@@ -1,5 +1,7 @@
 """Tests for host-side retransmit timers and the receive window."""
 
+import pytest
+
 from repro.net.simulator import Simulator
 from repro.transport.reliability import ReceiveWindow, RetransmitTimers
 from repro.transport.window import SlidingWindow
@@ -39,6 +41,31 @@ def test_pruning_keeps_memory_bounded():
     for seq in range(1000):
         window.is_new(seq)
     assert len(window._seen) <= 4
+
+
+def test_seq_zero_pruned_at_floor():
+    # Seed regression: the prune ran only when ``floor > 0``, so seq 0
+    # stayed resident forever once the window moved past it.
+    window = ReceiveWindow(4)
+    window.is_new(0)
+    window.is_new(4)  # floor is now exactly 0: seq 0 is stale
+    assert 0 not in window._seen
+    assert window._seen == {4}
+
+
+def test_window_floor_sequence_is_stale_and_evicted():
+    window = ReceiveWindow(4)
+    for seq in (0, 1, 2, 3, 4):
+        window.is_new(seq)
+    # 0 is at the floor (max_seq - window): stale by the guard, gone from
+    # the live set; 1..4 are the W live residues.
+    assert not window.is_new(0)
+    assert window._seen == {1, 2, 3, 4}
+
+
+def test_rejects_nonpositive_window():
+    with pytest.raises(ValueError):
+        ReceiveWindow(0)
 
 
 def test_gap_sequences_never_marked_seen():
