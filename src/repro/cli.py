@@ -95,27 +95,112 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_demo(_args: argparse.Namespace) -> int:
-    from repro import AskConfig, AskService, FaultModel
+def _demo_config(backend: str):
+    """The demo's AskConfig, adapted to the backend's clock.
 
+    The 100 µs retransmission timeout of the paper is measured against
+    simulated link latency; under wall-clock asyncio even localhost UDP
+    plus Python scheduling jitter exceeds it, so the real-time backends
+    use a 2 ms timeout to keep spurious retransmissions rare.
+    """
+    import dataclasses
+
+    from repro import AskConfig
+
+    config = AskConfig.small()
+    if backend == "asyncio":
+        config = dataclasses.replace(config, retransmit_timeout_us=2000)
+    return config
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from repro import AskService, FaultModel
+
+    backend = getattr(args, "backend", "sim")
     service = AskService(
-        AskConfig.small(),
+        _demo_config(backend),
         hosts=3,
         fault=FaultModel(loss_rate=0.05, duplicate_rate=0.03, seed=1),
+        backend=backend,
     )
     streams = {
         "h0": [(b"in-network", 1), (b"aggregation", 2)] * 50,
         "h1": [(b"in-network", 3)] * 50,
     }
-    result = service.aggregate(streams, receiver="h2", check=True)
-    print("exact aggregation over a lossy fabric:")
-    for key, value in sorted(result.items()):
-        print(f"  {key.decode():>12}: {value}")
-    stats = result.stats
-    print(
-        f"switch absorbed {stats.switch_aggregation_ratio:.0%} of tuples, "
-        f"{stats.retransmissions} retransmissions healed"
+    try:
+        result = service.aggregate(streams, receiver="h2", check=True)
+        fabric = "simulated links" if backend == "sim" else "localhost UDP sockets"
+        print(f"exact aggregation over a lossy fabric ({fabric}):")
+        for key, value in sorted(result.items()):
+            print(f"  {key.decode():>12}: {value}")
+        stats = result.stats
+        print(
+            f"switch absorbed {stats.switch_aggregation_ratio:.0%} of tuples, "
+            f"{stats.retransmissions} retransmissions healed"
+        )
+    finally:
+        service.close()
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Stand up one AsyncioFabric rack on localhost UDP and serve it.
+
+    The rack — switch program plus ``--hosts`` daemons, each on its own
+    UDP socket — runs until Ctrl-C (or ``--duration`` seconds, for
+    scripted use).  A streaming session is kept open so the switch is
+    visibly aggregating; its rolling result is printed on shutdown.
+    """
+    from repro import AskService, FaultModel
+
+    fault = None
+    if args.loss > 0:
+        fault = FaultModel(loss_rate=args.loss, seed=args.seed)
+    service = AskService(
+        _demo_config("asyncio"),
+        hosts=args.hosts,
+        fault=fault,
+        backend="asyncio",
     )
+    try:
+        senders = service.hosts[:-1]
+        receiver = service.hosts[-1]
+        session = service.open_stream(senders, receiver=receiver)
+        service.fabric.start()
+        print(f"ASK rack serving on {service.fabric.bind_host} (UDP):")
+        for name in [service.switch.name, *service.hosts]:
+            print(f"  {name:>8}: port {service.fabric.port_of(name)}")
+        print(
+            f"streaming {', '.join(senders)} -> {receiver}; "
+            "Ctrl-C to stop"
+            + (f" (auto-stop after {args.duration}s)" if args.duration else "")
+        )
+        deadline = (
+            None if args.duration is None else time.monotonic() + args.duration
+        )
+        tick = 0
+        try:
+            while deadline is None or time.monotonic() < deadline:
+                for host in senders:
+                    session.feed(host, [(b"heartbeat", 1), (host.encode(), 1)])
+                service.run(until=service.clock.now + 200_000_000)  # ~200 ms
+                tick += 1
+        except KeyboardInterrupt:
+            print("\nshutting down...")
+        session.close()
+        service.run_to_completion(timeout_s=10.0)
+        result = session.result
+        assert result is not None
+        print(f"served {tick} feed rounds; final aggregate:")
+        for key, value in sorted(result.values.items()):
+            print(f"  {key.decode():>12}: {value}")
+        print(
+            f"frames: {service.fabric.frames_sent} sent, "
+            f"{service.fabric.frames_dropped} dropped by fault injection, "
+            f"{result.stats.retransmissions} retransmissions healed"
+        )
+    finally:
+        service.close()
     return 0
 
 
@@ -142,9 +227,31 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="regenerate one or more results")
     run.add_argument("names", nargs="+", help="experiment names, or 'all'")
     run.set_defaults(func=cmd_run)
-    sub.add_parser("demo", help="run a quick end-to-end demo").set_defaults(
-        func=cmd_demo
+    demo = sub.add_parser("demo", help="run a quick end-to-end demo")
+    demo.add_argument(
+        "--backend",
+        choices=("sim", "asyncio"),
+        default="sim",
+        help="fabric backend: deterministic simulation (default) or real "
+        "localhost UDP sockets under asyncio",
     )
+    demo.set_defaults(func=cmd_demo)
+    serve = sub.add_parser(
+        "serve",
+        help="serve an AsyncioFabric rack on localhost UDP until Ctrl-C",
+    )
+    serve.add_argument("--hosts", type=int, default=3, help="hosts in the rack")
+    serve.add_argument(
+        "--loss", type=float, default=0.0, help="injected loss rate [0, 1)"
+    )
+    serve.add_argument("--seed", type=int, default=1, help="fault seed")
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="stop after this many seconds instead of waiting for Ctrl-C",
+    )
+    serve.set_defaults(func=cmd_serve)
     sub.add_parser(
         "resources", help="print the default switch's pipeline/SRAM layout"
     ).set_defaults(func=cmd_resources)

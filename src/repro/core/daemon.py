@@ -22,8 +22,8 @@ from repro.core.receiver import ReceiverEngine
 from repro.core.sender import SenderChannel, SendingJob
 from repro.core.shared_memory import SharedMemoryAllocator
 from repro.core.task import AggregationTask
-from repro.net.simulator import Simulator
 from repro.net.topology import NetworkNode
+from repro.runtime.interfaces import Clock
 from repro.core.controlplane import ControlPlane
 from repro.switch.controller import Region
 
@@ -72,22 +72,22 @@ class HostDaemon(NetworkNode):
     def __init__(
         self,
         name: str,
-        sim: Simulator,
+        clock: Clock,
         config: AskConfig,
         control: ControlPlane,
         send_fn: Callable[[AskPacket], None],
         on_task_complete: Callable[[AggregationTask], None],
     ) -> None:
         super().__init__(name)
-        self.sim = sim
+        self.clock = clock
         self.config = config
         self.shm = SharedMemoryAllocator(name)
         self.channels = [
-            SenderChannel(name, i, sim, config, send_fn, control.switch_names)
+            SenderChannel(name, i, clock, config, send_fn, control.switch_names)
             for i in range(config.data_channels_per_host)
         ]
         self.receiver = ReceiverEngine(
-            name, sim, config, control, send_fn, on_task_complete
+            name, clock, config, control, send_fn, on_task_complete
         )
         self.malformed_packets = 0
 

@@ -5,18 +5,14 @@ only to hosts within one rack.  And cross-rack traffic would bypass the
 receiver TOR switch and proceed to the receiver host for eventual
 aggregation."
 
-Concretely:
+The implementation now lives in :mod:`repro.core.service` as a sibling of
+:class:`~repro.core.service.AskService`: both share the Fig. 4 task
+workflow through ``_AskServiceBase`` and both wire their racks through
+:class:`~repro.runtime.builder.DeploymentBuilder` — the multi-rack
+service is just the builder called once per rack.  This module remains
+the historical import location::
 
-- every rack has its own ASK switch; a task allocates a region on **every
-  sender-side TOR** (each rack's streams are aggregated by the rack's own
-  switch, bounding per-switch channel state to local hosts),
-- residual (unaggregated) traffic crosses the core and is routed *through*
-  the receiver's TOR untouched — the bypass rule implemented in
-  :meth:`repro.switch.switch.AskSwitch._should_run_program`,
-- shadow-copy swap notifications broadcast to all involved TORs, and the
-  teardown fetch merges every TOR's copies with the receiver's residual.
-
-The public API mirrors :class:`~repro.core.service.AskService`::
+    from repro.core.multirack_service import MultiRackService
 
     service = MultiRackService(cfg, racks={"r0": ["a", "b"], "r1": ["c"]})
     result = service.aggregate({"a": [...], "c": [...]}, receiver="b")
@@ -24,196 +20,6 @@ The public API mirrors :class:`~repro.core.service.AskService`::
 
 from __future__ import annotations
 
-import itertools
-from typing import Dict, Iterable, Optional, Sequence
+from repro.core.service import MultiRackService
 
-from repro.core.config import AskConfig
-from repro.core.controlplane import ControlPlane
-from repro.core.daemon import HostDaemon
-from repro.core.errors import TaskStateError
-from repro.core.packet import AskPacket
-from repro.core.results import AggregationResult, reference_aggregate
-from repro.core.task import AggregationTask, TaskPhase
-from repro.net.fault import FaultModel
-from repro.net.multirack import MultiRackTopology
-from repro.net.simulator import Simulator
-from repro.net.trace import PacketTrace
-from repro.switch.switch import AskSwitch
-
-Stream = Sequence[tuple[bytes, int]]
-
-
-class MultiRackService:
-    """An ASK deployment spanning several racks."""
-
-    def __init__(
-        self,
-        config: Optional[AskConfig] = None,
-        racks: Optional[Dict[str, Iterable[str]]] = None,
-        fault: Optional[FaultModel] = None,
-        max_tasks: int = 64,
-        max_channels: int = 256,
-        core_bandwidth_gbps: Optional[float] = 400.0,
-    ) -> None:
-        self.config = config if config is not None else AskConfig()
-        if not racks:
-            racks = {"r0": ["h0", "h1"], "r1": ["h2", "h3"]}
-        self.sim = Simulator()
-        self.trace = PacketTrace(enabled=self.config.trace)
-        self.topology = MultiRackTopology(
-            self.sim,
-            bandwidth_gbps=self.config.link_bandwidth_gbps,
-            latency_ns=self.config.link_latency_ns,
-            core_bandwidth_gbps=core_bandwidth_gbps,
-            host_max_pps=self.config.host_max_pps,
-            fault=fault,
-            trace=self.trace if self.config.trace else None,
-            ecn_threshold_bytes=(
-                self.config.ecn_threshold_bytes
-                if self.config.congestion_control
-                else None
-            ),
-        )
-        self.control = ControlPlane()
-        self.switches: Dict[str, AskSwitch] = {}
-        self.daemons: Dict[str, HostDaemon] = {}
-
-        for rack, host_names in racks.items():
-            switch = AskSwitch(
-                self.config,
-                self.sim,
-                name=f"tor-{rack}",
-                max_tasks=max_tasks,
-                max_channels=max_channels,
-                trace=self.trace if self.config.trace else None,
-            )
-            view = self.topology.add_rack(rack, switch)
-            switch.bind(view)
-            self.switches[rack] = switch
-            self.control.register(switch.name, switch.controller)
-            for host in host_names:
-                daemon = HostDaemon(
-                    host,
-                    self.sim,
-                    self.config,
-                    self.control,
-                    send_fn=self._sender_for(host),
-                    on_task_complete=self._on_task_complete,
-                )
-                self.daemons[host] = daemon
-                self.topology.attach_host(rack, daemon)
-
-        self._task_ids = itertools.count(1)
-        self.tasks: dict[int, AggregationTask] = {}
-
-    # ------------------------------------------------------------------
-    def _sender_for(self, host: str):
-        def send(packet: AskPacket) -> None:
-            self.topology.send_to_switch(host, packet, packet.wire_bytes())
-
-        return send
-
-    def _on_task_complete(self, task: AggregationTask) -> None:
-        self.daemons[task.receiver].publish_result(task)
-
-    def daemon(self, host: str) -> HostDaemon:
-        return self.daemons[host]
-
-    def switch_of_host(self, host: str) -> AskSwitch:
-        return self.switches[self.topology.rack_of_host(host)]
-
-    @property
-    def hosts(self) -> list[str]:
-        return list(self.daemons)
-
-    # ------------------------------------------------------------------
-    def _switches_for(self, senders: Iterable[str]) -> tuple[str, ...]:
-        """Every sender-side TOR of the task, deduplicated, rack order."""
-        racks = []
-        for sender in senders:
-            rack = self.topology.rack_of_host(sender)
-            if rack not in racks:
-                racks.append(rack)
-        return tuple(self.switches[rack].name for rack in racks)
-
-    def submit(
-        self,
-        streams: dict[str, Stream],
-        receiver: str,
-        region_size: Optional[int] = None,
-        task_id: Optional[int] = None,
-    ) -> AggregationTask:
-        """Submit a (possibly cross-rack) aggregation task."""
-        if receiver not in self.daemons:
-            raise KeyError(f"unknown receiver host {receiver!r}")
-        for host in streams:
-            if host not in self.daemons:
-                raise KeyError(f"unknown sender host {host!r}")
-        if not streams:
-            raise ValueError("a task needs at least one sender stream")
-        if task_id is None:
-            task_id = next(self._task_ids)
-        elif task_id in self.tasks:
-            raise TaskStateError(f"task id {task_id} already in use")
-
-        task = AggregationTask(
-            task_id=task_id,
-            receiver=receiver,
-            senders=tuple(streams),
-            region_size=region_size,
-        )
-        task.stats.submitted_at_ns = self.sim.now
-        task.stats.input_tuples = sum(len(s) for s in streams.values())
-        task.stats.input_bytes = sum(len(k) + 4 for s in streams.values() for k, _ in s)
-        self.tasks[task_id] = task
-        self.sim.schedule(
-            self.config.control_latency_ns, self._setup_task, task, dict(streams)
-        )
-        return task
-
-    def _setup_task(self, task: AggregationTask, streams: dict[str, Stream]) -> None:
-        regions = self.control.allocate(
-            task.task_id, self._switches_for(streams), task.region_size
-        )
-        self.daemons[task.receiver].open_receive_task(task, regions)
-        task.advance(TaskPhase.SETUP)
-        self.sim.schedule(self.config.control_latency_ns, self._start_senders, task, streams)
-
-    def _start_senders(self, task: AggregationTask, streams: dict[str, Stream]) -> None:
-        task.advance(TaskPhase.STREAMING)
-        for host, stream in streams.items():
-            self.daemons[host].start_sending(task, list(stream))
-
-    # ------------------------------------------------------------------
-    def run_to_completion(self, max_events: int = 20_000_000) -> None:
-        self.sim.run(max_events=max_events)
-        unfinished = [t for t in self.tasks.values() if not t.is_complete]
-        if unfinished:
-            raise TaskStateError(
-                f"{len(unfinished)} task(s) did not complete: "
-                + ", ".join(f"{t.task_id}:{t.phase.value}" for t in unfinished)
-            )
-
-    def aggregate(
-        self,
-        streams: dict[str, Stream],
-        receiver: Optional[str] = None,
-        region_size: Optional[int] = None,
-        check: bool = False,
-    ) -> AggregationResult:
-        """Submit, run to completion, return the result (optionally checked
-        against the exact reference)."""
-        if receiver is None:
-            receiver = self.hosts[-1]
-        task = self.submit(streams, receiver, region_size=region_size)
-        self.run_to_completion()
-        assert task.result is not None
-        if check:
-            expected = reference_aggregate(
-                {h: list(s) for h, s in streams.items()}, self.config.value_mask
-            )
-            if task.result.values != expected:
-                raise AssertionError(
-                    "aggregation result deviates from the exact reference"
-                )
-        return task.result
+__all__ = ["MultiRackService"]

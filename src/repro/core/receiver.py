@@ -30,7 +30,7 @@ from repro.core.keyspace import KeySpaceLayout, unpad_key
 from repro.core.packet import AskPacket, ack_for, swap_packet
 from repro.core.results import AggregationResult
 from repro.core.task import AggregationTask, TaskPhase
-from repro.net.simulator import Simulator
+from repro.runtime.interfaces import Clock
 from repro.switch.controller import Region
 from repro.transport.reliability import ReceiveWindow
 
@@ -63,14 +63,14 @@ class ReceiverEngine:
     def __init__(
         self,
         host: str,
-        sim: Simulator,
+        clock: Clock,
         config: AskConfig,
         control: ControlPlane,
         send_fn: SendFn,
         on_complete: CompletionFn,
     ) -> None:
         self.host = host
-        self.sim = sim
+        self.clock = clock
         self.config = config
         self.control = control
         self.send_fn = send_fn
@@ -216,7 +216,7 @@ class ReceiverEngine:
             )
         # Swap notifications are retried until acknowledged; the desired
         # indicator value in the packet makes retries idempotent.
-        state.swap_timer = self.sim.schedule(
+        state.swap_timer = self.clock.schedule(
             self.config.retransmit_timeout_ns, self._swap_timeout, state, state.swap_epoch
         )
 
@@ -237,7 +237,7 @@ class ReceiverEngine:
         # Every switch now writes the other copy; after the control-plane
         # round trip, fetch and reset the idle one.
         read_part = 1 - (state.swap_epoch & 1)
-        self.sim.schedule(
+        self.clock.schedule(
             self.config.control_latency_ns, self._complete_swap, state, read_part
         )
 
@@ -273,7 +273,7 @@ class ReceiverEngine:
 
     def _finalize(self, state: ReceiverTaskState) -> None:
         state.pending_finalize = False
-        self.sim.schedule(self.config.control_latency_ns, self._complete_finalize, state)
+        self.clock.schedule(self.config.control_latency_ns, self._complete_finalize, state)
 
     def _complete_finalize(self, state: ReceiverTaskState) -> None:
         task = state.task
@@ -283,7 +283,7 @@ class ReceiverEngine:
             self._merge_fetched(state, fetched)
         self.control.deallocate(task.task_id)
         task.result = AggregationResult(task.task_id, dict(state.residual), task.stats)
-        task.stats.completed_at_ns = self.sim.now
+        task.stats.completed_at_ns = self.clock.now
         task.advance(TaskPhase.COMPLETE)
         del self._tasks[task.task_id]
         self.on_complete(task)

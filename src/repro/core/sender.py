@@ -16,7 +16,7 @@ from repro.core.config import AskConfig
 from repro.core.packer import PackedPayload
 from repro.core.packet import AskPacket, PacketFlag
 from repro.core.task import AggregationTask
-from repro.net.simulator import Simulator
+from repro.runtime.interfaces import Clock
 from repro.transport.congestion import CongestionWindow
 from repro.transport.reliability import RetransmitTimers
 from repro.transport.window import SlidingWindow, WindowEntry
@@ -78,27 +78,27 @@ class SenderChannel:
         self,
         host: str,
         index: int,
-        sim: Simulator,
+        clock: Clock,
         config: AskConfig,
         send_fn: SendFn,
         switch_names: frozenset[str] = frozenset({"switch"}),
     ) -> None:
         self.host = host
         self.index = index
-        self.sim = sim
+        self.clock = clock
         self.config = config
         self.send_fn = send_fn
         self.switch_names = switch_names
         self.window = SlidingWindow(config.window_size)
         self.timers = RetransmitTimers(
-            sim, self.window, config.retransmit_timeout_ns, self._resend
+            clock, self.window, config.retransmit_timeout_ns, self._resend
         )
         # §7: optional ECN/AIMD congestion window, hard-capped at W so the
         # switch receive window can never be outrun.
         self.congestion: Optional[CongestionWindow] = None
         if config.congestion_control:
             self.congestion = CongestionWindow(
-                sim,
+                clock,
                 max_window=config.window_size,
                 initial=config.cwnd_initial,
                 freeze_ns=config.retransmit_timeout_ns,
@@ -121,7 +121,7 @@ class SenderChannel:
         """Queue a sending job; jobs are served strictly FIFO (§3.1)."""
         self._jobs.append(job)
         if job.task.stats.started_at_ns is None:
-            job.task.stats.started_at_ns = self.sim.now
+            job.task.stats.started_at_ns = self.clock.now
         self._pump()
 
     # ------------------------------------------------------------------
@@ -156,7 +156,7 @@ class SenderChannel:
                 # so without this self-scheduled retry the job would stall
                 # forever.
                 self._fin_retry_pending = True
-                self.sim.schedule(0, self._retry_fin)
+                self.clock.schedule(0, self._retry_fin)
 
     def _retry_fin(self) -> None:
         self._fin_retry_pending = False
@@ -188,14 +188,14 @@ class SenderChannel:
         packet = self._build_packet(entry)
         entry.transmissions += 1
         if entry.transmissions == 1:
-            entry.first_sent_ns = self.sim.now
+            entry.first_sent_ns = self.clock.now
             tag: _EntryTag = entry.payload
             if not tag.is_fin:
                 if tag.payload.is_long:
                     tag.job.task.stats.long_packets_sent += 1
                 else:
                     tag.job.task.stats.data_packets_sent += 1
-        entry.last_sent_ns = self.sim.now
+        entry.last_sent_ns = self.clock.now
         self.packets_sent += 1
         self.bytes_sent += packet.wire_bytes()
         self.timers.arm(entry)
@@ -208,7 +208,7 @@ class SenderChannel:
             self.congestion.on_timeout()
         packet = self._build_packet(entry)
         entry.transmissions += 1
-        entry.last_sent_ns = self.sim.now
+        entry.last_sent_ns = self.clock.now
         self.packets_sent += 1
         self.bytes_sent += packet.wire_bytes()
         self.send_fn(packet)

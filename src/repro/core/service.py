@@ -1,8 +1,8 @@
 """`AskService` — the user-facing facade that wires everything together.
 
 A service instance is one rack: one ASK switch, N hosts with daemons, and
-the links between them.  Applications submit aggregation tasks (a set of
-sender streams plus one receiver) and run the simulation until completion::
+the fabric between them.  Applications submit aggregation tasks (a set of
+sender streams plus one receiver) and run the deployment until completion::
 
     from repro import AskConfig, AskService
 
@@ -16,26 +16,29 @@ sender streams plus one receiver) and run the simulation until completion::
 The full task workflow of Fig. 4 is followed: region allocation and sender
 notification cost one control-plane latency each before streaming begins,
 and teardown fetches the switch copies before the result is published.
+
+Since the runtime layer, the service is backend-agnostic: the default
+``backend="sim"`` runs on the deterministic discrete-event fabric exactly
+as before, while ``backend="asyncio"`` frames the same protocol onto real
+localhost UDP sockets under wall-clock time (see
+:mod:`repro.runtime.asyncio_fabric`).  All wiring is delegated to
+:class:`~repro.runtime.builder.DeploymentBuilder`.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, Optional, Sequence, Union
 
 from repro.core.config import AskConfig
-from repro.core.controlplane import ControlPlane
 from repro.core.daemon import HostDaemon
 from repro.core.errors import TaskStateError
-from repro.core.packet import AskPacket
 from repro.core.results import AggregationResult, reference_aggregate
 from repro.core.task import AggregationTask, TaskPhase
 from repro.core.tenancy import DEFAULT_TENANT, encode_task_id
 from repro.net.fault import FaultModel
-from repro.net.simulator import Simulator
-from repro.net.topology import StarTopology
-from repro.net.trace import PacketTrace
-from repro.switch.switch import AskSwitch
+from repro.runtime.builder import Deployment, DeploymentBuilder
+from repro.runtime.interfaces import Clock, TaskRunner
 
 Stream = Sequence[tuple[bytes, int]]
 
@@ -107,98 +110,79 @@ class StreamingSession:
         return self.task.result
 
 
-class AskService:
-    """One ASK deployment: switch + hosts + fabric.
+class _AskServiceBase:
+    """The Fig. 4 task workflow over one wired :class:`Deployment`.
 
-    ``switch_factory`` selects the data-plane backend: the default PISA
-    :class:`~repro.switch.switch.AskSwitch`, or the run-to-completion
-    :class:`~repro.switch.trio.TrioSwitch` (§6) — the host side is
-    identical either way.
+    Subclasses configure a :class:`DeploymentBuilder` (rack layout,
+    backend, switch factory) and hand the built deployment here; the full
+    application surface — ``submit`` / ``open_stream`` / ``run`` /
+    ``aggregate`` — is shared between the single- and multi-rack services
+    and between the sim and asyncio backends.
     """
 
-    def __init__(
-        self,
-        config: Optional[AskConfig] = None,
-        hosts: Union[int, Iterable[str]] = 2,
-        fault: Optional[FaultModel] = None,
-        switch_name: str = "switch",
-        max_tasks: int = 64,
-        max_channels: int = 256,
-        switch_factory=AskSwitch,
-    ) -> None:
-        self.config = config if config is not None else AskConfig()
-        self.sim = Simulator()
-        self.trace = PacketTrace(enabled=self.config.trace)
-        self.switch = switch_factory(
-            self.config,
-            self.sim,
-            name=switch_name,
-            max_tasks=max_tasks,
-            max_channels=max_channels,
-            trace=self.trace if self.config.trace else None,
-        )
-        self.topology = StarTopology(
-            self.sim,
-            self.switch,
-            bandwidth_gbps=self.config.link_bandwidth_gbps,
-            latency_ns=self.config.link_latency_ns,
-            host_max_pps=self.config.host_max_pps,
-            fault=fault,
-            trace=self.trace if self.config.trace else None,
-            ecn_threshold_bytes=(
-                self.config.ecn_threshold_bytes
-                if self.config.congestion_control
-                else None
-            ),
-        )
-        self.switch.bind(self.topology)
-        self.control = ControlPlane()
-        self.control.register(switch_name, self.switch.controller)
-
-        if isinstance(hosts, int):
-            host_names = [f"h{i}" for i in range(hosts)]
-        else:
-            host_names = list(hosts)
-        self.daemons: dict[str, HostDaemon] = {}
-        for name in host_names:
-            daemon = HostDaemon(
-                name,
-                self.sim,
-                self.config,
-                self.control,
-                send_fn=self._sender_for(name),
-                on_task_complete=self._on_task_complete,
-            )
-            self.daemons[name] = daemon
-            self.topology.attach_host(daemon)
-
+    def __init__(self, deployment: Deployment) -> None:
+        self.deployment = deployment
+        self.config: AskConfig = deployment.config
+        self.backend: str = deployment.backend
+        self.fabric = deployment.fabric
+        self.runner: TaskRunner = deployment.runner
+        self.control = deployment.control
+        self.daemons: Dict[str, HostDaemon] = deployment.daemons
+        self.trace = deployment.trace
         self._task_ids = itertools.count(1)
         self.tasks: dict[int, AggregationTask] = {}
 
     # ------------------------------------------------------------------
-    def _sender_for(self, host: str):
-        def send(packet: AskPacket) -> None:
-            self.topology.send_to_switch(host, packet, packet.wire_bytes())
+    # Compatibility / convenience surfaces
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> Clock:
+        return self.fabric.clock
 
-        return send
+    @property
+    def sim(self):
+        """The discrete-event simulator (sim backend only)."""
+        sim = getattr(self.fabric, "sim", None)
+        if sim is None:
+            raise AttributeError(
+                f"the {self.backend!r} backend has no simulator; use .clock"
+            )
+        return sim
 
+    @property
+    def topology(self):
+        """The concrete network topology (sim backend only)."""
+        topology = getattr(self.fabric, "topology", None)
+        if topology is None:
+            raise AttributeError(
+                f"the {self.backend!r} backend exposes no topology object"
+            )
+        return topology
+
+    def close(self) -> None:
+        """Release backend resources (asyncio sockets/tasks; no-op sim)."""
+        self.deployment.close()
+
+    def __enter__(self) -> "_AskServiceBase":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
     def _on_task_complete(self, task: AggregationTask) -> None:
         self.daemons[task.receiver].publish_result(task)
 
     def daemon(self, host: str) -> HostDaemon:
         return self.daemons[host]
 
-    def _switches_for(self, task: AggregationTask) -> tuple[str, ...]:
-        """Switches that must hold a region for this task.
-
-        A single-rack service has one switch; the multi-rack service
-        overrides this to return every sender-side TOR (§7).
-        """
-        return (self.switch.name,)
-
     @property
     def hosts(self) -> list[str]:
         return list(self.daemons)
+
+    def _switches_for(self, senders: Iterable[str]) -> tuple[str, ...]:
+        """Switches that must hold a region for a task with ``senders``."""
+        raise NotImplementedError
 
     # ------------------------------------------------------------------
     # Task submission (Fig. 4 steps ①–⑧)
@@ -238,7 +222,7 @@ class AskService:
             senders=tuple(streams),
             region_size=region_size,
         )
-        task.stats.submitted_at_ns = self.sim.now
+        task.stats.submitted_at_ns = self.clock.now
         task.stats.input_tuples = sum(len(s) for s in streams.values())
         task.stats.input_bytes = sum(
             len(k) + 4 for s in streams.values() for k, _ in s
@@ -246,19 +230,21 @@ class AskService:
         self.tasks[task_id] = task
 
         # Step ②③ after one control-plane latency: shared memory + region.
-        self.sim.schedule(
+        self.clock.schedule(
             self.config.control_latency_ns, self._setup_task, task, dict(streams)
         )
         return task
 
     def _setup_task(self, task: AggregationTask, streams: dict[str, Stream]) -> None:
         regions = self.control.allocate(
-            task.task_id, self._switches_for(task), task.region_size
+            task.task_id, self._switches_for(task.senders), task.region_size
         )
         self.daemons[task.receiver].open_receive_task(task, regions)
         task.advance(TaskPhase.SETUP)
         # Step ④⑤: notify every sender over the control channel.
-        self.sim.schedule(self.config.control_latency_ns, self._start_senders, task, streams)
+        self.clock.schedule(
+            self.config.control_latency_ns, self._start_senders, task, streams
+        )
 
     def _start_senders(self, task: AggregationTask, streams: dict[str, Stream]) -> None:
         task.advance(TaskPhase.STREAMING)
@@ -273,7 +259,7 @@ class AskService:
         senders: Sequence[str],
         receiver: str,
         region_size: Optional[int] = None,
-        tenant_id: int = 0,
+        tenant_id: int = DEFAULT_TENANT,
     ) -> StreamingSession:
         """Open an aggregation task whose streams are fed incrementally.
 
@@ -288,8 +274,6 @@ class AskService:
                 raise KeyError(f"unknown sender host {host!r}")
         if not senders:
             raise ValueError("a streaming session needs at least one sender")
-        from repro.core.tenancy import encode_task_id
-
         task_id = encode_task_id(tenant_id, next(self._task_ids))
         task = AggregationTask(
             task_id=task_id,
@@ -297,21 +281,21 @@ class AskService:
             senders=tuple(senders),
             region_size=region_size,
         )
-        task.stats.submitted_at_ns = self.sim.now
+        task.stats.submitted_at_ns = self.clock.now
         self.tasks[task_id] = task
         session = StreamingSession(task, tuple(senders))
-        self.sim.schedule(
+        self.clock.schedule(
             self.config.control_latency_ns, self._setup_streaming, task, session
         )
         return session
 
     def _setup_streaming(self, task: AggregationTask, session: StreamingSession) -> None:
         regions = self.control.allocate(
-            task.task_id, self._switches_for(task), task.region_size
+            task.task_id, self._switches_for(session.senders), task.region_size
         )
         self.daemons[task.receiver].open_receive_task(task, regions)
         task.advance(TaskPhase.SETUP)
-        self.sim.schedule(
+        self.clock.schedule(
             self.config.control_latency_ns, self._attach_streams, task, session
         )
 
@@ -321,17 +305,28 @@ class AskService:
             session._attach(host, self.daemons[host].start_streaming(task))
 
     # ------------------------------------------------------------------
-    # Driving the simulation
+    # Driving the deployment
     # ------------------------------------------------------------------
     def run(
         self, until: Optional[int] = None, max_events: Optional[int] = None
     ) -> None:
-        """Run the fabric until all events drain (all tasks complete)."""
-        self.sim.run(until=until, max_events=max_events)
+        """Advance the deployment (drain the sim heap / run a loop slice)."""
+        self.runner.run(until=until, max_events=max_events)
 
-    def run_to_completion(self, max_events: int = 20_000_000) -> None:
-        """Run and then assert every submitted task completed."""
-        self.sim.run(max_events=max_events)
+    def _all_complete(self) -> bool:
+        return all(t.is_complete for t in self.tasks.values())
+
+    def run_to_completion(
+        self, max_events: int = 20_000_000, timeout_s: Optional[float] = None
+    ) -> None:
+        """Run and then assert every submitted task completed.
+
+        ``max_events`` bounds the sim backend, ``timeout_s`` (wall-clock)
+        the asyncio backend; each backend ignores the other's budget.
+        """
+        self.runner.run_until(
+            self._all_complete, max_events=max_events, timeout_s=timeout_s
+        )
         unfinished = [t for t in self.tasks.values() if not t.is_complete]
         if unfinished:
             raise TaskStateError(
@@ -366,3 +361,95 @@ class AskService:
                     "aggregation result deviates from the exact reference"
                 )
         return task.result
+
+
+class AskService(_AskServiceBase):
+    """One ASK deployment: switch + hosts + fabric.
+
+    ``switch_factory`` selects the data-plane program: the default PISA
+    :class:`~repro.switch.switch.AskSwitch`, or the run-to-completion
+    :class:`~repro.switch.trio.TrioSwitch` (§6) — the host side is
+    identical either way.  ``backend`` selects the fabric: ``"sim"``
+    (deterministic discrete-event, the default) or ``"asyncio"`` (real
+    localhost UDP under wall-clock time).
+    """
+
+    def __init__(
+        self,
+        config: Optional[AskConfig] = None,
+        hosts: Union[int, Iterable[str]] = 2,
+        fault: Optional[FaultModel] = None,
+        switch_name: str = "switch",
+        max_tasks: int = 64,
+        max_channels: int = 256,
+        switch_factory: Optional[Any] = None,
+        backend: str = "sim",
+        bind_host: str = "127.0.0.1",
+    ) -> None:
+        builder = DeploymentBuilder(
+            config,
+            backend=backend,
+            fault=fault,
+            max_tasks=max_tasks,
+            max_channels=max_channels,
+            switch_factory=switch_factory,
+            bind_host=bind_host,
+        )
+        builder.add_rack(hosts, switch_name=switch_name)
+        super().__init__(builder.build(on_task_complete=self._on_task_complete))
+        self.switch = self.deployment.switch
+
+    def _switches_for(self, senders: Iterable[str]) -> tuple[str, ...]:
+        """A single-rack task always lives on the one rack switch."""
+        return (self.switch.name,)
+
+
+class MultiRackService(_AskServiceBase):
+    """An ASK deployment spanning several racks (§7).
+
+    Every rack has its own TOR switch; a task allocates a region on every
+    *sender-side* TOR, cross-rack traffic bypasses the receiver's TOR (the
+    routing rule in :meth:`repro.switch.switch.AskSwitch._should_run_program`),
+    swap notifications broadcast to all involved TORs and teardown merges
+    every TOR's copies.  Multi-rack deployments run on the sim backend.
+    """
+
+    def __init__(
+        self,
+        config: Optional[AskConfig] = None,
+        racks: Optional[Dict[str, Iterable[str]]] = None,
+        fault: Optional[FaultModel] = None,
+        max_tasks: int = 64,
+        max_channels: int = 256,
+        core_bandwidth_gbps: Optional[float] = 400.0,
+    ) -> None:
+        if not racks:
+            racks = {"r0": ["h0", "h1"], "r1": ["h2", "h3"]}
+        builder = DeploymentBuilder(
+            config,
+            backend="sim",
+            fault=fault,
+            max_tasks=max_tasks,
+            max_channels=max_channels,
+            core_bandwidth_gbps=core_bandwidth_gbps,
+        )
+        for rack, host_names in racks.items():
+            builder.add_rack(list(host_names), switch_name=f"tor-{rack}", rack=rack)
+        super().__init__(builder.build(on_task_complete=self._on_task_complete))
+        #: rack name -> that rack's TOR switch (the historical keying).
+        self.switches = {
+            rack: self.deployment.switches[f"tor-{rack}"] for rack in self.deployment.racks
+        }
+
+    # ------------------------------------------------------------------
+    def switch_of_host(self, host: str):
+        return self.switches[self.fabric.rack_of_host(host)]
+
+    def _switches_for(self, senders: Iterable[str]) -> tuple[str, ...]:
+        """Every sender-side TOR of the task, deduplicated, rack order."""
+        racks = []
+        for sender in senders:
+            rack = self.fabric.rack_of_host(sender)
+            if rack not in racks:
+                racks.append(rack)
+        return tuple(self.switches[rack].name for rack in racks)

@@ -8,6 +8,7 @@ produces exactly that event space.  Each decision is drawn from a dedicated
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
 
@@ -68,6 +69,33 @@ class FaultModel:
     def reliable(cls) -> "FaultModel":
         """A fault model that never injects faults."""
         return cls()
+
+    def derive(self, label: str) -> "FaultModel":
+        """A child model with the same rates and a seed derived stably
+        from ``(seed, label)``.
+
+        Topologies hand every link its own child keyed by the link's
+        *name* (``"h0->switch"``, ``"core:r0->r1"``), so a link's fault
+        stream depends only on the template seed and on which link it is
+        — never on how many links were built before it.  Attaching hosts
+        in a different order, or adding racks to a fabric in a different
+        order, leaves every existing link's loss sequence untouched.
+
+        (The seed implementation copied the template per link and salted
+        the seed with a construction counter, which both forked the
+        template's RNG state and made every stream depend on wiring
+        order.)
+        """
+        digest = hashlib.blake2b(
+            f"{self.seed}:{label}".encode(), digest_size=8
+        ).digest()
+        return FaultModel(
+            loss_rate=self.loss_rate,
+            duplicate_rate=self.duplicate_rate,
+            reorder_rate=self.reorder_rate,
+            max_extra_delay_ns=self.max_extra_delay_ns,
+            seed=int.from_bytes(digest, "big"),
+        )
 
     @property
     def is_reliable(self) -> bool:

@@ -12,7 +12,6 @@ remote switch by name).
 
 from __future__ import annotations
 
-import copy
 from typing import Any, Dict, Optional
 
 from repro.net.fault import FaultModel
@@ -72,21 +71,14 @@ class MultiRackTopology:
         self._switch_rack: Dict[str, str] = {}  # switch name -> rack
         self._host_rack: Dict[str, str] = {}
         self._core_links: Dict[tuple[str, str], Nic] = {}
-        self._fault_salt = 0
 
     # ------------------------------------------------------------------
-    def _make_fault(self) -> Optional[FaultModel]:
+    def _make_fault(self, label: str) -> Optional[FaultModel]:
+        """Per-link child model keyed by the link's stable name, so core
+        and rack fault streams do not depend on rack creation order."""
         if self._fault_template is None:
             return None
-        self._fault_salt += 1
-        template = copy.copy(self._fault_template)
-        return FaultModel(
-            loss_rate=template.loss_rate,
-            duplicate_rate=template.duplicate_rate,
-            reorder_rate=template.reorder_rate,
-            max_extra_delay_ns=template.max_extra_delay_ns,
-            seed=template.seed * 7_368_787 + self._fault_salt,
-        )
+        return self._fault_template.derive(label)
 
     # ------------------------------------------------------------------
     def add_rack(self, rack: str, switch: NetworkNode) -> RackView:
@@ -96,15 +88,16 @@ class MultiRackTopology:
             raise ValueError(f"rack {rack!r} already exists")
         if switch.name in self._switch_rack:
             raise ValueError(f"switch {switch.name!r} already placed")
-        # Each rack's star derives per-link fault streams from its own
-        # reseeded template so racks differ but stay reproducible.
+        # Each rack's star derives per-link fault streams keyed by rack
+        # name, so racks differ but stay reproducible and independent of
+        # the order racks were added.
         star = StarTopology(
             self.sim,
             switch,
             bandwidth_gbps=self.bandwidth_gbps,
             latency_ns=self.latency_ns,
             host_max_pps=self.host_max_pps,
-            fault=self._make_fault(),
+            fault=self._make_fault(f"rack:{rack}"),
             trace=self.trace,
             ecn_threshold_bytes=self.ecn_threshold_bytes,
         )
@@ -118,12 +111,13 @@ class MultiRackTopology:
 
     def _wire_core(self, a: str, b: str) -> None:
         for src, dst in ((a, b), (b, a)):
+            core_name = f"core:{src}->{dst}"
             link = Link(
                 self.sim,
                 self.core_bandwidth_gbps,
                 self.core_latency_ns,
-                fault=self._make_fault(),
-                name=f"core:{src}->{dst}",
+                fault=self._make_fault(core_name),
+                name=core_name,
                 ecn_threshold_bytes=self.ecn_threshold_bytes,
             )
             self._core_links[(src, dst)] = Nic(self.sim, link, None)

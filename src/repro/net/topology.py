@@ -9,7 +9,6 @@ switch→receiver direction lossy.
 
 from __future__ import annotations
 
-import copy
 from typing import Any, Dict, Optional
 
 from repro.net.fault import FaultModel
@@ -74,9 +73,10 @@ class StarTopology:
         Link parameters applied uniformly; individual links can be retuned
         afterwards through :meth:`uplink` / :meth:`downlink`.
     fault:
-        Template fault model; each link gets an independent deep copy with a
-        distinct derived seed so loss patterns differ per link but stay
-        reproducible.
+        Template fault model; each link gets an independent child derived
+        with :meth:`~repro.net.fault.FaultModel.derive` keyed by the link
+        name, so loss patterns differ per link, stay reproducible, and do
+        not depend on the order hosts were attached.
     """
 
     def __init__(
@@ -103,38 +103,32 @@ class StarTopology:
         self._hosts: Dict[str, NetworkNode] = {}
 
     # ------------------------------------------------------------------
-    def _make_fault(self, salt: int) -> Optional[FaultModel]:
+    def _make_fault(self, link_name: str) -> Optional[FaultModel]:
         if self._fault_template is None:
             return None
-        model = copy.copy(self._fault_template)
-        return FaultModel(
-            loss_rate=model.loss_rate,
-            duplicate_rate=model.duplicate_rate,
-            reorder_rate=model.reorder_rate,
-            max_extra_delay_ns=model.max_extra_delay_ns,
-            seed=model.seed * 1_000_003 + salt,
-        )
+        return self._fault_template.derive(link_name)
 
     def attach_host(self, host: NetworkNode) -> None:
         """Wire ``host`` to the switch with one uplink and one downlink."""
         if host.name in self._hosts:
             raise ValueError(f"host {host.name!r} already attached")
-        index = len(self._hosts)
         self._hosts[host.name] = host
+        up_name = f"{host.name}->switch"
+        down_name = f"switch->{host.name}"
         up_link = Link(
             self.sim,
             self.bandwidth_gbps,
             self.latency_ns,
-            fault=self._make_fault(2 * index),
-            name=f"{host.name}->switch",
+            fault=self._make_fault(up_name),
+            name=up_name,
             ecn_threshold_bytes=self.ecn_threshold_bytes,
         )
         down_link = Link(
             self.sim,
             self.bandwidth_gbps,
             self.latency_ns,
-            fault=self._make_fault(2 * index + 1),
-            name=f"switch->{host.name}",
+            fault=self._make_fault(down_name),
+            name=down_name,
             ecn_threshold_bytes=self.ecn_threshold_bytes,
         )
         self._uplinks[host.name] = _Port(

@@ -1,0 +1,351 @@
+"""Real-time backend: ASK frames on localhost UDP under asyncio.
+
+The paper's host stack moves real datagrams with DPDK; this backend is
+the Python equivalent at reduced ambition.  Every node of a rack — each
+host daemon and the switch program — gets its own UDP socket on
+127.0.0.1 and its own asyncio task draining a receive queue, so frames
+really cross the kernel between sockets and arrive asynchronously.  The
+protocol stack is unchanged: the same sender/receiver state machines run
+against :class:`AsyncioClock` (wall-clock nanoseconds, ``loop.call_later``
+timers) and recover real or injected packet loss exactly as they recover
+simulated loss.
+
+Fault injection happens at the fabric's transmit hook, before the
+datagram is handed to the kernel, with a per-direction
+:class:`~repro.net.fault.FaultModel` derived from the template — the same
+derivation the simulated links use, so a lossy asyncio rack exercises the
+reliability layer with a reproducible *decision* sequence even though
+wall-clock arrival times vary run to run.
+
+One fabric owns one private event loop.  The public entry points
+(:meth:`AsyncioRunner.run_until`, :meth:`AsyncioRunner.run_forever`) are
+synchronous and drive that loop, so `AskService` keeps its blocking API
+on both backends.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.core.packet import AskPacket
+from repro.net.fault import FaultModel
+from repro.net.trace import PacketTrace
+from repro.runtime.codec import CodecError, decode_packet, encode_packet
+from repro.runtime.interfaces import Node, TimerHandle
+
+NS_PER_S = 1_000_000_000
+
+
+class AsyncioClock:
+    """Wall-clock :class:`~repro.runtime.interfaces.Clock` over one loop.
+
+    ``now`` is nanoseconds since the clock's creation (monotonic, from
+    ``loop.time()``), so timestamps look like simulator time to the stats
+    code: small integers starting near zero.
+    """
+
+    def __init__(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._loop = loop
+        self._origin = loop.time()
+
+    @property
+    def now(self) -> int:
+        return int((self._loop.time() - self._origin) * NS_PER_S)
+
+    def schedule(
+        self, delay_ns: int, callback: Callable[..., Any], *args: Any
+    ) -> TimerHandle:
+        if delay_ns < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay_ns})")
+        return self._loop.call_later(delay_ns / NS_PER_S, callback, *args)
+
+    def at(self, time_ns: int, callback: Callable[..., Any], *args: Any) -> TimerHandle:
+        return self._loop.call_at(self._origin + time_ns / NS_PER_S, callback, *args)
+
+
+class _NodeEndpoint(asyncio.DatagramProtocol):
+    """One node's UDP socket plus its run-to-completion receive task."""
+
+    def __init__(self, fabric: "AsyncioFabric", node: Node) -> None:
+        self.fabric = fabric
+        self.node = node
+        self.transport: Optional[asyncio.DatagramTransport] = None
+        self.queue: asyncio.Queue[AskPacket] = asyncio.Queue()
+        self.task: Optional[asyncio.Task[None]] = None
+        self.address: Optional[Tuple[str, int]] = None
+
+    # -- DatagramProtocol ----------------------------------------------
+    def connection_made(self, transport: asyncio.BaseTransport) -> None:
+        self.transport = transport  # type: ignore[assignment]
+        self.address = transport.get_extra_info("sockname")
+
+    def datagram_received(self, data: bytes, addr: Tuple[str, int]) -> None:
+        try:
+            packet = decode_packet(data)
+        except CodecError:
+            self.fabric.malformed_frames += 1
+            return
+        self.queue.put_nowait(packet)
+
+    def error_received(self, exc: Exception) -> None:
+        self.fabric.socket_errors += 1
+
+    # -- the node's task -----------------------------------------------
+    async def pump(self) -> None:
+        """Drain the receive queue into the node, one frame at a time."""
+        while True:
+            packet = await self.queue.get()
+            if self.fabric.trace is not None:
+                self.fabric.trace.record(
+                    self.fabric.clock.now, self.node.name, "rx", packet
+                )
+            self.node.receive(packet)
+
+
+class AsyncioFabric:
+    """A single ASK rack on localhost UDP sockets."""
+
+    backend = "asyncio"
+
+    def __init__(
+        self,
+        fault: Optional[FaultModel] = None,
+        bind_host: str = "127.0.0.1",
+        trace: Optional[PacketTrace] = None,
+    ) -> None:
+        self.loop = asyncio.new_event_loop()
+        self._clock = AsyncioClock(self.loop)
+        self.fault = fault
+        self.bind_host = bind_host
+        self.trace = trace
+        self._endpoints: Dict[str, _NodeEndpoint] = {}
+        self._faults: Dict[Tuple[str, str], FaultModel] = {}
+        self._switch_name: Optional[str] = None
+        self._started = False
+        self._closed = False
+        # Frames sent before the sockets are open (timers that were already
+        # due when start() first ran the loop) are buffered and flushed the
+        # moment the endpoints are live — the protocol stack never sees a
+        # "not started" error, it just observes a slightly later delivery.
+        self._pending: list[Tuple[str, str, AskPacket]] = []
+        self.malformed_frames = 0
+        self.socket_errors = 0
+        self.frames_sent = 0
+        self.frames_dropped = 0
+        self.frames_duplicated = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> AsyncioClock:
+        return self._clock
+
+    def runner(self) -> "AsyncioRunner":
+        return AsyncioRunner(self)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def install_switch(self, switch: Node) -> None:
+        if self._switch_name is not None:
+            raise RuntimeError("fabric already has a switch installed")
+        self._register(switch)
+        self._switch_name = switch.name
+        bind = getattr(switch, "bind", None)
+        if bind is not None:
+            bind(self)
+
+    def attach_host(self, host: Node) -> None:
+        if self._switch_name is not None and host.name == self._switch_name:
+            raise ValueError(f"{host.name!r} is already the switch")
+        self._register(host)
+
+    def _register(self, node: Node) -> None:
+        if self._started:
+            raise RuntimeError("cannot attach nodes after the fabric started")
+        if node.name in self._endpoints:
+            raise ValueError(f"node {node.name!r} already attached")
+        self._endpoints[node.name] = _NodeEndpoint(self, node)
+
+    @property
+    def host_names(self) -> list[str]:
+        return [name for name in self._endpoints if name != self._switch_name]
+
+    def port_of(self, name: str) -> Optional[int]:
+        """UDP port bound by ``name`` (None before :meth:`start`)."""
+        address = self._endpoints[name].address
+        return None if address is None else address[1]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Open every node's socket and start its receive task."""
+        if self._started:
+            return
+        if self._closed:
+            raise RuntimeError("fabric already closed")
+        if self._switch_name is None:
+            raise RuntimeError("install_switch() must run before start()")
+        self.loop.run_until_complete(self._open_endpoints())
+        self._started = True
+        pending, self._pending = self._pending, []
+        for src, dst, packet in pending:
+            self._transmit(src, dst, packet)
+
+    async def _open_endpoints(self) -> None:
+        for endpoint in self._endpoints.values():
+            await self.loop.create_datagram_endpoint(
+                lambda ep=endpoint: ep, local_addr=(self.bind_host, 0)
+            )
+            endpoint.task = self.loop.create_task(
+                endpoint.pump(), name=f"ask-node-{endpoint.node.name}"
+            )
+
+    def close(self) -> None:
+        """Stop tasks, close sockets, close the private loop."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._started:
+            self.loop.run_until_complete(self._shutdown())
+        self.loop.close()
+
+    async def _shutdown(self) -> None:
+        for endpoint in self._endpoints.values():
+            if endpoint.task is not None:
+                endpoint.task.cancel()
+            if endpoint.transport is not None:
+                endpoint.transport.close()
+        await asyncio.sleep(0)  # let cancellations and closes propagate
+
+    # ------------------------------------------------------------------
+    # Frame movement (the fault hook lives here, pre-kernel)
+    # ------------------------------------------------------------------
+    def _direction_fault(self, src: str, dst: str) -> Optional[FaultModel]:
+        if self.fault is None:
+            return None
+        key = (src, dst)
+        model = self._faults.get(key)
+        if model is None:
+            model = self.fault.derive(f"{src}->{dst}")
+            self._faults[key] = model
+        return model
+
+    def _transmit(self, src: str, dst: str, packet: AskPacket) -> None:
+        if self._closed:
+            return  # late timers during shutdown; the rack is gone
+        if not self._started:
+            self._pending.append((src, dst, packet))
+            return
+        try:
+            source = self._endpoints[src]
+            target = self._endpoints[dst]
+        except KeyError as exc:
+            raise KeyError(f"unknown fabric node {exc.args[0]!r}") from None
+        transport, address = source.transport, target.address
+        if transport is None or address is None:
+            raise RuntimeError("fabric endpoints are not open")
+        if transport.is_closing():
+            return
+        self.frames_sent += 1
+        if self.trace is not None:
+            self.trace.record(self._clock.now, f"{src}->{dst}", "tx", packet)
+        data = encode_packet(packet)
+        fault = self._direction_fault(src, dst)
+        if fault is None:
+            transport.sendto(data, address)
+            return
+        decision = fault.decide()
+        if decision.drop:
+            self.frames_dropped += 1
+            return
+        if decision.extra_delay_ns:
+            self._clock.schedule(
+                decision.extra_delay_ns, self._late_send, transport, data, address
+            )
+        else:
+            transport.sendto(data, address)
+        if decision.duplicate:
+            self.frames_duplicated += 1
+            self._clock.schedule(
+                max(1, decision.duplicate_delay_ns),
+                self._late_send,
+                transport,
+                data,
+                address,
+            )
+
+    def _late_send(
+        self,
+        transport: asyncio.DatagramTransport,
+        data: bytes,
+        address: Tuple[str, int],
+    ) -> None:
+        """Deliver a delayed/duplicated frame unless the rack shut down."""
+        if self._closed or transport.is_closing():
+            return
+        transport.sendto(data, address)
+
+    def send_to_switch(self, host: str, packet: AskPacket, size_bytes: int) -> None:
+        if self._switch_name is None:
+            raise RuntimeError("no switch installed")
+        self._transmit(host, self._switch_name, packet)
+
+    def send_to_host(self, host: str, packet: AskPacket, size_bytes: int) -> None:
+        if self._switch_name is None:
+            raise RuntimeError("no switch installed")
+        self._transmit(self._switch_name, host, packet)
+
+
+class AsyncioRunner:
+    """Synchronous driver over an :class:`AsyncioFabric`'s private loop."""
+
+    #: Default wall-clock slice for a bare ``run()`` call, generous enough
+    #: for several retransmission timeouts on localhost.
+    DEFAULT_SLICE_S = 0.05
+    #: Default bound for :meth:`run_until` — a safety net, not a target.
+    DEFAULT_TIMEOUT_S = 60.0
+
+    def __init__(self, fabric: AsyncioFabric) -> None:
+        self.fabric = fabric
+
+    def run(
+        self, until: Optional[int] = None, max_events: Optional[int] = None
+    ) -> None:
+        """Run the loop for a bounded wall-clock slice.
+
+        ``until`` is an absolute fabric-clock nanosecond deadline (the
+        same meaning it has under simulation); ``None`` runs one default
+        slice.  ``max_events`` has no real-time equivalent and is ignored.
+        """
+        self.fabric.start()
+        if until is None:
+            delay_s = self.DEFAULT_SLICE_S
+        else:
+            delay_s = max(0.0, (until - self.fabric.clock.now) / NS_PER_S)
+        self.fabric.loop.run_until_complete(asyncio.sleep(delay_s))
+
+    def run_until(
+        self,
+        done: Callable[[], bool],
+        max_events: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+    ) -> None:
+        """Drive the loop until ``done()`` holds or ``timeout_s`` expires."""
+        self.fabric.start()
+        budget = self.DEFAULT_TIMEOUT_S if timeout_s is None else timeout_s
+        self.fabric.loop.run_until_complete(self._poll(done, budget))
+
+    async def _poll(self, done: Callable[[], bool], timeout_s: float) -> None:
+        deadline = self.fabric.loop.time() + timeout_s
+        while not done() and self.fabric.loop.time() < deadline:
+            await asyncio.sleep(0.001)
+
+    def run_forever(self) -> None:
+        """Serve until KeyboardInterrupt (the `repro serve` loop)."""
+        self.fabric.start()
+        try:
+            self.fabric.loop.run_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass

@@ -1,0 +1,238 @@
+"""`DeploymentBuilder` — the one place rack wiring happens.
+
+Before the runtime layer, `AskService` and `MultiRackService` each
+hand-wired simulator, trace, switch, topology, control plane and daemons
+— six call sites to edit for every new backend or topology.  The builder
+folds that into one component: declare racks, pick a backend, build.
+
+::
+
+    deployment = (
+        DeploymentBuilder(config, backend="asyncio", fault=fault)
+        .add_rack(3)
+        .build(on_task_complete=publish)
+    )
+    deployment.daemons["h0"] ...
+
+Wiring order is part of the determinism contract and mirrors the
+pre-runtime services exactly (fabric, then per rack: switch → install →
+register → hosts in order), so a sim-backed build is schedule-identical
+to the old hand wiring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+
+from repro.core.config import AskConfig
+from repro.core.controlplane import ControlPlane
+from repro.core.daemon import HostDaemon
+from repro.core.packet import AskPacket
+from repro.core.task import AggregationTask
+from repro.net.fault import FaultModel
+from repro.net.trace import PacketTrace
+from repro.runtime.asyncio_fabric import AsyncioFabric
+from repro.runtime.interfaces import Clock, TaskRunner
+from repro.runtime.sim import SimFabric, SimMultiRackFabric
+
+BACKENDS = ("sim", "asyncio")
+
+CompletionFn = Callable[[AggregationTask], None]
+
+
+@dataclass
+class Deployment:
+    """A wired ASK deployment: fabric + switches + control + daemons."""
+
+    config: AskConfig
+    backend: str
+    fabric: Any
+    runner: TaskRunner
+    control: ControlPlane
+    switches: Dict[str, Any]
+    daemons: Dict[str, HostDaemon]
+    trace: Optional[PacketTrace]
+    #: rack name -> host names, in wiring order
+    racks: Dict[str, List[str]] = field(default_factory=dict)
+
+    @property
+    def clock(self) -> Clock:
+        return self.fabric.clock
+
+    @property
+    def switch(self) -> Any:
+        """The switch of a single-rack deployment."""
+        if len(self.switches) != 1:
+            raise ValueError(
+                f"deployment has {len(self.switches)} switches; use .switches"
+            )
+        return next(iter(self.switches.values()))
+
+    def close(self) -> None:
+        """Release backend resources (sockets/tasks on asyncio; no-op sim)."""
+        close = getattr(self.fabric, "close", None)
+        if close is not None:
+            close()
+
+
+class DeploymentBuilder:
+    """Assemble an ASK deployment on a chosen backend.
+
+    One ``add_rack`` call builds the classic single-rack service; several
+    build the §7 multi-rack deployment (sim backend only — the asyncio
+    backend currently frames one rack onto UDP).
+    """
+
+    def __init__(
+        self,
+        config: Optional[AskConfig] = None,
+        backend: str = "sim",
+        fault: Optional[FaultModel] = None,
+        max_tasks: int = 64,
+        max_channels: int = 256,
+        switch_factory: Optional[Callable[..., Any]] = None,
+        core_bandwidth_gbps: Optional[float] = 400.0,
+        bind_host: str = "127.0.0.1",
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; pick one of {BACKENDS}")
+        if switch_factory is None:
+            from repro.switch.switch import AskSwitch
+
+            switch_factory = AskSwitch
+        self.config = config if config is not None else AskConfig()
+        self.backend = backend
+        self.fault = fault
+        self.max_tasks = max_tasks
+        self.max_channels = max_channels
+        self.switch_factory = switch_factory
+        self.core_bandwidth_gbps = core_bandwidth_gbps
+        self.bind_host = bind_host
+        self._racks: List[tuple[str, str, List[str]]] = []
+
+    # ------------------------------------------------------------------
+    def add_rack(
+        self,
+        hosts: Union[int, Iterable[str]],
+        switch_name: Optional[str] = None,
+        rack: Optional[str] = None,
+    ) -> "DeploymentBuilder":
+        """Declare one rack: its hosts and (optionally) names.
+
+        ``hosts`` is a count (named ``h0..hN-1``, continuing across
+        racks) or explicit names.  The first rack's switch defaults to
+        ``"switch"`` to preserve the single-rack service's addressing;
+        later racks default to ``tor-<rack>``.
+        """
+        index = len(self._racks)
+        if rack is None:
+            rack = f"r{index}"
+        if isinstance(hosts, int):
+            offset = sum(len(names) for _, _, names in self._racks)
+            host_names = [f"h{offset + i}" for i in range(hosts)]
+        else:
+            host_names = list(hosts)
+        if switch_name is None:
+            switch_name = "switch" if index == 0 else f"tor-{rack}"
+        self._racks.append((rack, switch_name, host_names))
+        return self
+
+    # ------------------------------------------------------------------
+    def _make_fabric(self, trace: Optional[PacketTrace]) -> Any:
+        config = self.config
+        ecn = config.ecn_threshold_bytes if config.congestion_control else None
+        if self.backend == "asyncio":
+            if len(self._racks) > 1:
+                raise ValueError(
+                    "the asyncio backend frames a single rack onto UDP; "
+                    "multi-rack deployments need backend='sim'"
+                )
+            return AsyncioFabric(
+                fault=self.fault, bind_host=self.bind_host, trace=trace
+            )
+        if len(self._racks) > 1:
+            return SimMultiRackFabric(
+                bandwidth_gbps=config.link_bandwidth_gbps,
+                latency_ns=config.link_latency_ns,
+                core_bandwidth_gbps=self.core_bandwidth_gbps,
+                host_max_pps=config.host_max_pps,
+                fault=self.fault,
+                trace=trace,
+                ecn_threshold_bytes=ecn,
+            )
+        return SimFabric(
+            bandwidth_gbps=config.link_bandwidth_gbps,
+            latency_ns=config.link_latency_ns,
+            host_max_pps=config.host_max_pps,
+            fault=self.fault,
+            trace=trace,
+            ecn_threshold_bytes=ecn,
+        )
+
+    def _sender_for(self, fabric: Any, host: str) -> Callable[[AskPacket], None]:
+        def send(packet: AskPacket) -> None:
+            fabric.send_to_switch(host, packet, packet.wire_bytes())
+
+        return send
+
+    # ------------------------------------------------------------------
+    def build(self, on_task_complete: CompletionFn) -> Deployment:
+        """Wire everything; returns the ready deployment.
+
+        ``on_task_complete`` is invoked by the receiving daemon when a
+        task's result is final (services publish it to shared memory).
+        """
+        if not self._racks:
+            raise ValueError("declare at least one rack with add_rack()")
+        trace = PacketTrace(enabled=self.config.trace)
+        active_trace = trace if self.config.trace else None
+        fabric = self._make_fabric(active_trace)
+        multirack = len(self._racks) > 1
+        control = ControlPlane()
+        switches: Dict[str, Any] = {}
+        daemons: Dict[str, HostDaemon] = {}
+        racks: Dict[str, List[str]] = {}
+
+        for rack, switch_name, host_names in self._racks:
+            switch = self.switch_factory(
+                self.config,
+                fabric.clock,
+                name=switch_name,
+                max_tasks=self.max_tasks,
+                max_channels=self.max_channels,
+                trace=active_trace,
+            )
+            if multirack:
+                fabric.install_switch(switch, rack)
+            else:
+                fabric.install_switch(switch)
+            switches[switch_name] = switch
+            control.register(switch_name, switch.controller)
+            racks[rack] = list(host_names)
+            for name in host_names:
+                daemon = HostDaemon(
+                    name,
+                    fabric.clock,
+                    self.config,
+                    control,
+                    send_fn=self._sender_for(fabric, name),
+                    on_task_complete=on_task_complete,
+                )
+                daemons[name] = daemon
+                if multirack:
+                    fabric.attach_host(daemon, rack)
+                else:
+                    fabric.attach_host(daemon)
+
+        return Deployment(
+            config=self.config,
+            backend=self.backend,
+            fabric=fabric,
+            runner=fabric.runner(),
+            control=control,
+            switches=switches,
+            daemons=daemons,
+            trace=trace,
+            racks=racks,
+        )

@@ -1,0 +1,161 @@
+"""Wire codec: :class:`~repro.core.packet.AskPacket` ⇄ UDP datagram bytes.
+
+The discrete-event backend moves packet *objects* between nodes; the
+asyncio backend moves real datagrams, so it needs a byte encoding.  The
+format is a straightforward binary framing of the ASK header of Fig. 5
+(it is not byte-identical to the paper's P4 header — endpoint names ride
+along because the simulator addresses by name, not by IP):
+
+======  =====  ==========================================================
+offset  size   field
+======  =====  ==========================================================
+0       1      magic (0xA5)
+1       1      version (1)
+2       1      flags (:class:`~repro.core.packet.PacketFlag` bits)
+3       1      ECN congestion-experienced mark (0/1)
+4       8      task id (unsigned)
+12      8      sequence number / swap epoch (signed)
+20      2      channel index (signed; -1 for swap notifications)
+22      8      bitmap
+30      1+n    src name (length-prefixed UTF-8)
+..      1+n    dst name (length-prefixed UTF-8)
+..      2      slot count
+======  =====  ==========================================================
+
+Each slot is then ``present(1) [key_len(2) key value(8)]``; blank slots
+(``present == 0``) carry no payload.  Values are the masked unsigned
+integers the aggregation pipeline works in (§3.2.1), so 8 bytes always
+suffice.
+
+The codec is total: every packet the stack can build round-trips, and
+:func:`decode_packet` raises :class:`CodecError` (never an unhandled
+struct error) on truncated or foreign datagrams, so a stray UDP sender
+cannot crash a serving rack.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.core.errors import AskError
+from repro.core.packet import AskPacket, PacketFlag, Slot
+
+MAGIC = 0xA5
+VERSION = 1
+
+_FIXED = struct.Struct("!BBBBQqhQ")
+_SLOT_HEAD = struct.Struct("!H")
+_VALUE = struct.Struct("!Q")
+_VALUE_MASK = (1 << 64) - 1
+
+
+class CodecError(AskError, ValueError):
+    """A datagram could not be decoded as an ASK packet."""
+
+
+def encode_packet(packet: AskPacket) -> bytes:
+    """Serialize ``packet`` into one self-contained datagram payload."""
+    src = packet.src.encode("utf-8")
+    dst = packet.dst.encode("utf-8")
+    if len(src) > 255 or len(dst) > 255:
+        raise CodecError("endpoint names longer than 255 bytes cannot be framed")
+    parts = [
+        _FIXED.pack(
+            MAGIC,
+            VERSION,
+            int(packet.flags) & 0xFF,
+            1 if packet.ecn else 0,
+            packet.task_id & _VALUE_MASK,
+            packet.seq,
+            packet.channel_index,
+            packet.bitmap & _VALUE_MASK,
+        ),
+        bytes((len(src),)),
+        src,
+        bytes((len(dst),)),
+        dst,
+        _SLOT_HEAD.pack(len(packet.slots)),
+    ]
+    for slot in packet.slots:
+        if slot is None:
+            parts.append(b"\x00")
+            continue
+        if len(slot.key) > 0xFFFF:
+            raise CodecError(f"slot key of {len(slot.key)} bytes cannot be framed")
+        parts.append(b"\x01")
+        parts.append(struct.pack("!H", len(slot.key)))
+        parts.append(slot.key)
+        parts.append(_VALUE.pack(slot.value & _VALUE_MASK))
+    return b"".join(parts)
+
+
+class _Reader:
+    """Bounds-checked cursor over one datagram."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        end = self.pos + n
+        if end > len(self.data):
+            raise CodecError(
+                f"truncated datagram: wanted {n} bytes at offset {self.pos}, "
+                f"have {len(self.data) - self.pos}"
+            )
+        chunk = self.data[self.pos : end]
+        self.pos = end
+        return chunk
+
+    def byte(self) -> int:
+        return self.take(1)[0]
+
+
+def decode_packet(data: bytes) -> AskPacket:
+    """Parse one datagram back into an :class:`AskPacket`.
+
+    Raises :class:`CodecError` on anything that is not a well-formed
+    version-1 ASK frame.
+    """
+    reader = _Reader(data)
+    magic, version, flags, ecn, task_id, seq, channel_index, bitmap = _FIXED.unpack(
+        reader.take(_FIXED.size)
+    )
+    if magic != MAGIC:
+        raise CodecError(f"bad magic 0x{magic:02x} (not an ASK frame)")
+    if version != VERSION:
+        raise CodecError(f"unsupported frame version {version}")
+    try:
+        src = reader.take(reader.byte()).decode("utf-8")
+        dst = reader.take(reader.byte()).decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise CodecError(f"undecodable endpoint name: {exc}") from exc
+    (slot_count,) = _SLOT_HEAD.unpack(reader.take(_SLOT_HEAD.size))
+    slots: list[Optional[Slot]] = []
+    for _ in range(slot_count):
+        present = reader.byte()
+        if present == 0:
+            slots.append(None)
+        elif present == 1:
+            (key_len,) = struct.unpack("!H", reader.take(2))
+            key = reader.take(key_len)
+            (value,) = _VALUE.unpack(reader.take(_VALUE.size))
+            slots.append(Slot(key, value))
+        else:
+            raise CodecError(f"bad slot presence byte {present}")
+    if reader.pos != len(data):
+        raise CodecError(f"{len(data) - reader.pos} trailing bytes after packet")
+    return AskPacket(
+        flags=PacketFlag(flags),
+        task_id=task_id,
+        src=src,
+        dst=dst,
+        channel_index=channel_index,
+        seq=seq,
+        bitmap=bitmap,
+        slots=tuple(slots),
+        ecn=bool(ecn),
+    )

@@ -1,0 +1,162 @@
+"""The narrow interfaces the ASK protocol stack needs from its runtime.
+
+The host stack of the paper is ~4.5k lines of DPDK C moving real datagrams;
+this reproduction keeps the protocol core (sender/receiver state machines,
+reliability, switch programs) backend-agnostic by typing it against the
+three protocols below instead of any concrete event loop or network:
+
+``Clock``
+    Scheduling: a monotonically advancing integer-nanosecond ``now`` plus
+    relative (``schedule``) and absolute (``at``) one-shot timers whose
+    handles can be cancelled.  The discrete-event
+    :class:`~repro.net.simulator.Simulator` satisfies this structurally;
+    :class:`~repro.runtime.asyncio_fabric.AsyncioClock` maps it onto a
+    running asyncio loop's wall clock.
+
+``Fabric``
+    Frame movement: attach host nodes, send a frame from a host toward the
+    switch, and send a frame from the switch toward a host.  Fault
+    injection is a backend construction concern (the ``fault`` template
+    each backend derives per-direction models from), not a per-send one.
+
+``TaskRunner``
+    Execution: drive the deployment either to completion of a predicate
+    (batch aggregation) or open-endedly (a serving rack).
+
+All three are :func:`typing.runtime_checkable` so backend objects can be
+validated cheaply in tests; the stack itself relies only on structural
+typing and never isinstance-checks its runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class TimerHandle(Protocol):
+    """A cancellable scheduled callback.
+
+    Both :class:`~repro.net.simulator.Event` and
+    :class:`asyncio.TimerHandle` satisfy this.  ``cancel`` must be safe to
+    call more than once and after the callback has fired.
+    """
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+        ...
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Integer-nanosecond time plus one-shot timers."""
+
+    @property
+    def now(self) -> int:
+        """Current time in nanoseconds; monotonically non-decreasing."""
+        ...
+
+    def schedule(
+        self, delay_ns: int, callback: Callable[..., Any], *args: Any
+    ) -> TimerHandle:
+        """Run ``callback(*args)`` ``delay_ns`` nanoseconds from ``now``."""
+        ...
+
+    def at(self, time_ns: int, callback: Callable[..., Any], *args: Any) -> TimerHandle:
+        """Run ``callback(*args)`` at absolute time ``time_ns``."""
+        ...
+
+
+@runtime_checkable
+class Node(Protocol):
+    """Anything attachable to a fabric: a name plus a packet sink."""
+
+    name: str
+
+    def receive(self, packet: Any) -> None:
+        """Deliver one frame to this node."""
+        ...
+
+
+@runtime_checkable
+class Fabric(Protocol):
+    """Frame movement between host daemons and the rack switch.
+
+    A fabric owns its clock; every component of one deployment schedules
+    on ``fabric.clock`` so simulated and real time never mix.
+    """
+
+    @property
+    def clock(self) -> Clock:
+        """The clock every node of this fabric schedules on."""
+        ...
+
+    @property
+    def host_names(self) -> list[str]:
+        """Names of the attached hosts (the switch bypass rule keys on it)."""
+        ...
+
+    def attach_host(self, host: Node) -> None:
+        """Wire a host node into the fabric (uplink + downlink)."""
+        ...
+
+    def send_to_switch(self, host: str, packet: Any, size_bytes: int) -> None:
+        """Transmit a frame from ``host`` toward its switch."""
+        ...
+
+    def send_to_host(self, host: str, packet: Any, size_bytes: int) -> None:
+        """Transmit a frame from the switch toward ``host``."""
+        ...
+
+
+@runtime_checkable
+class SwitchFabricView(Protocol):
+    """What a switch program sees of its fabric.
+
+    The §7 bypass rule keys on ``host_names`` (the switch's own rack);
+    egress — aggregation results, ACKs, routed transit traffic — goes
+    through ``send_to_host``.  A full :class:`Fabric` satisfies this, and
+    so does the per-rack :class:`~repro.net.multirack.RackView`.
+    """
+
+    @property
+    def host_names(self) -> list[str]:
+        """Hosts of this switch's rack."""
+        ...
+
+    def send_to_host(self, host: str, packet: Any, size_bytes: int) -> None:
+        """Route a frame leaving this switch toward ``host``."""
+        ...
+
+
+@runtime_checkable
+class TaskRunner(Protocol):
+    """Drives a deployment: run-to-completion vs run-forever."""
+
+    def run(
+        self, until: Optional[int] = None, max_events: Optional[int] = None
+    ) -> None:
+        """Advance the deployment.
+
+        For a discrete-event backend this drains the event heap (bounded
+        by ``until`` / ``max_events``); for a real-time backend it runs
+        the event loop for a bounded wall-clock slice (``until`` is an
+        absolute fabric-clock nanosecond deadline).
+        """
+        ...
+
+    def run_until(
+        self,
+        done: Callable[[], bool],
+        max_events: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+    ) -> None:
+        """Advance until ``done()`` holds, or the backend's work/time
+        budget (``max_events`` for simulation, ``timeout_s`` wall-clock
+        for real time) is exhausted.  Returns without raising either way;
+        callers re-check ``done()`` and report unfinished work."""
+        ...
+
+    def run_forever(self) -> None:
+        """Serve until externally interrupted (KeyboardInterrupt/stop)."""
+        ...

@@ -1,0 +1,204 @@
+"""Discrete-event backend: the existing simulator stack behind the
+:class:`~repro.runtime.interfaces.Fabric` / ``TaskRunner`` interfaces.
+
+These wrappers add **no** event hops and **no** extra scheduling — every
+``send`` delegates straight into the same :class:`StarTopology` /
+:class:`Link` / :class:`Nic` code the services used before the runtime
+layer existed, so a fixed seed produces exactly the schedule, stats and
+retransmission counts it always did (the `bench_hotpath` determinism
+guard enforces this).
+
+:class:`~repro.net.simulator.Simulator` itself satisfies the
+:class:`~repro.runtime.interfaces.Clock` protocol, so ``fabric.clock`` is
+the simulator object and simulated components keep scheduling on it
+directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.net.fault import FaultModel
+from repro.net.multirack import MultiRackTopology, RackView
+from repro.net.simulator import Simulator
+from repro.net.topology import StarTopology
+from repro.net.trace import PacketTrace
+from repro.runtime.interfaces import Node
+
+
+class SimRunner:
+    """Run-to-completion driver over one :class:`Simulator`."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+
+    def run(
+        self, until: Optional[int] = None, max_events: Optional[int] = None
+    ) -> None:
+        self.sim.run(until=until, max_events=max_events)
+
+    def run_until(
+        self,
+        done: Callable[[], bool],
+        max_events: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+    ) -> None:
+        # A drained heap is the simulator's quiescent point: either every
+        # task completed (done() now holds) or progress is impossible and
+        # the caller reports the stall.  ``timeout_s`` is wall-clock and
+        # meaningless under simulated time.
+        self.sim.run(max_events=max_events)
+
+    def run_forever(self) -> None:
+        self.sim.run()
+
+
+class SimFabric:
+    """One rack on the deterministic simulator.
+
+    Construction order matters for seed-for-seed reproducibility and
+    mirrors the pre-runtime services exactly: the simulator exists first,
+    the switch is installed (building the star topology), then hosts
+    attach in order, each deriving its two per-link fault models.
+    """
+
+    backend = "sim"
+
+    def __init__(
+        self,
+        bandwidth_gbps: Optional[float] = 100.0,
+        latency_ns: int = 1_000,
+        host_max_pps: Optional[float] = None,
+        fault: Optional[FaultModel] = None,
+        trace: Optional[PacketTrace] = None,
+        ecn_threshold_bytes: Optional[int] = None,
+        sim: Optional[Simulator] = None,
+    ) -> None:
+        self.sim = sim if sim is not None else Simulator()
+        self._params = dict(
+            bandwidth_gbps=bandwidth_gbps,
+            latency_ns=latency_ns,
+            host_max_pps=host_max_pps,
+            fault=fault,
+            trace=trace,
+            ecn_threshold_bytes=ecn_threshold_bytes,
+        )
+        self.topology: Optional[StarTopology] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> Simulator:
+        return self.sim
+
+    def runner(self) -> SimRunner:
+        return SimRunner(self.sim)
+
+    # ------------------------------------------------------------------
+    def install_switch(self, switch: Node) -> None:
+        """Create the star around ``switch`` and bind the switch to it."""
+        if self.topology is not None:
+            raise RuntimeError("fabric already has a switch installed")
+        self.topology = StarTopology(self.sim, switch, **self._params)
+        bind = getattr(switch, "bind", None)
+        if bind is not None:
+            bind(self)
+
+    def _star(self) -> StarTopology:
+        if self.topology is None:
+            raise RuntimeError("install_switch() must run before fabric use")
+        return self.topology
+
+    # ------------------------------------------------------------------
+    # Fabric interface
+    # ------------------------------------------------------------------
+    @property
+    def host_names(self) -> list[str]:
+        return [] if self.topology is None else self.topology.host_names
+
+    def attach_host(self, host: Node) -> None:
+        self._star().attach_host(host)
+
+    def send_to_switch(self, host: str, packet: object, size_bytes: int) -> None:
+        self._star().send_to_switch(host, packet, size_bytes)
+
+    def send_to_host(self, host: str, packet: object, size_bytes: int) -> None:
+        self._star().send_to_host(host, packet, size_bytes)
+
+
+class SimMultiRackFabric:
+    """The §7 multi-rack fabric on the deterministic simulator.
+
+    The single-rack :class:`Fabric` surface applies per rack through the
+    :class:`~repro.net.multirack.RackView` each switch binds to; host
+    uplinks route by the host's rack, so ``send_to_switch`` keeps the
+    single-rack signature.
+    """
+
+    backend = "sim"
+
+    def __init__(
+        self,
+        bandwidth_gbps: Optional[float] = 100.0,
+        latency_ns: int = 1_000,
+        core_bandwidth_gbps: Optional[float] = 400.0,
+        core_latency_ns: int = 2_000,
+        host_max_pps: Optional[float] = None,
+        fault: Optional[FaultModel] = None,
+        trace: Optional[PacketTrace] = None,
+        ecn_threshold_bytes: Optional[int] = None,
+        sim: Optional[Simulator] = None,
+    ) -> None:
+        self.sim = sim if sim is not None else Simulator()
+        self.topology = MultiRackTopology(
+            self.sim,
+            bandwidth_gbps=bandwidth_gbps,
+            latency_ns=latency_ns,
+            core_bandwidth_gbps=core_bandwidth_gbps,
+            core_latency_ns=core_latency_ns,
+            host_max_pps=host_max_pps,
+            fault=fault,
+            trace=trace,
+            ecn_threshold_bytes=ecn_threshold_bytes,
+        )
+        self._host_rack: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> Simulator:
+        return self.sim
+
+    def runner(self) -> SimRunner:
+        return SimRunner(self.sim)
+
+    # ------------------------------------------------------------------
+    def install_switch(self, switch: Node, rack: str) -> RackView:
+        """Create ``rack`` around ``switch``, wire core links, bind."""
+        view = self.topology.add_rack(rack, switch)
+        bind = getattr(switch, "bind", None)
+        if bind is not None:
+            bind(view)
+        return view
+
+    def attach_host(self, host: Node, rack: Optional[str] = None) -> None:
+        if rack is None:
+            raise ValueError("a multi-rack fabric needs the host's rack")
+        self.topology.attach_host(rack, host)
+        self._host_rack[host.name] = rack
+
+    # ------------------------------------------------------------------
+    @property
+    def host_names(self) -> list[str]:
+        return self.topology.host_names
+
+    def rack_of_host(self, host: str) -> str:
+        return self.topology.rack_of_host(host)
+
+    def send_to_switch(self, host: str, packet: object, size_bytes: int) -> None:
+        self.topology.send_to_switch(host, packet, size_bytes)
+
+    def send_to_host(self, host: str, packet: object, size_bytes: int) -> None:
+        """Route from the host's own TOR (used by tests/tools; switches
+        route through their bound :class:`RackView` instead)."""
+        self.topology.route_from_switch(
+            self.topology.rack_of_host(host), host, packet, size_bytes
+        )

@@ -19,9 +19,9 @@ from typing import Optional
 
 from repro.core.config import AskConfig
 from repro.core.packet import AskPacket
-from repro.net.simulator import Simulator
-from repro.net.topology import NetworkNode, StarTopology
+from repro.net.topology import NetworkNode
 from repro.net.trace import PacketTrace
+from repro.runtime.interfaces import Clock, SwitchFabricView
 from repro.switch.aggregator import AggregatorPool
 from repro.switch.controller import SwitchController
 from repro.switch.dedup import DedupUnit
@@ -36,7 +36,7 @@ class AskSwitch(NetworkNode):
     def __init__(
         self,
         config: AskConfig,
-        sim: Simulator,
+        clock: Clock,
         name: str = "switch",
         max_tasks: int = 64,
         max_channels: int = 256,
@@ -45,7 +45,7 @@ class AskSwitch(NetworkNode):
     ) -> None:
         super().__init__(name)
         self.config = config
-        self.sim = sim
+        self.clock = clock
         self.trace = trace
 
         # ``max_stages`` defaults above a single physical pipeline's 16
@@ -68,12 +68,19 @@ class AskSwitch(NetworkNode):
         self.program = AskSwitchProgram(
             config, self.controller, self.pool, self.dedup, self.shadow, switch_name=name
         )
-        self.topology: Optional[StarTopology] = None
+        self.fabric: Optional[SwitchFabricView] = None
 
     # ------------------------------------------------------------------
-    def bind(self, topology: StarTopology) -> None:
-        """Attach the switch to its topology (done by the service builder)."""
-        self.topology = topology
+    def bind(self, fabric: SwitchFabricView) -> None:
+        """Attach the switch to its fabric view (done by the deployment
+        builder): ``host_names`` keys the §7 bypass rule, ``send_to_host``
+        carries every egressing frame."""
+        self.fabric = fabric
+
+    @property
+    def topology(self) -> Optional[SwitchFabricView]:
+        """Back-compat alias for :attr:`fabric`."""
+        return self.fabric
 
     @property
     def stats(self):
@@ -83,9 +90,9 @@ class AskSwitch(NetworkNode):
     @property
     def local_hosts(self) -> frozenset[str]:
         """Hosts attached to this switch's rack."""
-        if self.topology is None:
+        if self.fabric is None:
             return frozenset()
-        return frozenset(self.topology.host_names)
+        return frozenset(self.fabric.host_names)
 
     def _should_run_program(self, packet: AskPacket) -> bool:
         """The §7 bypass rule: the ASK program runs only at the sender-side
@@ -104,36 +111,36 @@ class AskSwitch(NetworkNode):
         """Ingress: run the pipeline pass (or pure routing for transit
         traffic), emit results after the pipeline latency."""
         if self.trace is not None:
-            self.trace.record(self.sim.now, self.name, "ingress", packet)
+            self.trace.record(self.clock.now, self.name, "ingress", packet)
         if not self._should_run_program(packet):
-            self.sim.schedule(
+            self.clock.schedule(
                 self.config.switch_pipeline_latency_ns, self._route, packet
             )
             return
         ctx = self.pipeline.begin_pass(label=f"{packet.flags!r} seq={packet.seq}")
         decision = self.program.process(ctx, packet)
         if decision.emit:
-            self.sim.schedule(
+            self.clock.schedule(
                 self.config.switch_pipeline_latency_ns, self._emit, decision
             )
         elif self.trace is not None:
-            self.trace.record(self.sim.now, self.name, "drop", packet)
+            self.trace.record(self.clock.now, self.name, "drop", packet)
 
     def _route(self, packet: AskPacket) -> None:
         """Plain routing: deliver toward the destination untouched."""
-        if self.topology is None:
-            raise RuntimeError("switch is not bound to a topology")
+        if self.fabric is None:
+            raise RuntimeError("switch is not bound to a fabric")
         if self.trace is not None:
-            self.trace.record(self.sim.now, self.name, "route", packet)
-        self.topology.send_to_host(packet.dst, packet, packet.wire_bytes())
+            self.trace.record(self.clock.now, self.name, "route", packet)
+        self.fabric.send_to_host(packet.dst, packet, packet.wire_bytes())
 
     def _emit(self, decision: SwitchDecision) -> None:
-        if self.topology is None:
-            raise RuntimeError("switch is not bound to a topology")
+        if self.fabric is None:
+            raise RuntimeError("switch is not bound to a fabric")
         for pkt in decision.emit:
             if self.trace is not None:
-                self.trace.record(self.sim.now, self.name, decision.action.value, pkt)
-            self.topology.send_to_host(pkt.dst, pkt, pkt.wire_bytes())
+                self.trace.record(self.clock.now, self.name, decision.action.value, pkt)
+            self.fabric.send_to_host(pkt.dst, pkt, pkt.wire_bytes())
 
     # ------------------------------------------------------------------
     def resource_summary(self) -> str:

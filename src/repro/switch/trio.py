@@ -36,8 +36,8 @@ from repro.core.errors import RegionExhaustedError, TaskStateError
 from repro.core.keyspace import KeySpaceLayout, unpad_key
 from repro.core.packet import AskPacket, ack_for
 from repro.core.tenancy import TenantQuotas
-from repro.net.simulator import Simulator
 from repro.net.trace import PacketTrace
+from repro.runtime.interfaces import Clock, SwitchFabricView
 from repro.switch.program import ProgramStats
 from repro.transport.reliability import ReceiveWindow
 
@@ -133,7 +133,7 @@ class TrioSwitch:
     def __init__(
         self,
         config: AskConfig,
-        sim: Simulator,
+        clock: Clock,
         name: str = "switch",
         max_tasks: int = 64,
         max_channels: int = 256,
@@ -141,7 +141,7 @@ class TrioSwitch:
         total_entries: int = 16_000_000,  # O(1 GB) of 64-byte entries
     ) -> None:
         self.config = config
-        self.sim = sim
+        self.clock = clock
         self.name = name
         self.trace = trace
         self.max_channels = max_channels
@@ -149,19 +149,24 @@ class TrioSwitch:
         self.layout = KeySpaceLayout(config)
         self.stats = ProgramStats()
         self._channels: Dict[tuple[str, int], _ChannelState] = {}
-        self.topology = None
+        self.fabric: Optional[SwitchFabricView] = None
         self.tuples_aggregated = 0
         self.tuples_failed = 0
 
     # ------------------------------------------------------------------
-    def bind(self, topology) -> None:
-        self.topology = topology
+    def bind(self, fabric: SwitchFabricView) -> None:
+        self.fabric = fabric
+
+    @property
+    def topology(self) -> Optional[SwitchFabricView]:
+        """Back-compat alias for :attr:`fabric`."""
+        return self.fabric
 
     @property
     def local_hosts(self) -> frozenset[str]:
-        if self.topology is None:
+        if self.fabric is None:
             return frozenset()
-        return frozenset(self.topology.host_names)
+        return frozenset(self.fabric.host_names)
 
     @property
     def processing_latency_ns(self) -> int:
@@ -183,17 +188,17 @@ class TrioSwitch:
     # ------------------------------------------------------------------
     def receive(self, packet: AskPacket) -> None:
         if self.trace is not None:
-            self.trace.record(self.sim.now, self.name, "ingress", packet)
+            self.trace.record(self.clock.now, self.name, "ingress", packet)
         emit = self._process(packet)
         if emit is not None:
-            self.sim.schedule(self.processing_latency_ns, self._emit, emit)
+            self.clock.schedule(self.processing_latency_ns, self._emit, emit)
 
     def _emit(self, packet: AskPacket) -> None:
-        if self.topology is None:
-            raise RuntimeError("switch is not bound to a topology")
+        if self.fabric is None:
+            raise RuntimeError("switch is not bound to a fabric")
         if self.trace is not None:
-            self.trace.record(self.sim.now, self.name, "egress", packet)
-        self.topology.send_to_host(packet.dst, packet, packet.wire_bytes())
+            self.trace.record(self.clock.now, self.name, "egress", packet)
+        self.fabric.send_to_host(packet.dst, packet, packet.wire_bytes())
 
     # ------------------------------------------------------------------
     def _process(self, pkt: AskPacket) -> Optional[AskPacket]:

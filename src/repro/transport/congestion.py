@@ -13,7 +13,7 @@ paper, is a hard cap:
 
 from __future__ import annotations
 
-from repro.net.simulator import Simulator
+from repro.runtime.interfaces import Clock
 
 
 class CongestionWindow:
@@ -27,7 +27,7 @@ class CongestionWindow:
 
     def __init__(
         self,
-        sim: Simulator,
+        clock: Clock,
         max_window: int,
         initial: float = 4.0,
         minimum: float = 1.0,
@@ -38,7 +38,7 @@ class CongestionWindow:
                 f"need 1 <= minimum ({minimum}) <= initial ({initial}) "
                 f"<= max_window ({max_window})"
             )
-        self.sim = sim
+        self.clock = clock
         self.max_window = max_window  # the reliability window W — hard cap
         self.minimum = minimum
         self._cwnd = float(initial)
@@ -67,9 +67,9 @@ class CongestionWindow:
     def on_ack(self, ecn_echo: bool) -> None:
         """Update the window from one ACK."""
         if ecn_echo:
-            if self.sim.now >= self._frozen_until:
+            if self.clock.now >= self._frozen_until:
                 self.cwnd = max(self.minimum, self._cwnd / 2)
-                self._frozen_until = self.sim.now + self.freeze_ns
+                self._frozen_until = self.clock.now + self.freeze_ns
                 self.decreases += 1
             return
         self.cwnd = min(float(self.max_window), self._cwnd + 1.0 / max(self._cwnd, 1.0))
@@ -77,9 +77,9 @@ class CongestionWindow:
 
     def on_timeout(self) -> None:
         """A retransmission timeout is the strongest congestion signal."""
-        if self.sim.now >= self._frozen_until:
+        if self.clock.now >= self._frozen_until:
             self.cwnd = self.minimum
-            self._frozen_until = self.sim.now + self.freeze_ns
+            self._frozen_until = self.clock.now + self.freeze_ns
             self.decreases += 1
 
     # ------------------------------------------------------------------

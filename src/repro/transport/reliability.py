@@ -3,10 +3,11 @@
 ASK deliberately does **not** use out-of-order ACKs as a loss signal —
 both the switch and the host receiver reply ACKs, so reordering is normal —
 and relies on a fine-grained timeout instead (100 us vs the Linux default
-200 ms).  :class:`RetransmitTimers` implements that policy on top of the
-event simulator; re-arming cancels the previous timer event lazily, and the
-simulator compacts its heap when cancelled timers pile up in long lossy
-runs, so per-packet timer churn stays O(log n) with a bounded heap.
+200 ms).  :class:`RetransmitTimers` implements that policy on top of any
+:class:`~repro.runtime.interfaces.Clock` (the discrete-event simulator or
+a wall-clock asyncio loop); re-arming cancels the previous timer lazily,
+and the simulator compacts its heap when cancelled timers pile up in long
+lossy runs, so per-packet timer churn stays O(log n) with a bounded heap.
 
 :class:`ReceiveWindow` is the host receiver's dedup record: first
 appearances within the current window are processed, duplicates are dropped
@@ -18,7 +19,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.net.simulator import Simulator
+from repro.runtime.interfaces import Clock
 from repro.transport.window import SlidingWindow, WindowEntry
 
 
@@ -27,12 +28,12 @@ class RetransmitTimers:
 
     def __init__(
         self,
-        sim: Simulator,
+        clock: Clock,
         window: SlidingWindow,
         timeout_ns: int,
         resend: Callable[[WindowEntry], None],
     ) -> None:
-        self.sim = sim
+        self.clock = clock
         self.window = window
         self.timeout_ns = timeout_ns
         self._resend = resend
@@ -42,7 +43,7 @@ class RetransmitTimers:
         """(Re)arm the timeout for an entry that was just transmitted."""
         if entry.timer is not None:
             entry.timer.cancel()
-        entry.timer = self.sim.schedule(self.timeout_ns, self._fire, entry)
+        entry.timer = self.clock.schedule(self.timeout_ns, self._fire, entry)
 
     def cancel(self, entry: WindowEntry) -> None:
         if entry.timer is not None:

@@ -58,3 +58,24 @@ def test_experiment_registry_covers_every_paper_result():
 def test_missing_command_is_an_argparse_error():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_demo_asyncio_backend_is_exact(capsys):
+    assert main(["demo", "--backend", "asyncio"]) == 0
+    out = capsys.readouterr().out
+    assert "localhost UDP" in out
+    assert "exact aggregation" in out
+
+
+def test_demo_rejects_unknown_backend():
+    with pytest.raises(SystemExit):
+        main(["demo", "--backend", "dpdk"])
+
+
+def test_serve_bounded_duration(capsys):
+    assert main(["serve", "--duration", "0.5", "--loss", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "serving on 127.0.0.1" in out
+    assert "port" in out
+    assert "final aggregate" in out
+    assert "heartbeat" in out

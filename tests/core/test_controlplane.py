@@ -1,0 +1,112 @@
+"""ControlPlane error paths: registration, allocation, post-release use."""
+
+import pytest
+
+from repro.core.config import AskConfig
+from repro.core.controlplane import ControlPlane
+from repro.core.errors import RegionExhaustedError, TaskStateError
+from repro.net.simulator import Simulator
+from repro.switch.switch import AskSwitch
+
+
+def make_switch(name="switch", max_tasks=4):
+    return AskSwitch(
+        AskConfig.small(), Simulator(), name=name, max_tasks=max_tasks, max_channels=8
+    )
+
+
+def make_control(names=("switch",)):
+    control = ControlPlane()
+    for name in names:
+        control.register(name, make_switch(name).controller)
+    return control
+
+
+def test_double_register_rejected():
+    control = make_control()
+    with pytest.raises(ValueError, match="already registered"):
+        control.register("switch", make_switch().controller)
+
+
+def test_allocate_on_unknown_switch():
+    control = make_control()
+    with pytest.raises(KeyError):
+        control.allocate(1, ("no-such-tor",))
+
+
+def test_allocate_needs_at_least_one_switch():
+    control = make_control()
+    with pytest.raises(ValueError, match="at least one switch"):
+        control.allocate(1, ())
+
+
+def test_double_allocate_rejected():
+    control = make_control()
+    control.allocate(1, ("switch",))
+    with pytest.raises(TaskStateError, match="already allocated"):
+        control.allocate(1, ("switch",))
+
+
+def test_partial_allocation_rolls_back():
+    """All-or-nothing: if the second TOR cannot allocate, the first TOR's
+    reservation is released before the error propagates."""
+    control = ControlPlane()
+    big = make_switch("tor-a", max_tasks=4)
+    full = make_switch("tor-b", max_tasks=1)
+    control.register("tor-a", big.controller)
+    control.register("tor-b", full.controller)
+    full.controller.allocate_region(99)  # exhaust tor-b
+
+    with pytest.raises(RegionExhaustedError):
+        control.allocate(1, ("tor-a", "tor-b"))
+    # tor-a was rolled back, so the task can be re-tried on it alone.
+    assert control.allocate(1, ("tor-a",))
+
+
+def test_fetch_after_deallocate_rejected():
+    control = make_control()
+    control.allocate(1, ("switch",))
+    assert control.fetch_and_reset(1, 0) == {}
+    control.deallocate(1)
+    with pytest.raises(TaskStateError, match="holds no regions"):
+        control.fetch_and_reset(1, 0)
+
+
+def test_switches_of_unknown_task_rejected():
+    control = make_control()
+    with pytest.raises(TaskStateError, match="holds no regions"):
+        control.switches_of(123)
+
+
+def test_deallocate_is_idempotent():
+    control = make_control()
+    control.allocate(1, ("switch",))
+    control.deallocate(1)
+    control.deallocate(1)  # releasing a released task is a no-op
+
+
+def test_multi_switch_fetch_merges():
+    """Fetches fan out over every involved TOR and merge commutatively."""
+
+    class StubController:
+        def __init__(self, table):
+            self.table = table
+
+        def allocate_region(self, task_id, size=None):
+            return object()
+
+        def fetch_and_reset(self, task_id, part):
+            out, self.table = self.table, {}
+            return out
+
+        def deallocate(self, task_id):
+            pass
+
+    control = ControlPlane()
+    control.register("tor-a", StubController({b"k": 1}))
+    control.register("tor-b", StubController({b"k": 2, b"only-b": 5}))
+    regions = control.allocate(7, ("tor-a", "tor-b"))
+    assert set(regions) == {"tor-a", "tor-b"}
+    assert control.fetch_and_reset(7, 0) == {b"k": 3, b"only-b": 5}
+    # fetch-and-reset cleared both copies
+    assert control.fetch_and_reset(7, 0) == {}

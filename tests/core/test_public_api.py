@@ -65,3 +65,45 @@ def test_subpackage_all_lists_are_accurate():
         package = importlib.import_module(package_name)
         for name in getattr(package, "__all__", []):
             assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+def test_runtime_public_surface_is_locked():
+    """The runtime layer's public names are a compatibility contract:
+    backends and harnesses type against them, so additions are deliberate
+    (update this list) and removals are breaking."""
+    import repro.runtime
+
+    assert set(repro.runtime.__all__) == {
+        "AsyncioClock",
+        "AsyncioFabric",
+        "AsyncioRunner",
+        "Clock",
+        "CodecError",
+        "Deployment",
+        "DeploymentBuilder",
+        "Fabric",
+        "Node",
+        "SimFabric",
+        "SimMultiRackFabric",
+        "SimRunner",
+        "SwitchFabricView",
+        "TaskRunner",
+        "TimerHandle",
+        "decode_packet",
+        "encode_packet",
+    }
+
+
+def test_runtime_exports_resolve_lazily():
+    import repro.runtime
+
+    for name in repro.runtime.__all__:
+        assert getattr(repro.runtime, name) is not None
+    assert set(repro.runtime.__all__) <= set(dir(repro.runtime))
+
+
+def test_runtime_unknown_attribute_raises():
+    import repro.runtime
+
+    with pytest.raises(AttributeError):
+        repro.runtime.NoSuchThing

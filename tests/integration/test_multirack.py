@@ -165,3 +165,45 @@ def test_controlplane_unknown_task_operations():
     with pytest.raises(TaskStateError):
         control.fetch_and_reset(5, 0)
     control.deallocate(5)  # deallocating nothing is a no-op
+
+
+def test_streaming_session_spans_racks_and_swaps_broadcast():
+    """A multi-rack streaming session: senders in both racks stay live
+    across several feeds, and every shadow-copy swap notification reaches
+    *all* sender-side TORs (§3.4 + §7) before the receiver fetches."""
+    service = _service(swap_threshold_packets=4)
+    # A 1-aggregator region forces most tuples through to the receiver,
+    # so packets actually arrive there and trip the swap threshold.
+    session = service.open_stream(["a", "c"], receiver="d", region_size=1)
+    for round_ in range(6):
+        session.feed("a", [(b"k%02d" % i, 1) for i in range(20)])
+        session.feed("c", [(b"k%02d" % i, 2) for i in range(20)])
+        service.run()
+    session.close()
+    service.run_to_completion()
+
+    result = session.result
+    assert result is not None
+    assert result.values == {b"k%02d" % i: 18 for i in range(20)}
+    # The swap loop actually ran, and both TORs honoured the broadcast —
+    # each observed the same number of epoch flips.
+    assert result.stats.swaps > 0
+    assert service.switches["r0"].stats.swaps == result.stats.swaps
+    assert service.switches["r1"].stats.swaps == result.stats.swaps
+
+
+def test_streaming_single_rack_senders_leave_other_tor_untouched():
+    """A session whose senders all live in r0 must not allocate or swap
+    on r1's TOR even though the receiver sits behind it."""
+    service = _service(swap_threshold_packets=4)
+    session = service.open_stream(["a", "b"], receiver="c", region_size=1)
+    session.feed("a", [(b"k%02d" % i, 1) for i in range(30)])
+    session.feed("b", [(b"k%02d" % i, 1) for i in range(30)])
+    session.close()
+    service.run_to_completion()
+
+    assert session.result is not None
+    assert session.result.values == {b"k%02d" % i: 2 for i in range(30)}
+    assert service.switches["r0"].stats.swaps > 0
+    assert service.switches["r1"].stats.swaps == 0
+    assert service.switches["r1"].pipeline.passes == 0

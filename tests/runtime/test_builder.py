@@ -1,0 +1,112 @@
+"""DeploymentBuilder: one place for rack wiring, both backends."""
+
+import pytest
+
+from repro.core.config import AskConfig
+from repro.net.fault import FaultModel
+from repro.runtime import DeploymentBuilder, SimFabric
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError, match="backend"):
+        DeploymentBuilder(AskConfig.small(), backend="dpdk")
+
+
+def test_build_without_racks_rejected():
+    with pytest.raises(ValueError, match="rack"):
+        DeploymentBuilder(AskConfig.small()).build(on_task_complete=lambda t: None)
+
+
+def test_multirack_asyncio_rejected():
+    builder = DeploymentBuilder(AskConfig.small(), backend="asyncio")
+    builder.add_rack(2).add_rack(2)
+    with pytest.raises(ValueError, match="single rack"):
+        builder.build(on_task_complete=lambda t: None)
+
+
+def test_single_rack_wiring():
+    builder = DeploymentBuilder(AskConfig.small())
+    builder.add_rack(3)
+    deployment = builder.build(on_task_complete=lambda t: None)
+    assert deployment.backend == "sim"
+    assert isinstance(deployment.fabric, SimFabric)
+    assert list(deployment.daemons) == ["h0", "h1", "h2"]
+    assert deployment.switch.name == "switch"
+    assert deployment.racks == {"r0": ["h0", "h1", "h2"]}
+    assert deployment.fabric.host_names == ["h0", "h1", "h2"]
+    assert deployment.control.switch_names == frozenset({"switch"})
+
+
+def test_host_numbering_continues_across_racks():
+    builder = DeploymentBuilder(AskConfig.small())
+    builder.add_rack(2).add_rack(2)
+    deployment = builder.build(on_task_complete=lambda t: None)
+    assert list(deployment.daemons) == ["h0", "h1", "h2", "h3"]
+    assert deployment.racks == {"r0": ["h0", "h1"], "r1": ["h2", "h3"]}
+    assert set(deployment.switches) == {"switch", "tor-r1"}
+
+
+def test_explicit_names_and_switch_property_guard():
+    builder = DeploymentBuilder(AskConfig.small())
+    builder.add_rack(["a", "b"], switch_name="tor-r0", rack="r0")
+    builder.add_rack(["c"], switch_name="tor-r1", rack="r1")
+    deployment = builder.build(on_task_complete=lambda t: None)
+    assert list(deployment.daemons) == ["a", "b", "c"]
+    with pytest.raises(ValueError, match="switches"):
+        deployment.switch  # ambiguous on a multi-rack deployment
+
+
+def test_daemons_see_only_switches_registered_so_far():
+    """Per-rack wiring order is part of the §7 contract: a rack's daemons
+    classify switch ACKs against the switches registered when the daemon
+    was built (its own TOR and earlier racks')."""
+    builder = DeploymentBuilder(AskConfig.small())
+    builder.add_rack(1, switch_name="tor-r0", rack="r0")
+    builder.add_rack(1, switch_name="tor-r1", rack="r1")
+    deployment = builder.build(on_task_complete=lambda t: None)
+    assert deployment.daemons["h0"].channels[0].switch_names == frozenset({"tor-r0"})
+    assert deployment.daemons["h1"].channels[0].switch_names == frozenset(
+        {"tor-r0", "tor-r1"}
+    )
+
+
+def test_sim_fabric_rejects_second_switch():
+    fabric = SimFabric()
+
+    class Sw:
+        name = "switch"
+
+        def receive(self, packet):
+            pass
+
+    fabric.install_switch(Sw())
+    with pytest.raises(RuntimeError, match="already"):
+        fabric.install_switch(Sw())
+
+
+def test_same_seed_same_deployment_schedule():
+    """The determinism contract across the builder: a fixed fault seed
+    produces an identical schedule, stats and retransmission counts."""
+
+    def fingerprint():
+        from repro.core.service import AskService
+
+        service = AskService(
+            AskConfig.small(),
+            hosts=3,
+            fault=FaultModel(loss_rate=0.1, duplicate_rate=0.05, seed=3),
+        )
+        streams = {
+            "h0": [(b"k%d" % (i % 7), i) for i in range(200)],
+            "h1": [(b"k%d" % (i % 5), i) for i in range(200)],
+        }
+        result = service.aggregate(streams, receiver="h2", check=True)
+        return (
+            service.sim.events_processed,
+            service.sim.now,
+            result.stats.retransmissions,
+            result.stats.duplicate_packets_dropped,
+            sorted(result.values.items()),
+        )
+
+    assert fingerprint() == fingerprint()

@@ -1,0 +1,137 @@
+"""Wire codec tests: every packet round-trips, no datagram crashes it."""
+
+import pytest
+
+from repro.core.packet import (
+    AskPacket,
+    PacketFlag,
+    Slot,
+    ack_for,
+    fin_packet,
+    swap_packet,
+)
+from repro.runtime.codec import MAGIC, CodecError, decode_packet, encode_packet
+
+
+def data_packet(**overrides):
+    fields = dict(
+        flags=PacketFlag.DATA,
+        task_id=7,
+        src="h0",
+        dst="h2",
+        channel_index=3,
+        seq=42,
+        bitmap=0b101,
+        slots=(Slot(b"cat\x00\x00\x00\x00\x00", 5), None, Slot(b"dog\x00\x00\x00\x00\x00", 9)),
+    )
+    fields.update(overrides)
+    return AskPacket(**fields)
+
+
+@pytest.mark.parametrize(
+    "packet",
+    [
+        data_packet(),
+        data_packet(bitmap=0, slots=(), ecn=True),
+        data_packet(flags=PacketFlag.DATA | PacketFlag.LONG, bitmap=1, slots=(Slot(b"k" * 300, 1),)),
+        ack_for(data_packet(), "switch"),
+        fin_packet(7, "h0", "h2", 3, 99),
+        swap_packet(7, "h2", "switch", 4),
+    ],
+    ids=["data", "empty-ecn", "long", "ack", "fin", "swap"],
+)
+def test_roundtrip(packet):
+    assert decode_packet(encode_packet(packet)) == packet
+
+
+def test_roundtrip_preserves_derived_predicates():
+    decoded = decode_packet(encode_packet(swap_packet(1, "h0", "tor-r1", 2)))
+    assert decoded.is_swap and not decoded.is_data
+    assert decoded.channel_index == -1
+    assert decoded.channel_key == ("h0", -1)
+
+
+def test_roundtrip_large_values_and_ids():
+    packet = data_packet(
+        task_id=(3 << 32) | 17,  # tenant-encoded id
+        seq=(1 << 40),
+        bitmap=(1 << 63),
+        slots=tuple([None] * 63 + [Slot(b"x" * 8, (1 << 64) - 1)]),
+    )
+    assert decode_packet(encode_packet(packet)) == packet
+
+
+def test_bad_magic_rejected():
+    data = bytearray(encode_packet(data_packet()))
+    data[0] ^= 0xFF
+    with pytest.raises(CodecError, match="magic"):
+        decode_packet(bytes(data))
+
+
+def test_bad_version_rejected():
+    data = bytearray(encode_packet(data_packet()))
+    data[1] = 99
+    with pytest.raises(CodecError, match="version"):
+        decode_packet(bytes(data))
+
+
+def test_truncation_rejected_at_every_length():
+    data = encode_packet(data_packet())
+    for cut in range(len(data)):
+        with pytest.raises(CodecError):
+            decode_packet(data[:cut])
+
+
+def test_trailing_garbage_rejected():
+    data = encode_packet(data_packet())
+    with pytest.raises(CodecError, match="trailing"):
+        decode_packet(data + b"\x00")
+
+
+def test_bad_presence_byte_rejected():
+    packet = data_packet(slots=(Slot(b"k" * 8, 1),), bitmap=1)
+    data = bytearray(encode_packet(packet))
+    # The presence byte of slot 0 sits right after the 2-byte slot count.
+    offset = len(data) - (1 + 2 + 8 + 8)
+    assert data[offset] == 1
+    data[offset] = 7
+    with pytest.raises(CodecError, match="presence"):
+        decode_packet(bytes(data))
+
+
+def test_arbitrary_noise_never_escapes_codec_error():
+    import random
+
+    rng = random.Random(0)
+    for size in (0, 1, 10, 30, 100):
+        for _ in range(50):
+            noise = bytes(rng.randrange(256) for _ in range(size))
+            try:
+                decode_packet(noise)
+            except CodecError:
+                pass  # the only acceptable failure mode
+
+
+def test_noise_behind_valid_magic_never_escapes_codec_error():
+    import random
+
+    rng = random.Random(1)
+    for _ in range(200):
+        noise = bytes([MAGIC, 1]) + bytes(
+            rng.randrange(256) for _ in range(rng.randrange(60))
+        )
+        try:
+            decode_packet(noise)
+        except CodecError:
+            pass
+
+
+def test_oversized_names_rejected_on_encode():
+    with pytest.raises(CodecError, match="name"):
+        encode_packet(data_packet(src="h" * 256))
+
+
+def test_oversized_key_rejected_on_encode():
+    packet = data_packet(slots=(Slot(b"k" * 70000, 1),), bitmap=1)
+    with pytest.raises(CodecError, match="key"):
+        encode_packet(packet)
