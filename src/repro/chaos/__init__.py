@@ -1,0 +1,22 @@
+"""Failure-domain chaos harness: deterministic fault injection.
+
+Drives crash/partition faults against a live deployment — on either
+fabric backend — from a seed-deterministic :class:`ChaosSchedule`, via
+the runtime lifecycle hooks (``Node.crash``/``restore``,
+``Fabric.partition``/``heal``).  The :class:`ChaosOrchestrator` arms the
+schedule on the deployment's clock and records every injection; the
+:class:`DegradationReport` summarizes what was injected, what each fault
+cost (frames lost to down nodes and cut links), and how the
+:class:`~repro.core.failover.FailureSupervisor` recovered.
+"""
+
+from repro.chaos.orchestrator import ChaosOrchestrator
+from repro.chaos.report import DegradationReport
+from repro.chaos.schedule import ChaosEvent, ChaosSchedule
+
+__all__ = [
+    "ChaosEvent",
+    "ChaosOrchestrator",
+    "ChaosSchedule",
+    "DegradationReport",
+]

@@ -1,0 +1,95 @@
+"""Applies a :class:`~repro.chaos.schedule.ChaosSchedule` to a deployment.
+
+The orchestrator is backend-agnostic: it injects through the runtime
+lifecycle hooks only — ``crash()``/``restore()`` on the node objects
+(host daemons and switches) and ``partition()``/``heal()`` on the fabric
+— so the same schedule runs against the discrete-event simulator and the
+asyncio/UDP rack.  After every injection it pokes the failure
+supervisor's heartbeat loop, since a restore while the deployment is
+otherwise quiescent would not wake it by itself.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.chaos.report import DegradationReport
+from repro.chaos.schedule import ChaosEvent, ChaosSchedule
+from repro.core.task import AggregationTask
+from repro.runtime.builder import Deployment
+
+
+class ChaosOrchestrator:
+    """Arms one schedule against one deployment and records the outcome."""
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        schedule: ChaosSchedule,
+        require_supervisor: bool = True,
+    ) -> None:
+        if require_supervisor and deployment.supervisor is None:
+            raise ValueError(
+                "chaos against an unsupervised deployment loses data by "
+                "design; build with config.failure_detection=True or pass "
+                "require_supervisor=False"
+            )
+        unknown = [
+            t
+            for t in schedule.targets()
+            if t not in deployment.daemons and t not in deployment.switches
+        ]
+        if unknown:
+            raise KeyError(f"schedule targets unknown nodes: {unknown}")
+        self.deployment = deployment
+        self.schedule = schedule
+        #: Chronological record of every injection actually applied.
+        self.injected: List[Dict[str, Any]] = []
+        self._armed = False
+
+    # ------------------------------------------------------------------
+    def arm(self) -> None:
+        """Schedule every event on the deployment's clock (offsets are
+        relative to now).  Idempotent-hostile by design: arm once."""
+        if self._armed:
+            raise RuntimeError("schedule already armed")
+        self._armed = True
+        clock = self.deployment.clock
+        for event in self.schedule.events:
+            clock.schedule(event.at_ns, self._apply, event)
+
+    # ------------------------------------------------------------------
+    def _node(self, target: str) -> Any:
+        node = self.deployment.daemons.get(target)
+        if node is None:
+            node = self.deployment.switches[target]
+        return node
+
+    def _apply(self, event: ChaosEvent) -> None:
+        if event.kind == "crash":
+            self._node(event.target).crash()
+        elif event.kind == "restore":
+            self._node(event.target).restore()
+        elif event.kind == "partition":
+            self.deployment.fabric.partition(event.target)
+        else:  # "heal"
+            self.deployment.fabric.heal(event.target)
+        self.injected.append(
+            {
+                "t_ns": self.deployment.clock.now,
+                "kind": event.kind,
+                "target": event.target,
+            }
+        )
+        supervisor = self.deployment.supervisor
+        if supervisor is not None:
+            supervisor.notice_activity()
+
+    # ------------------------------------------------------------------
+    def report(
+        self, tasks: Optional[Dict[int, AggregationTask]] = None
+    ) -> DegradationReport:
+        """Snapshot the run's degradation report (call after the run)."""
+        return DegradationReport.build(
+            self.deployment, self.schedule, self.injected, tasks=tasks
+        )

@@ -1,0 +1,142 @@
+"""Per-run degradation report.
+
+Answers, for one chaos run: what was injected, how many frames each
+fault class cost, what the supervisor observed and did about it, and how
+long each switch outage took to recover (crash → baselines re-installed,
+aggregation re-enabled).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.chaos.schedule import ChaosSchedule
+from repro.core.task import AggregationTask
+from repro.runtime.builder import Deployment
+
+
+@dataclass
+class DegradationReport:
+    seed: int
+    backend: str
+    #: Faults and recoveries actually applied, chronological.
+    injected: List[Dict[str, Any]]
+    #: Everything the failure supervisor observed/did, chronological.
+    supervisor_events: List[Dict[str, Any]]
+    #: target -> nanoseconds from reboot observed to baselines re-installed.
+    recovery_latencies_ns: Dict[str, List[int]]
+    #: Aggregate loss/recovery counters for the whole run.
+    totals: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        deployment: Deployment,
+        schedule: ChaosSchedule,
+        injected: List[Dict[str, Any]],
+        tasks: Optional[Dict[int, AggregationTask]] = None,
+    ) -> "DegradationReport":
+        supervisor = deployment.supervisor
+        sup_events = list(supervisor.events) if supervisor is not None else []
+
+        # Pair each reboot observation with its re-install to get the
+        # recovery latency per outage.
+        latencies: Dict[str, List[int]] = {}
+        observed_at: Dict[str, int] = {}
+        for event in sup_events:
+            if event["kind"] == "switch-reboot-observed":
+                observed_at[event["target"]] = event["t_ns"]
+            elif event["kind"] == "switch-reinstalled":
+                started = observed_at.pop(event["target"], None)
+                if started is not None:
+                    latencies.setdefault(event["target"], []).append(
+                        event["t_ns"] - started
+                    )
+
+        nodes = list(deployment.daemons.values()) + list(
+            deployment.switches.values()
+        )
+        totals = {
+            "faults_injected": sum(
+                1 for e in injected if e["kind"] in ("crash", "partition")
+            ),
+            "frames_dropped_at_down_nodes": sum(
+                getattr(n, "dropped_while_down", 0) for n in nodes
+            ),
+            "frames_dropped_by_partition": getattr(
+                deployment.fabric, "partition_drops", 0
+            ),
+            "daemon_crashes": sum(
+                getattr(d, "crashes", 0) for d in deployment.daemons.values()
+            ),
+            "switch_reboots": sum(
+                getattr(s, "boot_count", 0) for s in deployment.switches.values()
+            ),
+        }
+        if supervisor is not None:
+            totals.update(
+                task_restarts=supervisor.task_restarts,
+                switch_reinstalls=supervisor.reinstalls,
+                region_reclaims=supervisor.reclaims,
+                give_up_failures=supervisor.give_up_failures,
+            )
+        if tasks:
+            totals.update(
+                bypass_packets_sent=sum(
+                    t.stats.bypass_packets_sent for t in tasks.values()
+                ),
+                bypass_packets_received=sum(
+                    t.stats.bypass_packets_received for t in tasks.values()
+                ),
+            )
+        return cls(
+            seed=schedule.seed,
+            backend=deployment.backend,
+            injected=injected,
+            supervisor_events=sup_events,
+            recovery_latencies_ns=latencies,
+            totals=totals,
+        )
+
+    # ------------------------------------------------------------------
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "backend": self.backend,
+                "injected": self.injected,
+                "supervisor_events": self.supervisor_events,
+                "recovery_latencies_ns": self.recovery_latencies_ns,
+                "totals": self.totals,
+            },
+            indent=indent,
+        )
+
+    def summary(self) -> str:
+        """Human-readable digest, one line per fact."""
+        lines = [
+            f"chaos seed {self.seed} on backend {self.backend!r}: "
+            f"{self.totals.get('faults_injected', 0)} fault(s) injected"
+        ]
+        for event in self.injected:
+            lines.append(
+                f"  t={event['t_ns']:>12,}ns  {event['kind']:<9} {event['target']}"
+            )
+        for event in self.supervisor_events:
+            detail = {
+                k: v for k, v in event.items() if k not in ("t_ns", "kind", "target")
+            }
+            suffix = f"  {detail}" if detail else ""
+            lines.append(
+                f"  t={event['t_ns']:>12,}ns  [supervisor] {event['kind']} "
+                f"{event['target']}{suffix}"
+            )
+        for target, values in self.recovery_latencies_ns.items():
+            pretty = ", ".join(f"{v:,}ns" for v in values)
+            lines.append(f"  recovery latency {target}: {pretty}")
+        for key, value in self.totals.items():
+            lines.append(f"  {key} = {value:,}")
+        return "\n".join(lines)

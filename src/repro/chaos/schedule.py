@@ -1,0 +1,92 @@
+"""Seed-deterministic fault schedules.
+
+A schedule is a flat, time-sorted tuple of :class:`ChaosEvent`s.  Every
+injected fault comes with its recovery event (crash→restore,
+partition→heal) inside the horizon, so a generated schedule never leaves
+a node permanently dark — permanent outages are tested explicitly (the
+give-up drill), not sampled.
+
+``at_ns`` is an offset from the moment the orchestrator arms the
+schedule, which makes the same schedule meaningful on the simulated
+clock and on the asyncio wall clock alike.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+#: Fault kind -> the event kind that undoes it.
+RECOVERY_OF = {"crash": "restore", "partition": "heal"}
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One injection: at ``at_ns`` (offset from arm), do ``kind`` to
+    ``target`` (a host daemon or switch name)."""
+
+    at_ns: int
+    kind: str  # "crash" | "restore" | "partition" | "heal"
+    target: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("crash", "restore", "partition", "heal"):
+            raise ValueError(f"unknown chaos event kind {self.kind!r}")
+        if self.at_ns < 0:
+            raise ValueError("chaos events cannot be scheduled in the past")
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """A deterministic, time-sorted fault schedule."""
+
+    seed: int
+    horizon_ns: int
+    events: tuple[ChaosEvent, ...]
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        hosts: Sequence[str],
+        switches: Sequence[str],
+        horizon_ns: int = 2_000_000,
+        max_faults: int = 3,
+        min_down_ns: int = 50_000,
+        max_down_ns: int = 500_000,
+        kinds: Iterable[str] = ("crash", "partition"),
+    ) -> "ChaosSchedule":
+        """Sample ``1..max_faults`` faults with paired recoveries.
+
+        The draw sequence is fixed — (target, kind, start, duration) per
+        fault from ``random.Random(seed)`` — so a seed fully determines
+        the schedule for a given topology.
+        """
+        targets = list(hosts) + list(switches)
+        if not targets:
+            raise ValueError("chaos needs at least one host or switch")
+        kind_choices = list(kinds)
+        rng = random.Random(seed)
+        events: list[ChaosEvent] = []
+        latest_start = max(1, horizon_ns - max_down_ns)
+        for _ in range(rng.randint(1, max_faults)):
+            target = rng.choice(targets)
+            kind = rng.choice(kind_choices)
+            start = rng.randrange(0, latest_start)
+            duration = rng.randrange(min_down_ns, max_down_ns)
+            events.append(ChaosEvent(start, kind, target))
+            events.append(ChaosEvent(start + duration, RECOVERY_OF[kind], target))
+        events.sort(key=lambda e: (e.at_ns, e.target, e.kind))
+        return cls(seed=seed, horizon_ns=horizon_ns, events=tuple(events))
+
+    @property
+    def fault_count(self) -> int:
+        return sum(1 for e in self.events if e.kind in RECOVERY_OF)
+
+    def targets(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for event in self.events:
+            if event.target not in seen:
+                seen.append(event.target)
+        return tuple(seen)

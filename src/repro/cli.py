@@ -113,10 +113,84 @@ def _demo_config(backend: str):
     return config
 
 
+def _chaos_config(backend: str):
+    """Chaos runs need failure detection on, and heartbeat/lease timing
+    matched to the backend's clock (wall-clock asyncio cannot tick every
+    50 simulated microseconds)."""
+    import dataclasses
+
+    config = _demo_config(backend)
+    return dataclasses.replace(
+        config,
+        failure_detection=True,
+        heartbeat_interval_us=50.0 if backend == "sim" else 2_000.0,
+    )
+
+
+def _run_chaos(backend: str, seed: int, report_path: str | None) -> int:
+    """Shared driver for ``repro chaos`` and ``repro demo --chaos``: run
+    the demo workload under a seed-deterministic fault schedule, verify
+    the result is bit-exact against the fault-free reference, and print
+    the degradation report."""
+    from repro import AskService
+    from repro.chaos import ChaosOrchestrator, ChaosSchedule
+
+    sim = backend == "sim"
+    service = AskService(_chaos_config(backend), hosts=3, backend=backend)
+    try:
+        schedule = ChaosSchedule.generate(
+            seed,
+            hosts=service.hosts,
+            switches=[service.switch.name],
+            horizon_ns=250_000 if sim else 30_000_000,
+            min_down_ns=40_000 if sim else 5_000_000,
+            max_down_ns=200_000 if sim else 20_000_000,
+        )
+        orchestrator = ChaosOrchestrator(service.deployment, schedule)
+        # On the wall-clock backend, open the sockets before arming so the
+        # fault offsets are measured from a live rack, not from interpreter
+        # startup (overdue timers would all fire back-to-back).
+        start = getattr(service.fabric, "start", None)
+        if start is not None:
+            start()
+        orchestrator.arm()
+        # A long tail of distinct keys keeps the stream in flight well past
+        # the fault window (hot keys alone pack into a handful of frames).
+        streams = {
+            "h0": [(b"in-network", 1), (b"aggregation", 2)] * 50
+            + [(f"key-{i:04d}".encode(), i) for i in range(1500)],
+            "h1": [(b"in-network", 3)] * 50
+            + [(f"key-{i:04d}".encode(), 1) for i in range(1000)],
+        }
+        result = service.aggregate(streams, receiver="h2", check=True)
+        report = orchestrator.report(tasks=service.tasks)
+        print(
+            f"exact aggregation under injected failures "
+            f"({len(result.values)} keys verified against the reference):"
+        )
+        for key, value in sorted(result.items())[:4]:
+            print(f"  {key.decode():>12}: {value}")
+        print(f"  ... and {max(0, len(result.values) - 4)} more")
+        print(report.summary())
+        if report_path is not None:
+            with open(report_path, "w", encoding="utf-8") as fh:
+                fh.write(report.to_json())
+            print(f"[degradation report written to {report_path}]")
+    finally:
+        service.close()
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    return _run_chaos(args.backend, args.seed, args.report)
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     from repro import AskService, FaultModel
 
     backend = getattr(args, "backend", "sim")
+    if getattr(args, "chaos", False):
+        return _run_chaos(backend, getattr(args, "seed", 1), None)
     service = AskService(
         _demo_config(backend),
         hosts=3,
@@ -235,7 +309,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="fabric backend: deterministic simulation (default) or real "
         "localhost UDP sockets under asyncio",
     )
+    demo.add_argument(
+        "--chaos",
+        action="store_true",
+        help="inject a seed-deterministic crash/partition schedule while "
+        "the demo runs and print the degradation report",
+    )
+    demo.add_argument("--seed", type=int, default=1, help="chaos schedule seed")
     demo.set_defaults(func=cmd_demo)
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the demo workload under injected failures and report "
+        "degradation + recovery",
+    )
+    chaos.add_argument("--seed", type=int, default=1, help="chaos schedule seed")
+    chaos.add_argument(
+        "--backend",
+        choices=("sim", "asyncio"),
+        default="sim",
+        help="fabric backend to inject faults into",
+    )
+    chaos.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write the degradation report as JSON to PATH",
+    )
+    chaos.set_defaults(func=cmd_chaos)
     serve = sub.add_parser(
         "serve",
         help="serve an AsyncioFabric rack on localhost UDP until Ctrl-C",

@@ -76,6 +76,17 @@ class AskConfig:
     retransmit_timeout_us: float = constants.DEFAULT_RTO_US
     use_compact_seen: bool = True
 
+    # Failure domain (crash/partition tolerance).  All defaults preserve
+    # the fault-free fast path bit-for-bit: detection off, backoff factor
+    # 1.0 (fixed RTO, no RNG draw), no jitter, no give-up deadline.
+    failure_detection: bool = False
+    heartbeat_interval_us: float = 50.0
+    lease_multiple: int = 3
+    retransmit_backoff: float = 1.0
+    retransmit_backoff_cap_us: float = 10_000.0
+    retransmit_jitter: float = 0.0
+    give_up_timeout_us: Optional[float] = None
+
     # Hot-key prioritization
     shadow_copy: bool = True
     swap_threshold_packets: int = 1024
@@ -130,6 +141,24 @@ class AskConfig:
             raise ConfigError("retransmit_timeout_us must be positive")
         if self.data_channels_per_host < 1:
             raise ConfigError("data_channels_per_host must be >= 1")
+        if self.heartbeat_interval_us <= 0:
+            raise ConfigError("heartbeat_interval_us must be positive")
+        if self.lease_multiple < 1:
+            raise ConfigError("lease_multiple must be >= 1")
+        if self.retransmit_backoff < 1.0:
+            raise ConfigError("retransmit_backoff must be >= 1.0")
+        if self.retransmit_backoff_cap_us < self.retransmit_timeout_us:
+            raise ConfigError(
+                "retransmit_backoff_cap_us must be >= retransmit_timeout_us"
+            )
+        if not 0.0 <= self.retransmit_jitter <= 1.0:
+            raise ConfigError("retransmit_jitter must lie within [0, 1]")
+        if self.give_up_timeout_us is not None and (
+            self.give_up_timeout_us < self.retransmit_timeout_us
+        ):
+            raise ConfigError(
+                "give_up_timeout_us must be >= retransmit_timeout_us"
+            )
         if self.swap_threshold_packets < 1:
             raise ConfigError("swap_threshold_packets must be >= 1")
         if self.congestion_control:
@@ -178,6 +207,26 @@ class AskConfig:
     @property
     def retransmit_timeout_ns(self) -> int:
         return int(round(self.retransmit_timeout_us * 1_000))
+
+    @property
+    def retransmit_backoff_cap_ns(self) -> int:
+        return int(round(self.retransmit_backoff_cap_us * 1_000))
+
+    @property
+    def heartbeat_interval_ns(self) -> int:
+        return int(round(self.heartbeat_interval_us * 1_000))
+
+    @property
+    def lease_ns(self) -> int:
+        """A node whose heartbeats stop for this long is presumed failed
+        (its lease lapses) and its switch regions become reclaimable."""
+        return self.heartbeat_interval_ns * self.lease_multiple
+
+    @property
+    def give_up_timeout_ns(self) -> Optional[int]:
+        if self.give_up_timeout_us is None:
+            return None
+        return int(round(self.give_up_timeout_us * 1_000))
 
     @property
     def payload_bytes(self) -> int:

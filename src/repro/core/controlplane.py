@@ -69,6 +69,24 @@ class ControlPlane:
         except KeyError:
             raise TaskStateError(f"task {task_id} holds no regions") from None
 
+    def has_regions(self, task_id: int) -> bool:
+        return task_id in self._task_switches
+
+    def tasks_on(self, switch_name: str) -> tuple[int, ...]:
+        """Task ids currently holding a region on ``switch_name``
+        (failover: which tasks a switch reboot affects)."""
+        return tuple(
+            task_id
+            for task_id, names in self._task_switches.items()
+            if switch_name in names
+        )
+
+    def reset_task(self, task_id: int) -> None:
+        """Blank the task's data-plane state on every involved switch while
+        keeping the allocations (supervised-restart support)."""
+        for name in self.switches_of(task_id):
+            self._controllers[name].reset_task(task_id)
+
     # ------------------------------------------------------------------
     def fetch_and_reset(self, task_id: int, part: int) -> dict[bytes, int]:
         """Fetch-and-reset copy ``part`` of the task's region on every

@@ -90,11 +90,18 @@ class HostDaemon(NetworkNode):
             name, clock, config, control, send_fn, on_task_complete
         )
         self.malformed_packets = 0
+        #: Sending jobs by task id, retained until the task settles so a
+        #: supervised restart can rewind and replay them.
+        self._jobs_by_task: dict[int, SendingJob] = {}
+        self.crashes = 0
 
     # ------------------------------------------------------------------
     # Network ingress (the downlink delivers here)
     # ------------------------------------------------------------------
     def receive(self, packet: AskPacket) -> None:
+        if self._offline:
+            self.dropped_while_down += 1
+            return
         if packet.is_ack:
             if packet.channel_index == SWAP_CHANNEL_INDEX:
                 self.receiver.on_swap_ack(packet)
@@ -138,6 +145,7 @@ class HostDaemon(NetworkNode):
                 on_complete(job)
 
         job = SendingJob(task=task, dst=task.receiver, payloads=payloads, on_complete=_done)
+        self._jobs_by_task[task.task_id] = job
         self.channel_for_task(task.task_id).enqueue(job)
         return job
 
@@ -159,6 +167,7 @@ class HostDaemon(NetworkNode):
             finished=False,
         )
         channel = self.channel_for_task(task.task_id)
+        self._jobs_by_task[task.task_id] = job
         channel.enqueue(job)
         return StreamHandle(self, job, packer, channel)
 
@@ -173,6 +182,77 @@ class HostDaemon(NetworkNode):
         if task.result is None:
             raise RuntimeError(f"task {task.task_id} has no result to publish")
         self.shm.get(task.task_id, role="recv").publish_result(task.result.values)
+
+    # ------------------------------------------------------------------
+    # Failure domain
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Fail-stop the daemon process.  Protocol state (windows, jobs,
+        receiver accumulators) lives in shared memory and survives; every
+        pending retransmission and swap-retry timer dies with the process,
+        and incoming frames are dropped until :meth:`restore`."""
+        if not self.is_up:
+            return
+        super().crash()
+        self.crashes += 1
+        for channel in self.channels:
+            channel.suspend()
+        self.receiver.suspend()
+
+    def restore(self) -> None:
+        """Restart the daemon: rebuild sender retransmission schedules from
+        the reliability layer's unacked window entries and resume any
+        swap round that was mid-flight."""
+        if self.is_up:
+            return
+        super().restore()
+        for channel in self.channels:
+            channel.recover()
+        self.receiver.recover()
+
+    def abort_task(
+        self, task: AggregationTask
+    ) -> tuple[dict[tuple[str, int], int], bool]:
+        """Supervised restart, phase 1: withdraw this host's in-window
+        entries for ``task`` and rewind its job.  Returns
+        ``({channel_key: floor}, withdrew_entries)`` — the restart floor
+        below which the receiver must ignore stragglers, and whether any
+        entries were force-acked (requiring a dedup re-baseline on this
+        host's healthy switch)."""
+        channel = self.channel_for_task(task.task_id)
+        job = self._jobs_by_task.get(task.task_id)
+        withdrawn = channel.abort_job(job) if job is not None else 0
+        floors = {(self.name, channel.index): channel.window.next_seq}
+        return floors, withdrawn > 0
+
+    def park_task(self, task: AggregationTask) -> None:
+        """Lease-lapse reclaim: silence this host's stream for ``task``
+        without forgetting the job (a later readopt resumes it)."""
+        job = self._jobs_by_task.get(task.task_id)
+        if job is not None:
+            self.channel_for_task(task.task_id).drop_job(job)
+
+    def job_for(self, task_id: int) -> Optional[SendingJob]:
+        """The retained sending job for ``task_id``, if any."""
+        return self._jobs_by_task.get(task_id)
+
+    def resume_task(self, task: AggregationTask) -> None:
+        """Supervised restart, phase 2 (after the receiver was reset):
+        requeue the rewound job so the stream replays with fresh seqs."""
+        job = self._jobs_by_task.get(task.task_id)
+        if job is None:
+            return
+        self.channel_for_task(task.task_id).requeue(job)
+
+    def release_job(self, task_id: int) -> None:
+        """Forget a settled task's retained job (no restart can need it)."""
+        self._jobs_by_task.pop(task_id, None)
+
+    def drop_task(self, task: AggregationTask) -> None:
+        """The task failed loudly: abort and forget its job entirely."""
+        job = self._jobs_by_task.pop(task.task_id, None)
+        if job is not None:
+            self.channel_for_task(task.task_id).drop_job(job)
 
     # ------------------------------------------------------------------
     @property

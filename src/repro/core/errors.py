@@ -30,6 +30,27 @@ class TaskStateError(AskError, RuntimeError):
     transition (e.g. fetching results before all senders sent FIN)."""
 
 
+class TaskFailedError(TaskStateError):
+    """An aggregation task was failed loudly — e.g. a sender's give-up
+    deadline expired while its peer stayed unreachable — instead of being
+    left to retransmit forever (§3.3's liveness escape hatch)."""
+
+
+class FabricTimeoutError(TaskStateError):
+    """A real-time fabric run hit its wall-clock budget before the
+    completion predicate held.
+
+    ``pending`` maps node name → how much work that node still had in
+    flight (unacked sender-window entries plus undelivered receive-queue
+    frames), so a stalled UDP run says *where* it stalled at the raise
+    site rather than at a downstream assertion.
+    """
+
+    def __init__(self, message: str, pending: "dict[str, int]"):
+        super().__init__(message)
+        self.pending = pending
+
+
 class RegionExhaustedError(AskError, RuntimeError):
     """The switch controller has no free aggregator region for a new task."""
 

@@ -33,6 +33,7 @@ class PacketFlag(enum.IntFlag):
     FIN = 0x4
     SWAP = 0x8  #: receiver → switch shadow-copy swap notification (§3.4)
     LONG = 0x10  #: long-key payload; bypasses switch aggregation (§3.2.3)
+    BYPASS = 0x20  #: degraded mode: ship raw tuples end-to-end, skip the switch
 
 
 @dataclass(frozen=True)
@@ -89,6 +90,7 @@ class AskPacket:
         set_(self, "is_fin", bool(flags & 0x4))
         set_(self, "is_swap", bool(flags & 0x8))
         set_(self, "is_long", bool(flags & 0x10))
+        set_(self, "is_bypass", bool(flags & 0x20))
         if flags & 0x10:  # LONG: variable-length tuple encoding
             payload = sum(
                 1 + len(slot.key) + 4 for slot in self.slots if slot is not None

@@ -51,6 +51,14 @@ class ReceiverTaskState:
     packets_since_swap: int = 0
     pending_finalize: bool = False
     swap_timer: Optional[object] = None
+    #: Bumped on every supervised restart; control-plane completions
+    #: (swap fetch, finalize fetch) capture the incarnation they were
+    #: scheduled under and abort if a restart intervened.
+    incarnation: int = 0
+    #: Per-channel sequence floors set by supervised restart: anything
+    #: below the floor belongs to the aborted pre-restart stream and must
+    #: not be merged (it is still ACKed, silencing in-flight stragglers).
+    restart_floors: Dict[tuple[str, int], int] = field(default_factory=dict)
 
     @property
     def switches(self) -> tuple[str, ...]:
@@ -93,6 +101,10 @@ class ReceiverEngine:
         self._tasks: dict[int, ReceiverTaskState] = {}
         self._windows: dict[tuple[str, int], ReceiveWindow] = {}
         self.stray_packets = 0
+        #: Wired by the deployment builder when failure detection is on:
+        #: ``degraded_probe(switch_name)`` is True while that switch must
+        #: not be sent swap notifications (down or awaiting re-install).
+        self.degraded_probe: Optional[Callable[[str], bool]] = None
 
     # ------------------------------------------------------------------
     def open_task(self, task: AggregationTask, regions: Dict[str, Region]) -> ReceiverTaskState:
@@ -134,6 +146,14 @@ class ReceiverEngine:
             self.stray_packets += 1
             return
         stats = state.task.stats
+        if state.restart_floors:
+            floor = state.restart_floors.get(pkt.channel_key)
+            if floor is not None and pkt.seq < floor:
+                # Straggler from a stream the supervisor aborted; the ACK
+                # above is all it gets (fresh or not — a pre-restart seq
+                # may well be "new" to the receive window).
+                stats.duplicate_packets_dropped += 1
+                return
         if not fresh:
             stats.duplicate_packets_dropped += 1
             return
@@ -142,6 +162,8 @@ class ReceiverEngine:
         if pkt.is_fin:
             self._on_fin(state, pkt)
             return
+        if pkt.is_bypass:
+            stats.bypass_packets_received += 1
         self._merge_packet(state, pkt)
         state.packets_since_swap += 1
         self._maybe_swap(state)
@@ -202,6 +224,16 @@ class ReceiverEngine:
             return
         if state.packets_since_swap < self.config.swap_threshold_packets:
             return
+        if not state.switches:
+            # Switchless readoption: the task completes via bypass with no
+            # regions anywhere, so there is nothing to swap.
+            return
+        if self.degraded_probe is not None and any(
+            self.degraded_probe(s) for s in state.switches
+        ):
+            # Degraded mode: the region is (or is about to be) blank and
+            # bypass traffic skips the switch; swapping would only spin.
+            return
         state.swap_in_progress = True
         state.packets_since_swap = 0
         state.swap_epoch += 1
@@ -221,8 +253,20 @@ class ReceiverEngine:
         )
 
     def _swap_timeout(self, state: ReceiverTaskState, epoch: int) -> None:
-        if state.swap_in_progress and state.swap_epoch == epoch and state.swap_acks_pending:
-            self._send_swaps(state)
+        if not (
+            state.swap_in_progress and state.swap_epoch == epoch and state.swap_acks_pending
+        ):
+            return
+        if state.task.phase is TaskPhase.FAILED:
+            return  # the task was failed loudly; stop spinning
+        if self.degraded_probe is not None and any(
+            self.degraded_probe(s) for s in state.swap_acks_pending
+        ):
+            # A switch in the pending set is down; the supervisor's task
+            # restart will reset the whole swap loop.  Retrying into the
+            # dark would only keep the event heap alive forever.
+            return
+        self._send_swaps(state)
 
     def on_swap_ack(self, pkt: AskPacket) -> None:
         state = self._tasks.get(pkt.task_id)
@@ -238,10 +282,18 @@ class ReceiverEngine:
         # round trip, fetch and reset the idle one.
         read_part = 1 - (state.swap_epoch & 1)
         self.clock.schedule(
-            self.config.control_latency_ns, self._complete_swap, state, read_part
+            self.config.control_latency_ns,
+            self._complete_swap,
+            state,
+            read_part,
+            state.incarnation,
         )
 
-    def _complete_swap(self, state: ReceiverTaskState, read_part: int) -> None:
+    def _complete_swap(
+        self, state: ReceiverTaskState, read_part: int, incarnation: int
+    ) -> None:
+        if incarnation != state.incarnation or state.task.phase is TaskPhase.FAILED:
+            return  # a supervised restart (or loud failure) intervened
         fetched = self.control.fetch_and_reset(state.task.task_id, read_part)
         self._merge_fetched(state, fetched)
         state.task.stats.swaps += 1
@@ -261,6 +313,8 @@ class ReceiverEngine:
     # ------------------------------------------------------------------
     def _on_fin(self, state: ReceiverTaskState, pkt: AskPacket) -> None:
         task = state.task
+        if task.phase is TaskPhase.FAILED:
+            return  # FINs for a loudly-failed task are ACKed and ignored
         task.fins_received.add(pkt.channel_key)
         if len(task.fins_received) < task.expected_fins:
             return
@@ -273,17 +327,87 @@ class ReceiverEngine:
 
     def _finalize(self, state: ReceiverTaskState) -> None:
         state.pending_finalize = False
-        self.clock.schedule(self.config.control_latency_ns, self._complete_finalize, state)
+        self.clock.schedule(
+            self.config.control_latency_ns,
+            self._complete_finalize,
+            state,
+            state.incarnation,
+        )
 
-    def _complete_finalize(self, state: ReceiverTaskState) -> None:
+    def _complete_finalize(self, state: ReceiverTaskState, incarnation: int) -> None:
         task = state.task
-        parts = (0, 1) if self.config.shadow_copy else (0,)
-        for part in parts:
-            fetched = self.control.fetch_and_reset(task.task_id, part)
-            self._merge_fetched(state, fetched)
-        self.control.deallocate(task.task_id)
+        if incarnation != state.incarnation or task.phase is not TaskPhase.FINALIZING:
+            return  # a supervised restart rewound the task (or it failed)
+        if self.control.has_regions(task.task_id):
+            parts = (0, 1) if self.config.shadow_copy else (0,)
+            for part in parts:
+                fetched = self.control.fetch_and_reset(task.task_id, part)
+                self._merge_fetched(state, fetched)
+            self.control.deallocate(task.task_id)
         task.result = AggregationResult(task.task_id, dict(state.residual), task.stats)
         task.stats.completed_at_ns = self.clock.now
         task.advance(TaskPhase.COMPLETE)
         del self._tasks[task.task_id]
         self.on_complete(task)
+
+    # ------------------------------------------------------------------
+    # Failure domain
+    # ------------------------------------------------------------------
+    def reset_task(
+        self,
+        task_id: int,
+        floors: Dict[tuple[str, int], int],
+        regions: Optional[Dict[str, Region]] = None,
+    ) -> None:
+        """Supervised restart: rewind this task to a clean streaming state.
+
+        The switch regions were (or are about to be) cleared and every
+        sender rewound to payload 0, so the residual accumulated so far
+        would double-count the replay — discard it, discard recorded FINs,
+        abandon any swap in flight, and raise the per-channel floors so
+        in-flight pre-restart packets cannot merge.  ``regions`` replaces
+        the region map when the restart followed a lease-lapse reclaim and
+        re-allocation.
+        """
+        state = self._tasks.get(task_id)
+        if state is None:
+            return
+        task = state.task
+        state.incarnation += 1
+        state.residual.clear()
+        task.fins_received.clear()
+        if state.swap_timer is not None:
+            state.swap_timer.cancel()
+            state.swap_timer = None
+        state.swap_in_progress = False
+        state.swap_acks_pending = set()
+        state.swap_epoch = 0
+        state.packets_since_swap = 0
+        state.pending_finalize = False
+        if regions is not None:
+            state.regions = dict(regions)
+        for channel_key, floor in floors.items():
+            previous = state.restart_floors.get(channel_key, 0)
+            state.restart_floors[channel_key] = max(previous, floor)
+        task.stats.task_restarts += 1
+        if task.phase is TaskPhase.FINALIZING:
+            task.advance(TaskPhase.STREAMING)
+
+    def suspend(self) -> None:
+        """Daemon crash: pending swap-retry timers die with the process.
+        (Control-plane fetches already scheduled are modelled as executing
+        on the switch CPU and complete regardless.)"""
+        for state in self._tasks.values():
+            if state.swap_timer is not None:
+                state.swap_timer.cancel()
+                state.swap_timer = None
+
+    def recover(self) -> None:
+        """Daemon restart: resume any swap round that was awaiting ACKs."""
+        for state in self._tasks.values():
+            if (
+                state.swap_in_progress
+                and state.swap_acks_pending
+                and state.task.phase is not TaskPhase.FAILED
+            ):
+                self._send_swaps(state)

@@ -26,6 +26,11 @@ class TaskStats:
     retransmissions: int = 0
     acks_from_switch: int = 0
     acks_from_receiver: int = 0
+    bypass_packets_sent: int = 0
+
+    # Failure domain
+    bypass_packets_received: int = 0
+    task_restarts: int = 0
 
     # Receiver side
     tuples_merged_at_receiver: int = 0

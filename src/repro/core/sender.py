@@ -8,6 +8,7 @@ losses with the fine-grained timeout, and ends the job with a reliable FIN.
 
 from __future__ import annotations
 
+import hashlib
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Optional
@@ -15,7 +16,7 @@ from typing import Callable, Optional
 from repro.core.config import AskConfig
 from repro.core.packer import PackedPayload
 from repro.core.packet import AskPacket, PacketFlag
-from repro.core.task import AggregationTask
+from repro.core.task import AggregationTask, TaskPhase
 from repro.runtime.interfaces import Clock
 from repro.transport.congestion import CongestionWindow
 from repro.transport.reliability import RetransmitTimers
@@ -43,6 +44,11 @@ class SendingJob:
     unacked: int = 0
     fin_sent: bool = False
     fin_acked: bool = False
+    #: Set by the failure supervisor on a task it readopted switchless
+    #: (its regions were reclaimed while the receiver's lease was lapsed):
+    #: every entry of this job ships raw tuples end-to-end.  The channel
+    #: is re-baselined on its switch when the job finishes.
+    force_bypass: bool = False
 
     @property
     def data_exhausted(self) -> bool:
@@ -61,10 +67,19 @@ class SendingJob:
 
 @dataclass
 class _EntryTag:
-    """What a window entry is carrying."""
+    """What a window entry is carrying.
+
+    ``bypass`` is decided once, when the entry is opened, and sticks for
+    every retransmission of that sequence number: a packet that first went
+    out in degraded mode must never later run the switch program (its seq
+    predates the post-heal dedup baseline, so flipping a ``seen`` bit for
+    it would corrupt the baseline).  FIN entries opened while degraded
+    carry the flag for the same reason.
+    """
 
     job: SendingJob
     payload: Optional[PackedPayload]  #: None for the FIN
+    bypass: bool = False
 
     @property
     def is_fin(self) -> bool:
@@ -90,9 +105,33 @@ class SenderChannel:
         self.send_fn = send_fn
         self.switch_names = switch_names
         self.window = SlidingWindow(config.window_size)
-        self.timers = RetransmitTimers(
-            clock, self.window, config.retransmit_timeout_ns, self._resend
+        # Stable per-channel jitter seed so asyncio and sim runs of the
+        # same deployment draw identical backoff jitter sequences.
+        jitter_seed = int.from_bytes(
+            hashlib.blake2b(f"{host}:{index}".encode(), digest_size=8).digest(),
+            "big",
         )
+        self.timers = RetransmitTimers(
+            clock,
+            self.window,
+            config.retransmit_timeout_ns,
+            self._resend,
+            backoff=config.retransmit_backoff,
+            backoff_cap_ns=config.retransmit_backoff_cap_ns,
+            jitter=config.retransmit_jitter,
+            jitter_seed=jitter_seed,
+            give_up_ns=config.give_up_timeout_ns,
+            on_give_up=self._give_up,
+        )
+        #: Degrade-to-bypass probe, wired by the deployment builder when
+        #: failure detection is on.  Checked once per entry *open* (not per
+        #: packet): ``None`` keeps the fault-free fast path branch-free
+        #: beyond a single identity test.
+        self.bypass_probe: Optional[Callable[[], bool]] = None
+        #: Called with this channel when a ``force_bypass`` job finishes,
+        #: so the supervisor can re-baseline the switch's dedup state for
+        #: this channel before the next (non-bypass) job opens entries.
+        self.rebaseline_hook: Optional[Callable[["SenderChannel"], None]] = None
         # §7: optional ECN/AIMD congestion window, hard-capped at W so the
         # switch receive window can never be outrun.
         self.congestion: Optional[CongestionWindow] = None
@@ -138,16 +177,19 @@ class SenderChannel:
         job = self.active_job
         if job is None:
             return
+        bypass = job.force_bypass or (
+            self.bypass_probe is not None and self.bypass_probe()
+        )
         while self._admits() and not job.data_exhausted:
             payload = job.payloads[job.next_payload]
             job.next_payload += 1
             job.unacked += 1
-            entry = self.window.open(_EntryTag(job, payload))
+            entry = self.window.open(_EntryTag(job, payload, bypass))
             self._transmit(entry)
         if job.finished and job.data_exhausted and job.unacked == 0 and not job.fin_sent:
             if self._admits():
                 job.fin_sent = True
-                entry = self.window.open(_EntryTag(job, None))
+                entry = self.window.open(_EntryTag(job, None, bypass))
                 self._transmit(entry)
             elif not self._fin_retry_pending:
                 # The FIN is due but the window refused it (e.g. a frozen
@@ -173,6 +215,8 @@ class SenderChannel:
             flags = PacketFlag.DATA | PacketFlag.LONG if payload.is_long else PacketFlag.DATA
             slots = payload.slots
             bitmap = payload.bitmap
+        if tag.bypass:
+            flags |= PacketFlag.BYPASS
         return AskPacket(
             flags=flags,
             task_id=tag.job.task.task_id,
@@ -195,6 +239,8 @@ class SenderChannel:
                     tag.job.task.stats.long_packets_sent += 1
                 else:
                     tag.job.task.stats.data_packets_sent += 1
+                if tag.bypass:
+                    tag.job.task.stats.bypass_packets_sent += 1
         entry.last_sent_ns = self.clock.now
         self.packets_sent += 1
         self.bytes_sent += packet.wire_bytes()
@@ -238,6 +284,83 @@ class SenderChannel:
     def _finish_job(self, job: SendingJob) -> None:
         if self._jobs and self._jobs[0] is job:
             self._jobs.popleft()
+        if job.force_bypass and self.rebaseline_hook is not None:
+            # The bypass era left holes in the switch's ``seen`` parity for
+            # this channel; with the window now empty (FIN acked implies all
+            # data acked), re-baseline before the next job's entries open.
+            self.rebaseline_hook(self)
         if job.on_complete is not None:
             job.on_complete(job)
         self._pump()
+
+    # ------------------------------------------------------------------
+    # Failure domain
+    # ------------------------------------------------------------------
+    def abort_job(self, job: SendingJob) -> int:
+        """Withdraw ``job``'s in-window entries and rewind it to payload 0.
+
+        Used by supervised task restart: every unacked entry is cancelled
+        and removed from the window (acking it — the window's removal
+        primitive — so the base advances normally), then the job's cursor
+        rewinds so a later :meth:`_pump` replays the stream with *fresh*
+        sequence numbers.  Returns the number of entries withdrawn: a
+        nonzero count means sequence numbers were force-acked without the
+        switch necessarily having seen them, so the supervisor must
+        re-baseline this channel's dedup state on every healthy switch.
+        """
+        withdrawn = 0
+        for entry in self.window.outstanding():
+            tag: _EntryTag = entry.payload
+            if tag.job is job:
+                self.timers.cancel(entry)
+                self.window.ack(entry.seq)
+                withdrawn += 1
+        job.next_payload = 0
+        job.unacked = 0
+        job.fin_sent = False
+        job.fin_acked = False
+        return withdrawn
+
+    def requeue(self, job: SendingJob) -> None:
+        """Ensure ``job`` is queued (it may have been popped by an earlier
+        completion of its FIN) and pump the channel."""
+        if not any(queued is job for queued in self._jobs):
+            self._jobs.append(job)
+        self._pump()
+
+    def drop_job(self, job: SendingJob) -> None:
+        """Abort and forget ``job`` (its task failed)."""
+        self.abort_job(job)
+        for i, queued in enumerate(self._jobs):
+            if queued is job:
+                del self._jobs[i]
+                break
+        self._pump()
+
+    def suspend(self) -> None:
+        """Daemon crash: every pending retransmission timer dies with the
+        process.  Window/job state itself survives (shared memory)."""
+        for entry in self.window.outstanding():
+            self.timers.cancel(entry)
+
+    def recover(self) -> None:
+        """Daemon restart: rebuild the retransmission schedule from the
+        reliability layer's unacked entries (§3.3 machinery re-used as the
+        crash-recovery log) and resume pumping."""
+        for entry in self.window.outstanding():
+            self.timers.arm(entry)
+        self._pump()
+
+    def _give_up(self, entry: WindowEntry) -> None:
+        """The give-up deadline expired: fail the task loudly."""
+        tag: _EntryTag = entry.payload
+        job = tag.job
+        task = job.task
+        if not task.is_settled:
+            task.failure_reason = (
+                f"sender {self.host} gave up on task {task.task_id}: seq "
+                f"{entry.seq} unacknowledged after {entry.transmissions} "
+                "transmissions"
+            )
+            task.advance(TaskPhase.FAILED)
+        self.drop_job(job)

@@ -32,7 +32,7 @@ from typing import Any, Dict, Iterable, Optional, Sequence, Union
 
 from repro.core.config import AskConfig
 from repro.core.daemon import HostDaemon
-from repro.core.errors import TaskStateError
+from repro.core.errors import TaskFailedError, TaskStateError
 from repro.core.results import AggregationResult, reference_aggregate
 from repro.core.task import AggregationTask, TaskPhase
 from repro.core.tenancy import DEFAULT_TENANT, encode_task_id
@@ -131,6 +131,13 @@ class _AskServiceBase:
         self.trace = deployment.trace
         self._task_ids = itertools.count(1)
         self.tasks: dict[int, AggregationTask] = {}
+        #: Failed task ids already surfaced via TaskFailedError: a loud
+        #: failure is raised exactly once, so later runs on a still-live
+        #: service are not poisoned by history.
+        self._failures_raised: set[int] = set()
+        self.supervisor = deployment.supervisor
+        if self.supervisor is not None:
+            self.supervisor.bind(self.tasks)
 
     # ------------------------------------------------------------------
     # Compatibility / convenience surfaces
@@ -172,6 +179,9 @@ class _AskServiceBase:
     # ------------------------------------------------------------------
     def _on_task_complete(self, task: AggregationTask) -> None:
         self.daemons[task.receiver].publish_result(task)
+        # The task is settled; no supervised restart can need its job.
+        for host in task.senders:
+            self.daemons[host].release_job(task.task_id)
 
     def daemon(self, host: str) -> HostDaemon:
         return self.daemons[host]
@@ -233,12 +243,25 @@ class _AskServiceBase:
         self.clock.schedule(
             self.config.control_latency_ns, self._setup_task, task, dict(streams)
         )
+        if self.supervisor is not None:
+            self.supervisor.notice_activity()
         return task
 
     def _setup_task(self, task: AggregationTask, streams: dict[str, Stream]) -> None:
-        regions = self.control.allocate(
-            task.task_id, self._switches_for(task.senders), task.region_size
-        )
+        try:
+            regions = self.control.allocate(
+                task.task_id, self._switches_for(task.senders), task.region_size
+            )
+        except Exception as exc:
+            # Region allocation failed (e.g. the switch pool or a tenant
+            # quota is exhausted).  ControlPlane.allocate already rolled
+            # back partial reservations and nothing else was wired yet;
+            # fail the handle, drop the task from the service's books so
+            # it stays fully reusable, and let the error surface.
+            task.failure_reason = f"region allocation failed: {exc}"
+            task.advance(TaskPhase.FAILED)
+            self.tasks.pop(task.task_id, None)
+            raise
         self.daemons[task.receiver].open_receive_task(task, regions)
         task.advance(TaskPhase.SETUP)
         # Step ④⑤: notify every sender over the control channel.
@@ -287,12 +310,20 @@ class _AskServiceBase:
         self.clock.schedule(
             self.config.control_latency_ns, self._setup_streaming, task, session
         )
+        if self.supervisor is not None:
+            self.supervisor.notice_activity()
         return session
 
     def _setup_streaming(self, task: AggregationTask, session: StreamingSession) -> None:
-        regions = self.control.allocate(
-            task.task_id, self._switches_for(session.senders), task.region_size
-        )
+        try:
+            regions = self.control.allocate(
+                task.task_id, self._switches_for(session.senders), task.region_size
+            )
+        except Exception as exc:
+            task.failure_reason = f"region allocation failed: {exc}"
+            task.advance(TaskPhase.FAILED)
+            self.tasks.pop(task.task_id, None)
+            raise
         self.daemons[task.receiver].open_receive_task(task, regions)
         task.advance(TaskPhase.SETUP)
         self.clock.schedule(
@@ -314,7 +345,10 @@ class _AskServiceBase:
         self.runner.run(until=until, max_events=max_events)
 
     def _all_complete(self) -> bool:
-        return all(t.is_complete for t in self.tasks.values())
+        # FAILED counts as settled: a loudly-failed task will never
+        # complete, and waiting for it would turn a crisp TaskFailedError
+        # into a backend timeout.
+        return all(t.is_settled for t in self.tasks.values())
 
     def run_to_completion(
         self, max_events: int = 20_000_000, timeout_s: Optional[float] = None
@@ -323,11 +357,28 @@ class _AskServiceBase:
 
         ``max_events`` bounds the sim backend, ``timeout_s`` (wall-clock)
         the asyncio backend; each backend ignores the other's budget.
+        Raises :class:`TaskFailedError` if any task was failed loudly
+        (give-up deadline, allocation failure) and :class:`TaskStateError`
+        if tasks are merely unfinished when the budget runs out.
         """
         self.runner.run_until(
             self._all_complete, max_events=max_events, timeout_s=timeout_s
         )
-        unfinished = [t for t in self.tasks.values() if not t.is_complete]
+        failed = [
+            t
+            for t in self.tasks.values()
+            if t.phase is TaskPhase.FAILED
+            and t.task_id not in self._failures_raised
+        ]
+        if failed:
+            self._failures_raised.update(t.task_id for t in failed)
+            raise TaskFailedError(
+                f"{len(failed)} task(s) failed: "
+                + ", ".join(f"{t.task_id}: {t.failure_reason}" for t in failed)
+            )
+        unfinished = [
+            t for t in self.tasks.values() if not t.is_settled
+        ]
         if unfinished:
             raise TaskStateError(
                 f"{len(unfinished)} task(s) did not complete: "

@@ -25,7 +25,11 @@ _ALLOWED = {
     TaskPhase.SUBMITTED: {TaskPhase.SETUP, TaskPhase.FAILED},
     TaskPhase.SETUP: {TaskPhase.STREAMING, TaskPhase.FAILED},
     TaskPhase.STREAMING: {TaskPhase.FINALIZING, TaskPhase.FAILED},
-    TaskPhase.FINALIZING: {TaskPhase.COMPLETE, TaskPhase.FAILED},
+    # FINALIZING -> STREAMING is the supervised-restart path: a switch
+    # reboot or lease lapse mid-finalize rewinds the task to replay its
+    # streams (the fetch that was in flight is aborted by the incarnation
+    # guard, so the rewound task cannot complete twice).
+    TaskPhase.FINALIZING: {TaskPhase.COMPLETE, TaskPhase.STREAMING, TaskPhase.FAILED},
     TaskPhase.COMPLETE: set(),
     TaskPhase.FAILED: set(),
 }
@@ -42,6 +46,9 @@ class AggregationTask:
     phase: TaskPhase = TaskPhase.SUBMITTED
     stats: TaskStats = field(default_factory=TaskStats)
     result: Optional[AggregationResult] = None
+    #: Human-readable reason when the task was failed loudly (give-up
+    #: deadline, unrecoverable allocation failure, presumed-dead peer).
+    failure_reason: Optional[str] = None
 
     # Progress tracking used by the receiver daemon
     fins_received: set = field(default_factory=set)
@@ -59,6 +66,11 @@ class AggregationTask:
     @property
     def is_complete(self) -> bool:
         return self.phase is TaskPhase.COMPLETE
+
+    @property
+    def is_settled(self) -> bool:
+        """Terminal either way: completed or failed loudly."""
+        return self.phase is TaskPhase.COMPLETE or self.phase is TaskPhase.FAILED
 
     @property
     def expected_fins(self) -> int:

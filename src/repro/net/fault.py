@@ -11,6 +11,41 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class GilbertElliott:
+    """Two-state burst-loss chain (Gilbert–Elliott model).
+
+    The channel alternates between a *good* and a *bad* state; each packet
+    first advances the chain (one transition draw), then suffers the loss
+    rate of the state it landed in.  Correlated loss bursts — the pattern
+    that actually stresses retransmission timers, which i.i.d. loss
+    understates — emerge when ``p_bad_good`` is small.
+
+    Parameters
+    ----------
+    p_good_bad / p_bad_good:
+        Per-packet transition probabilities between the two states.
+    loss_good / loss_bad:
+        Loss probability while in each state (classic Gilbert: 0 in good).
+    """
+
+    p_good_bad: float = 0.01
+    p_bad_good: float = 0.2
+    loss_good: float = 0.0
+    loss_bad: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in ("p_good_bad", "p_bad_good", "loss_good", "loss_bad"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1], got {value}")
+
+    @property
+    def is_lossless(self) -> bool:
+        return self.loss_good == 0.0 and self.loss_bad == 0.0
 
 
 @dataclass
@@ -56,7 +91,13 @@ class FaultModel:
     reorder_rate: float = 0.0
     max_extra_delay_ns: int = 50_000
     seed: int = 0
+    #: Optional Gilbert–Elliott burst-loss chain.  When set it *replaces*
+    #: the i.i.d. ``loss_rate`` draw (state transition + per-state loss);
+    #: when ``None`` the draw sequence is bit-identical to before the
+    #: field existed, preserving every existing seeded schedule.
+    burst: Optional[GilbertElliott] = None
     _rng: random.Random = field(init=False, repr=False)
+    _burst_bad: bool = field(init=False, repr=False, default=False)
 
     def __post_init__(self) -> None:
         for name in ("loss_rate", "duplicate_rate", "reorder_rate"):
@@ -64,6 +105,7 @@ class FaultModel:
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be within [0, 1], got {value}")
         self._rng = random.Random(self.seed)
+        self._burst_bad = False
 
     @classmethod
     def reliable(cls) -> "FaultModel":
@@ -95,6 +137,7 @@ class FaultModel:
             reorder_rate=self.reorder_rate,
             max_extra_delay_ns=self.max_extra_delay_ns,
             seed=int.from_bytes(digest, "big"),
+            burst=self.burst,
         )
 
     @property
@@ -103,6 +146,7 @@ class FaultModel:
             self.loss_rate == 0.0
             and self.duplicate_rate == 0.0
             and self.reorder_rate == 0.0
+            and (self.burst is None or self.burst.is_lossless)
         )
 
     def decide(self) -> FaultDecision:
@@ -114,7 +158,15 @@ class FaultModel:
         callers only read) to keep the per-packet path allocation-free.
         """
         rng = self._rng
-        if self.loss_rate and rng.random() < self.loss_rate:
+        if self.burst is not None:
+            burst = self.burst
+            flip = burst.p_good_bad if not self._burst_bad else burst.p_bad_good
+            if rng.random() < flip:
+                self._burst_bad = not self._burst_bad
+            loss = burst.loss_bad if self._burst_bad else burst.loss_good
+            if loss and rng.random() < loss:
+                return _DROP
+        elif self.loss_rate and rng.random() < self.loss_rate:
             return _DROP
         extra_delay = 0
         if self.reorder_rate and rng.random() < self.reorder_rate:

@@ -137,6 +137,10 @@ class MultiRackTopology:
     def rack_of_host(self, host: str) -> str:
         return self._host_rack[host]
 
+    def host_node(self, host: str) -> NetworkNode:
+        """The attached node object for ``host`` (fault injection)."""
+        return self._stars[self._host_rack[host]].host(host)
+
     def rack_of_switch(self, switch_name: str) -> str:
         return self._switch_rack[switch_name]
 

@@ -55,6 +55,9 @@ _LAZY = {
     "encode_packet": "repro.runtime.codec",
     "Deployment": "repro.runtime.builder",
     "DeploymentBuilder": "repro.runtime.builder",
+    # Raised by real-time TaskRunner.run_until; defined in core so the
+    # protocol stack can reference it without importing a backend.
+    "FabricTimeoutError": "repro.core.errors",
     "SimFabric": "repro.runtime.sim",
     "SimMultiRackFabric": "repro.runtime.sim",
     "SimRunner": "repro.runtime.sim",
@@ -84,6 +87,7 @@ __all__ = [
     "Deployment",
     "DeploymentBuilder",
     "Fabric",
+    "FabricTimeoutError",
     "Node",
     "SimFabric",
     "SimMultiRackFabric",

@@ -28,6 +28,7 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.core.errors import FabricTimeoutError
 from repro.core.packet import AskPacket
 from repro.net.fault import FaultModel
 from repro.net.trace import PacketTrace
@@ -129,6 +130,8 @@ class AsyncioFabric:
         # moment the endpoints are live — the protocol stack never sees a
         # "not started" error, it just observes a slightly later delivery.
         self._pending: list[Tuple[str, str, AskPacket]] = []
+        self._partitioned: set[str] = set()
+        self.partition_drops = 0
         self.malformed_frames = 0
         self.socket_errors = 0
         self.frames_sent = 0
@@ -238,6 +241,9 @@ class AsyncioFabric:
         if not self._started:
             self._pending.append((src, dst, packet))
             return
+        if src in self._partitioned or dst in self._partitioned:
+            self.partition_drops += 1
+            return
         try:
             source = self._endpoints[src]
             target = self._endpoints[dst]
@@ -297,6 +303,36 @@ class AsyncioFabric:
             raise RuntimeError("no switch installed")
         self._transmit(self._switch_name, host, packet)
 
+    # ------------------------------------------------------------------
+    # Fault injection: network partitions (pure loss, pre-kernel)
+    # ------------------------------------------------------------------
+    def partition(self, name: str) -> None:
+        """Cut ``name`` off the fabric: every datagram to or from it is
+        dropped at the transmit hook (counted in :attr:`partition_drops`)
+        until :meth:`heal`.  The node itself keeps running."""
+        self._partitioned.add(name)
+
+    def heal(self, name: str) -> None:
+        self._partitioned.discard(name)
+
+    # ------------------------------------------------------------------
+    def pending_snapshot(self) -> Dict[str, int]:
+        """Per-node count of work still in flight: queued-but-undelivered
+        frames plus unacked sender window entries (diagnostics for
+        :class:`~repro.core.errors.FabricTimeoutError`)."""
+        snapshot: Dict[str, int] = {}
+        for name, endpoint in self._endpoints.items():
+            pending = endpoint.queue.qsize()
+            channels = getattr(endpoint.node, "channels", None)
+            if channels is not None:
+                for channel in channels:
+                    window = getattr(channel, "window", None)
+                    if window is not None:
+                        pending += window.in_flight
+            if pending:
+                snapshot[name] = pending
+        return snapshot
+
 
 class AsyncioRunner:
     """Synchronous driver over an :class:`AsyncioFabric`'s private loop."""
@@ -332,10 +368,23 @@ class AsyncioRunner:
         max_events: Optional[int] = None,
         timeout_s: Optional[float] = None,
     ) -> None:
-        """Drive the loop until ``done()`` holds or ``timeout_s`` expires."""
+        """Drive the loop until ``done()`` holds.
+
+        Raises :class:`~repro.core.errors.FabricTimeoutError` if
+        ``timeout_s`` (default :attr:`DEFAULT_TIMEOUT_S`) expires first;
+        the error carries each node's in-flight/unacked counts so a hung
+        run says *where* the work stalled.
+        """
         self.fabric.start()
         budget = self.DEFAULT_TIMEOUT_S if timeout_s is None else timeout_s
         self.fabric.loop.run_until_complete(self._poll(done, budget))
+        if not done():
+            pending = self.fabric.pending_snapshot()
+            raise FabricTimeoutError(
+                f"asyncio fabric still busy after {budget:.1f}s "
+                f"(pending per node: {pending or 'none observable'})",
+                pending=pending,
+            )
 
     async def _poll(self, done: Callable[[], bool], timeout_s: float) -> None:
         deadline = self.fabric.loop.time() + timeout_s

@@ -28,6 +28,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Union
 from repro.core.config import AskConfig
 from repro.core.controlplane import ControlPlane
 from repro.core.daemon import HostDaemon
+from repro.core.failover import FailureSupervisor
 from repro.core.packet import AskPacket
 from repro.core.task import AggregationTask
 from repro.net.fault import FaultModel
@@ -55,6 +56,9 @@ class Deployment:
     trace: Optional[PacketTrace]
     #: rack name -> host names, in wiring order
     racks: Dict[str, List[str]] = field(default_factory=dict)
+    #: Present when ``config.failure_detection`` is on: heartbeat leases,
+    #: switch failover and supervised recovery for this deployment.
+    supervisor: Optional[FailureSupervisor] = None
 
     @property
     def clock(self) -> Clock:
@@ -225,6 +229,23 @@ class DeploymentBuilder:
                 else:
                     fabric.attach_host(daemon)
 
+        supervisor: Optional[FailureSupervisor] = None
+        if self.config.failure_detection:
+            host_tor = {
+                host: tor
+                for _, tor, rack_hosts in self._racks
+                for host in rack_hosts
+            }
+            supervisor = FailureSupervisor(
+                fabric.clock, self.config, control, daemons, switches, host_tor
+            )
+            for name, daemon in daemons.items():
+                probe = supervisor.probe_for(name)
+                for channel in daemon.channels:
+                    channel.bypass_probe = probe
+                    channel.rebaseline_hook = supervisor.rebaseline_channel
+                daemon.receiver.degraded_probe = supervisor.is_degraded
+
         return Deployment(
             config=self.config,
             backend=self.backend,
@@ -235,4 +256,5 @@ class DeploymentBuilder:
             daemons=daemons,
             trace=trace,
             racks=racks,
+            supervisor=supervisor,
         )

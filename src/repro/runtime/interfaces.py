@@ -69,12 +69,27 @@ class Clock(Protocol):
 
 @runtime_checkable
 class Node(Protocol):
-    """Anything attachable to a fabric: a name plus a packet sink."""
+    """Anything attachable to a fabric: a name plus a packet sink.
+
+    Nodes expose a fail-stop lifecycle for fault injection: ``crash``
+    stops the node (frames addressed to it are counted and dropped) and
+    ``restore`` brings it back.  What survives a crash is the node's
+    business — a host daemon keeps its shared-memory protocol state, a
+    switch reboots with wiped registers.  Both must be idempotent.
+    """
 
     name: str
 
     def receive(self, packet: Any) -> None:
         """Deliver one frame to this node."""
+        ...
+
+    def crash(self) -> None:
+        """Fail-stop the node (idempotent while down)."""
+        ...
+
+    def restore(self) -> None:
+        """Bring the node back up (idempotent while up)."""
         ...
 
 
@@ -106,6 +121,17 @@ class Fabric(Protocol):
 
     def send_to_host(self, host: str, packet: Any, size_bytes: int) -> None:
         """Transmit a frame from the switch toward ``host``."""
+        ...
+
+    def partition(self, name: str) -> None:
+        """Cut the named node (host or switch) off the fabric: frames to
+        and from it are dropped (and counted) until :meth:`heal`.  The
+        node itself keeps running — a partition is pure loss, which the
+        reliability layer recovers by retransmission."""
+        ...
+
+    def heal(self, name: str) -> None:
+        """Reconnect a node previously cut off by :meth:`partition`."""
         ...
 
 
@@ -153,8 +179,12 @@ class TaskRunner(Protocol):
     ) -> None:
         """Advance until ``done()`` holds, or the backend's work/time
         budget (``max_events`` for simulation, ``timeout_s`` wall-clock
-        for real time) is exhausted.  Returns without raising either way;
-        callers re-check ``done()`` and report unfinished work."""
+        for real time) is exhausted.  A simulation backend returns without
+        raising (callers re-check ``done()`` and report unfinished work);
+        a real-time backend raises
+        :class:`~repro.core.errors.FabricTimeoutError` — carrying each
+        node's in-flight/unacked counts — when the deadline passes first.
+        """
         ...
 
     def run_forever(self) -> None:

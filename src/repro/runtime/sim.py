@@ -21,7 +21,7 @@ from typing import Callable, Dict, Optional
 from repro.net.fault import FaultModel
 from repro.net.multirack import MultiRackTopology, RackView
 from repro.net.simulator import Simulator
-from repro.net.topology import StarTopology
+from repro.net.topology import NetworkNode, StarTopology
 from repro.net.trace import PacketTrace
 from repro.runtime.interfaces import Node
 
@@ -84,6 +84,10 @@ class SimFabric:
             ecn_threshold_bytes=ecn_threshold_bytes,
         )
         self.topology: Optional[StarTopology] = None
+        self._partitioned: set[str] = set()
+        #: Frames dropped at a partitioned node's egress (its ingress
+        #: drops are counted on the node itself).
+        self.partition_drops = 0
 
     # ------------------------------------------------------------------
     @property
@@ -119,10 +123,34 @@ class SimFabric:
         self._star().attach_host(host)
 
     def send_to_switch(self, host: str, packet: object, size_bytes: int) -> None:
+        if host in self._partitioned:
+            self.partition_drops += 1
+            return
         self._star().send_to_switch(host, packet, size_bytes)
 
     def send_to_host(self, host: str, packet: object, size_bytes: int) -> None:
         self._star().send_to_host(host, packet, size_bytes)
+
+    # ------------------------------------------------------------------
+    # Fault injection: network partitions (pure loss, nodes keep running)
+    # ------------------------------------------------------------------
+    def _node(self, name: str) -> NetworkNode:
+        star = self._star()
+        if name == star.switch.name:
+            return star.switch
+        return star.host(name)
+
+    def partition(self, name: str) -> None:
+        """Cut ``name`` off: its egress is dropped here (counted in
+        :attr:`partition_drops`) and its ingress at the node.  A
+        partitioned *switch* still flushes frames already in its pipeline
+        — exactly the asymmetry a real link flap exhibits."""
+        self._partitioned.add(name)
+        self._node(name).set_partitioned(True)
+
+    def heal(self, name: str) -> None:
+        self._partitioned.discard(name)
+        self._node(name).set_partitioned(False)
 
 
 class SimMultiRackFabric:
@@ -161,6 +189,10 @@ class SimMultiRackFabric:
             ecn_threshold_bytes=ecn_threshold_bytes,
         )
         self._host_rack: Dict[str, str] = {}
+        self._partitioned: set[str] = set()
+        #: Frames dropped at a partitioned node's egress (its ingress
+        #: drops are counted on the node itself).
+        self.partition_drops = 0
 
     # ------------------------------------------------------------------
     @property
@@ -194,6 +226,9 @@ class SimMultiRackFabric:
         return self.topology.rack_of_host(host)
 
     def send_to_switch(self, host: str, packet: object, size_bytes: int) -> None:
+        if host in self._partitioned:
+            self.partition_drops += 1
+            return
         self.topology.send_to_switch(host, packet, size_bytes)
 
     def send_to_host(self, host: str, packet: object, size_bytes: int) -> None:
@@ -202,3 +237,23 @@ class SimMultiRackFabric:
         self.topology.route_from_switch(
             self.topology.rack_of_host(host), host, packet, size_bytes
         )
+
+    # ------------------------------------------------------------------
+    # Fault injection: network partitions (pure loss, nodes keep running)
+    # ------------------------------------------------------------------
+    def _node(self, name: str) -> NetworkNode:
+        topo = self.topology
+        if name in topo._switch_rack:  # noqa: SLF001 - fabric owns its topology
+            return topo.switch_of(topo.rack_of_switch(name))
+        return topo.host_node(name)
+
+    def partition(self, name: str) -> None:
+        """Cut ``name`` (host or TOR switch) off: host egress is dropped
+        here, ingress at the node.  A partitioned switch still flushes
+        frames already in its pipeline."""
+        self._partitioned.add(name)
+        self._node(name).set_partitioned(True)
+
+    def heal(self, name: str) -> None:
+        self._partitioned.discard(name)
+        self._node(name).set_partitioned(False)

@@ -132,6 +132,28 @@ class SwitchController:
         """Data-plane match table: task id → region."""
         return self._regions.get(task_id)
 
+    def reset_task(self, task_id: int) -> None:
+        """Blank a task's data-plane state while keeping its allocation.
+
+        Supervised restart support: both shadow copies of the region are
+        cleared and the copy indicator rewound to 0, matching the restarted
+        receiver's ``swap_epoch = 0``.  On a freshly rebooted switch the
+        registers are already blank and this is a harmless no-op; on a
+        *healthy* switch of a multi-switch task it discards partial
+        aggregates that the restarted senders are about to replay.
+        """
+        region = self._regions.get(task_id)
+        if region is None:
+            raise TaskStateError(f"task {task_id} holds no region")
+        for part in range(2 if self.config.shadow_copy else 1):
+            self._clear_region(region, part)
+        self.shadow.clear(region.task_slot)
+
+    @property
+    def channel_slots(self) -> Dict[tuple[str, int], int]:
+        """Read-only view of the channel registry (control-plane books)."""
+        return dict(self._channel_slots)
+
     # ------------------------------------------------------------------
     # Channel registry
     # ------------------------------------------------------------------

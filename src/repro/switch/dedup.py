@@ -145,3 +145,44 @@ class DedupUnit:
         """Retransmission: restore the recorded bitmap (Eq. 10)."""
         index = channel_slot * self.window + seq % self.window
         return self.pkt_state.read(ctx, index)
+
+    # ------------------------------------------------------------------
+    # Control plane (failover re-install)
+    # ------------------------------------------------------------------
+    def reinstall_channel(self, channel_slot: int, next_seq: int) -> None:
+        """Re-baseline one channel's reliability state after a reboot wipe.
+
+        The control plane knows (from the supervised restart) that the
+        sender will transmit *contiguously* from ``next_seq`` and that
+        every lower sequence bypasses the switch forever, so it writes
+        exactly the state a healthy switch would hold had it just
+        processed ``next_seq - 1``:
+
+        - ``max_seq = next_seq - 1`` (stale guard re-established),
+        - compact ``seen``: for each residue class, the first upcoming
+          sequence ``s >= next_seq`` in that class must read as a first
+          appearance — bit 0 if ``s`` lands in an even segment
+          (``set_bit`` reports the old value) and bit 1 if odd
+          (``clr_bitc`` reports the complement), Eq. 8's invariant,
+        - reference 2W ``seen``: all-zero is already correct (each
+          window-ahead cell is re-cleared in-pass before it is read),
+        - ``PktState`` stays zeroed: the first appearance of each new
+          sequence records its bitmap before any retransmission loads it.
+        """
+        if not 0 <= channel_slot < self.max_channels:
+            raise IndexError(f"channel slot {channel_slot} out of range")
+        self.max_seq.control_write(channel_slot, next_seq - 1)
+        window = self.window
+        if self.compact:
+            base = channel_slot * window
+            for residue in range(window):
+                first = next_seq + ((residue - next_seq) % window)
+                segment = (first // window) % 2
+                self.seen.control_write(base + residue, 1 if segment else 0)
+        else:
+            base = channel_slot * 2 * window
+            for offset in range(2 * window):
+                self.seen.control_write(base + offset, 0)
+        base = channel_slot * window
+        for offset in range(window):
+            self.pkt_state.control_write(base + offset, 0)

@@ -70,6 +70,15 @@ class AskSwitch(NetworkNode):
         )
         self.fabric: Optional[SwitchFabricView] = None
 
+        # Failure-domain lifecycle.  ``boot_count`` increments on every
+        # reboot (restore after crash); ``_needs_install`` disables the ASK
+        # program — the switch routes, but aggregates nothing — until the
+        # control plane re-installs dedup baselines via
+        # :meth:`mark_installed`.
+        self.boot_count = 0
+        self._needs_install = False
+        self.self_addressed_drops = 0
+
     # ------------------------------------------------------------------
     def bind(self, fabric: SwitchFabricView) -> None:
         """Attach the switch to its fabric view (done by the deployment
@@ -97,11 +106,15 @@ class AskSwitch(NetworkNode):
     def _should_run_program(self, packet: AskPacket) -> bool:
         """The §7 bypass rule: the ASK program runs only at the sender-side
         TOR (the switch whose rack originated the packet) and for control
-        packets addressed to this switch.  Everything else — ACKs, and
-        cross-rack traffic transiting toward the receiver host — is routed
-        untouched, so the receiver-side TOR keeps no per-channel state.
+        packets addressed to this switch.  Everything else — ACKs, degraded
+        BYPASS traffic, all traffic while the rebooted program awaits
+        re-install, and cross-rack traffic transiting toward the receiver
+        host — is routed untouched, so the receiver-side TOR keeps no
+        per-channel state.
         """
         if packet.is_ack:
+            return False
+        if self._needs_install or packet.is_bypass:
             return False
         if packet.is_swap:
             return packet.dst == self.name
@@ -110,6 +123,9 @@ class AskSwitch(NetworkNode):
     def receive(self, packet: AskPacket) -> None:
         """Ingress: run the pipeline pass (or pure routing for transit
         traffic), emit results after the pipeline latency."""
+        if self._offline:
+            self.dropped_while_down += 1
+            return
         if self.trace is not None:
             self.trace.record(self.clock.now, self.name, "ingress", packet)
         if not self._should_run_program(packet):
@@ -130,6 +146,13 @@ class AskSwitch(NetworkNode):
         """Plain routing: deliver toward the destination untouched."""
         if self.fabric is None:
             raise RuntimeError("switch is not bound to a fabric")
+        if packet.dst == self.name:
+            # Self-addressed control traffic (a swap notification) while
+            # the program is disabled: a wiped switch has nothing to apply
+            # it to, so it is dropped; the receiver's swap loop is reset by
+            # the supervised restart.
+            self.self_addressed_drops += 1
+            return
         if self.trace is not None:
             self.trace.record(self.clock.now, self.name, "route", packet)
         self.fabric.send_to_host(packet.dst, packet, packet.wire_bytes())
@@ -141,6 +164,36 @@ class AskSwitch(NetworkNode):
             if self.trace is not None:
                 self.trace.record(self.clock.now, self.name, decision.action.value, pkt)
             self.fabric.send_to_host(pkt.dst, pkt, pkt.wire_bytes())
+
+    # ------------------------------------------------------------------
+    # Failure domain (reboot = Tofino power cycle: all registers wiped)
+    # ------------------------------------------------------------------
+    @property
+    def needs_install(self) -> bool:
+        return self._needs_install
+
+    def restore(self) -> None:
+        """Reboot: the data plane comes back with every register at its
+        power-on value.  Control-plane books (region allocations, channel
+        slots) live on the controller CPU and survive; the program stays
+        disabled until the control plane re-installs the reliability
+        baselines and calls :meth:`mark_installed`.
+        """
+        if self.is_up:
+            return
+        super().restore()
+        self.dedup.max_seq.control_reset()
+        self.dedup.seen.control_reset()
+        self.dedup.pkt_state.control_reset()
+        self.shadow.indicator.control_reset()
+        for aa in self.pool.arrays:
+            aa.registers.control_reset()
+        self.boot_count += 1
+        self._needs_install = True
+
+    def mark_installed(self) -> None:
+        """Control plane finished re-installing state; aggregation resumes."""
+        self._needs_install = False
 
     # ------------------------------------------------------------------
     def resource_summary(self) -> str:

@@ -270,6 +270,7 @@ def reference_mode():
         "is_fin": property(lambda self: bool(self.flags & PacketFlag.FIN)),
         "is_swap": property(lambda self: bool(self.flags & PacketFlag.SWAP)),
         "is_long": property(lambda self: bool(self.flags & PacketFlag.LONG)),
+        "is_bypass": property(lambda self: bool(self.flags & PacketFlag.BYPASS)),
     }
 
     # --- seed Link: per-packet float division, backlog_bytes() call -----

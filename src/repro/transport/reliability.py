@@ -17,14 +17,30 @@ as duplicates of something long since handled.
 
 from __future__ import annotations
 
-from typing import Callable
+import random
+from typing import Callable, Optional
 
 from repro.runtime.interfaces import Clock
 from repro.transport.window import SlidingWindow, WindowEntry
 
+#: Exponent clamp for the backoff schedule; 2**16 × RTO is far beyond any
+#: sane cap, so growing the exponent further would only risk overflow.
+_MAX_BACKOFF_EXP = 16
+
 
 class RetransmitTimers:
-    """Per-packet timeout management for one data channel."""
+    """Per-packet timeout management for one data channel.
+
+    With the default policy (``backoff=1.0``, no jitter, no give-up) the
+    timeout is a fixed ``timeout_ns`` and arming draws no randomness —
+    bit-identical to the pre-failure-domain behaviour.  When a backoff
+    factor > 1 is configured, retransmission *n* waits
+    ``timeout_ns * backoff**(n-1)`` (capped), optionally stretched by a
+    uniform jitter fraction so synchronized crash-recovery retransmits
+    decorrelate.  A ``give_up_ns`` deadline measured from the entry's
+    first transmission invokes ``on_give_up`` instead of retransmitting
+    forever — the caller fails the task loudly.
+    """
 
     def __init__(
         self,
@@ -32,18 +48,42 @@ class RetransmitTimers:
         window: SlidingWindow,
         timeout_ns: int,
         resend: Callable[[WindowEntry], None],
+        backoff: float = 1.0,
+        backoff_cap_ns: Optional[int] = None,
+        jitter: float = 0.0,
+        jitter_seed: int = 0,
+        give_up_ns: Optional[int] = None,
+        on_give_up: Optional[Callable[[WindowEntry], None]] = None,
     ) -> None:
         self.clock = clock
         self.window = window
         self.timeout_ns = timeout_ns
         self._resend = resend
+        self.backoff = backoff
+        self.backoff_cap_ns = backoff_cap_ns
+        self.jitter = jitter
+        self.give_up_ns = give_up_ns
+        self.on_give_up = on_give_up
+        self._jitter_rng = random.Random(jitter_seed) if jitter > 0.0 else None
         self.retransmissions = 0
+        self.give_ups = 0
+
+    def _delay_ns(self, entry: WindowEntry) -> int:
+        if self.backoff == 1.0 and self._jitter_rng is None:
+            return self.timeout_ns
+        exponent = min(max(entry.transmissions - 1, 0), _MAX_BACKOFF_EXP)
+        delay = self.timeout_ns * self.backoff**exponent
+        if self.backoff_cap_ns is not None:
+            delay = min(delay, self.backoff_cap_ns)
+        if self._jitter_rng is not None:
+            delay *= 1.0 + self._jitter_rng.random() * self.jitter
+        return int(delay)
 
     def arm(self, entry: WindowEntry) -> None:
         """(Re)arm the timeout for an entry that was just transmitted."""
         if entry.timer is not None:
             entry.timer.cancel()
-        entry.timer = self.clock.schedule(self.timeout_ns, self._fire, entry)
+        entry.timer = self.clock.schedule(self._delay_ns(entry), self._fire, entry)
 
     def cancel(self, entry: WindowEntry) -> None:
         if entry.timer is not None:
@@ -55,6 +95,14 @@ class RetransmitTimers:
         # ACK path cancels the timer, but a cancelled event that already
         # popped is also possible, so re-check.
         if entry.acked or self.window.get(entry.seq) is not entry:
+            return
+        if (
+            self.give_up_ns is not None
+            and self.on_give_up is not None
+            and self.clock.now - entry.first_sent_ns >= self.give_up_ns
+        ):
+            self.give_ups += 1
+            self.on_give_up(entry)
             return
         self.retransmissions += 1
         self._resend(entry)

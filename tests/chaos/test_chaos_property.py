@@ -1,0 +1,107 @@
+"""Randomized chaos: any sampled fault schedule, bit-exact results.
+
+The property: for any seed-deterministic chaos schedule (crashes and
+partitions with paired recoveries, against hosts and the switch), the
+supervised deployment produces results bit-identical to the fault-free
+reference aggregation — on the simulated fabric and on real UDP alike —
+and the orchestrator's record accounts for every scheduled injection.
+"""
+
+import dataclasses
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.chaos import ChaosOrchestrator, ChaosSchedule
+from repro.core.config import AskConfig
+from repro.core.results import reference_aggregate
+from repro.core.service import AskService
+
+
+def _streams():
+    # Hot keys + a distinct-key tail long enough that faults land
+    # mid-stream (the tail dominates the run time on both backends).
+    return {
+        "h0": [(b"hot", 1), (b"cold", 2)] * 40
+        + [(f"key-{i:04d}".encode(), i) for i in range(1200)],
+        "h1": [(b"hot", 3)] * 40
+        + [(f"key-{i:04d}".encode(), 1) for i in range(800)],
+    }
+
+
+def _expected(service, streams):
+    return reference_aggregate(
+        {h: list(s) for h, s in streams.items()}, service.config.value_mask
+    )
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(seed=st.integers(0, 10_000))
+def test_chaos_schedules_stay_exact_on_sim(seed):
+    service = AskService(
+        AskConfig.small(failure_detection=True, heartbeat_interval_us=50.0),
+        hosts=3,
+    )
+    schedule = ChaosSchedule.generate(
+        seed,
+        hosts=service.hosts,
+        switches=[service.switch.name],
+        horizon_ns=250_000,
+        min_down_ns=40_000,
+        max_down_ns=200_000,
+    )
+    orchestrator = ChaosOrchestrator(service.deployment, schedule)
+    orchestrator.arm()
+    streams = _streams()
+    expected = _expected(service, streams)
+    task = service.submit(streams, receiver="h2")
+    service.run_to_completion()
+    service.run()  # drain recoveries scheduled past task completion
+    assert task.result is not None
+    assert task.result.values == expected
+    # Every scheduled event was applied and recorded.
+    assert len(orchestrator.injected) == len(schedule.events)
+    report = orchestrator.report(tasks=service.tasks)
+    assert report.totals["faults_injected"] == schedule.fault_count
+
+
+@settings(
+    max_examples=3,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(seed=st.integers(0, 100))
+def test_chaos_schedules_stay_exact_on_asyncio(seed):
+    config = dataclasses.replace(
+        AskConfig.small(),
+        retransmit_timeout_us=2000,
+        failure_detection=True,
+        heartbeat_interval_us=2_000.0,
+    )
+    service = AskService(config, hosts=3, backend="asyncio")
+    try:
+        schedule = ChaosSchedule.generate(
+            seed,
+            hosts=service.hosts,
+            switches=[service.switch.name],
+            horizon_ns=30_000_000,
+            min_down_ns=5_000_000,
+            max_down_ns=20_000_000,
+        )
+        orchestrator = ChaosOrchestrator(service.deployment, schedule)
+        # Open the sockets before arming: fault offsets count from a live
+        # rack, not from interpreter startup.
+        service.fabric.start()
+        orchestrator.arm()
+        streams = _streams()
+        expected = _expected(service, streams)
+        task = service.submit(streams, receiver="h2")
+        service.run_to_completion(timeout_s=90.0)
+        assert task.result is not None
+        assert task.result.values == expected
+    finally:
+        service.close()

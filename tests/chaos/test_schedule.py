@@ -1,0 +1,68 @@
+"""Tests for seed-deterministic chaos schedules."""
+
+import pytest
+
+from repro.chaos import ChaosEvent, ChaosSchedule
+from repro.chaos.schedule import RECOVERY_OF
+
+HOSTS = ["h0", "h1", "h2"]
+SWITCHES = ["switch"]
+
+
+def test_same_seed_same_schedule():
+    a = ChaosSchedule.generate(42, HOSTS, SWITCHES)
+    b = ChaosSchedule.generate(42, HOSTS, SWITCHES)
+    assert a == b
+    assert a.events == b.events
+
+
+def test_different_seeds_differ():
+    schedules = {
+        ChaosSchedule.generate(seed, HOSTS, SWITCHES).events for seed in range(20)
+    }
+    assert len(schedules) > 1
+
+
+def test_every_fault_is_paired_with_recovery_inside_horizon():
+    def count(schedule, kind, target):
+        return sum(
+            1 for e in schedule.events if e.kind == kind and e.target == target
+        )
+
+    for seed in range(50):
+        schedule = ChaosSchedule.generate(seed, HOSTS, SWITCHES)
+        assert all(0 <= e.at_ns <= schedule.horizon_ns for e in schedule.events)
+        for target in schedule.targets():
+            for fault, recovery in RECOVERY_OF.items():
+                assert count(schedule, fault, target) == count(
+                    schedule, recovery, target
+                )
+
+
+def test_events_are_time_sorted():
+    for seed in range(20):
+        schedule = ChaosSchedule.generate(seed, HOSTS, SWITCHES, max_faults=5)
+        times = [e.at_ns for e in schedule.events]
+        assert times == sorted(times)
+
+
+def test_fault_count_and_targets():
+    schedule = ChaosSchedule.generate(7, HOSTS, SWITCHES, max_faults=4)
+    assert 1 <= schedule.fault_count <= 4
+    assert len(schedule.events) == 2 * schedule.fault_count
+    assert set(schedule.targets()) <= set(HOSTS) | set(SWITCHES)
+
+
+def test_unknown_event_kind_rejected():
+    with pytest.raises(ValueError, match="unknown chaos event kind"):
+        ChaosEvent(0, "meteor", "switch")
+
+
+def test_negative_time_rejected():
+    with pytest.raises(ValueError, match="past"):
+        ChaosEvent(-1, "crash", "switch")
+
+
+def test_generate_needs_targets():
+    with pytest.raises(ValueError, match="at least one"):
+        ChaosSchedule.generate(1, [], [])

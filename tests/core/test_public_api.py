@@ -82,6 +82,7 @@ def test_runtime_public_surface_is_locked():
         "Deployment",
         "DeploymentBuilder",
         "Fabric",
+        "FabricTimeoutError",
         "Node",
         "SimFabric",
         "SimMultiRackFabric",

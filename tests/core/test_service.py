@@ -145,3 +145,39 @@ def test_hosts_accepts_names():
     service = AskService(AskConfig.small(), hosts=["alpha", "beta"])
     result = service.aggregate({"alpha": [(b"a", 1)]}, receiver="beta")
     assert result[b"a"] == 1
+
+
+def test_failed_allocation_tears_down_and_leaves_service_reusable():
+    """A mid-submit allocation failure (tenant quota here) must fail the
+    handle loudly, unwind every partial reservation, and leave the rest
+    of the service untouched: the concurrent survivor still completes
+    exactly and a fresh same-tenant submit fits again afterwards."""
+    from repro.core.tenancy import TenantQuotaError
+
+    service = AskService(AskConfig.small(), hosts=2)
+    service.switch.controller.tenant_quotas.set(7, 8)
+    survivor = service.submit(
+        {"h0": [(b"a", 1)] * 300}, receiver="h1", region_size=8, tenant_id=7
+    )
+    doomed = service.submit(
+        {"h0": [(b"a", 1)] * 300}, receiver="h1", region_size=8, tenant_id=7
+    )
+    with pytest.raises(TenantQuotaError):
+        service.run_to_completion()
+
+    assert doomed.phase is TaskPhase.FAILED
+    assert "allocation failed" in doomed.failure_reason
+    # The doomed task was fully unwound: off the books, no regions held.
+    assert doomed.task_id not in service.tasks
+    assert not service.control.has_regions(doomed.task_id)
+
+    # The service keeps running: the survivor finishes bit-exact ...
+    service.run_to_completion()
+    assert survivor.result is not None
+    assert survivor.result[b"a"] == 300
+    # ... and the freed quota admits a fresh task for the same tenant.
+    retry = service.submit(
+        {"h0": [(b"b", 2)] * 50}, receiver="h1", region_size=8, tenant_id=7
+    )
+    service.run_to_completion()
+    assert retry.result is not None and retry.result[b"b"] == 100

@@ -1,0 +1,74 @@
+"""Very-stale packets (§3.3): delays beyond the window's reach.
+
+A packet delayed past ``max_seq - W`` must be discarded by the stale
+guard *before* touching ``seen`` or ``PktState`` — re-admitting it would
+recycle another sequence's register cells.  These runs push reordering
+delays beyond the retransmission timeout on both backends so stale
+arrivals actually occur (asserted via the switch's drop counter), while
+the end result stays bit-exact.
+"""
+
+import dataclasses
+
+from repro.core.config import AskConfig
+from repro.core.results import reference_aggregate
+from repro.core.service import AskService
+from repro.net.fault import FaultModel
+
+
+def _streams():
+    return {
+        "h0": [(b"key%d" % (i % 8), i + 1) for i in range(400)],
+        "h1": [(b"key%d" % (i % 5), 2 * i) for i in range(400)],
+    }
+
+
+def test_very_stale_packets_dropped_exactly_once_on_sim():
+    # W=4 shrinks the stale horizon to a handful of packets; 400 µs
+    # delays against a 100 µs retransmission timeout guarantee original
+    # transmissions arrive long after their retransmitted successors.
+    service = AskService(
+        AskConfig.small(window_size=4),
+        hosts=3,
+        fault=FaultModel(
+            reorder_rate=0.4,
+            duplicate_rate=0.3,
+            max_extra_delay_ns=400_000,
+            seed=6,
+        ),
+    )
+    streams = _streams()
+    expected = reference_aggregate(
+        {h: list(s) for h, s in streams.items()}, service.config.value_mask
+    )
+    result = service.aggregate(streams, receiver="h2")
+    assert result.values == expected
+    assert service.switch.dedup.stale_drops > 0, "no stale packet ever arrived"
+
+
+def test_very_stale_packets_dropped_exactly_once_on_asyncio():
+    # Same corner over real UDP: 5 ms delay ceiling against the 2 ms
+    # wall-clock retransmission timeout.
+    service = AskService(
+        dataclasses.replace(
+            AskConfig.small(window_size=4), retransmit_timeout_us=2000
+        ),
+        hosts=3,
+        fault=FaultModel(
+            reorder_rate=0.4,
+            duplicate_rate=0.3,
+            max_extra_delay_ns=5_000_000,
+            seed=6,
+        ),
+        backend="asyncio",
+    )
+    try:
+        streams = _streams()
+        expected = reference_aggregate(
+            {h: list(s) for h, s in streams.items()}, service.config.value_mask
+        )
+        result = service.aggregate(streams, receiver="h2")
+        assert result.values == expected
+        assert service.switch.dedup.stale_drops > 0, "no stale packet ever arrived"
+    finally:
+        service.close()

@@ -162,3 +162,123 @@ def test_link_faults_independent_of_construction_order():
         return switch.got
 
     assert deliveries(["h0", "h1", "h2"]) == deliveries(["h2", "h1", "h0"])
+
+
+# ----------------------------------------------------------------------
+# Gilbert–Elliott burst loss
+# ----------------------------------------------------------------------
+def test_burst_params_must_be_probabilities():
+    from repro.net.fault import GilbertElliott
+
+    with pytest.raises(ValueError):
+        GilbertElliott(p_good_bad=1.2)
+    with pytest.raises(ValueError):
+        GilbertElliott(p_bad_good=-0.1)
+    with pytest.raises(ValueError):
+        GilbertElliott(loss_good=3.0)
+    with pytest.raises(ValueError):
+        GilbertElliott(loss_bad=-1.0)
+
+
+def test_burst_absorbing_bad_state_eventually_drops_everything():
+    from repro.net.fault import GilbertElliott
+
+    model = FaultModel(
+        burst=GilbertElliott(p_good_bad=1.0, p_bad_good=0.0, loss_bad=1.0),
+        seed=1,
+    )
+    # Every packet transitions good→bad before its loss draw, so all drop.
+    assert all(model.decide().drop for _ in range(200))
+
+
+def test_burst_never_entering_bad_state_never_drops():
+    from repro.net.fault import GilbertElliott
+
+    model = FaultModel(
+        burst=GilbertElliott(p_good_bad=0.0, p_bad_good=0.5, loss_bad=1.0),
+        seed=2,
+    )
+    assert not any(model.decide().drop for _ in range(1000))
+
+
+def _max_drop_run(drops):
+    best = run = 0
+    for dropped in drops:
+        run = run + 1 if dropped else 0
+        best = max(best, run)
+    return best
+
+
+def test_burst_loss_is_correlated_where_iid_is_not():
+    """At a matched ~50% marginal loss rate, the Gilbert–Elliott chain
+    produces loss runs far longer than i.i.d. loss — the regime that
+    actually stresses retransmission timers."""
+    from repro.net.fault import GilbertElliott
+
+    # Stationary P(bad) = 0.05 / (0.05 + 0.05) = 0.5; loss_bad=1 gives a
+    # ~0.5 marginal drop rate with mean sojourn 1/0.05 = 20 packets.
+    bursty = FaultModel(
+        burst=GilbertElliott(p_good_bad=0.05, p_bad_good=0.05, loss_bad=1.0),
+        seed=7,
+    )
+    iid = FaultModel(loss_rate=0.5, seed=7)
+    n = 5_000
+    burst_drops = [bursty.decide().drop for _ in range(n)]
+    iid_drops = [iid.decide().drop for _ in range(n)]
+    assert 0.35 < sum(burst_drops) / n < 0.65
+    assert _max_drop_run(burst_drops) > 2 * _max_drop_run(iid_drops)
+
+
+def test_burst_schedule_is_seed_deterministic():
+    from repro.net.fault import GilbertElliott
+
+    chain = GilbertElliott(p_good_bad=0.1, p_bad_good=0.3, loss_bad=0.8)
+    a = FaultModel(burst=chain, duplicate_rate=0.2, reorder_rate=0.2, seed=99)
+    b = FaultModel(burst=chain, duplicate_rate=0.2, reorder_rate=0.2, seed=99)
+    assert _schedule(a, 500) == _schedule(b, 500)
+
+
+def test_derive_keeps_burst_chain():
+    from repro.net.fault import GilbertElliott
+
+    chain = GilbertElliott(p_good_bad=0.2, p_bad_good=0.4, loss_bad=0.9)
+    child = FaultModel(burst=chain, seed=3).derive("h0->switch")
+    assert child.burst == chain
+    # ... and a derived bursty link is itself stable per label.
+    assert _schedule(child) == _schedule(FaultModel(burst=chain, seed=3).derive("h0->switch"))
+
+
+def test_lossless_burst_chain_is_reliable():
+    from repro.net.fault import GilbertElliott
+
+    lossless = GilbertElliott(p_good_bad=0.5, p_bad_good=0.5, loss_good=0.0, loss_bad=0.0)
+    assert lossless.is_lossless
+    assert FaultModel(burst=lossless).is_reliable
+    assert not FaultModel(burst=GilbertElliott(loss_bad=0.1)).is_reliable
+
+
+def test_draw_order_contract_without_burst():
+    """decide() draws loss → reorder → duplicate, at most one draw each,
+    plus one delay draw per armed outcome.  Replaying the raw RNG in that
+    documented order must reproduce the model's schedule exactly — the
+    determinism contract that keeps old seeds stable as features land."""
+    import random
+
+    model = FaultModel(
+        loss_rate=0.3, reorder_rate=0.4, duplicate_rate=0.5,
+        max_extra_delay_ns=1000, seed=21,
+    )
+    rng = random.Random(21)
+    for _ in range(500):
+        decision = model.decide()
+        if rng.random() < 0.3:
+            assert decision.drop
+            continue
+        assert not decision.drop
+        extra = rng.randint(1, 1000) if rng.random() < 0.4 else 0
+        assert decision.extra_delay_ns == extra
+        if rng.random() < 0.5:
+            assert decision.duplicate
+            assert decision.duplicate_delay_ns == rng.randint(1, 1000)
+        else:
+            assert not decision.duplicate

@@ -165,3 +165,20 @@ def test_context_manager_closes():
         result = service.aggregate({"h0": [(b"x", 5)]}, receiver="h1")
         assert result.values == {b"x": 5}
     assert service.fabric._closed
+
+
+def test_run_until_timeout_raises_with_pending_counts():
+    """A wedged run must fail loudly, not hang: run_until raises
+    FabricTimeoutError naming the budget and carrying a per-node snapshot
+    of in-flight work so the operator can see who is stuck."""
+    from repro.runtime import FabricTimeoutError  # lazy re-export
+
+    service = AskService(realtime_config(), hosts=2, backend="asyncio")
+    try:
+        service.fabric.start()
+        with pytest.raises(FabricTimeoutError) as excinfo:
+            service.runner.run_until(lambda: False, timeout_s=0.05)
+        assert "still busy" in str(excinfo.value)
+        assert isinstance(excinfo.value.pending, dict)
+    finally:
+        service.close()
