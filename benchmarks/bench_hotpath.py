@@ -18,8 +18,10 @@ receive-window accept/duplicate totals and the aggregated values themselves
 mismatch exits non-zero — an optimization that changes a single decision
 fails the build, however much faster it is.
 
-Results land in ``BENCH_hotpath.json`` (repo root by default).  ``--smoke``
-shrinks the workload for CI.
+Results land in ``BENCH_hotpath.json`` (repo root by default).  The file
+keeps a ``history`` list — one speedup-trajectory entry per recorded run,
+appended, never overwritten — so BENCH_* files track the perf trajectory
+across PRs.  ``--smoke`` shrinks the workload for CI.
 
 Usage::
 
@@ -111,6 +113,40 @@ def run_scenario(params: dict) -> dict:
     }
 
 
+def load_history(path: Path) -> list[dict]:
+    """Prior speedup-trajectory entries recorded in ``path``.
+
+    Each written report carries its own entry as ``history[-1]``, so the
+    next run simply extends the list.  A report from before the history
+    field existed contributes one synthesized entry from its headline
+    numbers; anything unreadable contributes nothing.
+    """
+    try:
+        previous = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return []
+    if not isinstance(previous, dict) or previous.get("benchmark") != "hotpath":
+        return []
+    history = previous.get("history")
+    if isinstance(history, list):
+        return list(history)
+    try:
+        return [
+            {
+                "mode": previous["mode"],
+                "python": previous["python"],
+                "packets_per_sec": previous["optimized"]["packets_per_sec"],
+                "reference_packets_per_sec": previous["reference"][
+                    "packets_per_sec"
+                ],
+                "speedup_packets_per_sec": previous["speedup"]["packets_per_sec"],
+                "speedup_events_per_sec": previous["speedup"]["events_per_sec"],
+            }
+        ]
+    except KeyError:
+        return []
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument(
@@ -175,6 +211,16 @@ def main(argv: list[str] | None = None) -> int:
             "reference_identical": reference_identical,
         },
     }
+    report["history"] = load_history(args.output) + [
+        {
+            "mode": report["mode"],
+            "python": report["python"],
+            "packets_per_sec": optimized["packets_per_sec"],
+            "reference_packets_per_sec": reference["packets_per_sec"],
+            "speedup_packets_per_sec": speedup_packets,
+            "speedup_events_per_sec": speedup_events,
+        }
+    ]
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"speedup: {speedup_packets}x pkt/s, {speedup_events}x ev/s")
     print(f"report: {args.output}")

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Fail CI on a hot-path performance regression.
+
+Absolute packets/s depend entirely on the runner (shared CI machines vary
+by 2x between runs), so gating on them would flap.  The optimized/reference
+*speedup ratio* does not: ``bench_hotpath.py`` measures both legs in the
+same process on the same machine, so machine noise cancels and the ratio
+tracks only what the code does.  The gate therefore compares the fresh
+report's speedup ratio against the checked-in baseline's and fails when it
+drops by more than ``--tolerance`` (default 20%).
+
+The determinism flags are enforced too: a report whose runs disagree is a
+correctness failure regardless of speed.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --smoke -o fresh.json
+    python benchmarks/check_regression.py fresh.json [--baseline BENCH_hotpath.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_report(path: Path) -> dict:
+    try:
+        report = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"cannot read benchmark report {path}: {exc}")
+    if report.get("benchmark") != "hotpath":
+        raise SystemExit(f"{path} is not a hotpath benchmark report")
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("report", type=Path, help="fresh bench_hotpath.py output")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=REPO_ROOT / "BENCH_hotpath.json",
+        help="checked-in baseline report (default: repo BENCH_hotpath.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed fractional speedup-ratio drop vs baseline (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = load_report(args.report)
+    baseline = load_report(args.baseline)
+
+    determinism = fresh.get("determinism", {})
+    if not (
+        determinism.get("repeat_identical") and determinism.get("reference_identical")
+    ):
+        print(f"FAIL: {args.report} determinism flags are not all true", file=sys.stderr)
+        return 1
+
+    fresh_ratio = fresh["speedup"]["packets_per_sec"]
+    base_ratio = baseline["speedup"]["packets_per_sec"]
+    floor = base_ratio * (1.0 - args.tolerance)
+    verdict = "OK" if fresh_ratio >= floor else "FAIL"
+    print(
+        f"{verdict}: speedup {fresh_ratio:.3f}x vs baseline {base_ratio:.3f}x "
+        f"(floor {floor:.3f}x at {args.tolerance:.0%} tolerance; "
+        f"fresh mode={fresh.get('mode')}, baseline mode={baseline.get('mode')})"
+    )
+    if verdict == "FAIL":
+        print(
+            "the optimized hot path regressed by more than "
+            f"{args.tolerance:.0%} relative to the seed reference",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -278,6 +278,44 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_suite(args: argparse.Namespace) -> int:
+    """Run the whole experiment suite (figures + chaos matrix), fanned
+    across cores by :mod:`repro.perf.parallel`, and print the merged
+    report.  ``--verify`` re-runs serially and asserts byte-identity —
+    the CI determinism check."""
+    from repro.perf import parallel
+
+    names = list(parallel.QUICK_EXPERIMENTS) if args.quick else None
+    seeds: tuple[int, ...] = (
+        ()
+        if args.no_chaos
+        else (parallel.QUICK_CHAOS_SEEDS if args.quick else parallel.CHAOS_SEEDS)
+    )
+    workers = 1 if args.serial else args.jobs
+    run = parallel.run_suite(names, chaos_seeds=seeds, workers=workers)
+    print(run.text(), end="")
+    print(
+        f"\n[suite: {len(run.results)} jobs, {run.workers} workers, "
+        f"{run.wall_seconds:.1f}s]"
+    )
+    status = 0
+    if not run.ok:
+        for label, error in run.errors:
+            print(f"FAILED {label}: {error}", file=sys.stderr)
+        status = 1
+    if args.verify:
+        serial = parallel.run_suite(names, chaos_seeds=seeds, workers=1)
+        if parallel.verify_identical(serial, run):
+            print(
+                f"[verify: serial ({serial.wall_seconds:.1f}s) and parallel "
+                "reports identical]"
+            )
+        else:
+            print("verify FAILED: serial and parallel reports differ", file=sys.stderr)
+            status = 1
+    return status
+
+
 def cmd_resources(_args: argparse.Namespace) -> int:
     from repro import AskConfig
     from repro.net.simulator import Simulator
@@ -352,6 +390,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop after this many seconds instead of waiting for Ctrl-C",
     )
     serve.set_defaults(func=cmd_serve)
+    suite = sub.add_parser(
+        "suite",
+        help="run every figure + the chaos seed matrix, fanned across cores",
+    )
+    suite.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: all cores)",
+    )
+    suite.add_argument(
+        "--serial", action="store_true", help="run in-process, one job at a time"
+    )
+    suite.add_argument(
+        "--quick",
+        action="store_true",
+        help="sub-second subset (analytic figures + 2 chaos seeds), for CI",
+    )
+    suite.add_argument(
+        "--no-chaos", action="store_true", help="skip the chaos seed matrix"
+    )
+    suite.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-run serially and fail unless the reports are byte-identical",
+    )
+    suite.set_defaults(func=cmd_suite)
     sub.add_parser(
         "resources", help="print the default switch's pipeline/SRAM layout"
     ).set_defaults(func=cmd_resources)

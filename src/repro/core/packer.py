@@ -78,6 +78,11 @@ class PackStats:
 class Packer:
     """Builds multi-key payloads for one sending task."""
 
+    #: Routing-cache bound: streams usually cycle over a working set far
+    #: smaller than this; an adversarial all-unique stream just stops
+    #: caching instead of growing without limit.
+    _CACHE_LIMIT = 65536
+
     def __init__(self, config: AskConfig) -> None:
         self.config = config
         self.layout = KeySpaceLayout(config)
@@ -85,28 +90,48 @@ class Packer:
         self._short: list[deque] = [deque() for _ in range(self.layout.num_short_slots)]
         self._groups: list[deque] = [deque() for _ in range(self.layout.num_groups)]
         self._long: deque = deque()
+        # key -> precomputed routing entry.  ``layout.assign`` is pure and
+        # deterministic (classify + pad + partition hash), so its outcome is
+        # computed once per distinct key instead of once per tuple:
+        #   (_SHORT, slot, padded) | (_MEDIUM, group, segments) | (_LONG,)
+        self._routes: dict[bytes, tuple] = {}
+
+    _SHORT, _MEDIUM, _LONG = 0, 1, 2
+
+    def _route(self, key: bytes) -> tuple:
+        """Compute (and normalize) the routing entry for one key."""
+        try:
+            assignment = self.layout.assign(key)
+        except KeyTooLongError:
+            # Covers both genuinely long keys and the rare full-width keys
+            # whose padded form would be ambiguous (AmbiguousKeyError).
+            return (self._LONG,)
+        if assignment.key_class is KeyClass.SHORT:
+            return (self._SHORT, assignment.primary_slot, assignment.padded)
+        group = self.layout.group_of_slot(assignment.primary_slot)
+        segments = self.layout.segments(assignment.padded)
+        return (self._MEDIUM, group, segments)
 
     # ------------------------------------------------------------------
     def add(self, key: bytes, value: int) -> None:
         """Queue one key-value tuple."""
         self.stats.tuples_in += 1
         value &= self.config.value_mask
-        try:
-            assignment = self.layout.assign(key)
-        except KeyTooLongError:
-            # Covers both genuinely long keys and the rare full-width keys
-            # whose padded form would be ambiguous (AmbiguousKeyError).
+        route = self._routes.get(key)
+        if route is None:
+            route = self._route(key)
+            if len(self._routes) < self._CACHE_LIMIT:
+                self._routes[key] = route
+        kind = route[0]
+        if kind == self._SHORT:
+            self.stats.short_tuples += 1
+            self._short[route[1]].append((route[2], value))
+        elif kind == self._MEDIUM:
+            self.stats.medium_tuples += 1
+            self._groups[route[1]].append((route[2], value))
+        else:
             self.stats.long_tuples += 1
             self._long.append((key, value))
-            return
-        if assignment.key_class is KeyClass.SHORT:
-            self.stats.short_tuples += 1
-            self._short[assignment.primary_slot].append((assignment.padded, value))
-        else:
-            self.stats.medium_tuples += 1
-            group = self.layout.group_of_slot(assignment.primary_slot)
-            segments = self.layout.segments(assignment.padded)
-            self._groups[group].append((segments, value))
 
     def add_stream(self, stream: Iterable[tuple[bytes, int]]) -> None:
         for key, value in stream:

@@ -1,21 +1,42 @@
 """The ASK packet format (Fig. 5): a bitmap followed by key-value tuple slots.
 
-Packets are immutable.  The switch never mutates a packet in place — it
-builds a new one with :meth:`AskPacket.with_bitmap` when forwarding — so a
-duplicated delivery (the same object arriving twice through a faulty link)
-can never observe half-processed state.
+Packets are immutable *by convention*.  The switch never mutates a packet in
+place — it builds a new one with :meth:`AskPacket.with_bitmap` when
+forwarding — so a duplicated delivery (the same object arriving twice
+through a faulty link) can never observe half-processed state.
 
 The payload always carries all ``N`` slots on the wire even when some are
 blank (§3.2.2 "ASK will leave the i-th slot blank"): the slot position *is*
 the AA index, so it cannot be compacted away.  Blank slots therefore cost
 goodput, which is what Fig. 8(b) measures.
+
+Hot-path layout
+---------------
+``AskPacket`` and ``Slot`` are ``__slots__`` classes, not dataclasses: a
+frozen dataclass pays ``object.__setattr__`` per derived field per packet,
+which dominated the simulator profile.  Flags are stored as a plain ``int``
+(the :class:`PacketFlag` *values*), and the module exports the raw bit
+masks (``FLAG_DATA`` …) so hot receive paths test membership with a single
+C-level ``&`` instead of ``IntFlag.__and__``.  The ``is_data``/``is_ack``/…
+attributes and the frame size are computed once at construction.
+
+Pooling
+-------
+``AskPacket.recycle()`` returns an instance to a bounded class-level
+freelist, and the constructor path :meth:`AskPacket.acquire` reuses pooled
+instances instead of allocating.  Recycling is *opt-in and owner-only*: a
+packet may be recycled only by code that provably holds the last reference
+(see docs/performance.md for the invariants).  The discrete-event fabric
+delivers packet objects by reference — and a faulty link may deliver the
+same object twice — so simulator components never recycle; the asyncio
+datagram path, where every packet is freshly decoded per datagram and
+consumed synchronously, is the intended user.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.core import constants
 
@@ -36,7 +57,19 @@ class PacketFlag(enum.IntFlag):
     BYPASS = 0x20  #: degraded mode: ship raw tuples end-to-end, skip the switch
 
 
-@dataclass(frozen=True)
+# Precomputed int masks for the hot receive paths (satellite of the
+# compiled-fast-path work): `pkt.flags & FLAG_ACK` is one C-level int AND,
+# where `PacketFlag.ACK in pkt.flags` routed through IntFlag.__and__ and
+# allocated an IntFlag instance per test.
+FLAG_DATA = 0x1
+FLAG_ACK = 0x2
+FLAG_FIN = 0x4
+FLAG_SWAP = 0x8
+FLAG_LONG = 0x10
+FLAG_BYPASS = 0x20
+_FLAG_DATA_OR_FIN = FLAG_DATA | FLAG_FIN
+
+
 class Slot:
     """One key-value tuple slot: a padded key segment and a value.
 
@@ -46,15 +79,26 @@ class Slot:
     ``(key, val) = {(key_1, 0), ..., (key_k, val)}``).
     """
 
-    key: bytes
-    value: int
+    __slots__ = ("key", "value")
 
-    def __post_init__(self) -> None:
-        if not isinstance(self.key, bytes):
-            raise TypeError(f"slot key must be bytes, got {type(self.key).__name__}")
+    def __init__(self, key: bytes, value: int) -> None:
+        if not isinstance(key, bytes):
+            raise TypeError(f"slot key must be bytes, got {type(key).__name__}")
+        self.key = key
+        self.value = value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Slot):
+            return self.key == other.key and self.value == other.value
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.key, self.value))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Slot(key={self.key!r}, value={self.value})"
 
 
-@dataclass(frozen=True)
 class AskPacket:
     """An ASK packet.
 
@@ -62,45 +106,167 @@ class AskPacket:
     space ``seq`` belongs to.  ``bitmap`` bit *i* set means slot *i* carries
     a tuple that has **not** been aggregated yet; the switch unsets bits as
     it consumes tuples (§3.2.1).
+
+    ``flags`` is stored as a plain ``int``; it compares equal to the
+    corresponding :class:`PacketFlag` value.  The flag predicates
+    (``is_data`` …) and the frame size are derived once at construction.
     """
 
-    flags: PacketFlag
-    task_id: int
-    src: str
-    dst: str
-    channel_index: int
-    seq: int
-    bitmap: int = 0
-    slots: tuple[Optional[Slot], ...] = ()
-    #: ECN congestion-experienced mark, set by congested links and echoed
-    #: in ACKs (§7 "Congestion Control").
-    ecn: bool = False
+    __slots__ = (
+        "flags",
+        "task_id",
+        "src",
+        "dst",
+        "channel_index",
+        "seq",
+        "bitmap",
+        "slots",
+        "ecn",
+        "channel_key",
+        "is_data",
+        "is_ack",
+        "is_fin",
+        "is_swap",
+        "is_long",
+        "is_bypass",
+        "_frame_bytes",
+    )
 
-    # Flag predicates and the frame size are consulted several times per
-    # hop on every packet; deriving them through IntFlag.__and__ each time
-    # dominated the transport fast path, so they are computed once here.
-    # (Plain attributes, not dataclass fields: replace() re-derives them
-    # and they stay out of __eq__/__hash__.)
-    def __post_init__(self) -> None:
-        flags = int(self.flags)
-        set_ = object.__setattr__
-        set_(self, "channel_key", (self.src, self.channel_index))
-        set_(self, "is_data", bool(flags & 0x1))
-        set_(self, "is_ack", bool(flags & 0x2))
-        set_(self, "is_fin", bool(flags & 0x4))
-        set_(self, "is_swap", bool(flags & 0x8))
-        set_(self, "is_long", bool(flags & 0x10))
-        set_(self, "is_bypass", bool(flags & 0x20))
+    #: Bounded freelist of recycled instances (see module docstring).
+    _pool: list["AskPacket"] = []
+    _pool_limit = 1024
+
+    def __init__(
+        self,
+        flags: int,
+        task_id: int,
+        src: str,
+        dst: str,
+        channel_index: int,
+        seq: int,
+        bitmap: int = 0,
+        slots: tuple[Optional[Slot], ...] = (),
+        ecn: bool = False,
+    ) -> None:
+        self._init(int(flags), task_id, src, dst, channel_index, seq, bitmap, slots, ecn)
+
+    # The body of construction, shared by __init__ and the pool path so a
+    # recycled instance is re-initialized exactly like a fresh one.
+    def _init(
+        self,
+        flags: int,
+        task_id: int,
+        src: str,
+        dst: str,
+        channel_index: int,
+        seq: int,
+        bitmap: int,
+        slots: tuple[Optional[Slot], ...],
+        ecn: bool,
+    ) -> None:
+        self.flags = flags
+        self.task_id = task_id
+        self.src = src
+        self.dst = dst
+        self.channel_index = channel_index
+        self.seq = seq
+        self.bitmap = bitmap
+        self.slots = slots
+        self.ecn = ecn
+        self.channel_key = (src, channel_index)
+        self.is_data = bool(flags & 0x1)
+        self.is_ack = bool(flags & 0x2)
+        self.is_fin = bool(flags & 0x4)
+        self.is_swap = bool(flags & 0x8)
+        self.is_long = bool(flags & 0x10)
+        self.is_bypass = bool(flags & 0x20)
         if flags & 0x10:  # LONG: variable-length tuple encoding
-            payload = sum(
-                1 + len(slot.key) + 4 for slot in self.slots if slot is not None
-            )
-            frame = constants.HEADER_BYTES + payload
+            payload = 0
+            for slot in slots:
+                if slot is not None:
+                    payload += 1 + len(slot.key) + 4
+            self._frame_bytes = constants.HEADER_BYTES + payload
         elif flags & 0x5:  # DATA | FIN: all N fixed-size slots on the wire
-            frame = constants.HEADER_BYTES + len(self.slots) * constants.TUPLE_BYTES
+            self._frame_bytes = constants.HEADER_BYTES + len(slots) * constants.TUPLE_BYTES
         else:
-            frame = constants.HEADER_BYTES
-        set_(self, "_frame_bytes", frame)
+            self._frame_bytes = constants.HEADER_BYTES
+
+    # ------------------------------------------------------------------
+    # Freelist pool
+    # ------------------------------------------------------------------
+    @classmethod
+    def acquire(
+        cls,
+        flags: int,
+        task_id: int,
+        src: str,
+        dst: str,
+        channel_index: int,
+        seq: int,
+        bitmap: int = 0,
+        slots: tuple[Optional[Slot], ...] = (),
+        ecn: bool = False,
+    ) -> "AskPacket":
+        """Build a packet, reusing a recycled instance when one is pooled.
+
+        Behaviourally identical to calling the constructor; only the
+        allocation differs.  Pair with :meth:`recycle`.
+        """
+        pool = cls._pool
+        if pool:
+            pkt = pool.pop()
+            pkt._init(int(flags), task_id, src, dst, channel_index, seq, bitmap, slots, ecn)
+            return pkt
+        return cls(flags, task_id, src, dst, channel_index, seq, bitmap, slots, ecn)
+
+    def recycle(self) -> None:
+        """Return this instance to the freelist.
+
+        Only the holder of the *last* reference may call this: a recycled
+        packet will be re-initialized in place by a later
+        :meth:`acquire`, so any retained reference would observe the new
+        packet's fields.  Never call it on packets handed to the simulated
+        fabric (links deliver, and may duplicate, the object itself).
+        """
+        pool = AskPacket._pool
+        if len(pool) < AskPacket._pool_limit:
+            # Drop payload references so pooled instances don't pin slots.
+            self.slots = ()
+            pool.append(self)
+
+    @classmethod
+    def pool_size(cls) -> int:
+        """Number of instances currently pooled (observability/tests)."""
+        return len(cls._pool)
+
+    @classmethod
+    def pool_clear(cls) -> None:
+        """Empty the freelist (tests)."""
+        cls._pool.clear()
+
+    # ------------------------------------------------------------------
+    # Value semantics (what the frozen dataclass used to provide)
+    # ------------------------------------------------------------------
+    def _key(self) -> tuple:
+        return (
+            self.flags,
+            self.task_id,
+            self.src,
+            self.dst,
+            self.channel_index,
+            self.seq,
+            self.bitmap,
+            self.slots,
+            self.ecn,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, AskPacket):
+            return self._key() == other._key()
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._key())
 
     # ------------------------------------------------------------------
     @property
@@ -132,22 +298,32 @@ class AskPacket:
         if bitmap == self.bitmap:
             return self  # immutable, so sharing is safe
         return AskPacket(
-            flags=self.flags,
-            task_id=self.task_id,
-            src=self.src,
-            dst=self.dst,
-            channel_index=self.channel_index,
-            seq=self.seq,
-            bitmap=bitmap,
-            slots=self.slots,
-            ecn=self.ecn,
+            self.flags,
+            self.task_id,
+            self.src,
+            self.dst,
+            self.channel_index,
+            self.seq,
+            bitmap,
+            self.slots,
+            self.ecn,
         )
 
     def with_ecn(self) -> "AskPacket":
         """A copy marked congestion-experienced (set by a congested link)."""
         if self.ecn:
             return self
-        return replace(self, ecn=True)
+        return AskPacket(
+            self.flags,
+            self.task_id,
+            self.src,
+            self.dst,
+            self.channel_index,
+            self.seq,
+            self.bitmap,
+            self.slots,
+            True,
+        )
 
     # ------------------------------------------------------------------
     # Wire accounting
@@ -157,8 +333,8 @@ class AskPacket:
 
         Long-key packets use a variable-length encoding (1-byte length +
         key + 4-byte value per tuple); normal data packets always carry all
-        N fixed-size slots, blank or not.  Computed once in
-        ``__post_init__`` — packets are immutable.
+        N fixed-size slots, blank or not.  Computed once at construction —
+        packets are immutable.
         """
         return self._frame_bytes
 
@@ -172,11 +348,32 @@ class AskPacket:
         return live * constants.TUPLE_BYTES
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = PacketFlag(self.flags)
         return (
-            f"AskPacket({self.flags.name or self.flags}, task={self.task_id}, "
+            f"AskPacket({flags.name or flags}, task={self.task_id}, "
             f"ch={self.channel_key}, seq={self.seq}, "
             f"bitmap={self.bitmap:0{max(1, self.num_slots)}b})"
         )
+
+
+def _packet_fields(packet: AskPacket) -> Iterator[tuple[str, object]]:
+    """(name, value) pairs of the wire-visible fields, in wire order.
+
+    The dataclass version got this for free via ``dataclasses.fields``;
+    the codec property tests use it to diff encodings.
+    """
+    for name in (
+        "flags",
+        "task_id",
+        "src",
+        "dst",
+        "channel_index",
+        "seq",
+        "bitmap",
+        "slots",
+        "ecn",
+    ):
+        yield name, getattr(packet, name)
 
 
 def ack_for(packet: AskPacket, replier: str) -> AskPacket:
@@ -186,12 +383,12 @@ def ack_for(packet: AskPacket, replier: str) -> AskPacket:
     names which, for traces only — the sender treats them identically.
     """
     return AskPacket(
-        flags=PacketFlag.ACK,
-        task_id=packet.task_id,
-        src=replier,
-        dst=packet.src,
-        channel_index=packet.channel_index,
-        seq=packet.seq,
+        FLAG_ACK,
+        packet.task_id,
+        replier,
+        packet.src,
+        packet.channel_index,
+        packet.seq,
         ecn=packet.ecn,  # the congestion echo
     )
 
@@ -199,12 +396,12 @@ def ack_for(packet: AskPacket, replier: str) -> AskPacket:
 def fin_packet(task_id: int, src: str, dst: str, channel_index: int, seq: int) -> AskPacket:
     """Build the FIN that ends a sender's stream on one channel (§3.3)."""
     return AskPacket(
-        flags=PacketFlag.FIN,
-        task_id=task_id,
-        src=src,
-        dst=dst,
-        channel_index=channel_index,
-        seq=seq,
+        FLAG_FIN,
+        task_id,
+        src,
+        dst,
+        channel_index,
+        seq,
     )
 
 
@@ -215,10 +412,10 @@ def swap_packet(task_id: int, src: str, dst: str, epoch: int) -> AskPacket:
     indicator value, making retransmitted notifications idempotent.
     """
     return AskPacket(
-        flags=PacketFlag.SWAP,
-        task_id=task_id,
-        src=src,
-        dst=dst,
-        channel_index=SWAP_CHANNEL_INDEX,
-        seq=epoch,
+        FLAG_SWAP,
+        task_id,
+        src,
+        dst,
+        SWAP_CHANNEL_INDEX,
+        epoch,
     )

@@ -15,7 +15,13 @@ from typing import Callable, Optional
 
 from repro.core.config import AskConfig
 from repro.core.packer import PackedPayload
-from repro.core.packet import AskPacket, PacketFlag
+from repro.core.packet import (
+    FLAG_BYPASS,
+    FLAG_DATA,
+    FLAG_FIN,
+    FLAG_LONG,
+    AskPacket,
+)
 from repro.core.task import AggregationTask, TaskPhase
 from repro.runtime.interfaces import Clock
 from repro.transport.congestion import CongestionWindow
@@ -207,16 +213,16 @@ class SenderChannel:
     def _build_packet(self, entry: WindowEntry) -> AskPacket:
         tag: _EntryTag = entry.payload
         if tag.is_fin:
-            flags = PacketFlag.FIN
+            flags = FLAG_FIN
             slots: tuple = ()
             bitmap = 0
         else:
             payload = tag.payload
-            flags = PacketFlag.DATA | PacketFlag.LONG if payload.is_long else PacketFlag.DATA
+            flags = FLAG_DATA | FLAG_LONG if payload.is_long else FLAG_DATA
             slots = payload.slots
             bitmap = payload.bitmap
         if tag.bypass:
-            flags |= PacketFlag.BYPASS
+            flags |= FLAG_BYPASS
         return AskPacket(
             flags=flags,
             task_id=tag.job.task.task_id,

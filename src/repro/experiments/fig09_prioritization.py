@@ -55,6 +55,7 @@ def run(
     ratio_exponents: range = range(-9, 1),
     swap_every: int | None = None,
     seed: int = 5,
+    kinds: tuple[str, ...] = STREAM_KINDS,
 ) -> Fig9Result:
     """Sweep aggregator-to-distinct-key ratios for all stream kinds.
 
@@ -65,10 +66,15 @@ def run(
     tuples.  ``None`` applies the natural tuning rule — swap once roughly a
     quarter of the active copy could have been claimed — which keeps the
     per-epoch collision rate low regardless of the aggregator budget.
+
+    ``kinds`` restricts the sweep to a subset of stream orders.  Each kind
+    is simulated independently (its ranks and occupancy never touch another
+    kind's), which is what lets the parallel runner shard this figure by
+    stream order and merge the partial results exactly.
     """
     ratios = [2.0**e for e in ratio_exponents]
     result = Fig9Result(num_keys, num_tuples, ratios)
-    for kind in STREAM_KINDS:
+    for kind in kinds:
         ranks = _ranks(kind, num_tuples, num_keys, seed)
         plain = Series(kind)
         prio = Series(kind)

@@ -118,12 +118,13 @@ class Link:
         if decision.drop:
             self.packets_dropped += 1
             return
+        # Deliveries are never cancelled: use the allocation-free fast path.
         arrival = tx_done + self.latency_ns + decision.extra_delay_ns
-        self.sim.at(arrival, deliver, packet)
+        self.sim.call_at(arrival, deliver, packet)
         if decision.duplicate:
             self.packets_duplicated += 1
             dup_arrival = tx_done + self.latency_ns + decision.duplicate_delay_ns
-            self.sim.at(dup_arrival, deliver, packet)
+            self.sim.call_at(dup_arrival, deliver, packet)
 
     # ------------------------------------------------------------------
     def backlog_bytes(self) -> int:

@@ -59,4 +59,5 @@ class Nic:
             self.link.send(packet, size_bytes, deliver)
         else:
             self._next_slot = launch + self._gap_ns
-            self.sim.at(launch, self.link.send, packet, size_bytes, deliver)
+            # Launches are never cancelled: allocation-free scheduling.
+            self.sim.call_at(launch, self.link.send, packet, size_bytes, deliver)

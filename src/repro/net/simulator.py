@@ -22,11 +22,29 @@ Per-event bookkeeping is O(1) (amortized O(log n) for the heap itself):
   (``_events_processed``), so the ``max_events`` guard and the
   ``events_processed`` property can never disagree, and a heap holding only
   cancelled events drains instead of tripping the guard.
+
+Two scheduling fast paths feed the compiled packet pipeline:
+
+- :meth:`Simulator.call_later` / :meth:`Simulator.call_at` push a bare
+  ``(time, order, callback, args)`` 4-tuple — no :class:`Event` allocation,
+  no cancellation bookkeeping.  For the never-cancelled majority of events
+  (link deliveries, NIC launches, switch pipeline latency) this halves the
+  per-event cost; anything that might be cancelled (retransmit timers)
+  keeps using ``schedule``/``at``.  Orders are globally unique, so mixed
+  3- and 4-tuples never compare past the integer prefix in the heap.
+- events landing at exactly the current instant (``delay 0``, ``at(now)``)
+  go to a same-timestamp FIFO drained before the heap is touched again —
+  a burst of same-instant work never re-heapifies.  Ordering stays exact:
+  a heap entry at time ``T`` was necessarily pushed while ``now < T`` (an
+  at-``now`` push is diverted to the FIFO), so every heap entry at ``T``
+  carries a smaller order than every FIFO entry, and the FIFO itself is
+  order-sorted by construction.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Optional
 
 #: Compaction only kicks in above this many cancelled events, so small
@@ -92,12 +110,16 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: int = 0
-        #: min-heap of (time, order, Event); the int prefix keeps tuple
-        #: comparison in C and the unique order means Events never compare.
-        self._heap: list[tuple[int, int, Event]] = []
+        #: min-heap of (time, order, Event) and (time, order, callback, args)
+        #: entries; the int prefix keeps tuple comparison in C and the
+        #: unique order means the payloads never compare.
+        self._heap: list[tuple] = []
+        #: same-instant FIFO: entries scheduled at exactly ``now``, drained
+        #: before the heap (every heap entry at ``now`` predates them).
+        self._now_queue: deque[tuple] = deque()
         self._order = 0
         self._events_processed = 0
-        self._live = 0  #: non-cancelled events currently in the heap
+        self._live = 0  #: non-cancelled events currently queued
         self._cancelled_in_heap = 0
         self.compactions = 0
 
@@ -114,7 +136,10 @@ class Simulator:
         self._order = order + 1
         event = Event(time_ns, order, callback, args)
         event._sim = self
-        heapq.heappush(self._heap, (time_ns, order, event))
+        if time_ns == self.now:
+            self._now_queue.append((time_ns, order, event))
+        else:
+            heapq.heappush(self._heap, (time_ns, order, event))
         self._live += 1
         return event
 
@@ -129,9 +154,46 @@ class Simulator:
         self._order = order + 1
         event = Event(time_ns, order, callback, args)
         event._sim = self
-        heapq.heappush(self._heap, (time_ns, order, event))
+        if time_ns == self.now:
+            self._now_queue.append((time_ns, order, event))
+        else:
+            heapq.heappush(self._heap, (time_ns, order, event))
         self._live += 1
         return event
+
+    def call_later(self, delay_ns: int, callback: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no handle, not cancellable.
+
+        The hot path for events that are never cancelled — link deliveries,
+        NIC launch slots, switch pipeline latency.  Pushes a bare
+        ``(time, order, callback, args)`` tuple instead of an
+        :class:`Event`.
+        """
+        if delay_ns < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay_ns})")
+        time_ns = self.now + int(delay_ns)
+        order = self._order
+        self._order = order + 1
+        if time_ns == self.now:
+            self._now_queue.append((time_ns, order, callback, args))
+        else:
+            heapq.heappush(self._heap, (time_ns, order, callback, args))
+        self._live += 1
+
+    def call_at(self, time_ns: int, callback: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`at`: no handle, not cancellable."""
+        time_ns = int(time_ns)
+        if time_ns < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time_ns} before current time t={self.now}"
+            )
+        order = self._order
+        self._order = order + 1
+        if time_ns == self.now:
+            self._now_queue.append((time_ns, order, callback, args))
+        else:
+            heapq.heappush(self._heap, (time_ns, order, callback, args))
+        self._live += 1
 
     # ------------------------------------------------------------------
     # Cancellation bookkeeping
@@ -153,68 +215,120 @@ class Simulator:
         Mutates the heap list in place: ``run`` holds a local reference to
         it while a callback may trigger this compaction.
         """
-        self._heap[:] = [entry for entry in self._heap if not entry[2].cancelled]
+        self._heap[:] = [
+            entry for entry in self._heap if len(entry) == 4 or not entry[2].cancelled
+        ]
         heapq.heapify(self._heap)
         self._cancelled_in_heap = 0
         self.compactions += 1
 
-    def _pop(self) -> Event:
-        """Pop the head event and settle its bookkeeping."""
-        event = heapq.heappop(self._heap)[2]
+    def _run_entry(self, entry: tuple) -> bool:
+        """Execute one queue/heap entry; False if it was a cancelled event."""
+        if len(entry) == 4:
+            self._live -= 1
+            self._events_processed += 1
+            entry[2](*entry[3])
+            return True
+        event = entry[2]
         if event.cancelled:
             self._cancelled_in_heap -= 1
-        else:
-            self._live -= 1
-            event._sim = None
-        return event
+            return False
+        self._live -= 1
+        event._sim = None
+        self._events_processed += 1
+        event.callback(*event.args)
+        return True
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
-        """Run the next pending event.  Returns False when the heap is empty."""
+        """Run the next pending event.  Returns False when nothing is queued."""
+        queue = self._now_queue
+        while queue:
+            if self._run_entry(queue.popleft()):
+                return True
         while self._heap:
-            event = self._pop()
-            if event.cancelled:
-                continue
-            self.now = event.time
-            self._events_processed += 1
-            event.callback(*event.args)
-            return True
+            entry = heapq.heappop(self._heap)
+            self.now = entry[0]
+            if self._run_entry(entry):
+                return True
         return False
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> None:
-        """Run events until the heap drains, ``until`` is reached, or
+        """Run events until the queues drain, ``until`` is reached, or
         ``max_events`` have been processed.
 
         ``until`` is an absolute time; events scheduled at exactly ``until``
         still run.  ``max_events`` guards against accidental livelock in
         tests; it counts events processed *by this call* (cancelled events
-        that are merely discarded do not count, and a heap holding only
-        cancelled events drains normally).
+        that are merely discarded do not count, and queues holding only
+        cancelled events drain normally).
         """
         heap = self._heap
+        queue = self._now_queue
         heappop = heapq.heappop
         start = self._events_processed
         if until is None and max_events is None:
-            # The common full-drain loop, with bookkeeping inlined.
-            while heap:
-                time_ns, _order, event = heappop(heap)
+            # The common full-drain loop, with bookkeeping inlined.  The
+            # inner FIFO drain runs every same-instant burst without going
+            # back to the heap (callbacks scheduling at ``now`` append to
+            # the FIFO, so a cascade never re-heapifies).
+            while True:
+                while queue:
+                    entry = queue.popleft()
+                    if len(entry) == 4:
+                        self._live -= 1
+                        self._events_processed += 1
+                        entry[2](*entry[3])
+                        continue
+                    event = entry[2]
+                    if event.cancelled:
+                        self._cancelled_in_heap -= 1
+                        continue
+                    self._live -= 1
+                    event._sim = None
+                    self._events_processed += 1
+                    event.callback(*event.args)
+                if not heap:
+                    return
+                entry = heappop(heap)
+                if len(entry) == 4:
+                    self._live -= 1
+                    self.now = entry[0]
+                    self._events_processed += 1
+                    entry[2](*entry[3])
+                    continue
+                event = entry[2]
                 if event.cancelled:
                     self._cancelled_in_heap -= 1
                     continue
                 self._live -= 1
                 event._sim = None
-                self.now = time_ns
+                self.now = entry[0]
                 self._events_processed += 1
                 event.callback(*event.args)
-            return
-        while heap:
-            head_time, _order, head = heap[0]
-            if head.cancelled:
+        while True:
+            while queue:
+                # FIFO entries are at time ``now`` (<= until by invariant).
+                entry = queue[0]
+                if len(entry) == 3 and entry[2].cancelled:
+                    queue.popleft()
+                    self._cancelled_in_heap -= 1
+                    continue
+                if max_events is not None and self._events_processed - start >= max_events:
+                    raise SimulationError(
+                        f"simulation exceeded max_events={max_events} at t={self.now}"
+                    )
+                self._run_entry(queue.popleft())
+            if not heap:
+                break
+            head = heap[0]
+            if len(head) == 3 and head[2].cancelled:
                 heappop(heap)
                 self._cancelled_in_heap -= 1
                 continue
+            head_time = head[0]
             if until is not None and head_time > until:
                 self.now = until
                 return
@@ -223,11 +337,8 @@ class Simulator:
                     f"simulation exceeded max_events={max_events} at t={self.now}"
                 )
             heappop(heap)
-            self._live -= 1
-            head._sim = None
             self.now = head_time
-            self._events_processed += 1
-            head.callback(*head.args)
+            self._run_entry(head)
         if until is not None and self.now < until:
             self.now = until
 

@@ -64,6 +64,16 @@ class AsyncioClock:
     def at(self, time_ns: int, callback: Callable[..., Any], *args: Any) -> TimerHandle:
         return self._loop.call_at(self._origin + time_ns / NS_PER_S, callback, *args)
 
+    def call_later(self, delay_ns: int, callback: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget scheduling (the asyncio loop keeps the handle)."""
+        if delay_ns < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay_ns})")
+        self._loop.call_later(delay_ns / NS_PER_S, callback, *args)
+
+    def call_at(self, time_ns: int, callback: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget absolute-time scheduling."""
+        self._loop.call_at(self._origin + time_ns / NS_PER_S, callback, *args)
+
 
 class _NodeEndpoint(asyncio.DatagramProtocol):
     """One node's UDP socket plus its run-to-completion receive task."""

@@ -66,6 +66,19 @@ class Clock(Protocol):
         """Run ``callback(*args)`` at absolute time ``time_ns``."""
         ...
 
+    def call_later(self, delay_ns: int, callback: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule` — no handle, not cancellable.
+
+        The fast path for the never-cancelled majority of events (frame
+        deliveries, pipeline latencies); backends may skip all cancellation
+        bookkeeping for it.
+        """
+        ...
+
+    def call_at(self, time_ns: int, callback: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`at` — no handle, not cancellable."""
+        ...
+
 
 @runtime_checkable
 class Node(Protocol):

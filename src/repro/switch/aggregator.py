@@ -19,7 +19,7 @@ from typing import Optional
 
 from repro.core.config import AskConfig
 from repro.switch.pisa import Pipeline
-from repro.switch.registers import PassContext, RegisterArray
+from repro.switch.registers import PassContext, RegisterAccessError, RegisterArray
 
 #: An aggregator cell: (kPart, vPart).  ``None`` kPart means blank.
 Cell = tuple[Optional[bytes], int]
@@ -94,6 +94,66 @@ class AggregatorArray:
         self.registers.execute(ctx, index, alu)
         return outcome
 
+    # Fast-path return codes for :meth:`aggregate_fast`.
+    FAIL = 0
+    MATCHED = 1
+    RESERVED = 2
+
+    def aggregate_fast(
+        self,
+        ctx: PassContext,
+        index: int,
+        segment: bytes,
+        add_value: Optional[int],
+        enabled: bool = True,
+    ) -> int:
+        """Closure-free :meth:`try_aggregate`.
+
+        Decision-identical, but returns an int code (``FAIL`` /
+        ``MATCHED`` / ``RESERVED``, the latter implying success) instead of
+        allocating an :class:`AggregateOutcome`, and inlines the register
+        access discipline instead of dispatching an ALU through
+        ``execute``.  This runs once per live tuple of every data packet —
+        the single hottest aggregation call in the pipeline.
+        """
+        reg = self.registers
+        # Inlined RegisterArray access prologue (see registers.py).
+        if not reg.relax_access_limit:
+            if reg._last_ctx is ctx and reg._last_pass == ctx._pass_id:
+                raise RegisterAccessError(
+                    f"register array {reg.name!r} accessed twice in one pass"
+                    f"{' (' + ctx.label + ')' if ctx.label else ''}"
+                )
+            reg._last_ctx = ctx
+            reg._last_pass = ctx._pass_id
+        stage = reg.stage_index
+        if stage is not None:
+            if stage < ctx._current_stage:
+                raise RegisterAccessError(
+                    f"pass moved backwards: array {reg.name!r} lives in stage "
+                    f"{stage} but stage {ctx._current_stage} was "
+                    "already visited"
+                )
+            ctx._current_stage = stage
+        if not 0 <= index < reg.size:
+            raise IndexError(f"{reg.name}[{index}] out of range (size {reg.size})")
+        reg.accesses += 1
+        if not enabled:
+            # Predicated no-op: the array was still touched once this pass.
+            return 0
+        cells = reg._cells
+        old = cells[index]
+        stored_key = old[0]
+        if stored_key is None:
+            value = 0 if add_value is None else add_value & self.value_mask
+            cells[index] = (segment, value)
+            return 2
+        if stored_key == segment:
+            if add_value is not None:
+                cells[index] = (segment, (old[1] + add_value) & self.value_mask)
+            return 1
+        return 0
+
     # ------------------------------------------------------------------
     # Control-plane (switch CPU) access used by fetch-and-reset.
     # ------------------------------------------------------------------
@@ -149,9 +209,14 @@ class AggregatorPool:
         self, ctx: PassContext, slot: int, index: int, segment: bytes, value: int
     ) -> bool:
         """Aggregate a short key-value tuple in AA ``slot`` at ``index``."""
-        outcome = self.arrays[slot].try_aggregate(ctx, index, segment, value)
-        self._count(outcome, 1)
-        return outcome.success
+        code = self.arrays[slot].aggregate_fast(ctx, index, segment, value)
+        if code:
+            self.tuples_aggregated += 1
+            if code == 2:
+                self.aggregators_reserved += 1
+            return True
+        self.tuples_failed += 1
+        return False
 
     def aggregate_group(
         self,
@@ -173,12 +238,13 @@ class AggregatorPool:
             raise ValueError("segment count must match the group width")
         ok = True
         last = len(slots) - 1
+        arrays = self.arrays
         for pos, (slot, segment) in enumerate(zip(slots, segments)):
             add = value if pos == last else None
-            outcome = self.arrays[slot].try_aggregate(ctx, index, segment, add, enabled=ok)
-            if ok and not outcome.success:
+            code = arrays[slot].aggregate_fast(ctx, index, segment, add, enabled=ok)
+            if ok and code == 0:
                 ok = False
-            if outcome.reserved:
+            if code == 2:
                 self.aggregators_reserved += 1
         if ok:
             self.tuples_aggregated += 1

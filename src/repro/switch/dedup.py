@@ -36,6 +36,109 @@ class DedupVerdict:
     observed: bool  #: True when this (channel, seq) appeared before
 
 
+#: Integer verdicts of the compiled dedup microprogram (§ channel compiler).
+CHECK_FRESH = 0  #: first appearance of this (channel, seq)
+CHECK_OBSERVED = 1  #: retransmission — restore the recorded bitmap
+CHECK_STALE = 2  #: at or below ``max_seq - W`` — drop before any other state
+
+
+class ChannelProgram:
+    """One channel's dedup sequence, compiled at install time.
+
+    The generic path re-derives everything per packet: the channel-slot
+    lookup, the ``slot * W + seq % W`` index arithmetic, the compact/relaxed
+    design branch, and a closure-dispatched ALU per register access.  A
+    ``ChannelProgram`` resolves all of it once — the register *bound
+    methods* (the ALU sequence), the index bases, and the design flavour —
+    so the per-packet work is index math plus the already-inlined register
+    operations.  This mirrors what installing a P4 program does on real
+    hardware: the stage/register/ALU schedule is fixed at install, only the
+    PHV differs per packet.
+
+    Compiled programs stay valid across reboots: ``control_reset`` and
+    ``reinstall_channel`` mutate the register cell storage in place, and
+    channel slots are never recycled (§3.3 — channels are persistent for
+    the service lifetime).
+    """
+
+    __slots__ = (
+        "unit",
+        "channel_slot",
+        "window",
+        "compact",
+        "seen_base",
+        "state_base",
+        "_bump_max",
+        "_seen_set_bit",
+        "_seen_clr_bitc",
+        "_seen_read",
+        "_seen_write",
+        "_state_read",
+        "_state_write",
+    )
+
+    def __init__(self, unit: "DedupUnit", channel_slot: int) -> None:
+        if not 0 <= channel_slot < unit.max_channels:
+            raise IndexError(f"channel slot {channel_slot} out of range")
+        self.unit = unit
+        self.channel_slot = channel_slot
+        self.window = unit.window
+        self.compact = unit.compact
+        # Index bases: one physical array serves every channel.
+        self.seen_base = channel_slot * (unit.window if unit.compact else 2 * unit.window)
+        self.state_base = channel_slot * unit.window
+        # Bind the register operations now: whatever implementation is
+        # installed on the arrays at compile time (optimized inline ops, or
+        # the seed closure path under reference_mode) is frozen in.
+        self._bump_max = unit.max_seq.rmw_max
+        self._seen_set_bit = unit.seen.set_bit
+        self._seen_clr_bitc = unit.seen.clr_bitc
+        self._seen_read = unit.seen.read
+        self._seen_write = unit.seen.write
+        self._state_read = unit.pkt_state.read
+        self._state_write = unit.pkt_state.write
+
+    # ------------------------------------------------------------------
+    def check(self, ctx: PassContext, seq: int) -> int:
+        """Dedup front: stale guard then the ``seen`` record.
+
+        Returns :data:`CHECK_FRESH`, :data:`CHECK_OBSERVED` or
+        :data:`CHECK_STALE` — decision-identical to
+        :meth:`DedupUnit.check`, without the verdict allocation.
+        """
+        window = self.window
+        new_max = self._bump_max(ctx, self.channel_slot, seq)
+        if seq <= new_max - window:
+            self.unit.stale_drops += 1
+            return 2
+        if self.compact:
+            # Eq. 8: even segments record appearance as 1, odd as 0.
+            if (seq // window) & 1:
+                observed = self._seen_clr_bitc(ctx, self.seen_base + seq % window)
+            else:
+                observed = self._seen_set_bit(ctx, self.seen_base + seq % window)
+        else:
+            # Eqs. 5-7 (relaxed 2W-bit ablation): read, record, clear ahead.
+            window2 = 2 * window
+            base = self.seen_base
+            idx = seq % window2
+            observed = self._seen_read(ctx, base + idx)
+            self._seen_write(ctx, base + idx, 1)
+            self._seen_write(ctx, base + (idx + window) % window2, 0)
+        if observed:
+            self.unit.duplicates_detected += 1
+            return 1
+        return 0
+
+    def record_bitmap(self, ctx: PassContext, seq: int, bitmap: int) -> None:
+        """First appearance: persist the post-aggregation bitmap (Eq. 9)."""
+        self._state_write(ctx, self.state_base + seq % self.window, bitmap)
+
+    def load_bitmap(self, ctx: PassContext, seq: int) -> int:
+        """Retransmission: restore the recorded bitmap (Eq. 10)."""
+        return self._state_read(ctx, self.state_base + seq % self.window)
+
+
 class DedupUnit:
     """The reliability registers for all channels of one switch.
 
@@ -88,15 +191,20 @@ class DedupUnit:
         return self.sram_bytes / self.max_channels
 
     # ------------------------------------------------------------------
+    def compile_channel(self, channel_slot: int) -> ChannelProgram:
+        """Resolve one channel's dedup sequence at install time."""
+        return ChannelProgram(self, channel_slot)
+
     def check(self, ctx: PassContext, channel_slot: int, seq: int) -> DedupVerdict:
-        """Run the dedup stage: stale guard then ``seen`` lookup/update."""
+        """Run the dedup stage: stale guard then ``seen`` lookup/update.
+
+        The generic entry point, kept for direct callers and tests; the
+        packet hot path runs the compiled :class:`ChannelProgram` instead.
+        """
         if not 0 <= channel_slot < self.max_channels:
             raise IndexError(f"channel slot {channel_slot} out of range")
 
-        def bump(old: int) -> tuple[int, int]:
-            return (max(old, seq), max(old, seq))
-
-        new_max = self.max_seq.execute(ctx, channel_slot, bump)
+        new_max = self.max_seq.rmw_max(ctx, channel_slot, seq)
         if seq <= new_max - self.window:
             self.stale_drops += 1
             return DedupVerdict(stale=True, observed=True)

@@ -121,6 +121,17 @@ class Pipeline:
         self.passes += 1
         return PassContext(label)
 
+    def begin_pass_into(self, ctx: PassContext, label: str = "") -> PassContext:
+        """Re-open a reusable context for the next packet traversal.
+
+        The compiled fast path keeps one :class:`PassContext` alive per
+        switch and re-arms it here — same pass accounting as
+        :meth:`begin_pass`, zero allocation (resetting bumps the context's
+        pass id, which invalidates every array's access stamp in O(1)).
+        """
+        self.passes += 1
+        return ctx.reset(label)
+
     @property
     def sram_used_bytes(self) -> int:
         return sum(s.sram_used_bytes for s in self.stages)

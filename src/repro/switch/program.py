@@ -20,7 +20,8 @@ The per-packet pipeline pass, in stage order:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.config import AskConfig
 from repro.core.errors import ProtocolError
@@ -29,7 +30,7 @@ from repro.core.keyspace import KeySpaceLayout
 from repro.core.packet import AskPacket, ack_for
 from repro.switch.aggregator import AggregatorPool
 from repro.switch.controller import Region, SwitchController
-from repro.switch.dedup import DedupUnit
+from repro.switch.dedup import ChannelProgram, DedupUnit
 from repro.switch.registers import PassContext
 from repro.switch.shadow import ShadowDirectory
 
@@ -42,12 +43,27 @@ class SwitchAction(enum.Enum):
     FORWARD = "forward"  #: forwarded (possibly with a rewritten bitmap)
 
 
-@dataclass
 class SwitchDecision:
-    """The outcome of one pass: an action plus the packets to emit."""
+    """The outcome of one pass: an action plus the packets to emit.
 
-    action: SwitchAction
-    emit: list[AskPacket] = field(default_factory=list)
+    A plain ``__slots__`` struct — one is built per packet pass, so the
+    dataclass machinery (default factory, generated ``__init__``) was
+    measurable overhead.
+    """
+
+    __slots__ = ("action", "emit")
+
+    def __init__(self, action: SwitchAction, emit: Optional[list[AskPacket]] = None) -> None:
+        self.action = action
+        self.emit: list[AskPacket] = [] if emit is None else emit
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SwitchDecision):
+            return self.action == other.action and self.emit == other.emit
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SwitchDecision({self.action}, emit={self.emit!r})"
 
 
 @dataclass
@@ -101,14 +117,30 @@ class AskSwitchProgram:
             self._medium_mask |= gmask
         self.switch_name = switch_name
         self.stats = ProgramStats()
+        # Channel-key → compiled dedup microprogram.  Channel slots are
+        # never recycled (channels persist for the service lifetime, §3.3),
+        # so entries stay valid; `invalidate_compiled` clears them anyway on
+        # reboot for hygiene.
+        self._channels: dict[tuple[str, int], ChannelProgram] = {}
+
+    # ------------------------------------------------------------------
+    def invalidate_compiled(self) -> None:
+        """Drop compiled channel programs (called on switch reboot)."""
+        self._channels.clear()
+
+    def _compile_channel(self, channel_key: tuple[str, int]) -> ChannelProgram:
+        cp = self.dedup.compile_channel(self.controller.channel_slot(channel_key))
+        self._channels[channel_key] = cp
+        return cp
 
     # ------------------------------------------------------------------
     def process(self, ctx: PassContext, pkt: AskPacket) -> SwitchDecision:
         """Run one packet through the pipeline and return the decision."""
-        if pkt.is_ack:
+        flags = pkt.flags
+        if flags & 0x2:  # ACK
             # ACKs are plain routed traffic: no ASK state is touched.
             return SwitchDecision(SwitchAction.FORWARD, [pkt])
-        if pkt.is_swap:
+        if flags & 0x8:  # SWAP
             return self._process_swap(ctx, pkt)
         return self._process_data(ctx, pkt)
 
@@ -124,38 +156,43 @@ class AskSwitchProgram:
 
     # ------------------------------------------------------------------
     def _process_data(self, ctx: PassContext, pkt: AskPacket) -> SwitchDecision:
-        channel_slot = self.controller.channel_slot(pkt.channel_key)
-        verdict = self.dedup.check(ctx, channel_slot, pkt.seq)
-        if verdict.stale:
-            self.stats.stale_drops += 1
+        cp = self._channels.get(pkt.channel_key)
+        if cp is None:
+            cp = self._compile_channel(pkt.channel_key)
+        seq = pkt.seq
+        stats = self.stats
+        code = cp.check(ctx, seq)  # 0 fresh / 1 observed / 2 stale
+        if code == 2:
+            stats.stale_drops += 1
             return SwitchDecision(SwitchAction.DROP)
 
-        self.stats.data_packets += 1
+        stats.data_packets += 1
+        flags = pkt.flags
         region = self.controller.lookup_region(pkt.task_id)
-        passthrough = pkt.is_fin or pkt.is_long
-        aggregatable = pkt.is_data and not passthrough and region is not None
 
-        if not verdict.observed:
+        if code == 0:
             bitmap = pkt.bitmap
-            if aggregatable and bitmap:
-                self.stats.tuples_seen += bitmap.bit_count()
-                bitmap = self._aggregate(ctx, pkt, region)  # type: ignore[arg-type]
-                self.stats.tuples_aggregated += pkt.bitmap.bit_count() - bitmap.bit_count()
-            self.dedup.record_bitmap(ctx, channel_slot, pkt.seq, bitmap)
+            # Aggregatable: DATA without FIN/LONG (flag mask 0x15 keeps only
+            # DATA of the three) and a region installed for the task.
+            if bitmap and region is not None and flags & 0x15 == 0x1:
+                stats.tuples_seen += bitmap.bit_count()
+                bitmap = self._aggregate(ctx, pkt, region)
+                stats.tuples_aggregated += pkt.bitmap.bit_count() - bitmap.bit_count()
+            cp.record_bitmap(ctx, seq, bitmap)
         else:
-            self.stats.retransmissions_seen += 1
-            bitmap = self.dedup.load_bitmap(ctx, channel_slot, pkt.seq)
+            stats.retransmissions_seen += 1
+            bitmap = cp.load_bitmap(ctx, seq)
 
-        if pkt.is_fin:
-            self.stats.fins += 1
+        if flags & 0x4:  # FIN
+            stats.fins += 1
             return SwitchDecision(SwitchAction.FORWARD, [pkt.with_bitmap(bitmap)])
-        if pkt.is_long:
-            self.stats.long_packets += 1
+        if flags & 0x10:  # LONG
+            stats.long_packets += 1
             return SwitchDecision(SwitchAction.FORWARD, [pkt.with_bitmap(bitmap)])
         if bitmap == 0:
-            self.stats.packets_acked += 1
+            stats.packets_acked += 1
             return SwitchDecision(SwitchAction.ACK, [ack_for(pkt, self.switch_name)])
-        self.stats.packets_forwarded += 1
+        stats.packets_forwarded += 1
         return SwitchDecision(SwitchAction.FORWARD, [pkt.with_bitmap(bitmap)])
 
     # ------------------------------------------------------------------

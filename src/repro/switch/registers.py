@@ -15,6 +15,22 @@ A deliberately *relaxed* array (``relax_access_limit=True``) is available for
 the paper's conceptual 2W-bit ``seen`` baseline, which needs three accesses
 per pass and therefore is not implementable on real hardware — the ablation
 test suite demonstrates exactly that.
+
+Epoch-counter access tracking
+-----------------------------
+The access discipline is enforced without per-pass allocation: instead of a
+set of visited arrays inside the context, each *array* remembers the last
+``(context, pass id)`` that touched it.  A context is reusable — calling
+:meth:`PassContext.reset` bumps its pass id, which instantly invalidates
+every array's "already accessed" stamp without walking or clearing anything.
+Fresh one-shot ``PassContext()`` instances (the test suites build them
+liberally) work unchanged: the identity half of the stamp can never match a
+context the array has not seen.
+
+The specialized operations (``read``/``write``/``set_bit``/``clr_bitc``/
+``rmw_max``) inline both the access check and their ALU, so the per-packet
+hot path allocates no closures; the generic :meth:`RegisterArray.execute`
+remains for arbitrary ALUs.
 """
 
 from __future__ import annotations
@@ -25,8 +41,8 @@ from repro.core.errors import AskError
 
 T = TypeVar("T")
 
-# Shared value-free ALUs: these run on every packet pass, so they are built
-# once instead of allocating a fresh closure per register access.
+# Shared value-free ALUs, kept for callers that drive ``execute`` directly
+# (and for the seed reference path, which routes everything through it).
 _READ_ALU = lambda old: (old, old)  # noqa: E731
 _SET_BIT_ALU = lambda old: (1, old)  # noqa: E731
 _CLR_BITC_ALU = lambda old: (0, 1 - old)  # noqa: E731
@@ -40,34 +56,55 @@ class RegisterAccessError(AskError, RuntimeError):
 class PassContext:
     """One packet's traversal of the pipeline.
 
-    Tracks which register arrays have been accessed and the index of the
-    stage last visited; a pass may never move to an earlier stage (a packet
-    cannot flow backwards through the pipeline).
+    Tracks the index of the stage last visited (a pass may never move to an
+    earlier stage — a packet cannot flow backwards through the pipeline) and
+    carries the pass id that arrays stamp themselves with on access.
+
+    Reusable: :meth:`reset` re-opens the context for the next packet in
+    O(1).  The pipeline's compiled fast path keeps a single instance alive
+    for the lifetime of the switch.
     """
 
-    __slots__ = ("_accessed", "_current_stage", "label")
+    __slots__ = ("_pass_id", "_current_stage", "label")
 
     def __init__(self, label: str = "") -> None:
-        self._accessed: set[int] = set()
+        self._pass_id = 0
         self._current_stage = -1
         self.label = label
 
+    def reset(self, label: str = "") -> "PassContext":
+        """Re-open this context for a new pass (O(1) — no state to clear:
+        bumping the pass id invalidates every array's access stamp)."""
+        self._pass_id += 1
+        self._current_stage = -1
+        self.label = label
+        return self
+
     def note_access(self, array: "RegisterArray") -> None:
+        """Record (and police) one access by ``array``.
+
+        Kept as a public method for the seed reference path
+        (:mod:`repro.transport.reference`), which funnels every register
+        operation through here; the optimized operations inline the same
+        checks.
+        """
         if not array.relax_access_limit:
-            if id(array) in self._accessed:
+            if array._last_ctx is self and array._last_pass == self._pass_id:
                 raise RegisterAccessError(
                     f"register array {array.name!r} accessed twice in one pass"
                     f"{' (' + self.label + ')' if self.label else ''}"
                 )
-            self._accessed.add(id(array))
-        if array.stage_index is not None:
-            if array.stage_index < self._current_stage:
+            array._last_ctx = self
+            array._last_pass = self._pass_id
+        stage = array.stage_index
+        if stage is not None:
+            if stage < self._current_stage:
                 raise RegisterAccessError(
                     f"pass moved backwards: array {array.name!r} lives in stage "
-                    f"{array.stage_index} but stage {self._current_stage} was "
+                    f"{stage} but stage {self._current_stage} was "
                     "already visited"
                 )
-            self._current_stage = array.stage_index
+            self._current_stage = stage
 
 
 class RegisterArray(Generic[T]):
@@ -109,6 +146,9 @@ class RegisterArray(Generic[T]):
         self._cells: list[T] = [initial] * size
         self.stage_index: Optional[int] = None  # assigned when placed in a Stage
         self.accesses = 0
+        # Access stamp: the last (context, pass id) that touched this array.
+        self._last_ctx: Optional[PassContext] = None
+        self._last_pass = -1
 
     # ------------------------------------------------------------------
     @property
@@ -117,23 +157,28 @@ class RegisterArray(Generic[T]):
         return (self.size * self.width_bits + 7) // 8
 
     # ------------------------------------------------------------------
+    # Every specialized op repeats this prologue inline; kept as a comment
+    # template rather than a helper because the extra call frame is what
+    # the fast path exists to avoid:
+    #
+    #   1. duplicate-access stamp check (skipped for relaxed arrays)
+    #   2. stage-order check + stage advance
+    #   3. bounds check, access count
+    # ------------------------------------------------------------------
     def execute(self, ctx: PassContext, index: int, alu: Callable[[T], tuple[T, Any]]) -> Any:
         """The one read-modify-write this pass may perform.
 
         ``alu(old) -> (new, result)`` runs atomically on the cell; ``result``
         is what the pass carries forward in packet metadata (PHV).
         """
-        # PassContext.note_access inlined: this check pair runs on every
-        # register access of every packet pass.
         if not self.relax_access_limit:
-            key = id(self)
-            accessed = ctx._accessed
-            if key in accessed:
+            if self._last_ctx is ctx and self._last_pass == ctx._pass_id:
                 raise RegisterAccessError(
                     f"register array {self.name!r} accessed twice in one pass"
                     f"{' (' + ctx.label + ')' if ctx.label else ''}"
                 )
-            accessed.add(key)
+            self._last_ctx = ctx
+            self._last_pass = ctx._pass_id
         stage = self.stage_index
         if stage is not None:
             if stage < ctx._current_stage:
@@ -153,21 +198,140 @@ class RegisterArray(Generic[T]):
 
     def read(self, ctx: PassContext, index: int) -> T:
         """Read-only access (still consumes the pass's single access)."""
-        return self.execute(ctx, index, _READ_ALU)
+        if not self.relax_access_limit:
+            if self._last_ctx is ctx and self._last_pass == ctx._pass_id:
+                raise RegisterAccessError(
+                    f"register array {self.name!r} accessed twice in one pass"
+                    f"{' (' + ctx.label + ')' if ctx.label else ''}"
+                )
+            self._last_ctx = ctx
+            self._last_pass = ctx._pass_id
+        stage = self.stage_index
+        if stage is not None:
+            if stage < ctx._current_stage:
+                raise RegisterAccessError(
+                    f"pass moved backwards: array {self.name!r} lives in stage "
+                    f"{stage} but stage {ctx._current_stage} was "
+                    "already visited"
+                )
+            ctx._current_stage = stage
+        if not 0 <= index < self.size:
+            raise IndexError(f"{self.name}[{index}] out of range (size {self.size})")
+        self.accesses += 1
+        return self._cells[index]
 
     def write(self, ctx: PassContext, index: int, value: T) -> None:
         """Write-only access (still consumes the pass's single access)."""
-        self.execute(ctx, index, lambda _old: (value, None))
+        if not self.relax_access_limit:
+            if self._last_ctx is ctx and self._last_pass == ctx._pass_id:
+                raise RegisterAccessError(
+                    f"register array {self.name!r} accessed twice in one pass"
+                    f"{' (' + ctx.label + ')' if ctx.label else ''}"
+                )
+            self._last_ctx = ctx
+            self._last_pass = ctx._pass_id
+        stage = self.stage_index
+        if stage is not None:
+            if stage < ctx._current_stage:
+                raise RegisterAccessError(
+                    f"pass moved backwards: array {self.name!r} lives in stage "
+                    f"{stage} but stage {ctx._current_stage} was "
+                    "already visited"
+                )
+            ctx._current_stage = stage
+        if not 0 <= index < self.size:
+            raise IndexError(f"{self.name}[{index}] out of range (size {self.size})")
+        self.accesses += 1
+        self._cells[index] = value
+
+    def rmw_max(self, ctx: PassContext, index: int, value: int) -> int:
+        """Atomic ``cell = max(cell, value)``; returns the new cell value.
+
+        The dedup stage's ``max_seq`` bump — the single hottest register
+        operation in the pipeline.
+        """
+        if not self.relax_access_limit:
+            if self._last_ctx is ctx and self._last_pass == ctx._pass_id:
+                raise RegisterAccessError(
+                    f"register array {self.name!r} accessed twice in one pass"
+                    f"{' (' + ctx.label + ')' if ctx.label else ''}"
+                )
+            self._last_ctx = ctx
+            self._last_pass = ctx._pass_id
+        stage = self.stage_index
+        if stage is not None:
+            if stage < ctx._current_stage:
+                raise RegisterAccessError(
+                    f"pass moved backwards: array {self.name!r} lives in stage "
+                    f"{stage} but stage {ctx._current_stage} was "
+                    "already visited"
+                )
+            ctx._current_stage = stage
+        if not 0 <= index < self.size:
+            raise IndexError(f"{self.name}[{index}] out of range (size {self.size})")
+        self.accesses += 1
+        cells = self._cells
+        old = cells[index]
+        if value > old:  # type: ignore[operator]
+            cells[index] = value  # type: ignore[assignment]
+            return value
+        return old  # type: ignore[return-value]
 
     # --- atomic bit instructions (footnotes 4 and 5 of the paper) -------
     def set_bit(self, ctx: PassContext, index: int) -> int:
         """Atomically set the bit and return its previous value."""
-        return self.execute(ctx, index, _SET_BIT_ALU)
+        if not self.relax_access_limit:
+            if self._last_ctx is ctx and self._last_pass == ctx._pass_id:
+                raise RegisterAccessError(
+                    f"register array {self.name!r} accessed twice in one pass"
+                    f"{' (' + ctx.label + ')' if ctx.label else ''}"
+                )
+            self._last_ctx = ctx
+            self._last_pass = ctx._pass_id
+        stage = self.stage_index
+        if stage is not None:
+            if stage < ctx._current_stage:
+                raise RegisterAccessError(
+                    f"pass moved backwards: array {self.name!r} lives in stage "
+                    f"{stage} but stage {ctx._current_stage} was "
+                    "already visited"
+                )
+            ctx._current_stage = stage
+        if not 0 <= index < self.size:
+            raise IndexError(f"{self.name}[{index}] out of range (size {self.size})")
+        self.accesses += 1
+        cells = self._cells
+        old = cells[index]
+        cells[index] = 1  # type: ignore[assignment]
+        return old  # type: ignore[return-value]
 
     def clr_bitc(self, ctx: PassContext, index: int) -> int:
         """Atomically clear the bit and return the complement of its
         previous value."""
-        return self.execute(ctx, index, _CLR_BITC_ALU)
+        if not self.relax_access_limit:
+            if self._last_ctx is ctx and self._last_pass == ctx._pass_id:
+                raise RegisterAccessError(
+                    f"register array {self.name!r} accessed twice in one pass"
+                    f"{' (' + ctx.label + ')' if ctx.label else ''}"
+                )
+            self._last_ctx = ctx
+            self._last_pass = ctx._pass_id
+        stage = self.stage_index
+        if stage is not None:
+            if stage < ctx._current_stage:
+                raise RegisterAccessError(
+                    f"pass moved backwards: array {self.name!r} lives in stage "
+                    f"{stage} but stage {ctx._current_stage} was "
+                    "already visited"
+                )
+            ctx._current_stage = stage
+        if not 0 <= index < self.size:
+            raise IndexError(f"{self.name}[{index}] out of range (size {self.size})")
+        self.accesses += 1
+        cells = self._cells
+        old = cells[index]
+        cells[index] = 0  # type: ignore[assignment]
+        return 1 - old  # type: ignore[operator, return-value]
 
     # ------------------------------------------------------------------
     # Control-plane access.  The switch CPU reads/writes registers out of

@@ -27,6 +27,7 @@ from repro.switch.controller import SwitchController
 from repro.switch.dedup import DedupUnit
 from repro.switch.pisa import Pipeline
 from repro.switch.program import AskSwitchProgram, SwitchDecision
+from repro.switch.registers import PassContext
 from repro.switch.shadow import ShadowDirectory
 
 
@@ -79,12 +80,20 @@ class AskSwitch(NetworkNode):
         self._needs_install = False
         self.self_addressed_drops = 0
 
+        # Compiled fast path: one reusable pass context for the lifetime of
+        # the switch (re-armed per packet in O(1)), and the rack's host set
+        # cached lazily on first ingress (the deployment builder attaches
+        # hosts after bind(), so bind-time capture would be empty).
+        self._ctx = PassContext()
+        self._local_hosts_cache: Optional[frozenset[str]] = None
+
     # ------------------------------------------------------------------
     def bind(self, fabric: SwitchFabricView) -> None:
         """Attach the switch to its fabric view (done by the deployment
         builder): ``host_names`` keys the §7 bypass rule, ``send_to_host``
         carries every egressing frame."""
         self.fabric = fabric
+        self._local_hosts_cache = None
 
     @property
     def topology(self) -> Optional[SwitchFabricView]:
@@ -101,7 +110,9 @@ class AskSwitch(NetworkNode):
         """Hosts attached to this switch's rack."""
         if self.fabric is None:
             return frozenset()
-        return frozenset(self.fabric.host_names)
+        hosts = frozenset(self.fabric.host_names)
+        self._local_hosts_cache = hosts
+        return hosts
 
     def _should_run_program(self, packet: AskPacket) -> bool:
         """The §7 bypass rule: the ASK program runs only at the sender-side
@@ -112,13 +123,17 @@ class AskSwitch(NetworkNode):
         host — is routed untouched, so the receiver-side TOR keeps no
         per-channel state.
         """
-        if packet.is_ack:
+        flags = packet.flags
+        if flags & 0x2:  # ACK
             return False
-        if self._needs_install or packet.is_bypass:
+        if self._needs_install or flags & 0x20:  # BYPASS
             return False
-        if packet.is_swap:
+        if flags & 0x8:  # SWAP
             return packet.dst == self.name
-        return packet.src in self.local_hosts
+        hosts = self._local_hosts_cache
+        if hosts is None:
+            hosts = self.local_hosts  # rebuilds and caches
+        return packet.src in hosts
 
     def receive(self, packet: AskPacket) -> None:
         """Ingress: run the pipeline pass (or pure routing for transit
@@ -129,14 +144,15 @@ class AskSwitch(NetworkNode):
         if self.trace is not None:
             self.trace.record(self.clock.now, self.name, "ingress", packet)
         if not self._should_run_program(packet):
-            self.clock.schedule(
+            self.clock.call_later(
                 self.config.switch_pipeline_latency_ns, self._route, packet
             )
             return
-        ctx = self.pipeline.begin_pass(label=f"{packet.flags!r} seq={packet.seq}")
+        ctx = self.pipeline.begin_pass_into(self._ctx)
         decision = self.program.process(ctx, packet)
         if decision.emit:
-            self.clock.schedule(
+            # Pipeline egress is never cancelled: allocation-free scheduling.
+            self.clock.call_later(
                 self.config.switch_pipeline_latency_ns, self._emit, decision
             )
         elif self.trace is not None:
@@ -190,6 +206,12 @@ class AskSwitch(NetworkNode):
             aa.registers.control_reset()
         self.boot_count += 1
         self._needs_install = True
+        # Compiled channel programs reference the (in-place wiped) register
+        # storage and never-recycled channel slots, so they would remain
+        # valid — cleared anyway so a rebooted switch recompiles from the
+        # re-installed control-plane state.
+        self.program.invalidate_compiled()
+        self._local_hosts_cache = None
 
     def mark_installed(self) -> None:
         """Control plane finished re-installing state; aggregation resumes."""

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import contextlib
 import heapq
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.net.simulator import SimulationError
@@ -75,6 +75,15 @@ class ReferenceSimulator:
         self._order += 1
         heapq.heappush(self._heap, event)
         return event
+
+    # The optimized simulator grew fire-and-forget variants; the seed shape
+    # simply routes them through the Event-allocating paths so unpatched
+    # components (the switch, for one) keep working under reference_mode.
+    def call_later(self, delay_ns: int, callback: Callable[..., Any], *args: Any) -> None:
+        self.schedule(delay_ns, callback, *args)
+
+    def call_at(self, time_ns: int, callback: Callable[..., Any], *args: Any) -> None:
+        self.at(time_ns, callback, *args)
 
     def step(self) -> bool:
         while self._heap:
@@ -239,13 +248,38 @@ def reference_mode():
     from repro.net.link import Link, gbps_to_bits_per_ns
     from repro.net.nic import Nic
     from repro.net.simulator import NS_PER_S
+    from repro.switch.aggregator import AggregatorPool
     from repro.switch.program import AskSwitchProgram
     from repro.switch.registers import RegisterArray
     from repro.transport.congestion import CongestionWindow
 
     # --- seed AskPacket: derive flags/sizes on every access -------------
-    def _pkt_post_init(self) -> None:
-        pass
+    # The optimized packet is a __slots__ class precomputing its predicates
+    # and frame size at construction.  The seed shape stored only the wire
+    # fields and derived everything per access, so the reference patches a
+    # bare-assignment __init__ and computed properties over the slot
+    # descriptors (restored verbatim on exit by the saved-attribute list).
+    def _pkt_init(
+        self,
+        flags,
+        task_id,
+        src,
+        dst,
+        channel_index,
+        seq,
+        bitmap=0,
+        slots=(),
+        ecn=False,
+    ) -> None:
+        self.flags = int(flags)
+        self.task_id = task_id
+        self.src = src
+        self.dst = dst
+        self.channel_index = channel_index
+        self.seq = seq
+        self.bitmap = bitmap
+        self.slots = slots
+        self.ecn = ecn
 
     def _pkt_frame_bytes(self) -> int:
         if self.is_long:
@@ -261,7 +295,18 @@ def reference_mode():
         return self.frame_bytes() + constants.FRAMING_EXTRA
 
     def _pkt_with_bitmap(self, bitmap: int) -> AskPacket:
-        return replace(self, bitmap=bitmap)
+        # Seed semantics: always a fresh copy (no unchanged-bitmap sharing).
+        return AskPacket(
+            self.flags,
+            self.task_id,
+            self.src,
+            self.dst,
+            self.channel_index,
+            self.seq,
+            bitmap,
+            self.slots,
+            self.ecn,
+        )
 
     _pkt_props = {
         "channel_key": property(lambda self: (self.src, self.channel_index)),
@@ -352,11 +397,50 @@ def reference_mode():
     def _reg_read(self, ctx, index):
         return self.execute(ctx, index, lambda old: (old, old))
 
+    def _reg_write(self, ctx, index, value):
+        self.execute(ctx, index, lambda _old: (value, None))
+
     def _reg_set_bit(self, ctx, index):
         return self.execute(ctx, index, lambda old: (1, old))
 
     def _reg_clr_bitc(self, ctx, index):
         return self.execute(ctx, index, lambda old: (0, 1 - old))
+
+    def _reg_rmw_max(self, ctx, index, value):
+        # The dedup max_seq bump, seed shape: a per-call closure ALU.
+        def bump(old):
+            new = max(old, value)
+            return (new, new)
+
+        return self.execute(ctx, index, bump)
+
+    # --- seed aggregator pool: outcome objects through closure ALUs ------
+    # The compiled path's aggregate_fast inlines the register access; the
+    # seed shape dispatched a fresh closure per tuple via try_aggregate.
+    # ChannelProgram binds register methods at compile time, so services
+    # built inside this context pick these versions up automatically.
+    def _pool_aggregate_short(self, ctx, slot, index, segment, value):
+        outcome = self.arrays[slot].try_aggregate(ctx, index, segment, value)
+        self._count(outcome, 1)
+        return outcome.success
+
+    def _pool_aggregate_group(self, ctx, slots, index, segments, value):
+        if len(slots) != len(segments):
+            raise ValueError("segment count must match the group width")
+        ok = True
+        last = len(slots) - 1
+        for pos, (slot, segment) in enumerate(zip(slots, segments)):
+            add = value if pos == last else None
+            outcome = self.arrays[slot].try_aggregate(ctx, index, segment, add, enabled=ok)
+            if ok and not outcome.success:
+                ok = False
+            if outcome.reserved:
+                self.aggregators_reserved += 1
+        if ok:
+            self.tuples_aggregated += 1
+        else:
+            self.tuples_failed += 1
+        return ok
 
     # --- seed switch aggregation: full slot/group scans --------------------
     def _program_aggregate(self, ctx, pkt, region):
@@ -453,7 +537,7 @@ def reference_mode():
         _patch(saved, sender_mod, "SlidingWindow", ReferenceSlidingWindow)
         _patch(saved, receiver_mod, "ReceiveWindow", ReferenceReceiveWindow)
         _patch(saved, service_mod, "Simulator", ReferenceSimulator)
-        _patch(saved, AskPacket, "__post_init__", _pkt_post_init)
+        _patch(saved, AskPacket, "__init__", _pkt_init)
         _patch(saved, AskPacket, "frame_bytes", _pkt_frame_bytes)
         _patch(saved, AskPacket, "wire_bytes", _pkt_wire_bytes)
         _patch(saved, AskPacket, "with_bitmap", _pkt_with_bitmap)
@@ -467,8 +551,12 @@ def reference_mode():
         _patch(saved, keyspace_mod, "partition_hash", _partition_hash_uncached)
         _patch(saved, RegisterArray, "execute", _reg_execute)
         _patch(saved, RegisterArray, "read", _reg_read)
+        _patch(saved, RegisterArray, "write", _reg_write)
         _patch(saved, RegisterArray, "set_bit", _reg_set_bit)
         _patch(saved, RegisterArray, "clr_bitc", _reg_clr_bitc)
+        _patch(saved, RegisterArray, "rmw_max", _reg_rmw_max)
+        _patch(saved, AggregatorPool, "aggregate_short", _pool_aggregate_short)
+        _patch(saved, AggregatorPool, "aggregate_group", _pool_aggregate_group)
         _patch(saved, AskSwitchProgram, "_aggregate", _program_aggregate)
         _patch(saved, receiver_mod.ReceiverEngine, "_merge_packet", _receiver_merge)
         _patch(saved, CongestionWindow, "allows", _cong_allows)

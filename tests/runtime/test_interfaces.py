@@ -102,6 +102,12 @@ def test_host_daemon_and_switch_accept_any_clock():
             self.scheduled.append((time_ns, callback, args))
             return self
 
+        def call_later(self, delay_ns, callback, *args):
+            self.scheduled.append((self._now + delay_ns, callback, args))
+
+        def call_at(self, time_ns, callback, *args):
+            self.scheduled.append((time_ns, callback, args))
+
         def cancel(self):
             pass
 
