@@ -30,11 +30,32 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 def load_report(path: Path) -> dict:
     try:
-        report = json.loads(path.read_text())
-    except (OSError, json.JSONDecodeError) as exc:
+        text = path.read_text()
+    except OSError as exc:
         raise SystemExit(f"cannot read benchmark report {path}: {exc}")
+    if not text.strip():
+        raise SystemExit(
+            f"benchmark report {path} is empty — did bench_hotpath.py "
+            "fail before writing its output?"
+        )
+    try:
+        report = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"benchmark report {path} is not valid JSON: {exc}")
+    if not isinstance(report, dict):
+        raise SystemExit(
+            f"benchmark report {path} must be a JSON object, "
+            f"got {type(report).__name__}"
+        )
     if report.get("benchmark") != "hotpath":
         raise SystemExit(f"{path} is not a hotpath benchmark report")
+    speedup = report.get("speedup")
+    if not isinstance(speedup, dict) or "packets_per_sec" not in speedup:
+        raise SystemExit(
+            f"benchmark report {path} has no speedup.packets_per_sec "
+            "ratio — it looks truncated or from an incompatible "
+            "bench_hotpath.py version"
+        )
     return report
 
 

@@ -72,6 +72,10 @@ class ChaosOrchestrator:
             self._node(event.target).restore()
         elif event.kind == "partition":
             self.deployment.fabric.partition(event.target)
+        elif event.kind == "corrupt":
+            self.deployment.fabric.corrupt(event.target)
+        elif event.kind == "cleanse":
+            self.deployment.fabric.cleanse(event.target)
         else:  # "heal"
             self.deployment.fabric.heal(event.target)
         self.injected.append(

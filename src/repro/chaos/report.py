@@ -29,6 +29,9 @@ class DegradationReport:
     recovery_latencies_ns: Dict[str, List[int]]
     #: Aggregate loss/recovery counters for the whole run.
     totals: Dict[str, int] = field(default_factory=dict)
+    #: node -> {"counters": {reason: n}, "quarantine": {...}} for every
+    #: node that dropped or quarantined at least one frame.
+    robustness: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -56,9 +59,29 @@ class DegradationReport:
                         event["t_ns"] - started
                     )
 
-        nodes = list(deployment.daemons.values()) + list(
-            deployment.switches.values()
-        )
+        named_nodes: Dict[str, Any] = {}
+        named_nodes.update(deployment.daemons)
+        named_nodes.update(deployment.switches)
+        nodes = list(named_nodes.values())
+
+        # Integrity accounting: per-node drop/quarantine detail plus the
+        # run-wide balance against the frames the fabric damaged.
+        robustness: Dict[str, Dict[str, Any]] = {}
+        drops = 0
+        quarantined = 0
+        for name, node in named_nodes.items():
+            counters = getattr(node, "robustness", None)
+            quarantine = getattr(node, "quarantine", None)
+            entry: Dict[str, Any] = {}
+            if counters is not None and counters:
+                entry["counters"] = counters.as_dict()
+                drops += counters.total
+            if quarantine is not None and quarantine.admitted:
+                entry["quarantine"] = quarantine.summary()
+                quarantined += quarantine.admitted
+            if entry:
+                robustness[name] = entry
+
         totals = {
             "faults_injected": sum(
                 1 for e in injected if e["kind"] in ("crash", "partition")
@@ -75,6 +98,15 @@ class DegradationReport:
             "switch_reboots": sum(
                 getattr(s, "boot_count", 0) for s in deployment.switches.values()
             ),
+            # Integrity balance sheet: frames the fabric damaged, frames
+            # the nodes refused (checksum/validation drops — includes the
+            # quarantine admissions, which are also counted drops), and
+            # the dead-letter admissions on their own.
+            "corrupted_frames_injected": getattr(
+                deployment.fabric, "corruption_injected", 0
+            ),
+            "robustness_drops": drops,
+            "frames_quarantined": quarantined,
         }
         if supervisor is not None:
             totals.update(
@@ -99,6 +131,7 @@ class DegradationReport:
             supervisor_events=sup_events,
             recovery_latencies_ns=latencies,
             totals=totals,
+            robustness=robustness,
         )
 
     # ------------------------------------------------------------------
@@ -111,6 +144,7 @@ class DegradationReport:
                 "supervisor_events": self.supervisor_events,
                 "recovery_latencies_ns": self.recovery_latencies_ns,
                 "totals": self.totals,
+                "robustness": self.robustness,
             },
             indent=indent,
         )
@@ -137,6 +171,16 @@ class DegradationReport:
         for target, values in self.recovery_latencies_ns.items():
             pretty = ", ".join(f"{v:,}ns" for v in values)
             lines.append(f"  recovery latency {target}: {pretty}")
+        for node, entry in self.robustness.items():
+            counters = entry.get("counters", {})
+            pretty = ", ".join(f"{k}={v}" for k, v in sorted(counters.items()))
+            quarantine = entry.get("quarantine")
+            if quarantine:
+                pretty += (
+                    f"  quarantine admitted={quarantine['admitted']} "
+                    f"held={quarantine['held']} evicted={quarantine['evicted']}"
+                )
+            lines.append(f"  integrity {node}: {pretty}")
         for key, value in self.totals.items():
             lines.append(f"  {key} = {value:,}")
         return "\n".join(lines)

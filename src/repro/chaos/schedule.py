@@ -17,8 +17,12 @@ import random
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-#: Fault kind -> the event kind that undoes it.
-RECOVERY_OF = {"crash": "restore", "partition": "heal"}
+#: Fault kind -> the event kind that undoes it.  "corrupt" opens a
+#: corruption window on the target (frames it sends/receives are
+#: delivered with flipped bits) and "cleanse" closes it.
+RECOVERY_OF = {"crash": "restore", "partition": "heal", "corrupt": "cleanse"}
+
+_EVENT_KINDS = ("crash", "restore", "partition", "heal", "corrupt", "cleanse")
 
 
 @dataclass(frozen=True)
@@ -27,11 +31,11 @@ class ChaosEvent:
     ``target`` (a host daemon or switch name)."""
 
     at_ns: int
-    kind: str  # "crash" | "restore" | "partition" | "heal"
+    kind: str  # "crash" | "restore" | "partition" | "heal" | "corrupt" | "cleanse"
     target: str
 
     def __post_init__(self) -> None:
-        if self.kind not in ("crash", "restore", "partition", "heal"):
+        if self.kind not in _EVENT_KINDS:
             raise ValueError(f"unknown chaos event kind {self.kind!r}")
         if self.at_ns < 0:
             raise ValueError("chaos events cannot be scheduled in the past")
@@ -61,7 +65,10 @@ class ChaosSchedule:
 
         The draw sequence is fixed — (target, kind, start, duration) per
         fault from ``random.Random(seed)`` — so a seed fully determines
-        the schedule for a given topology.
+        the schedule for a given topology.  The default ``kinds`` stays
+        ``("crash", "partition")`` so existing seeds keep their exact
+        schedules; corruption runs opt in with
+        ``kinds=("crash", "partition", "corrupt")``.
         """
         targets = list(hosts) + list(switches)
         if not targets:

@@ -127,16 +127,31 @@ def _chaos_config(backend: str):
     )
 
 
-def _run_chaos(backend: str, seed: int, report_path: str | None) -> int:
+def _run_chaos(
+    backend: str,
+    seed: int,
+    report_path: str | None,
+    corrupt_rate: float = 0.0,
+) -> int:
     """Shared driver for ``repro chaos`` and ``repro demo --chaos``: run
     the demo workload under a seed-deterministic fault schedule, verify
     the result is bit-exact against the fault-free reference, and print
-    the degradation report."""
-    from repro import AskService
+    the degradation report.
+
+    ``corrupt_rate`` > 0 additionally flips bits in that fraction of
+    frames on every link; the integrity layer must turn each damaged
+    frame into a counted drop (healed by retransmission) for the result
+    to stay bit-exact."""
+    from repro import AskService, FaultModel
     from repro.chaos import ChaosOrchestrator, ChaosSchedule
 
     sim = backend == "sim"
-    service = AskService(_chaos_config(backend), hosts=3, backend=backend)
+    fault = None
+    if corrupt_rate > 0:
+        fault = FaultModel(corrupt_rate=corrupt_rate, seed=seed)
+    service = AskService(
+        _chaos_config(backend), hosts=3, fault=fault, backend=backend
+    )
     try:
         schedule = ChaosSchedule.generate(
             seed,
@@ -172,6 +187,14 @@ def _run_chaos(backend: str, seed: int, report_path: str | None) -> int:
             print(f"  {key.decode():>12}: {value}")
         print(f"  ... and {max(0, len(result.values) - 4)} more")
         print(report.summary())
+        if corrupt_rate > 0:
+            totals = report.totals
+            print(
+                f"corruption: {totals.get('corrupted_frames_injected', 0)} "
+                f"frame(s) damaged, "
+                f"{totals.get('robustness_drops', 0)} refused at ingress, "
+                f"{totals.get('frames_quarantined', 0)} quarantined"
+            )
         if report_path is not None:
             with open(report_path, "w", encoding="utf-8") as fh:
                 fh.write(report.to_json())
@@ -182,7 +205,7 @@ def _run_chaos(backend: str, seed: int, report_path: str | None) -> int:
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
-    return _run_chaos(args.backend, args.seed, args.report)
+    return _run_chaos(args.backend, args.seed, args.report, args.corrupt_rate)
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -372,6 +395,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write the degradation report as JSON to PATH",
+    )
+    chaos.add_argument(
+        "--corrupt-rate",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="also flip bits in this fraction of frames on every link "
+        "[0, 1); the run still verifies bit-exact against the reference",
     )
     chaos.set_defaults(func=cmd_chaos)
     serve = sub.add_parser(

@@ -87,6 +87,14 @@ class AskConfig:
     retransmit_jitter: float = 0.0
     give_up_timeout_us: Optional[float] = None
 
+    # Data integrity.  When enabled (the default), frames failing their
+    # integrity check (CRC32 trailer on the wire codec; the
+    # checksum-failed marker in the discrete-event fabric) are dropped and
+    # counted at ingress, so corruption degrades to loss and §3.3
+    # retransmission recovers it.  Disabling this models the seed stack,
+    # where a flipped bit silently poisons the aggregate.
+    integrity_checks: bool = True
+
     # Hot-key prioritization
     shadow_copy: bool = True
     swap_threshold_packets: int = 1024

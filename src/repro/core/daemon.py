@@ -15,10 +15,18 @@ from typing import Callable, Optional
 from dataclasses import dataclass
 
 from repro.core.config import AskConfig
+from repro.core.errors import ProtocolError
 from repro.core.hashing import channel_hash
 from repro.core.packer import Packer
 from repro.core.packet import SWAP_CHANNEL_INDEX, AskPacket
 from repro.core.receiver import ReceiverEngine
+from repro.core.robustness import (
+    Quarantine,
+    RobustnessCounters,
+    quarantine_packet,
+    validate_host_ingress,
+)
+from repro.net.fault import CorruptedFrame
 from repro.core.sender import SenderChannel, SendingJob
 from repro.core.shared_memory import SharedMemoryAllocator
 from repro.core.task import AggregationTask
@@ -90,6 +98,10 @@ class HostDaemon(NetworkNode):
             name, clock, config, control, send_fn, on_task_complete
         )
         self.malformed_packets = 0
+        #: Ingress robustness: per-reason drop counters plus a bounded
+        #: dead-letter quarantine for protocol-invariant violators.
+        self.robustness = RobustnessCounters()
+        self.quarantine = Quarantine()
         #: Sending jobs by task id, retained until the task settles so a
         #: supervised restart can rewind and replay them.
         self._jobs_by_task: dict[int, SendingJob] = {}
@@ -102,6 +114,15 @@ class HostDaemon(NetworkNode):
         if self._offline:
             self.dropped_while_down += 1
             return
+        if type(packet) is CorruptedFrame:
+            # Checksum-failed frame: with integrity checks on, corruption
+            # degrades to loss (drop + count; the sender retransmits).
+            # With them off, the damaged payload is consumed as-is — the
+            # seed stack's behaviour, kept as the negative control.
+            if self.config.integrity_checks:
+                self.robustness.bump("checksum")
+                return
+            packet = packet.packet
         if packet.is_ack:
             if packet.channel_index == SWAP_CHANNEL_INDEX:
                 self.receiver.on_swap_ack(packet)
@@ -111,8 +132,30 @@ class HostDaemon(NetworkNode):
                 # A malformed/foreign ACK must not crash the daemon; real
                 # DPDK stacks count and drop such packets.
                 self.malformed_packets += 1
+                self.robustness.bump("channel-index")
             return
-        self.receiver.on_packet(packet)
+        reason = validate_host_ingress(
+            packet, self.config.num_aas, len(self.channels)
+        )
+        if reason is not None:
+            quarantine_packet(
+                self.robustness, self.quarantine, self.clock.now, reason, packet
+            )
+            return
+        try:
+            self.receiver.on_packet(packet)
+        except ProtocolError:
+            # A deep per-slot invariant (live bit on a blank slot, partial
+            # medium group) violated by a frame that passed its checksum:
+            # an adversarial sender.  The receiver ACKs before merging, so
+            # state stays consistent; dead-letter instead of crashing.
+            quarantine_packet(
+                self.robustness,
+                self.quarantine,
+                self.clock.now,
+                "protocol-invariant",
+                packet,
+            )
 
     # ------------------------------------------------------------------
     # Application-facing operations

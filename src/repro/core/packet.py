@@ -39,6 +39,7 @@ import enum
 from typing import Iterator, Optional
 
 from repro.core import constants
+from repro.core.errors import ProtocolError
 
 
 #: Pseudo channel index used by swap notifications and their ACKs, so the
@@ -283,12 +284,17 @@ class AskPacket:
         return self.bitmap.bit_count()
 
     def live_slots(self) -> list[tuple[int, Slot]]:
-        """(slot index, slot) pairs whose bitmap bit is still set."""
+        """(slot index, slot) pairs whose bitmap bit is still set.
+
+        Raises :class:`~repro.core.errors.ProtocolError` on a live bit
+        over a blank slot, so ingress facades can dead-letter the frame
+        with every other protocol-invariant violation.
+        """
         out = []
         for i, slot in enumerate(self.slots):
             if self.bitmap >> i & 1:
                 if slot is None:
-                    raise ValueError(f"bitmap bit {i} set but slot is blank")
+                    raise ProtocolError(f"bitmap bit {i} set but slot is blank")
                 out.append((i, slot))
         return out
 

@@ -2,8 +2,19 @@
 
 The ASK reliability mechanism (§3.3 of the paper) must survive packet loss,
 duplication, reordering and long delays ("very stale packets").  This module
-produces exactly that event space.  Each decision is drawn from a dedicated
-``random.Random`` stream so a fixed seed yields a fixed fault schedule.
+produces exactly that event space — plus *corruption*, the event the paper
+gets for free from the Ethernet CRC but software fabrics do not.  Each
+decision is drawn from a dedicated ``random.Random`` stream so a fixed seed
+yields a fixed fault schedule.
+
+Corruption is injected in backend-native form: the asyncio fabric flips
+bits in the encoded datagram (:func:`corrupt_bytes`) and lets the codec's
+CRC32 trailer catch them; the sim fabric moves packet *objects*, so it
+mutates one header/payload field on a copy (:func:`corrupt_packet_fields`)
+and wraps it in :class:`CorruptedFrame` — the in-object stand-in for "the
+frame's checksum no longer matches", which integrity-checking ingress
+drops and integrity-disabled ingress unwraps and consumes (the negative
+control: without a checksum, corruption silently poisons the aggregate).
 """
 
 from __future__ import annotations
@@ -11,7 +22,7 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 
 @dataclass(frozen=True)
@@ -54,6 +65,7 @@ class FaultDecision:
 
     drop: bool = False
     duplicate: bool = False
+    corrupt: bool = False
     extra_delay_ns: int = 0
     duplicate_delay_ns: int = 0
 
@@ -96,11 +108,15 @@ class FaultModel:
     #: when ``None`` the draw sequence is bit-identical to before the
     #: field existed, preserving every existing seeded schedule.
     burst: Optional[GilbertElliott] = None
+    #: Probability a surviving packet is delivered *corrupted* (bit flips
+    #: on the wire).  Like ``burst``, a zero rate draws nothing, so every
+    #: pre-existing seeded schedule stays bit-identical.
+    corrupt_rate: float = 0.0
     _rng: random.Random = field(init=False, repr=False)
     _burst_bad: bool = field(init=False, repr=False, default=False)
 
     def __post_init__(self) -> None:
-        for name in ("loss_rate", "duplicate_rate", "reorder_rate"):
+        for name in ("loss_rate", "duplicate_rate", "reorder_rate", "corrupt_rate"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be within [0, 1], got {value}")
@@ -138,6 +154,7 @@ class FaultModel:
             max_extra_delay_ns=self.max_extra_delay_ns,
             seed=int.from_bytes(digest, "big"),
             burst=self.burst,
+            corrupt_rate=self.corrupt_rate,
         )
 
     @property
@@ -146,6 +163,7 @@ class FaultModel:
             self.loss_rate == 0.0
             and self.duplicate_rate == 0.0
             and self.reorder_rate == 0.0
+            and self.corrupt_rate == 0.0
             and (self.burst is None or self.burst.is_lossless)
         )
 
@@ -153,9 +171,14 @@ class FaultModel:
         """Draw the fate of the next packet.
 
         The RNG draw order is part of the determinism contract: each rate
-        draws at most once per packet, in loss → reorder → duplicate order.
-        The common no-fault outcome returns a shared decision object (which
-        callers only read) to keep the per-packet path allocation-free.
+        draws at most once per packet, in loss → corrupt → reorder →
+        duplicate order (zero rates draw nothing, so enabling a new fault
+        class never perturbs schedules that do not use it).  A corrupt
+        decision returns immediately — a corrupted frame is never also
+        duplicated, keeping injected-corruption accounting one-to-one with
+        delivered-corrupt frames.  The common no-fault outcome returns a
+        shared decision object (which callers only read) to keep the
+        per-packet path allocation-free.
         """
         rng = self._rng
         if self.burst is not None:
@@ -168,6 +191,8 @@ class FaultModel:
                 return _DROP
         elif self.loss_rate and rng.random() < self.loss_rate:
             return _DROP
+        if self.corrupt_rate and rng.random() < self.corrupt_rate:
+            return FaultDecision(corrupt=True)
         extra_delay = 0
         if self.reorder_rate and rng.random() < self.reorder_rate:
             extra_delay = rng.randint(1, self.max_extra_delay_ns)
@@ -180,3 +205,140 @@ class FaultModel:
         if extra_delay:
             return FaultDecision(extra_delay_ns=extra_delay)
         return _CLEAN
+
+    # -- corruption payload helpers (draw from the same seeded stream) --
+    def corrupt_payload(self, data: bytes) -> bytes:
+        """Flip bits in an encoded datagram (asyncio-backend corruption)."""
+        return corrupt_bytes(data, self._rng)
+
+    def corrupt_fields(self, packet: Any) -> Any:
+        """Mutate one field on a packet copy (sim-backend corruption)."""
+        return corrupt_packet_fields(packet, self._rng)
+
+
+def corrupt_bytes(data: bytes, rng: random.Random) -> bytes:
+    """Return ``data`` with 1–3 distinct bit flips (never equal to input).
+
+    Models on-the-wire corruption of a UDP payload.  Flips are drawn from
+    ``rng`` so a seeded fault schedule also fixes *which* bits break.
+    """
+    if not data:
+        return b"\xff"  # nothing to flip; corrupt by injection instead
+    n_bits = rng.randint(1, min(3, len(data) * 8))
+    mutated = bytearray(data)
+    for position in rng.sample(range(len(data) * 8), n_bits):
+        mutated[position >> 3] ^= 1 << (position & 7)
+    return bytes(mutated)
+
+
+#: Field mutators for in-object corruption.  Each takes ``(fields, rng)``
+#: where ``fields`` is the keyword dict about to rebuild the packet, and
+#: perturbs exactly one field the aggregation protocol depends on.
+def _mutate_seq(fields: dict, rng: random.Random) -> None:
+    fields["seq"] = fields["seq"] ^ (1 << rng.randrange(0, 40))
+
+
+def _mutate_bitmap(fields: dict, rng: random.Random) -> None:
+    fields["bitmap"] = fields["bitmap"] ^ (1 << rng.randrange(0, 64))
+
+
+def _mutate_task_id(fields: dict, rng: random.Random) -> None:
+    fields["task_id"] = fields["task_id"] ^ (1 << rng.randrange(0, 63))
+
+
+def _mutate_channel(fields: dict, rng: random.Random) -> None:
+    fields["channel_index"] = fields["channel_index"] ^ (1 << rng.randrange(0, 8))
+
+
+def _mutate_flags(fields: dict, rng: random.Random) -> None:
+    fields["flags"] = int(fields["flags"]) ^ (1 << rng.randrange(0, 8))
+
+
+def _mutate_value(fields: dict, rng: random.Random) -> None:
+    slots = list(fields["slots"])
+    live = [i for i, s in enumerate(slots) if s is not None]
+    if not live:
+        _mutate_bitmap(fields, rng)
+        return
+    idx = live[rng.randrange(len(live))]
+    slot = slots[idx]
+    slots[idx] = type(slot)(slot.key, slot.value ^ (1 << rng.randrange(0, 64)))
+    fields["slots"] = tuple(slots)
+
+
+_FIELD_MUTATORS = (
+    _mutate_seq,
+    _mutate_bitmap,
+    _mutate_task_id,
+    _mutate_channel,
+    _mutate_flags,
+    _mutate_value,
+)
+
+
+def corrupt_packet_fields(packet: Any, rng: random.Random) -> Any:
+    """Return a *copy* of ``packet`` with exactly one field bit-flipped.
+
+    The sim-backend analogue of :func:`corrupt_bytes`: the discrete-event
+    fabric never serializes, so corruption mutates the object fields the
+    wire bytes would have carried.  The original packet is untouched (the
+    sender still holds it for retransmission).
+    """
+    fields = dict(
+        flags=int(packet.flags),
+        task_id=packet.task_id,
+        src=packet.src,
+        dst=packet.dst,
+        channel_index=packet.channel_index,
+        seq=packet.seq,
+        bitmap=packet.bitmap,
+        slots=packet.slots,
+        ecn=packet.ecn,
+    )
+    _FIELD_MUTATORS[rng.randrange(len(_FIELD_MUTATORS))](fields, rng)
+    fields["flags"] = int(fields["flags"]) & 0xFF
+    return type(packet)(**fields)
+
+
+class CorruptedFrame:
+    """A packet whose (notional) frame checksum no longer matches.
+
+    The sim fabric's stand-in for flipped wire bits: it delivers the
+    mutated packet wrapped in this marker.  Integrity-checking ingress
+    treats the wrapper exactly like a CRC32 failure — drop and count;
+    integrity-disabled ingress unwraps it and consumes the mutated packet
+    (demonstrating why the checksum exists).
+
+    Delegates the accounting surface the fabric touches (sizes, addresses)
+    and deliberately answers ``with_ecn`` with itself so an ECN-marking
+    link cannot silently replace the wrapper with a clean copy.
+    """
+
+    __slots__ = ("packet",)
+
+    def __init__(self, packet: Any) -> None:
+        self.packet = packet
+
+    def with_ecn(self) -> "CorruptedFrame":
+        return self
+
+    @property
+    def src(self) -> Any:
+        return self.packet.src
+
+    @property
+    def dst(self) -> Any:
+        return self.packet.dst
+
+    @property
+    def ecn(self) -> Any:
+        return self.packet.ecn
+
+    def frame_bytes(self) -> int:
+        return int(self.packet.frame_bytes())
+
+    def wire_bytes(self) -> int:
+        return int(self.packet.wire_bytes())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CorruptedFrame({self.packet!r})"

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
-from repro.net.fault import FaultModel
+from repro.net.fault import CorruptedFrame, FaultModel
 from repro.net.simulator import Simulator
 
 DeliverFn = Callable[[Any], None]
@@ -64,6 +64,7 @@ class Link:
         self.packets_sent = 0
         self.packets_dropped = 0
         self.packets_duplicated = 0
+        self.packets_corrupted = 0
         self.packets_marked = 0
         self.bytes_sent = 0
         self.max_backlog_bytes = 0
@@ -118,6 +119,15 @@ class Link:
         if decision.drop:
             self.packets_dropped += 1
             return
+        if decision.corrupt:
+            # Deliver a field-mutated copy behind the checksum-failed
+            # marker; the sender's original is untouched (it still holds
+            # it for retransmission).  Corruption applies after ECN
+            # marking, like real wire damage.  A frame already damaged
+            # upstream (chaos window) stays damaged — one marker is enough.
+            self.packets_corrupted += 1
+            if type(packet) is not CorruptedFrame:
+                packet = CorruptedFrame(self.fault.corrupt_fields(packet))
         # Deliveries are never cancelled: use the allocation-free fast path.
         arrival = tx_done + self.latency_ns + decision.extra_delay_ns
         self.sim.call_at(arrival, deliver, packet)

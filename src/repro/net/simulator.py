@@ -33,12 +33,14 @@ Two scheduling fast paths feed the compiled packet pipeline:
   keeps using ``schedule``/``at``.  Orders are globally unique, so mixed
   3- and 4-tuples never compare past the integer prefix in the heap.
 - events landing at exactly the current instant (``delay 0``, ``at(now)``)
-  go to a same-timestamp FIFO drained before the heap is touched again —
-  a burst of same-instant work never re-heapifies.  Ordering stays exact:
-  a heap entry at time ``T`` was necessarily pushed while ``now < T`` (an
-  at-``now`` push is diverted to the FIFO), so every heap entry at ``T``
-  carries a smaller order than every FIFO entry, and the FIFO itself is
-  order-sorted by construction.
+  go to a same-timestamp FIFO — a burst of same-instant work never
+  re-heapifies.  Ordering stays exact: a heap entry at time ``T`` was
+  necessarily pushed while ``now < T`` (an at-``now`` push is diverted to
+  the FIFO), so every heap entry at ``T`` carries a smaller order than
+  every FIFO entry, and the FIFO itself is order-sorted by construction.
+  The drain therefore runs heap entries whose time equals ``now`` *before*
+  the FIFO — they are the older schedules — and only then the FIFO, whose
+  callbacks can never add heap entries at the current instant.
 """
 
 from __future__ import annotations
@@ -244,12 +246,18 @@ class Simulator:
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Run the next pending event.  Returns False when nothing is queued."""
+        heap = self._heap
+        # Heap entries at the current instant predate every FIFO entry
+        # (smaller order tickets), so they run first.
+        while heap and heap[0][0] == self.now:
+            if self._run_entry(heapq.heappop(heap)):
+                return True
         queue = self._now_queue
         while queue:
             if self._run_entry(queue.popleft()):
                 return True
-        while self._heap:
-            entry = heapq.heappop(self._heap)
+        while heap:
+            entry = heapq.heappop(heap)
             self.now = entry[0]
             if self._run_entry(entry):
                 return True
@@ -270,12 +278,28 @@ class Simulator:
         heappop = heapq.heappop
         start = self._events_processed
         if until is None and max_events is None:
-            # The common full-drain loop, with bookkeeping inlined.  The
-            # inner FIFO drain runs every same-instant burst without going
-            # back to the heap (callbacks scheduling at ``now`` append to
-            # the FIFO, so a cascade never re-heapifies).
+            # The common full-drain loop, with bookkeeping inlined.  Heap
+            # entries at the current instant run before the FIFO (they hold
+            # the older order tickets); the FIFO then drains every
+            # same-instant burst without re-heapifying (its callbacks can
+            # only append to the FIFO, never to the heap at ``now``).
             while True:
-                while queue:
+                while heap and heap[0][0] == self.now:
+                    entry = heappop(heap)
+                    if len(entry) == 4:
+                        self._live -= 1
+                        self._events_processed += 1
+                        entry[2](*entry[3])
+                        continue
+                    event = entry[2]
+                    if event.cancelled:
+                        self._cancelled_in_heap -= 1
+                        continue
+                    self._live -= 1
+                    event._sim = None
+                    self._events_processed += 1
+                    event.callback(*event.args)
+                if queue:
                     entry = queue.popleft()
                     if len(entry) == 4:
                         self._live -= 1
@@ -290,6 +314,7 @@ class Simulator:
                     event._sim = None
                     self._events_processed += 1
                     event.callback(*event.args)
+                    continue
                 if not heap:
                     return
                 entry = heappop(heap)
@@ -309,7 +334,21 @@ class Simulator:
                 self._events_processed += 1
                 event.callback(*event.args)
         while True:
-            while queue:
+            # Heap entries at the current instant predate every FIFO entry
+            # (they were pushed while ``now`` was still behind this instant)
+            # and ``now <= until`` by invariant, so they run first.
+            while heap and heap[0][0] == self.now:
+                head = heap[0]
+                if len(head) == 3 and head[2].cancelled:
+                    heappop(heap)
+                    self._cancelled_in_heap -= 1
+                    continue
+                if max_events is not None and self._events_processed - start >= max_events:
+                    raise SimulationError(
+                        f"simulation exceeded max_events={max_events} at t={self.now}"
+                    )
+                self._run_entry(heappop(heap))
+            if queue:
                 # FIFO entries are at time ``now`` (<= until by invariant).
                 entry = queue[0]
                 if len(entry) == 3 and entry[2].cancelled:
@@ -321,6 +360,7 @@ class Simulator:
                         f"simulation exceeded max_events={max_events} at t={self.now}"
                     )
                 self._run_entry(queue.popleft())
+                continue
             if not heap:
                 break
             head = heap[0]

@@ -26,13 +26,14 @@ on both backends.
 from __future__ import annotations
 
 import asyncio
+import random
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.core.errors import FabricTimeoutError
 from repro.core.packet import AskPacket
-from repro.net.fault import FaultModel
+from repro.net.fault import FaultModel, corrupt_bytes
 from repro.net.trace import PacketTrace
-from repro.runtime.codec import CodecError, decode_packet, encode_packet
+from repro.runtime.codec import VERSION, CodecError, decode_packet, encode_packet
 from repro.runtime.interfaces import Node, TimerHandle
 
 NS_PER_S = 1_000_000_000
@@ -94,8 +95,14 @@ class _NodeEndpoint(asyncio.DatagramProtocol):
     def datagram_received(self, data: bytes, addr: Tuple[str, int]) -> None:
         try:
             packet = decode_packet(data)
-        except CodecError:
+        except CodecError as exc:
+            # The rejection is attributed per node and per reason (the
+            # CRC32 trailer turns wire corruption into a counted drop
+            # here); ``malformed_frames`` stays as the fabric-wide total.
             self.fabric.malformed_frames += 1
+            robustness = getattr(self.node, "robustness", None)
+            if robustness is not None:
+                robustness.bump(exc.reason)
             return
         self.queue.put_nowait(packet)
 
@@ -124,12 +131,17 @@ class AsyncioFabric:
         fault: Optional[FaultModel] = None,
         bind_host: str = "127.0.0.1",
         trace: Optional[PacketTrace] = None,
+        frame_version: int = VERSION,
     ) -> None:
         self.loop = asyncio.new_event_loop()
         self._clock = AsyncioClock(self.loop)
         self.fault = fault
         self.bind_host = bind_host
         self.trace = trace
+        #: Wire frame version for every encode.  The default carries the
+        #: CRC32 integrity trailer; the builder passes the legacy version
+        #: when ``AskConfig.integrity_checks`` is disabled.
+        self.frame_version = frame_version
         self._endpoints: Dict[str, _NodeEndpoint] = {}
         self._faults: Dict[Tuple[str, str], FaultModel] = {}
         self._switch_name: Optional[str] = None
@@ -147,6 +159,15 @@ class AsyncioFabric:
         self.frames_sent = 0
         self.frames_dropped = 0
         self.frames_duplicated = 0
+        self.frames_corrupted = 0
+        # Chaos corruption windows ("corrupt"/"cleanse" events): while a
+        # node is in the window, datagrams it sends or receives get bit
+        # flips with probability ``corruption_rate``.  A dedicated RNG
+        # keeps the per-direction FaultModel streams untouched.
+        self._corrupting: set[str] = set()
+        self.corruption_rate = 0.5
+        seed = fault.seed if fault is not None else 0
+        self._chaos_rng = random.Random(f"{seed}:chaos-corrupt")
 
     # ------------------------------------------------------------------
     @property
@@ -267,7 +288,13 @@ class AsyncioFabric:
         self.frames_sent += 1
         if self.trace is not None:
             self.trace.record(self._clock.now, f"{src}->{dst}", "tx", packet)
-        data = encode_packet(packet)
+        data = encode_packet(packet, self.frame_version)
+        corrupted = False
+        if self._corrupting and (src in self._corrupting or dst in self._corrupting):
+            if self._chaos_rng.random() < self.corruption_rate:
+                data = corrupt_bytes(data, self._chaos_rng)
+                corrupted = True
+                self.frames_corrupted += 1
         fault = self._direction_fault(src, dst)
         if fault is None:
             transport.sendto(data, address)
@@ -276,6 +303,12 @@ class AsyncioFabric:
         if decision.drop:
             self.frames_dropped += 1
             return
+        if decision.corrupt and not corrupted:
+            # Real bit flips on the encoded datagram; the codec's CRC32
+            # trailer rejects it at the destination, so corruption is
+            # observed as loss and retransmission recovers it.
+            data = fault.corrupt_payload(data)
+            self.frames_corrupted += 1
         if decision.extra_delay_ns:
             self._clock.schedule(
                 decision.extra_delay_ns, self._late_send, transport, data, address
@@ -324,6 +357,24 @@ class AsyncioFabric:
 
     def heal(self, name: str) -> None:
         self._partitioned.discard(name)
+
+    # ------------------------------------------------------------------
+    # Fault injection: corruption windows (chaos "corrupt"/"cleanse")
+    # ------------------------------------------------------------------
+    def corrupt(self, name: str) -> None:
+        """Open a corruption window on ``name``: datagrams it sends or
+        receives get wire bit flips (with probability
+        :attr:`corruption_rate`) until :meth:`cleanse`."""
+        self._corrupting.add(name)
+
+    def cleanse(self, name: str) -> None:
+        self._corrupting.discard(name)
+
+    @property
+    def corruption_injected(self) -> int:
+        """Corrupted datagrams handed to the kernel (fault-model draws
+        plus chaos windows)."""
+        return self.frames_corrupted
 
     # ------------------------------------------------------------------
     def pending_snapshot(self) -> Dict[str, int]:

@@ -34,6 +34,7 @@ from repro.core.task import AggregationTask
 from repro.net.fault import FaultModel
 from repro.net.trace import PacketTrace
 from repro.runtime.asyncio_fabric import AsyncioFabric
+from repro.runtime.codec import VERSION, VERSION_LEGACY
 from repro.runtime.interfaces import Clock, TaskRunner
 from repro.runtime.sim import SimFabric, SimMultiRackFabric
 
@@ -152,8 +153,14 @@ class DeploymentBuilder:
                     "the asyncio backend frames a single rack onto UDP; "
                     "multi-rack deployments need backend='sim'"
                 )
+            # Integrity off => speak the legacy v1 frame (no CRC trailer),
+            # the wire-level equivalent of skipping the checksum verify.
+            frame_version = VERSION if config.integrity_checks else VERSION_LEGACY
             return AsyncioFabric(
-                fault=self.fault, bind_host=self.bind_host, trace=trace
+                fault=self.fault,
+                bind_host=self.bind_host,
+                trace=trace,
+                frame_version=frame_version,
             )
         if len(self._racks) > 1:
             return SimMultiRackFabric(

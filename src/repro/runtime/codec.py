@@ -10,7 +10,7 @@ along because the simulator addresses by name, not by IP):
 offset  size   field
 ======  =====  ==========================================================
 0       1      magic (0xA5)
-1       1      version (1)
+1       1      version (2)
 2       1      flags (:class:`~repro.core.packet.PacketFlag` bits)
 3       1      ECN congestion-experienced mark (0/1)
 4       8      task id (unsigned)
@@ -20,42 +20,84 @@ offset  size   field
 30      1+n    src name (length-prefixed UTF-8)
 ..      1+n    dst name (length-prefixed UTF-8)
 ..      2      slot count
+..      ...    slots
+end-4   4      CRC32 integrity trailer (version >= 2 only)
 ======  =====  ==========================================================
 
-Each slot is then ``present(1) [key_len(2) key value(8)]``; blank slots
+Each slot is ``present(1) [key_len(2) key value(8)]``; blank slots
 (``present == 0``) carry no payload.  Values are the masked unsigned
 integers the aggregation pipeline works in (§3.2.1), so 8 bytes always
 suffice.
 
+Version 2 appends a CRC32 (IEEE, :func:`zlib.crc32`) of everything
+before the trailer.  On Tofino the Ethernet FCS provides this for free;
+over localhost UDP nothing does, and a single flipped bit in a value or
+bitmap would otherwise decode cleanly and silently corrupt the final
+aggregate.  With the trailer, corruption degrades to *loss* — the frame
+is rejected, the sender retransmits, and exactly-once recovery (§3.3)
+applies unchanged.  Version-1 frames (the seed encoding, no trailer)
+still decode for compatibility; :func:`encode_packet` can emit them on
+request for fabrics running with integrity disabled.
+
 The codec is total: every packet the stack can build round-trips, and
 :func:`decode_packet` raises :class:`CodecError` (never an unhandled
-struct error) on truncated or foreign datagrams, so a stray UDP sender
-cannot crash a serving rack.
+struct/unicode error) on truncated, mutated, or foreign datagrams, so a
+stray UDP sender cannot crash a serving rack.  Each :class:`CodecError`
+carries a stable ``reason`` tag (``"magic"``, ``"version"``, ``"flags"``,
+``"truncated"``, ``"checksum"``, ``"malformed"``) that ingress counters
+key on.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Optional
+import zlib
+from typing import List, Optional
 
 from repro.core.errors import AskError
 from repro.core.packet import AskPacket, PacketFlag, Slot
 
 MAGIC = 0xA5
-VERSION = 1
+#: Current frame version: CRC32 integrity trailer.
+VERSION = 2
+#: Seed frame version: no trailer.  Still decodable; encodable on request.
+VERSION_LEGACY = 1
+
+#: Every flag bit the protocol defines.  Frames with bits outside this
+#: mask are rejected (``IntFlag`` would otherwise KEEP unknown bits and
+#: hand the stack a flag value no dispatch path expects).
+_DEFINED_FLAGS = 0
+for _flag in PacketFlag:
+    _DEFINED_FLAGS |= int(_flag)
 
 _FIXED = struct.Struct("!BBBBQqhQ")
 _SLOT_HEAD = struct.Struct("!H")
 _VALUE = struct.Struct("!Q")
+_CRC = struct.Struct("!I")
 _VALUE_MASK = (1 << 64) - 1
 
 
 class CodecError(AskError, ValueError):
-    """A datagram could not be decoded as an ASK packet."""
+    """A datagram could not be decoded as an ASK packet.
+
+    ``reason`` is a stable machine-readable tag for drop accounting:
+    one of ``"magic"``, ``"version"``, ``"flags"``, ``"truncated"``,
+    ``"checksum"``, ``"malformed"``.
+    """
+
+    def __init__(self, message: str, reason: str = "malformed") -> None:
+        super().__init__(message)
+        self.reason = reason
 
 
-def encode_packet(packet: AskPacket) -> bytes:
-    """Serialize ``packet`` into one self-contained datagram payload."""
+def encode_packet(packet: AskPacket, version: int = VERSION) -> bytes:
+    """Serialize ``packet`` into one self-contained datagram payload.
+
+    ``version=2`` (default) appends the CRC32 trailer; ``version=1``
+    emits the seed framing for integrity-disabled fabrics.
+    """
+    if version not in (VERSION, VERSION_LEGACY):
+        raise CodecError(f"cannot encode frame version {version}", reason="version")
     src = packet.src.encode("utf-8")
     dst = packet.dst.encode("utf-8")
     if len(src) > 255 or len(dst) > 255:
@@ -63,7 +105,7 @@ def encode_packet(packet: AskPacket) -> bytes:
     parts = [
         _FIXED.pack(
             MAGIC,
-            VERSION,
+            version,
             int(packet.flags) & 0xFF,
             1 if packet.ecn else 0,
             packet.task_id & _VALUE_MASK,
@@ -87,7 +129,10 @@ def encode_packet(packet: AskPacket) -> bytes:
         parts.append(struct.pack("!H", len(slot.key)))
         parts.append(slot.key)
         parts.append(_VALUE.pack(slot.value & _VALUE_MASK))
-    return b"".join(parts)
+    body = b"".join(parts)
+    if version == VERSION_LEGACY:
+        return body
+    return body + _CRC.pack(zlib.crc32(body))
 
 
 class _Reader:
@@ -104,7 +149,8 @@ class _Reader:
         if end > len(self.data):
             raise CodecError(
                 f"truncated datagram: wanted {n} bytes at offset {self.pos}, "
-                f"have {len(self.data) - self.pos}"
+                f"have {len(self.data) - self.pos}",
+                reason="truncated",
             )
         chunk = self.data[self.pos : end]
         self.pos = end
@@ -117,24 +163,55 @@ class _Reader:
 def decode_packet(data: bytes) -> AskPacket:
     """Parse one datagram back into an :class:`AskPacket`.
 
-    Raises :class:`CodecError` on anything that is not a well-formed
-    version-1 ASK frame.
+    Accepts version-2 frames (CRC32 verified) and legacy version-1
+    frames (no trailer).  Raises :class:`CodecError` on anything else.
     """
-    reader = _Reader(data)
+    if len(data) < _FIXED.size:
+        raise CodecError(
+            f"datagram of {len(data)} bytes is shorter than the fixed header",
+            reason="truncated",
+        )
     magic, version, flags, ecn, task_id, seq, channel_index, bitmap = _FIXED.unpack(
-        reader.take(_FIXED.size)
+        data[: _FIXED.size]
     )
     if magic != MAGIC:
-        raise CodecError(f"bad magic 0x{magic:02x} (not an ASK frame)")
-    if version != VERSION:
-        raise CodecError(f"unsupported frame version {version}")
+        raise CodecError(f"bad magic 0x{magic:02x} (not an ASK frame)", reason="magic")
+    if version == VERSION:
+        # Verify the trailer before trusting a single field: a corrupted
+        # frame must look exactly like a lost one.
+        if len(data) < _FIXED.size + _CRC.size:
+            raise CodecError(
+                "version-2 frame too short to carry its CRC32 trailer",
+                reason="truncated",
+            )
+        body, trailer = data[: -_CRC.size], data[-_CRC.size :]
+        (expected,) = _CRC.unpack(trailer)
+        actual = zlib.crc32(body)
+        if actual != expected:
+            raise CodecError(
+                f"CRC32 mismatch: trailer 0x{expected:08x}, computed 0x{actual:08x}",
+                reason="checksum",
+            )
+    elif version == VERSION_LEGACY:
+        body = data
+    else:
+        raise CodecError(f"unsupported frame version {version}", reason="version")
+    if flags & ~_DEFINED_FLAGS:
+        raise CodecError(
+            f"undefined flag bits 0x{flags & ~_DEFINED_FLAGS:02x} in 0x{flags:02x}",
+            reason="flags",
+        )
+    if ecn > 1:
+        raise CodecError(f"bad ECN byte {ecn} (must be 0 or 1)")
+    reader = _Reader(body)
+    reader.pos = _FIXED.size
     try:
         src = reader.take(reader.byte()).decode("utf-8")
         dst = reader.take(reader.byte()).decode("utf-8")
     except UnicodeDecodeError as exc:
         raise CodecError(f"undecodable endpoint name: {exc}") from exc
     (slot_count,) = _SLOT_HEAD.unpack(reader.take(_SLOT_HEAD.size))
-    slots: list[Optional[Slot]] = []
+    slots: List[Optional[Slot]] = []
     for _ in range(slot_count):
         present = reader.byte()
         if present == 0:
@@ -146,8 +223,8 @@ def decode_packet(data: bytes) -> AskPacket:
             slots.append(Slot(key, value))
         else:
             raise CodecError(f"bad slot presence byte {present}")
-    if reader.pos != len(data):
-        raise CodecError(f"{len(data) - reader.pos} trailing bytes after packet")
+    if reader.pos != len(body):
+        raise CodecError(f"{len(body) - reader.pos} trailing bytes after packet")
     return AskPacket(
         flags=PacketFlag(flags),
         task_id=task_id,

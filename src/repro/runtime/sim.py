@@ -16,14 +16,48 @@ directly.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+import random
+from typing import Callable, Dict, Iterator, Optional
 
-from repro.net.fault import FaultModel
+from repro.net.fault import CorruptedFrame, FaultModel, corrupt_packet_fields
+from repro.net.link import Link
 from repro.net.multirack import MultiRackTopology, RackView
 from repro.net.simulator import Simulator
 from repro.net.topology import NetworkNode, StarTopology
 from repro.net.trace import PacketTrace
 from repro.runtime.interfaces import Node
+
+
+class _CorruptionWindow:
+    """Chaos-driven corruption: while a node is in the window, frames it
+    sends or receives are corrupted with probability ``rate``.
+
+    Orthogonal to the per-link :class:`FaultModel` streams (which model
+    steady-state line noise): the window models an episode — a failing
+    optic, a bad cable — that chaos schedules switch on (``corrupt``) and
+    off (``cleanse``).  Draws come from a dedicated ``random.Random`` so
+    opening a window never perturbs the link fault schedules.
+    """
+
+    __slots__ = ("targets", "rate", "rng", "injected")
+
+    def __init__(self, seed_label: str, rate: float = 0.5) -> None:
+        self.targets: set[str] = set()
+        self.rate = rate
+        self.rng = random.Random(seed_label)
+        self.injected = 0
+
+    def maybe_corrupt(self, packet: object, *endpoints: Optional[str]) -> object:
+        if not self.targets or type(packet) is CorruptedFrame:
+            return packet
+        if not any(e in self.targets for e in endpoints if e is not None):
+            return packet
+        if self.rng.random() >= self.rate:
+            return packet
+        if not hasattr(packet, "bitmap"):
+            return packet
+        self.injected += 1
+        return CorruptedFrame(corrupt_packet_fields(packet, self.rng))
 
 
 class SimRunner:
@@ -88,6 +122,8 @@ class SimFabric:
         #: Frames dropped at a partitioned node's egress (its ingress
         #: drops are counted on the node itself).
         self.partition_drops = 0
+        seed = fault.seed if fault is not None else 0
+        self._corruption = _CorruptionWindow(f"{seed}:chaos-corrupt")
 
     # ------------------------------------------------------------------
     @property
@@ -126,10 +162,16 @@ class SimFabric:
         if host in self._partitioned:
             self.partition_drops += 1
             return
-        self._star().send_to_switch(host, packet, size_bytes)
+        star = self._star()
+        packet = self._corruption.maybe_corrupt(packet, host, star.switch.name)
+        star.send_to_switch(host, packet, size_bytes)
 
     def send_to_host(self, host: str, packet: object, size_bytes: int) -> None:
-        self._star().send_to_host(host, packet, size_bytes)
+        star = self._star()
+        packet = self._corruption.maybe_corrupt(
+            packet, host, getattr(packet, "src", None)
+        )
+        star.send_to_host(host, packet, size_bytes)
 
     # ------------------------------------------------------------------
     # Fault injection: network partitions (pure loss, nodes keep running)
@@ -151,6 +193,43 @@ class SimFabric:
     def heal(self, name: str) -> None:
         self._partitioned.discard(name)
         self._node(name).set_partitioned(False)
+
+    # ------------------------------------------------------------------
+    # Fault injection: corruption windows (chaos "corrupt"/"cleanse")
+    # ------------------------------------------------------------------
+    def corrupt(self, name: str) -> None:
+        """Open a corruption window on ``name``: frames it sends or
+        receives are delivered corrupted (with probability
+        ``corruption_rate``) until :meth:`cleanse`."""
+        self._corruption.targets.add(name)
+
+    def cleanse(self, name: str) -> None:
+        self._corruption.targets.discard(name)
+
+    @property
+    def corruption_rate(self) -> float:
+        """Per-frame corruption probability inside an open window."""
+        return self._corruption.rate
+
+    @corruption_rate.setter
+    def corruption_rate(self, rate: float) -> None:
+        self._corruption.rate = rate
+
+    def _links(self) -> Iterator[Link]:
+        if self.topology is None:
+            return
+        for port in self.topology._uplinks.values():  # noqa: SLF001
+            yield port.link
+        for port in self.topology._downlinks.values():  # noqa: SLF001
+            yield port.link
+
+    @property
+    def corruption_injected(self) -> int:
+        """Corrupted frames delivered by this fabric: steady-state link
+        corruption (``FaultModel.corrupt_rate``) plus chaos windows."""
+        return self._corruption.injected + sum(
+            link.packets_corrupted for link in self._links()
+        )
 
 
 class SimMultiRackFabric:
@@ -193,6 +272,8 @@ class SimMultiRackFabric:
         #: Frames dropped at a partitioned node's egress (its ingress
         #: drops are counted on the node itself).
         self.partition_drops = 0
+        seed = fault.seed if fault is not None else 0
+        self._corruption = _CorruptionWindow(f"{seed}:chaos-corrupt")
 
     # ------------------------------------------------------------------
     @property
@@ -229,6 +310,13 @@ class SimMultiRackFabric:
         if host in self._partitioned:
             self.partition_drops += 1
             return
+        # Chaos corruption windows apply at the host uplink (frames the
+        # target sends, or frames addressed to it, break on their first
+        # hop); switch-egress traffic routes through per-rack RackViews
+        # and relies on the per-link ``FaultModel.corrupt_rate`` instead.
+        packet = self._corruption.maybe_corrupt(
+            packet, host, getattr(packet, "dst", None)
+        )
         self.topology.send_to_switch(host, packet, size_bytes)
 
     def send_to_host(self, host: str, packet: object, size_bytes: int) -> None:
@@ -257,3 +345,40 @@ class SimMultiRackFabric:
     def heal(self, name: str) -> None:
         self._partitioned.discard(name)
         self._node(name).set_partitioned(False)
+
+    # ------------------------------------------------------------------
+    # Fault injection: corruption windows (chaos "corrupt"/"cleanse")
+    # ------------------------------------------------------------------
+    def corrupt(self, name: str) -> None:
+        """Open a corruption window on ``name`` (applied at host uplinks;
+        see :meth:`send_to_switch`)."""
+        self._corruption.targets.add(name)
+
+    def cleanse(self, name: str) -> None:
+        self._corruption.targets.discard(name)
+
+    @property
+    def corruption_rate(self) -> float:
+        return self._corruption.rate
+
+    @corruption_rate.setter
+    def corruption_rate(self, rate: float) -> None:
+        self._corruption.rate = rate
+
+    def _links(self) -> Iterator[Link]:
+        topo = self.topology
+        for star in topo._stars.values():  # noqa: SLF001 - fabric owns topology
+            for port in star._uplinks.values():  # noqa: SLF001
+                yield port.link
+            for port in star._downlinks.values():  # noqa: SLF001
+                yield port.link
+        for nic in topo._core_links.values():  # noqa: SLF001
+            yield nic.link
+
+    @property
+    def corruption_injected(self) -> int:
+        """Corrupted frames delivered by this fabric: steady-state link
+        corruption (``FaultModel.corrupt_rate``) plus chaos windows."""
+        return self._corruption.injected + sum(
+            link.packets_corrupted for link in self._links()
+        )

@@ -80,6 +80,12 @@ class ProgramStats:
     swaps: int = 0
     fins: int = 0
     long_packets: int = 0
+    #: Aggregatable DATA that arrived with no region installed for its
+    #: task id.  Observational only — such packets are *forwarded*, not
+    #: dropped: a straggler retransmission after task teardown must still
+    #: reach the receiver so its stray-ACK stops the sender (§3.3).  A
+    #: sustained nonzero rate means an unknown/forged task id stream.
+    unknown_task_packets: int = 0
 
 
 class AskSwitchProgram:
@@ -169,6 +175,8 @@ class AskSwitchProgram:
         stats.data_packets += 1
         flags = pkt.flags
         region = self.controller.lookup_region(pkt.task_id)
+        if region is None and pkt.bitmap and flags & 0x15 == 0x1:
+            stats.unknown_task_packets += 1
 
         if code == 0:
             bitmap = pkt.bitmap

@@ -18,7 +18,15 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.config import AskConfig
+from repro.core.errors import ProtocolError, RegionExhaustedError
 from repro.core.packet import AskPacket
+from repro.core.robustness import (
+    Quarantine,
+    RobustnessCounters,
+    quarantine_packet,
+    validate_switch_ingress,
+)
+from repro.net.fault import CorruptedFrame
 from repro.net.topology import NetworkNode
 from repro.net.trace import PacketTrace
 from repro.runtime.interfaces import Clock, SwitchFabricView
@@ -79,6 +87,12 @@ class AskSwitch(NetworkNode):
         self.boot_count = 0
         self._needs_install = False
         self.self_addressed_drops = 0
+
+        # Ingress robustness: per-reason drop counters plus a bounded
+        # dead-letter quarantine for frames that pass the integrity check
+        # yet violate protocol invariants (poison pills).
+        self.robustness = RobustnessCounters()
+        self.quarantine = Quarantine()
 
         # Compiled fast path: one reusable pass context for the lifetime of
         # the switch (re-armed per packet in O(1)), and the rack's host set
@@ -141,6 +155,20 @@ class AskSwitch(NetworkNode):
         if self._offline:
             self.dropped_while_down += 1
             return
+        if type(packet) is CorruptedFrame:
+            # The fabric delivered a frame whose checksum no longer
+            # matches.  With integrity on it is dropped here — corruption
+            # degrades to loss, §3.3 retransmission recovers it.  With
+            # integrity off the damaged payload is consumed as-is (the
+            # seed stack's behaviour, kept as the negative control).
+            if self.config.integrity_checks:
+                self.robustness.bump("checksum")
+                if self.trace is not None:
+                    self.trace.record(
+                        self.clock.now, self.name, "integrity-drop", packet
+                    )
+                return
+            packet = packet.packet
         if self.trace is not None:
             self.trace.record(self.clock.now, self.name, "ingress", packet)
         if not self._should_run_program(packet):
@@ -148,8 +176,31 @@ class AskSwitch(NetworkNode):
                 self.config.switch_pipeline_latency_ns, self._route, packet
             )
             return
+        reason = validate_switch_ingress(
+            packet, self.config.num_aas, self.config.data_channels_per_host
+        )
+        if reason is not None:
+            # Structurally invalid despite an intact checksum: only an
+            # adversarial or buggy sender produces these.  Dead-letter,
+            # never raise — one poison pill must not stop the pipeline.
+            self._quarantine(reason, packet)
+            return
         ctx = self.pipeline.begin_pass_into(self._ctx)
-        decision = self.program.process(ctx, packet)
+        try:
+            decision = self.program.process(ctx, packet)
+        except ProtocolError:
+            # Deep per-slot invariant violated mid-pass (live bit on a
+            # blank slot, partial medium group).  Register writes commit
+            # per instruction and the pass context re-arms per packet, so
+            # containing the pass here leaves the pipeline consistent.
+            self._quarantine("protocol-invariant", packet)
+            return
+        except RegionExhaustedError:
+            # An adversarial flood of fresh (src, channel) pairs exhausted
+            # the controller's channel slots; shed the packet, keep serving
+            # established channels.
+            self._quarantine("region-exhausted", packet)
+            return
         if decision.emit:
             # Pipeline egress is never cancelled: allocation-free scheduling.
             self.clock.call_later(
@@ -157,6 +208,13 @@ class AskSwitch(NetworkNode):
             )
         elif self.trace is not None:
             self.trace.record(self.clock.now, self.name, "drop", packet)
+
+    def _quarantine(self, reason: str, packet: AskPacket) -> None:
+        quarantine_packet(
+            self.robustness, self.quarantine, self.clock.now, reason, packet
+        )
+        if self.trace is not None:
+            self.trace.record(self.clock.now, self.name, "quarantine", packet)
 
     def _route(self, packet: AskPacket) -> None:
         """Plain routing: deliver toward the destination untouched."""

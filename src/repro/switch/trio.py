@@ -35,7 +35,9 @@ from repro.core.config import AskConfig
 from repro.core.errors import RegionExhaustedError, TaskStateError
 from repro.core.keyspace import KeySpaceLayout, unpad_key
 from repro.core.packet import AskPacket, ack_for
+from repro.core.robustness import RobustnessCounters
 from repro.core.tenancy import TenantQuotas
+from repro.net.fault import CorruptedFrame
 from repro.net.trace import PacketTrace
 from repro.runtime.interfaces import Clock, SwitchFabricView
 from repro.switch.program import ProgramStats
@@ -152,6 +154,7 @@ class TrioSwitch:
         self.fabric: Optional[SwitchFabricView] = None
         self.tuples_aggregated = 0
         self.tuples_failed = 0
+        self.robustness = RobustnessCounters()
 
     # ------------------------------------------------------------------
     def bind(self, fabric: SwitchFabricView) -> None:
@@ -187,6 +190,14 @@ class TrioSwitch:
 
     # ------------------------------------------------------------------
     def receive(self, packet: AskPacket) -> None:
+        if type(packet) is CorruptedFrame:
+            # Same integrity contract as the PISA backend: checksum-failed
+            # frames drop (corruption degrades to loss) unless integrity
+            # checks are disabled, in which case the damage is consumed.
+            if self.config.integrity_checks:
+                self.robustness.bump("checksum")
+                return
+            packet = packet.packet
         if self.trace is not None:
             self.trace.record(self.clock.now, self.name, "ingress", packet)
         emit = self._process(packet)

@@ -2,10 +2,25 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.core.config import AskConfig
 from repro.net.simulator import Simulator
+
+# The CI fuzz job runs the property suites with a bigger example budget
+# than the default profile; the job itself is time-boxed with `timeout`,
+# and `derandomize=False` keeps each run exploring fresh inputs.
+settings.register_profile(
+    "ci-fuzz",
+    max_examples=400,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+if os.environ.get("HYPOTHESIS_PROFILE"):
+    settings.load_profile(os.environ["HYPOTHESIS_PROFILE"])
 
 
 @pytest.fixture

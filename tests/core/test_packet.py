@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import constants
+from repro.core.errors import ProtocolError
 from repro.core.packet import (
     SWAP_CHANNEL_INDEX,
     AskPacket,
@@ -45,7 +46,7 @@ def test_live_slots_follow_bitmap():
 
 def test_live_slots_rejects_bit_on_blank():
     pkt = _data([None, Slot(b"bbbb", 2)], 0b01)
-    with pytest.raises(ValueError):
+    with pytest.raises(ProtocolError):
         pkt.live_slots()
 
 

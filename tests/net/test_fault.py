@@ -282,3 +282,118 @@ def test_draw_order_contract_without_burst():
             assert decision.duplicate_delay_ns == rng.randint(1, 1000)
         else:
             assert not decision.duplicate
+
+
+# ----------------------------------------------------------------------
+# Corruption injection
+# ----------------------------------------------------------------------
+def test_corrupt_rate_must_be_probability():
+    with pytest.raises(ValueError):
+        FaultModel(corrupt_rate=1.5)
+    with pytest.raises(ValueError):
+        FaultModel(corrupt_rate=-0.1)
+
+
+def test_corrupt_rate_one_corrupts_every_survivor():
+    model = FaultModel(corrupt_rate=1.0, seed=3)
+    for _ in range(100):
+        decision = model.decide()
+        assert decision.corrupt
+        # A corrupted frame is never also duplicated or delayed: the
+        # injected-corruption count stays one-to-one with deliveries.
+        assert not decision.duplicate
+        assert decision.extra_delay_ns == 0
+
+
+def test_corrupt_rate_included_in_reliability_and_derive():
+    model = FaultModel(corrupt_rate=0.25, seed=5)
+    assert not model.is_reliable
+    child = model.derive("h0->switch")
+    assert child.corrupt_rate == 0.25
+    assert not child.is_reliable
+
+
+def test_zero_corrupt_rate_keeps_old_schedules_bit_identical():
+    """Adding the corrupt field must not perturb any existing seeded
+    schedule: a zero rate draws nothing from the RNG."""
+    legacy = FaultModel(loss_rate=0.3, duplicate_rate=0.2, reorder_rate=0.2, seed=99)
+    extended = FaultModel(
+        loss_rate=0.3, duplicate_rate=0.2, reorder_rate=0.2, seed=99, corrupt_rate=0.0
+    )
+    for _ in range(500):
+        da, db = legacy.decide(), extended.decide()
+        assert (da.drop, da.duplicate, da.extra_delay_ns, da.duplicate_delay_ns) == (
+            db.drop,
+            db.duplicate,
+            db.extra_delay_ns,
+            db.duplicate_delay_ns,
+        )
+
+
+def test_draw_order_contract_with_corruption():
+    """loss → corrupt → reorder → duplicate, corrupt returns early."""
+    import random as _random
+
+    model = FaultModel(
+        loss_rate=0.2, corrupt_rate=0.3, reorder_rate=0.4, duplicate_rate=0.5,
+        max_extra_delay_ns=1000, seed=77,
+    )
+    rng = _random.Random(77)
+    for _ in range(500):
+        decision = model.decide()
+        if rng.random() < 0.2:
+            assert decision.drop
+            continue
+        if rng.random() < 0.3:
+            assert decision.corrupt
+            continue
+        assert not decision.corrupt
+        extra = rng.randint(1, 1000) if rng.random() < 0.4 else 0
+        assert decision.extra_delay_ns == extra
+        if rng.random() < 0.5:
+            assert decision.duplicate
+            assert decision.duplicate_delay_ns == rng.randint(1, 1000)
+
+
+def test_corrupt_bytes_always_differs_and_is_seeded():
+    import random as _random
+
+    from repro.net.fault import corrupt_bytes
+
+    data = bytes(range(64))
+    a = corrupt_bytes(data, _random.Random(9))
+    b = corrupt_bytes(data, _random.Random(9))
+    c = corrupt_bytes(data, _random.Random(10))
+    assert a == b  # same seed, same damage
+    assert a != data
+    assert len(a) == len(data)
+    assert a != c or True  # different seeds usually differ; never crash
+    # 1..3 bit flips, never more.
+    flipped = sum(bin(x ^ y).count("1") for x, y in zip(a, data))
+    assert 1 <= flipped <= 3
+    assert corrupt_bytes(b"", _random.Random(0)) == b"\xff"
+
+
+def test_corrupt_packet_fields_changes_exactly_one_field():
+    import random as _random
+
+    from repro.core.packet import AskPacket, Slot
+    from repro.net.fault import corrupt_packet_fields
+
+    packet = AskPacket(
+        0x1, 7, "h0", "h2", 1, 42, bitmap=0b101,
+        slots=(Slot(b"a" * 8, 5), None, Slot(b"b" * 8, 9)),
+    )
+    for seed in range(50):
+        mutated = corrupt_packet_fields(packet, _random.Random(seed))
+        assert mutated is not packet
+        assert type(mutated) is AskPacket
+        # Addressing is carried by the fabric, not the payload: src/dst
+        # never mutate (a damaged frame still arrives *somewhere* real).
+        assert (mutated.src, mutated.dst) == ("h0", "h2")
+        diffs = [
+            name
+            for name in ("flags", "task_id", "channel_index", "seq", "bitmap", "slots")
+            if getattr(mutated, name) != getattr(packet, name)
+        ]
+        assert len(diffs) == 1, diffs

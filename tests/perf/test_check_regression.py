@@ -1,0 +1,113 @@
+"""The CI regression gate must fail *clearly* on damaged inputs.
+
+A missing, empty, truncated or schema-less report file is an
+infrastructure failure, not a perf regression — the gate has to say so
+in one line on stderr and exit nonzero, never spray a traceback.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+SCRIPT = REPO_ROOT / "benchmarks" / "check_regression.py"
+
+
+def run_gate(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *args],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+
+
+def good_report(ratio: float = 2.0) -> dict:
+    return {
+        "benchmark": "hotpath",
+        "mode": "smoke",
+        "determinism": {"repeat_identical": True, "reference_identical": True},
+        "speedup": {"packets_per_sec": ratio},
+    }
+
+
+def write(tmp_path: Path, name: str, content) -> Path:
+    path = tmp_path / name
+    if isinstance(content, (dict, list)):
+        path.write_text(json.dumps(content))
+    else:
+        path.write_text(content)
+    return path
+
+
+def test_ok_against_itself(tmp_path):
+    fresh = write(tmp_path, "fresh.json", good_report())
+    base = write(tmp_path, "base.json", good_report())
+    proc = run_gate(str(fresh), "--baseline", str(base))
+    assert proc.returncode == 0, proc.stderr
+    assert "OK" in proc.stdout
+
+
+def test_regression_fails(tmp_path):
+    fresh = write(tmp_path, "fresh.json", good_report(ratio=1.0))
+    base = write(tmp_path, "base.json", good_report(ratio=2.0))
+    proc = run_gate(str(fresh), "--baseline", str(base))
+    assert proc.returncode == 1
+    assert "FAIL" in proc.stdout
+
+
+def _assert_clean_failure(proc, needle: str) -> None:
+    assert proc.returncode != 0
+    assert "Traceback" not in proc.stderr
+    assert needle in proc.stderr
+
+
+def test_missing_file_is_a_clear_error(tmp_path):
+    base = write(tmp_path, "base.json", good_report())
+    proc = run_gate(str(tmp_path / "nope.json"), "--baseline", str(base))
+    _assert_clean_failure(proc, "cannot read benchmark report")
+
+
+def test_empty_file_is_a_clear_error(tmp_path):
+    fresh = write(tmp_path, "fresh.json", "")
+    base = write(tmp_path, "base.json", good_report())
+    proc = run_gate(str(fresh), "--baseline", str(base))
+    _assert_clean_failure(proc, "is empty")
+
+
+def test_invalid_json_is_a_clear_error(tmp_path):
+    fresh = write(tmp_path, "fresh.json", "{not json")
+    base = write(tmp_path, "base.json", good_report())
+    proc = run_gate(str(fresh), "--baseline", str(base))
+    _assert_clean_failure(proc, "not valid JSON")
+
+
+def test_non_object_report_is_a_clear_error(tmp_path):
+    fresh = write(tmp_path, "fresh.json", [1, 2, 3])
+    base = write(tmp_path, "base.json", good_report())
+    proc = run_gate(str(fresh), "--baseline", str(base))
+    _assert_clean_failure(proc, "must be a JSON object")
+
+
+def test_wrong_benchmark_kind_is_a_clear_error(tmp_path):
+    fresh = write(tmp_path, "fresh.json", {"benchmark": "other"})
+    base = write(tmp_path, "base.json", good_report())
+    proc = run_gate(str(fresh), "--baseline", str(base))
+    _assert_clean_failure(proc, "not a hotpath benchmark report")
+
+
+def test_missing_speedup_section_is_a_clear_error(tmp_path):
+    report = good_report()
+    del report["speedup"]
+    fresh = write(tmp_path, "fresh.json", report)
+    base = write(tmp_path, "base.json", good_report())
+    proc = run_gate(str(fresh), "--baseline", str(base))
+    _assert_clean_failure(proc, "speedup.packets_per_sec")
+
+
+def test_broken_baseline_is_also_caught(tmp_path):
+    fresh = write(tmp_path, "fresh.json", good_report())
+    base = write(tmp_path, "base.json", "")
+    proc = run_gate(str(fresh), "--baseline", str(base))
+    _assert_clean_failure(proc, "is empty")

@@ -1,5 +1,7 @@
 """Wire codec tests: every packet round-trips, no datagram crashes it."""
 
+import zlib
+
 import pytest
 
 from repro.core.packet import (
@@ -10,7 +12,24 @@ from repro.core.packet import (
     fin_packet,
     swap_packet,
 )
-from repro.runtime.codec import MAGIC, CodecError, decode_packet, encode_packet
+from repro.runtime.codec import (
+    MAGIC,
+    VERSION_LEGACY,
+    CodecError,
+    decode_packet,
+    encode_packet,
+)
+
+
+def reseal(body: bytes) -> bytes:
+    """Append a fresh CRC32 trailer over ``body`` so only the *semantic*
+    mutation under test reaches the decoder, not a checksum failure."""
+    return body + zlib.crc32(body).to_bytes(4, "big")
+
+
+def body_of(data: bytes) -> bytearray:
+    """The mutable pre-trailer portion of a version-2 frame."""
+    return bytearray(data[:-4])
 
 
 def data_packet(**overrides):
@@ -83,20 +102,73 @@ def test_truncation_rejected_at_every_length():
 
 
 def test_trailing_garbage_rejected():
-    data = encode_packet(data_packet())
+    # Garbage *inside* a correctly-sealed frame is a framing error...
+    body = body_of(encode_packet(data_packet()))
     with pytest.raises(CodecError, match="trailing"):
+        decode_packet(reseal(bytes(body) + b"\x00"))
+
+
+def test_appended_noise_fails_checksum():
+    # ...while bytes appended after the trailer shift it and fail the CRC.
+    data = encode_packet(data_packet())
+    with pytest.raises(CodecError) as excinfo:
         decode_packet(data + b"\x00")
+    assert excinfo.value.reason == "checksum"
 
 
 def test_bad_presence_byte_rejected():
     packet = data_packet(slots=(Slot(b"k" * 8, 1),), bitmap=1)
-    data = bytearray(encode_packet(packet))
+    body = body_of(encode_packet(packet))
     # The presence byte of slot 0 sits right after the 2-byte slot count.
-    offset = len(data) - (1 + 2 + 8 + 8)
-    assert data[offset] == 1
-    data[offset] = 7
+    offset = len(body) - (1 + 2 + 8 + 8)
+    assert body[offset] == 1
+    body[offset] = 7
     with pytest.raises(CodecError, match="presence"):
-        decode_packet(bytes(data))
+        decode_packet(reseal(bytes(body)))
+
+
+def test_checksum_catches_every_single_bit_flip():
+    data = encode_packet(data_packet())
+    for i in range(len(data)):
+        for bit in range(8):
+            mutated = bytearray(data)
+            mutated[i] ^= 1 << bit
+            with pytest.raises(CodecError):
+                decode_packet(bytes(mutated))
+
+
+@pytest.mark.parametrize("version", [VERSION_LEGACY, 2])
+def test_undefined_flag_bits_rejected(version):
+    # Regression: IntFlag's KEEP boundary used to accept unknown bits and
+    # hand the stack a flag value no dispatch path expects.
+    data = encode_packet(data_packet(), version=version)
+    body = bytearray(data if version == VERSION_LEGACY else data[:-4])
+    body[2] |= 0x80  # a flag bit the protocol does not define
+    framed = bytes(body) if version == VERSION_LEGACY else reseal(bytes(body))
+    with pytest.raises(CodecError) as excinfo:
+        decode_packet(framed)
+    assert excinfo.value.reason == "flags"
+
+
+def test_bad_ecn_byte_rejected():
+    body = body_of(encode_packet(data_packet()))
+    body[3] = 7
+    with pytest.raises(CodecError, match="ECN"):
+        decode_packet(reseal(bytes(body)))
+
+
+def test_legacy_v1_frames_still_decode():
+    for packet in (data_packet(), ack_for(data_packet(), "switch")):
+        legacy = encode_packet(packet, version=VERSION_LEGACY)
+        assert legacy[1] == VERSION_LEGACY
+        # No trailer: 4 bytes shorter than the v2 frame of the same packet.
+        assert len(legacy) == len(encode_packet(packet)) - 4
+        assert decode_packet(legacy) == packet
+
+
+def test_unknown_encode_version_rejected():
+    with pytest.raises(CodecError, match="version"):
+        encode_packet(data_packet(), version=3)
 
 
 def test_arbitrary_noise_never_escapes_codec_error():
