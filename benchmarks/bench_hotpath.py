@@ -8,15 +8,26 @@ scans visible) three times in one process:
 1. optimized fast path (the code as checked in),
 2. optimized again — same seed must reproduce the identical schedule,
 3. seed baseline via :func:`repro.transport.reference.reference_mode`,
-   which swaps the pre-PR implementations back in.
+   which swaps the pre-PR implementations back in,
+4. the vectorized SoA backend (``switch_factory=VectorizedAskSwitch``),
+   whose fingerprint must be byte-identical to run 1 on EVERY field —
+   ``values_sha256``, drop/dedup counters, ``events_processed``, the
+   final clock.  The simulator's flush-on-foreign batching keeps heap
+   push order exact, so no field is excluded.
+
+It also times the switch data plane in isolation (``data_plane``
+section): synthetic wide batches through the scalar compiled program and
+the SoA batch engine, reporting both in packets/sec plus the ratio
+against the floor recorded by the previous run's history entry.
 
 It measures simulator events/sec and transmitted packets/sec, then enforces
-the determinism contract: all three runs must agree on the final ``sim.now``,
-``events_processed``, retransmission count, per-host packet counts,
-receive-window accept/duplicate totals and the aggregated values themselves
-(which must also equal the exact :func:`reference_aggregate` answer).  Any
-mismatch exits non-zero — an optimization that changes a single decision
-fails the build, however much faster it is.
+the determinism contract: all three scalar runs must agree on the final
+``sim.now``, ``events_processed``, retransmission count, per-host packet
+counts, receive-window accept/duplicate totals and the aggregated values
+themselves (which must also equal the exact :func:`reference_aggregate`
+answer).  Any mismatch — including a vectorized-vs-scalar divergence —
+exits non-zero; an optimization that changes a single decision fails the
+build, however much faster it is.
 
 Results land in ``BENCH_hotpath.json`` (repo root by default).  The file
 keeps a ``history`` list — one speedup-trajectory entry per recorded run,
@@ -44,12 +55,24 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro import AskConfig, AskService, FaultModel  # noqa: E402
 from repro.core.results import reference_aggregate  # noqa: E402
+from repro.switch.vectorized import VectorizedAskSwitch  # noqa: E402
 from repro.transport.reference import reference_mode  # noqa: E402
 
 #: The benchmark scenario.  Fixed so numbers are comparable across runs and
 #: machines; change it only together with the checked-in baseline JSON.
-FULL = dict(hosts=4, tuples_per_sender=20_000, window=256, num_keys=512, seed=7)
-SMOKE = dict(hosts=3, tuples_per_sender=2_000, window=64, num_keys=128, seed=7)
+FULL = dict(
+    hosts=4, tuples_per_sender=20_000, window=256, num_keys=512, seed=7,
+    dp_batches=40,
+)
+SMOKE = dict(
+    hosts=3, tuples_per_sender=2_000, window=64, num_keys=128, seed=7,
+    dp_batches=8,
+)
+
+#: Data-plane microbench shape: wide same-instant batches, one tuple per
+#: packet, distinct channels so the vector sweep engages fully.
+DP_LANES = 256
+DP_WARMUP = 5
 
 
 def build_streams(params: dict) -> dict[str, list[tuple[bytes, int]]]:
@@ -64,7 +87,7 @@ def build_streams(params: dict) -> dict[str, list[tuple[bytes, int]]]:
     }
 
 
-def run_scenario(params: dict) -> dict:
+def run_scenario(params: dict, switch_factory=None) -> dict:
     """One full aggregation; returns timing plus the decision fingerprint."""
     config = AskConfig.small(
         window_size=params["window"], retransmit_timeout_us=50.0
@@ -76,7 +99,8 @@ def run_scenario(params: dict) -> dict:
         max_extra_delay_ns=200_000,
         seed=params["seed"],
     )
-    service = AskService(config, hosts=params["hosts"], fault=fault)
+    kwargs = {"switch_factory": switch_factory} if switch_factory is not None else {}
+    service = AskService(config, hosts=params["hosts"], fault=fault, **kwargs)
     streams = build_streams(params)
     receiver = f"h{params['hosts'] - 1}"
 
@@ -110,6 +134,84 @@ def run_scenario(params: dict) -> dict:
             "recv_window_duplicates": duplicates,
             "values_sha256": values_digest,
         },
+    }
+
+
+def _build_synthetic_batches(config, params: dict) -> list[list]:
+    from repro.core.packer import pack_stream
+    from repro.core.packet import AskPacket, PacketFlag
+
+    rng = random.Random(params["seed"])
+    keys = [("k%03d" % i).encode() for i in range(params["num_keys"])]
+    batches = []
+    for seq in range(DP_WARMUP + params["dp_batches"]):
+        packets = []
+        for lane in range(DP_LANES):
+            payloads, _ = pack_stream(
+                [(rng.choice(keys), rng.randint(1, 99))], config
+            )
+            payload = payloads[0]
+            flags = PacketFlag.DATA | (
+                PacketFlag.LONG if payload.is_long else PacketFlag(0)
+            )
+            packets.append(
+                AskPacket(
+                    flags=flags,
+                    task_id=1,
+                    src=f"h{lane}",
+                    dst="h1",
+                    channel_index=0,
+                    seq=seq,
+                    bitmap=payload.bitmap,
+                    slots=payload.slots,
+                )
+            )
+        batches.append(packets)
+    return batches
+
+
+def bench_data_plane(params: dict) -> dict:
+    """The switch data plane in isolation: scalar compiled program vs the
+    SoA batch engine over identical wide batches — no links, no
+    retransmission machinery, just dedup + aggregation + window
+    accounting.  Distinct channels per lane keep every lane in the vector
+    sweep, so this is the engine's best case."""
+    from repro.net.simulator import Simulator
+    from repro.switch.switch import AskSwitch
+
+    config = AskConfig.small(window_size=params["window"])
+    batches = _build_synthetic_batches(config, params)
+    warm, timed = batches[:DP_WARMUP], batches[DP_WARMUP:]
+    packets = sum(len(batch) for batch in timed)
+
+    scalar = AskSwitch(config, Simulator(), max_tasks=4, max_channels=2 * DP_LANES)
+    scalar.controller.allocate_region(1, size=32)
+    for batch in warm:
+        for pkt in batch:
+            scalar.program.process(scalar.pipeline.begin_pass(), pkt)
+    start = time.perf_counter()
+    for batch in timed:
+        for pkt in batch:
+            scalar.program.process(scalar.pipeline.begin_pass(), pkt)
+    scalar_pps = packets / (time.perf_counter() - start)
+
+    vector = VectorizedAskSwitch(
+        config, Simulator(), max_tasks=4, max_channels=2 * DP_LANES
+    )
+    vector.controller.allocate_region(1, size=32)
+    for batch in warm:
+        vector.program.process_batch(batch)
+    start = time.perf_counter()
+    for batch in timed:
+        vector.program.process_batch(batch)
+    vector_pps = packets / (time.perf_counter() - start)
+
+    return {
+        "lanes_per_batch": DP_LANES,
+        "timed_batches": len(timed),
+        "scalar_packets_per_sec": round(scalar_pps, 1),
+        "vector_packets_per_sec": round(vector_pps, 1),
+        "vector_vs_scalar": round(vector_pps / scalar_pps, 3),
     }
 
 
@@ -184,9 +286,22 @@ def main(argv: list[str] | None = None) -> int:
         f"{reference['events_per_sec']:>10,.0f} ev/s  "
         f"{reference['packets_per_sec']:>9,.0f} pkt/s"
     )
+    vectorized = run_scenario(params, switch_factory=VectorizedAskSwitch)
+    print(
+        f"vectorized: {vectorized['wall_seconds']:8.3f}s  "
+        f"{vectorized['events_per_sec']:>10,.0f} ev/s  "
+        f"{vectorized['packets_per_sec']:>9,.0f} pkt/s"
+    )
+    data_plane = bench_data_plane(params)
+    print(
+        f"data plane: scalar {data_plane['scalar_packets_per_sec']:>9,.0f} pkt/s  "
+        f"vector {data_plane['vector_packets_per_sec']:>9,.0f} pkt/s  "
+        f"({data_plane['vector_vs_scalar']}x)"
+    )
 
     repeat_identical = optimized["fingerprint"] == repeat["fingerprint"]
     reference_identical = optimized["fingerprint"] == reference["fingerprint"]
+    vectorized_identical = optimized["fingerprint"] == vectorized["fingerprint"]
     speedup_events = round(
         optimized["events_per_sec"] / reference["events_per_sec"], 3
     )
@@ -202,6 +317,8 @@ def main(argv: list[str] | None = None) -> int:
         "optimized": optimized,
         "optimized_repeat": repeat,
         "reference": reference,
+        "vectorized": vectorized,
+        "data_plane": data_plane,
         "speedup": {
             "events_per_sec": speedup_events,
             "packets_per_sec": speedup_packets,
@@ -209,9 +326,17 @@ def main(argv: list[str] | None = None) -> int:
         "determinism": {
             "repeat_identical": repeat_identical,
             "reference_identical": reference_identical,
+            "vectorized_identical": vectorized_identical,
         },
     }
-    report["history"] = load_history(args.output) + [
+    history = load_history(args.output)
+    floor = history[-1]["packets_per_sec"] if history else None
+    data_plane["floor_packets_per_sec"] = floor
+    if floor:
+        data_plane["vector_vs_floor"] = round(
+            data_plane["vector_packets_per_sec"] / floor, 3
+        )
+    report["history"] = history + [
         {
             "mode": report["mode"],
             "python": report["python"],
@@ -219,6 +344,14 @@ def main(argv: list[str] | None = None) -> int:
             "reference_packets_per_sec": reference["packets_per_sec"],
             "speedup_packets_per_sec": speedup_packets,
             "speedup_events_per_sec": speedup_events,
+            "vectorized_packets_per_sec": vectorized["packets_per_sec"],
+            "data_plane_scalar_packets_per_sec": data_plane[
+                "scalar_packets_per_sec"
+            ],
+            "data_plane_vector_packets_per_sec": data_plane[
+                "vector_packets_per_sec"
+            ],
+            "data_plane_vector_vs_floor": data_plane.get("vector_vs_floor"),
         }
     ]
     args.output.write_text(json.dumps(report, indent=2) + "\n")
@@ -233,7 +366,16 @@ def main(argv: list[str] | None = None) -> int:
         print("FAIL: optimized fast path diverges from the seed reference",
               file=sys.stderr)
         return 2
-    print("determinism guard: OK (3 runs, identical fingerprints)")
+    if not vectorized_identical:
+        for key in optimized["fingerprint"]:
+            a = optimized["fingerprint"][key]
+            b = vectorized["fingerprint"][key]
+            if a != b:
+                print(f"  {key}: scalar={a} vectorized={b}", file=sys.stderr)
+        print("FAIL: vectorized backend diverges from the scalar oracle",
+              file=sys.stderr)
+        return 2
+    print("determinism guard: OK (4 runs, identical fingerprints)")
     return 0
 
 

@@ -10,7 +10,12 @@ report's speedup ratio against the checked-in baseline's and fails when it
 drops by more than ``--tolerance`` (default 20%).
 
 The determinism flags are enforced too: a report whose runs disagree is a
-correctness failure regardless of speed.
+correctness failure regardless of speed.  That includes the vectorized
+backend — ``vectorized_identical`` asserts the SoA batch engine produced
+a byte-identical end-to-end fingerprint (``values_sha256``, drop/dedup
+counters, ``events_processed``) to the scalar oracle on the bench
+scenario, so a vectorization bug fails CI even though the tier-1 suite
+may not cover that exact packet schedule.
 
 Usage::
 
@@ -80,11 +85,14 @@ def main(argv: list[str] | None = None) -> int:
     baseline = load_report(args.baseline)
 
     determinism = fresh.get("determinism", {})
-    if not (
-        determinism.get("repeat_identical") and determinism.get("reference_identical")
-    ):
-        print(f"FAIL: {args.report} determinism flags are not all true", file=sys.stderr)
-        return 1
+    for flag in ("repeat_identical", "reference_identical", "vectorized_identical"):
+        if not determinism.get(flag):
+            print(
+                f"FAIL: {args.report} determinism flag {flag!r} is not true "
+                "— the runs disagree (or the report predates the flag)",
+                file=sys.stderr,
+            )
+            return 1
 
     fresh_ratio = fresh["speedup"]["packets_per_sec"]
     base_ratio = baseline["speedup"]["packets_per_sec"]

@@ -104,6 +104,12 @@ class AskConfig:
     ecn_threshold_bytes: int = 30_000
     cwnd_initial: float = 8.0
 
+    # Switch data-plane backend.  ``vectorized=True`` selects the
+    # structure-of-arrays batch pipeline
+    # (:class:`repro.switch.vectorized.VectorizedAskSwitch`); the scalar
+    # compiled path stays available as the equivalence oracle.
+    vectorized: bool = False
+
     # Host / daemon
     data_channels_per_host: int = 4
 
@@ -169,6 +175,30 @@ class AskConfig:
             )
         if self.swap_threshold_packets < 1:
             raise ConfigError("swap_threshold_packets must be >= 1")
+        if self.vectorized:
+            # The SoA engine packs key segments and values into int64
+            # lanes and per-AA bit positions into one int64 bitmap word;
+            # geometries outside those envelopes must use the scalar path.
+            if not self.use_compact_seen:
+                raise ConfigError(
+                    "vectorized=True requires use_compact_seen=True (the "
+                    "SoA dedup sweep implements the W-bit compact design)"
+                )
+            if self.key_bits > 56:
+                raise ConfigError(
+                    "vectorized=True requires key_bits <= 56 (kParts are "
+                    "packed into signed 64-bit lanes with sentinel room)"
+                )
+            if self.value_bits > 60:
+                raise ConfigError(
+                    "vectorized=True requires value_bits <= 60 (vParts are "
+                    "accumulated in signed 64-bit lanes)"
+                )
+            if self.num_aas > 62:
+                raise ConfigError(
+                    "vectorized=True requires num_aas <= 62 (slot bitmaps "
+                    "are swept as one signed 64-bit word)"
+                )
         if self.congestion_control:
             if self.ecn_threshold_bytes < 1:
                 raise ConfigError("ecn_threshold_bytes must be >= 1")

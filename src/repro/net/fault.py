@@ -221,9 +221,13 @@ def corrupt_bytes(data: bytes, rng: random.Random) -> bytes:
 
     Models on-the-wire corruption of a UDP payload.  Flips are drawn from
     ``rng`` so a seeded fault schedule also fixes *which* bits break.
+
+    An empty payload has no bits to flip: it is returned unchanged and
+    nothing is drawn from ``rng``, so the rest of a seeded fault schedule
+    is unaffected by the degenerate datagram.
     """
     if not data:
-        return b"\xff"  # nothing to flip; corrupt by injection instead
+        return data
     n_bits = rng.randint(1, min(3, len(data) * 8))
     mutated = bytearray(data)
     for position in rng.sample(range(len(data) * 8), n_bits):

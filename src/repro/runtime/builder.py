@@ -102,11 +102,18 @@ class DeploymentBuilder:
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; pick one of {BACKENDS}")
-        if switch_factory is None:
-            from repro.switch.switch import AskSwitch
-
-            switch_factory = AskSwitch
         self.config = config if config is not None else AskConfig()
+        if switch_factory is None:
+            # ``vectorized=True`` selects the SoA batch data plane; the
+            # scalar compiled path stays the default (and the oracle).
+            if self.config.vectorized:
+                from repro.switch.vectorized import VectorizedAskSwitch
+
+                switch_factory = VectorizedAskSwitch
+            else:
+                from repro.switch.switch import AskSwitch
+
+                switch_factory = AskSwitch
         self.backend = backend
         self.fault = fault
         self.max_tasks = max_tasks

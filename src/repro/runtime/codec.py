@@ -75,6 +75,9 @@ _SLOT_HEAD = struct.Struct("!H")
 _VALUE = struct.Struct("!Q")
 _CRC = struct.Struct("!I")
 _VALUE_MASK = (1 << 64) - 1
+#: Batch container framing: frame count, then per-frame byte length.
+_BATCH_HEAD = struct.Struct("!I")
+_FRAME_LEN = struct.Struct("!I")
 
 
 class CodecError(AskError, ValueError):
@@ -236,3 +239,72 @@ def decode_packet(data: bytes) -> AskPacket:
         slots=tuple(slots),
         ecn=bool(ecn),
     )
+
+
+# ---------------------------------------------------------------------------
+# Batch framing for the vectorized wire path.
+#
+# A batch container is ``count(!I)`` followed by ``count`` frames, each
+# prefixed with its byte length (``!I``).  Each frame is one ordinary
+# :func:`encode_packet` datagram (its own version byte, its own CRC32
+# trailer when version 2), so any batch member decodes with the scalar
+# decoder and integrity failures stay per-frame, never per-batch.
+# ---------------------------------------------------------------------------
+
+
+def encode_packet_batch(packets: List[AskPacket], version: int = VERSION) -> bytes:
+    """Serialize ``packets`` into one length-prefixed batch container."""
+    parts = [_BATCH_HEAD.pack(len(packets))]
+    for packet in packets:
+        frame = encode_packet(packet, version)
+        parts.append(_FRAME_LEN.pack(len(frame)))
+        parts.append(frame)
+    return b"".join(parts)
+
+
+def iter_packet_frames(buffer: bytes) -> List[memoryview]:
+    """Split a batch container into zero-copy per-frame views.
+
+    The returned :class:`memoryview` slices alias ``buffer`` — no frame
+    bytes are copied by the split.  Raises :class:`CodecError` on a
+    malformed container (truncated lengths, trailing bytes).
+    """
+    view = memoryview(buffer)
+    total = len(view)
+    if total < _BATCH_HEAD.size:
+        raise CodecError(
+            f"batch container of {total} bytes is shorter than its count header",
+            reason="truncated",
+        )
+    (count,) = _BATCH_HEAD.unpack_from(view, 0)
+    pos = _BATCH_HEAD.size
+    frames: List[memoryview] = []
+    for _ in range(count):
+        if pos + _FRAME_LEN.size > total:
+            raise CodecError(
+                "batch container truncated inside a frame-length prefix",
+                reason="truncated",
+            )
+        (length,) = _FRAME_LEN.unpack_from(view, pos)
+        pos += _FRAME_LEN.size
+        end = pos + length
+        if end > total:
+            raise CodecError(
+                f"batch frame of {length} bytes overruns the container",
+                reason="truncated",
+            )
+        frames.append(view[pos:end])
+        pos = end
+    if pos != total:
+        raise CodecError(f"{total - pos} trailing bytes after batch container")
+    return frames
+
+
+def decode_packet_batch(buffer: bytes) -> List[AskPacket]:
+    """Decode every frame of a batch container.
+
+    The container is *split* without copying (:func:`iter_packet_frames`);
+    each frame is then materialized to ``bytes`` for :func:`decode_packet`,
+    whose parsed fields (names, slot keys) need real byte strings anyway.
+    """
+    return [decode_packet(bytes(frame)) for frame in iter_packet_frames(buffer)]

@@ -371,7 +371,27 @@ def test_corrupt_bytes_always_differs_and_is_seeded():
     # 1..3 bit flips, never more.
     flipped = sum(bin(x ^ y).count("1") for x, y in zip(a, data))
     assert 1 <= flipped <= 3
-    assert corrupt_bytes(b"", _random.Random(0)) == b"\xff"
+
+
+def test_corrupt_bytes_on_empty_datagram_is_a_seeded_noop():
+    """Regression: an empty payload has no bits to flip.  It must come
+    back unchanged (the old code fabricated a 1-byte ``b"\\xff"`` frame)
+    and must not draw from the RNG — otherwise one degenerate datagram
+    would shift every later decision of a seeded fault schedule."""
+    import random as _random
+
+    from repro.net.fault import corrupt_bytes
+
+    rng = _random.Random(123)
+    untouched = _random.Random(123)
+    assert corrupt_bytes(b"", rng) == b""
+    # The RNG stream is exactly where it started: the next draws agree
+    # with a virgin generator of the same seed.
+    assert [rng.random() for _ in range(8)] == [
+        untouched.random() for _ in range(8)
+    ]
+    # Non-empty payloads still always come back damaged.
+    assert corrupt_bytes(b"\x00", rng) != b"\x00"
 
 
 def test_corrupt_packet_fields_changes_exactly_one_field():

@@ -27,7 +27,11 @@ def good_report(ratio: float = 2.0) -> dict:
     return {
         "benchmark": "hotpath",
         "mode": "smoke",
-        "determinism": {"repeat_identical": True, "reference_identical": True},
+        "determinism": {
+            "repeat_identical": True,
+            "reference_identical": True,
+            "vectorized_identical": True,
+        },
         "speedup": {"packets_per_sec": ratio},
     }
 
@@ -104,6 +108,24 @@ def test_missing_speedup_section_is_a_clear_error(tmp_path):
     base = write(tmp_path, "base.json", good_report())
     proc = run_gate(str(fresh), "--baseline", str(base))
     _assert_clean_failure(proc, "speedup.packets_per_sec")
+
+
+def test_vectorized_divergence_fails_the_gate(tmp_path):
+    report = good_report()
+    report["determinism"]["vectorized_identical"] = False
+    fresh = write(tmp_path, "fresh.json", report)
+    base = write(tmp_path, "base.json", good_report())
+    proc = run_gate(str(fresh), "--baseline", str(base))
+    _assert_clean_failure(proc, "vectorized_identical")
+
+
+def test_report_predating_the_vectorized_flag_fails_the_gate(tmp_path):
+    report = good_report()
+    del report["determinism"]["vectorized_identical"]
+    fresh = write(tmp_path, "fresh.json", report)
+    base = write(tmp_path, "base.json", good_report())
+    proc = run_gate(str(fresh), "--baseline", str(base))
+    _assert_clean_failure(proc, "vectorized_identical")
 
 
 def test_broken_baseline_is_also_caught(tmp_path):

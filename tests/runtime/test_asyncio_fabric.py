@@ -116,6 +116,45 @@ def test_stray_datagrams_are_counted_not_fatal():
         service.close()
 
 
+def test_empty_and_truncated_datagrams_count_per_reason_drops():
+    """An empty datagram, a truncated header and a corrupt trailer must
+    each be counted under their codec reason at the receiving node — and
+    none of them may raise out of ``datagram_received``."""
+    import zlib
+
+    from repro.core.packet import AskPacket, PacketFlag
+    from repro.core.robustness import RobustnessCounters
+    from repro.runtime.asyncio_fabric import _NodeEndpoint
+    from repro.runtime.codec import encode_packet
+
+    class FabricStub:
+        malformed_frames = 0
+        trace = None
+
+    class NodeStub:
+        name = "h0"
+        robustness = RobustnessCounters()
+
+    endpoint = _NodeEndpoint(FabricStub(), NodeStub())
+    addr = ("127.0.0.1", 9)
+    frame = encode_packet(
+        AskPacket(PacketFlag.DATA, 1, "h0", "h1", 0, 0, bitmap=0, slots=())
+    )
+    endpoint.datagram_received(b"", addr)  # empty: shorter than the header
+    endpoint.datagram_received(frame[:5], addr)  # truncated mid-header
+    corrupt = frame[:-1] + bytes([frame[-1] ^ 0xFF])  # CRC trailer broken
+    endpoint.datagram_received(corrupt, addr)
+    endpoint.datagram_received(b"\x00" + frame[1:], addr)  # wrong magic
+    counters = NodeStub.robustness
+    assert counters.get("truncated") == 2
+    assert counters.get("checksum") == 1
+    assert counters.get("magic") == 1
+    assert endpoint.fabric.malformed_frames == 4
+    assert endpoint.queue.qsize() == 0  # nothing reached the node
+    endpoint.datagram_received(frame, addr)  # a good frame still decodes
+    assert endpoint.queue.qsize() == 1
+
+
 def test_attach_after_start_rejected():
     fabric = AsyncioFabric()
 

@@ -207,3 +207,105 @@ def test_oversized_key_rejected_on_encode():
     packet = data_packet(slots=(Slot(b"k" * 70000, 1),), bitmap=1)
     with pytest.raises(CodecError, match="key"):
         encode_packet(packet)
+
+
+# ---------------------------------------------------------------------------
+# Batch container framing (the vectorized wire path)
+# ---------------------------------------------------------------------------
+
+
+def _sample_packets():
+    return [
+        AskPacket(
+            PacketFlag.DATA,
+            1,
+            "h0",
+            "h1",
+            0,
+            seq,
+            bitmap=0b11,
+            slots=(Slot(b"key\x80", seq + 1), Slot(b"oth\x80", 7)),
+        )
+        for seq in range(5)
+    ] + [
+        ack_for(
+            AskPacket(PacketFlag.DATA, 1, "h0", "h1", 0, 9, bitmap=0, slots=()),
+            "switch",
+        ),
+        fin_packet(1, "h0", "h1", 0, seq=10),
+        swap_packet(1, "h1", "switch", epoch=3),
+    ]
+
+
+def test_batch_container_round_trips():
+    from repro.runtime.codec import decode_packet_batch, encode_packet_batch
+
+    packets = _sample_packets()
+    buffer = encode_packet_batch(packets)
+    assert decode_packet_batch(buffer) == packets
+    assert decode_packet_batch(encode_packet_batch([])) == []
+
+
+def test_batch_frames_are_zero_copy_views():
+    from repro.runtime.codec import encode_packet_batch, iter_packet_frames
+
+    packets = _sample_packets()
+    buffer = encode_packet_batch(packets)
+    frames = iter_packet_frames(buffer)
+    assert len(frames) == len(packets)
+    for frame in frames:
+        assert isinstance(frame, memoryview)
+        # The views alias the container buffer — splitting copies nothing.
+        assert frame.obj is buffer
+    # Each frame is an ordinary scalar datagram.
+    assert decode_packet(bytes(frames[0])) == packets[0]
+
+
+def test_batch_members_keep_per_frame_integrity():
+    """Corrupting one member must reject that frame only — the rest of
+    the batch still decodes (loss stays per-packet, like the wire)."""
+    from repro.runtime.codec import encode_packet_batch, iter_packet_frames
+
+    packets = _sample_packets()
+    buffer = bytearray(encode_packet_batch(packets))
+    frames = iter_packet_frames(bytes(buffer))
+    # Flip one byte inside the LAST frame's payload region.
+    tail_start = len(buffer) - len(frames[-1])
+    buffer[tail_start + 10] ^= 0xFF
+    frames = iter_packet_frames(bytes(buffer))
+    decoded, rejected = [], 0
+    for frame in frames:
+        try:
+            decoded.append(decode_packet(bytes(frame)))
+        except CodecError as exc:
+            rejected += 1
+            assert exc.reason == "checksum"
+    assert rejected == 1
+    assert decoded == packets[:-1]
+
+
+def test_batch_container_truncations_raise_codec_errors():
+    from repro.runtime.codec import encode_packet_batch, iter_packet_frames
+
+    buffer = encode_packet_batch(_sample_packets())
+    with pytest.raises(CodecError) as excinfo:
+        iter_packet_frames(buffer[:2])  # inside the count header
+    assert excinfo.value.reason == "truncated"
+    with pytest.raises(CodecError) as excinfo:
+        iter_packet_frames(buffer[:6])  # inside a frame-length prefix
+    assert excinfo.value.reason == "truncated"
+    with pytest.raises(CodecError) as excinfo:
+        iter_packet_frames(buffer[:-3])  # last frame overruns
+    assert excinfo.value.reason == "truncated"
+    with pytest.raises(CodecError, match="trailing"):
+        iter_packet_frames(buffer + b"\x00")
+
+
+def test_batch_legacy_version_frames():
+    from repro.runtime.codec import decode_packet_batch, encode_packet_batch
+
+    packets = _sample_packets()
+    buffer = encode_packet_batch(packets, version=VERSION_LEGACY)
+    assert decode_packet_batch(buffer) == packets
+    # Legacy frames carry no CRC trailer, so the batch is smaller.
+    assert len(buffer) < len(encode_packet_batch(packets))

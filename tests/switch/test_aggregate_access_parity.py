@@ -1,0 +1,99 @@
+"""Access-discipline parity: ``aggregate_fast`` vs the ALU ``execute`` path.
+
+``AggregatorArray.aggregate_fast`` inlines the register access prologue
+(duplicate-access stamp, stage ordering, bounds check) that
+``try_aggregate`` gets from ``RegisterArray.execute``.  Inlined copies
+drift; this property pins them together: for any sequence of aggregation
+attempts — including double accesses in one pass, backwards stage moves
+and out-of-range indices — both paths must raise the *same* exception
+(type and message) at the same step, return the same outcome code, and
+leave identical cells and access counts behind.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.switch.aggregator import AggregatorArray
+from repro.switch.pisa import Pipeline
+from repro.switch.registers import PassContext
+
+_SIZE = 8
+_KEYS = [b"aaaa", b"bbbb", b"cccc", b"odd"]  # incl. one off-width segment
+
+
+def _build():
+    """Two AAs placed in consecutive pipeline stages (so the stage-order
+    rule is live) plus a free-floating AA (stage-less arrays skip it)."""
+    pipeline = Pipeline(max_stages=4)
+    first = AggregatorArray("A", _SIZE, key_bits=32, value_bits=32)
+    second = AggregatorArray("B", _SIZE, key_bits=32, value_bits=32)
+    free = AggregatorArray("F", _SIZE, key_bits=32, value_bits=32)
+    pipeline.stage(0).add_array(first.registers)
+    pipeline.stage(1).add_array(second.registers)
+    return [first, second, free]
+
+
+def _code(outcome):
+    if outcome.reserved:
+        return AggregatorArray.RESERVED
+    if outcome.success:
+        return AggregatorArray.MATCHED
+    return AggregatorArray.FAIL
+
+
+_op = st.one_of(
+    st.just(("pass",)),
+    st.tuples(
+        st.just("agg"),
+        st.integers(0, 2),  # which array
+        st.integers(-1, _SIZE + 1),  # index, deliberately past both ends
+        st.integers(0, len(_KEYS) - 1),
+        st.one_of(st.none(), st.integers(0, 2**33)),  # add_value (may wrap)
+        st.booleans(),  # enabled (predicated no-op)
+    ),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=st.lists(_op, min_size=1, max_size=30))
+def test_fast_and_execute_paths_agree_on_every_access_sequence(ops):
+    fast_arrays = _build()
+    oracle_arrays = _build()
+    fast_ctx = PassContext()
+    oracle_ctx = PassContext()
+    for step, op in enumerate(ops):
+        if op[0] == "pass":
+            fast_ctx.reset()
+            oracle_ctx.reset()
+            continue
+        _, which, index, key_id, add_value, enabled = op
+        segment = _KEYS[key_id]
+        fast_exc = oracle_exc = None
+        fast_code = oracle_code = None
+        try:
+            fast_code = fast_arrays[which].aggregate_fast(
+                fast_ctx, index, segment, add_value, enabled=enabled
+            )
+        except Exception as exc:  # noqa: BLE001 - parity is the property
+            fast_exc = exc
+        try:
+            oracle_code = _code(
+                oracle_arrays[which].try_aggregate(
+                    oracle_ctx, index, segment, add_value, enabled=enabled
+                )
+            )
+        except Exception as exc:  # noqa: BLE001
+            oracle_exc = exc
+        if oracle_exc is not None or fast_exc is not None:
+            assert type(fast_exc) is type(oracle_exc), (
+                f"step {step}: fast raised {fast_exc!r}, "
+                f"execute raised {oracle_exc!r}"
+            )
+            assert str(fast_exc) == str(oracle_exc), f"step {step}"
+        else:
+            assert fast_code == oracle_code, f"step {step}"
+    # Identical final state: every cell, every access count.
+    for fast, oracle in zip(fast_arrays, oracle_arrays):
+        assert fast.registers.accesses == oracle.registers.accesses
+        for i in range(_SIZE):
+            assert fast.control_cell(i) == oracle.control_cell(i), (fast.name, i)
