@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Gradient all-reduce over a spine–leaf aggregation tree (§7).
+
+Eight GPU workers in four racks push a synthetic gradient through a
+2-level tree — leaf TORs aggregate their rack, pod spines combine the
+partially-aggregated residue — and the parameter server receives the
+exact sum.  The same tree then runs over real localhost UDP (the asyncio
+backend) and both results are fingerprint-compared against numpy.  Run:
+
+    python examples/hierarchical_allreduce.py
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.apps.training import ask_allreduce
+from repro.core.config import AskConfig
+from repro.core.results import values_sha256
+from repro.core.service import TreeAskService
+
+#: 2 pods x 2 racks: workers gpu0..gpu6 plus the parameter server "ps".
+PODS = {
+    "pod-a": {"rack0": ["gpu0", "gpu1"], "rack1": ["gpu2", "gpu3"]},
+    "pod-b": {"rack2": ["gpu4", "gpu5"], "rack3": ["gpu6", "ps"]},
+}
+
+
+def run_backend(backend: str, gradients: dict) -> tuple[np.ndarray, str]:
+    config = AskConfig.small(aggregators_per_aa=4096)
+    if backend == "asyncio":
+        # Wall-clock UDP needs a humane retransmission timeout; see the
+        # CLI demo for the same adjustment.
+        config = dataclasses.replace(config, retransmit_timeout_us=2000)
+    service = TreeAskService(
+        config, pods=PODS, placement="both", backend=backend
+    )
+    try:
+        start = getattr(service.fabric, "start", None)
+        if start is not None:
+            start()
+        summed = ask_allreduce(service, gradients, receiver="ps")
+        if backend == "sim":
+            leaf = sum(s.stats.tuples_aggregated for s in service.switches.values())
+            spine = sum(s.stats.tuples_aggregated for s in service.spines.values())
+            print(f"  [{backend}] leaf TORs aggregated {leaf} tuples, "
+                  f"spine combiners another {spine}")
+        digest = values_sha256(
+            {i.to_bytes(4, "big"): int(v) for i, v in enumerate(summed)}
+        )
+        return summed, digest
+    finally:
+        service.close()
+
+
+def main() -> None:
+    workers = [h for racks in PODS.values() for hs in racks.values() for h in hs]
+    workers.remove("ps")
+    elements = 1_024
+    rng = np.random.default_rng(0)
+    gradients = {
+        w: rng.integers(-(2**15), 2**15, size=elements).tolist() for w in workers
+    }
+    expected = np.sum([np.array(g) for g in gradients.values()], axis=0)
+
+    print(f"all-reducing a {elements}-element gradient from {len(workers)} "
+          f"workers across {sum(len(r) for r in PODS.values())} racks, "
+          f"{len(PODS)} pods:")
+    digests = {}
+    for backend in ("sim", "asyncio"):
+        summed, digests[backend] = run_backend(backend, gradients)
+        assert np.array_equal(summed, expected), f"{backend}: sum must be exact"
+        print(f"  [{backend}] exact sum verified against numpy "
+              f"(values_sha256={digests[backend][:16]}…)")
+    assert digests["sim"] == digests["asyncio"]
+    print("simulated tree and real-UDP tree produced identical fingerprints —")
+    print("the placement of aggregation state never changes the aggregate.")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,8 +20,14 @@ paper-vs-measured record of every table and figure.
 """
 
 from repro.core.config import AskConfig
-from repro.core.errors import AskError, ConfigError, KeyTooLongError, TaskStateError
-from repro.core.multirack_service import MultiRackService
+from repro.core.errors import (
+    AskError,
+    ConfigError,
+    KeyTooLongError,
+    TaskStateError,
+    TopologyError,
+)
+from repro.core.multirack_service import MultiRackService, TreeAskService
 from repro.core.packet import AskPacket, PacketFlag, Slot
 from repro.core.results import AggregationResult, TaskStats, reference_aggregate
 from repro.core.service import AskService
@@ -48,6 +54,8 @@ __all__ = [
     "TaskPhase",
     "TaskStateError",
     "TaskStats",
+    "TopologyError",
+    "TreeAskService",
     "TrioSwitch",
     "encode_task_id",
     "reference_aggregate",

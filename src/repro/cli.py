@@ -28,6 +28,7 @@ from repro.experiments import (
     fig11_tct,
     fig12_training,
     fig13_scalability,
+    fig13_tree,
     table1_traffic,
 )
 
@@ -68,6 +69,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
     "fig13": (
         "bandwidth overhead and scalability",
         lambda: fig13_scalability.format_report(fig13_scalability.run()),
+    ),
+    "fig13_tree": (
+        "hierarchical aggregation: goodput/JCT vs spine fan-in",
+        lambda: fig13_tree.format_report(fig13_tree.run()),
     ),
 }
 
@@ -204,7 +209,78 @@ def _run_chaos(
     return 0
 
 
+def _run_tree_chaos(backend: str, seed: int, report_path: str | None) -> int:
+    """``repro chaos --tree``: the spine-crash drill.  Run a cross-pod
+    workload on a 2-pod spine–leaf tree ("both" placement: leaf relays +
+    spine combiners), crash one spine mid-task, and verify the result is
+    still bit-exact against the fault-free reference — the supervisor must
+    degrade exactly that spine's subtree to bypass and replay its tasks."""
+    import random
+
+    from repro.chaos import ChaosOrchestrator, ChaosSchedule
+    from repro.chaos.schedule import ChaosEvent
+    from repro.core.multirack_service import TreeAskService
+
+    sim = backend == "sim"
+    service = TreeAskService(
+        _chaos_config(backend), placement="both", backend=backend
+    )
+    try:
+        horizon = 250_000 if sim else 30_000_000
+        # Seed-deterministic timing, but the *target* is always a spine:
+        # this drill exists to exercise subtree-scoped failover, not to
+        # re-sample the flat crash matrix.
+        rng = random.Random(seed)
+        start = rng.randrange(horizon // 5, horizon // 2)
+        duration = rng.randrange(horizon // 4, horizon // 2)
+        spine = service.spines["s0"].name
+        schedule = ChaosSchedule(
+            seed=seed,
+            horizon_ns=horizon,
+            events=(
+                ChaosEvent(start, "crash", spine),
+                ChaosEvent(start + duration, "restore", spine),
+            ),
+        )
+        orchestrator = ChaosOrchestrator(service.deployment, schedule)
+        fabric_start = getattr(service.fabric, "start", None)
+        if fabric_start is not None:
+            fabric_start()
+        orchestrator.arm()
+        # Senders in three racks across both pods; the long distinct-key
+        # tail keeps pod s0's streams in flight through the crash window.
+        streams = {
+            "h0": [(b"in-network", 1), (b"aggregation", 2)] * 50
+            + [(f"key-{i:04d}".encode(), i) for i in range(1200)],
+            "h2": [(b"in-network", 3)] * 50
+            + [(f"key-{i:04d}".encode(), 1) for i in range(800)],
+            "h4": [(f"key-{i:04d}".encode(), 2) for i in range(800)],
+        }
+        result = service.aggregate(streams, receiver="h7", check=True)
+        report = orchestrator.report(tasks=service.tasks)
+        print(
+            f"exact aggregation under a {spine} crash mid-task "
+            f"({len(result.values)} keys verified against the reference):"
+        )
+        for key, value in sorted(result.items())[:4]:
+            print(f"  {key.decode():>12}: {value}")
+        print(f"  ... and {max(0, len(result.values) - 4)} more")
+        print(report.summary())
+        if report_path is not None:
+            with open(report_path, "w", encoding="utf-8") as fh:
+                fh.write(report.to_json())
+            print(f"[degradation report written to {report_path}]")
+    finally:
+        service.close()
+    return 0
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
+    if args.tree:
+        if args.corrupt_rate:
+            print("--tree and --corrupt-rate are separate drills", file=sys.stderr)
+            return 2
+        return _run_tree_chaos(args.backend, args.seed, args.report)
     return _run_chaos(args.backend, args.seed, args.report, args.corrupt_rate)
 
 
@@ -403,6 +479,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="RATE",
         help="also flip bits in this fraction of frames on every link "
         "[0, 1); the run still verifies bit-exact against the reference",
+    )
+    chaos.add_argument(
+        "--tree",
+        action="store_true",
+        help="run the spine-crash drill on a 2-pod spine–leaf tree "
+        "instead of the flat single-rack schedule",
     )
     chaos.set_defaults(func=cmd_chaos)
     serve = sub.add_parser(

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional
 
 from repro.core.errors import TaskStateError
-from repro.switch.controller import Region, SwitchController
+from repro.switch.controller import Region, RegionSpec, SwitchController
 
 
 class ControlPlane:
@@ -41,11 +41,15 @@ class ControlPlane:
         task_id: int,
         switches: Iterable[str],
         size: Optional[int] = None,
+        specs: Optional[Dict[str, RegionSpec]] = None,
     ) -> Dict[str, Region]:
         """Reserve a region for ``task_id`` on every named switch.
 
-        All-or-nothing: if any switch cannot allocate, already-made
-        reservations are rolled back before the error propagates.
+        ``specs`` optionally gives per-switch placement policy (combiner
+        ``sources`` / ``relay`` roles for spine–leaf trees); switches
+        without an entry get the flat-deployment defaults.  All-or-nothing:
+        if any switch cannot allocate, already-made reservations are rolled
+        back before the error propagates.
         """
         names = tuple(switches)
         if not names:
@@ -55,7 +59,15 @@ class ControlPlane:
         regions: Dict[str, Region] = {}
         try:
             for name in names:
-                regions[name] = self._controllers[name].allocate_region(task_id, size)
+                spec = specs.get(name) if specs else None
+                if spec is None:
+                    regions[name] = self._controllers[name].allocate_region(
+                        task_id, size
+                    )
+                else:
+                    regions[name] = self._controllers[name].allocate_region(
+                        task_id, size, sources=spec.sources, relay=spec.relay
+                    )
         except Exception:
             for name in regions:
                 self._controllers[name].deallocate(task_id)

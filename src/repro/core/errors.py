@@ -51,6 +51,17 @@ class FabricTimeoutError(TaskStateError):
         self.pending = pending
 
 
+class TopologyError(AskError, ValueError):
+    """A topology operation referenced an unknown node or re-declared an
+    existing one.  ``name`` carries the offending node/rack name so fabric
+    callers can report *which* wiring declaration was wrong instead of
+    surfacing a bare ``KeyError``."""
+
+    def __init__(self, message: str, name: str):
+        super().__init__(message)
+        self.name = name
+
+
 class RegionExhaustedError(AskError, RuntimeError):
     """The switch controller has no free aggregator region for a new task."""
 

@@ -59,6 +59,7 @@ class FailureSupervisor:
         daemons: Dict[str, HostDaemon],
         switches: Dict[str, Any],
         host_tor: Dict[str, str],
+        host_paths: Optional[Dict[str, tuple[str, ...]]] = None,
     ) -> None:
         self.clock = clock
         self.config = config
@@ -67,6 +68,15 @@ class FailureSupervisor:
         self.switches = switches
         #: host name -> name of the TOR switch its uplink traverses.
         self.host_tor = host_tor
+        #: host name -> every aggregation-capable switch on its path up the
+        #: tree, TOR first (then its spine).  Failure scope is *subtree*:
+        #: a host degrades to bypass only while one of *its own* path
+        #: switches is degraded.  Defaults to the flat one-switch path.
+        self.host_paths: Dict[str, tuple[str, ...]] = (
+            host_paths
+            if host_paths is not None
+            else {host: (tor,) for host, tor in host_tor.items()}
+        )
         self.heartbeat_ns = config.heartbeat_interval_ns
         self.lease_ns = config.lease_ns
         self._tasks: Dict[int, AggregationTask] = {}
@@ -103,11 +113,15 @@ class FailureSupervisor:
         self._tasks = tasks
 
     def probe_for(self, host: str) -> Callable[[], bool]:
-        """Bypass probe for ``host``'s sender channels: True while the
-        host's TOR switch may not aggregate."""
-        tor = self.host_tor[host]
+        """Bypass probe for ``host``'s sender channels: True while any
+        switch on the host's path up the tree may not aggregate (its TOR,
+        or — in a spine–leaf deployment — its pod's spine)."""
+        path = self.host_paths[host]
         degraded = self._degraded
-        return lambda: tor in degraded
+        if len(path) == 1:
+            tor = path[0]
+            return lambda: tor in degraded
+        return lambda: any(name in degraded for name in path)
 
     def is_degraded(self, switch_name: str) -> bool:
         """Receiver-side probe: suppress swaps toward this switch?"""
@@ -196,7 +210,7 @@ class FailureSupervisor:
         self._degraded.add(name)
         self._handled.add(name)
         self._log("switch-lease-lapsed", name, dark_ns=dark_ns)
-        for task_id in self.control.tasks_on(name):
+        for task_id in self._tasks_behind(name):
             self._restart_task_id(task_id)
 
     def _on_switch_reboot(self, name: str, sw: Any) -> None:
@@ -208,7 +222,7 @@ class FailureSupervisor:
         self._log("switch-reboot-observed", name, boot=sw.boot_count, down_ns=down_ns)
         if name not in self._handled:
             self._handled.add(name)
-            for task_id in self.control.tasks_on(name):
+            for task_id in self._tasks_behind(name):
                 self._restart_task_id(task_id)
         self._reinstalling.add(name)
         self.clock.schedule(
@@ -231,13 +245,16 @@ class FailureSupervisor:
         # every odd-segment sequence reads as a duplicate and a full
         # window of data would be silently dropped-and-ACKed.
         for host, daemon in self.daemons.items():
-            if self.host_tor.get(host) != name:
+            if name not in self.host_paths.get(host, ()):
                 continue
             for channel in daemon.channels:
                 if channel.window.next_seq == 0:
                     continue  # power-on state is the correct baseline
-                slot = sw.controller.channel_slot((host, channel.index))
-                sw.dedup.reinstall_channel(slot, channel.window.next_seq)
+                # Baseline the *whole* path, not just the rebooted switch:
+                # the bypass era left ``seen`` gaps on every switch the
+                # host's entries would have traversed (a healthy spine
+                # above a crashed leaf saw none of them either).
+                self._baseline_path(host, channel, installing=name)
         sw.mark_installed()
         self._degraded.discard(name)
         self._handled.discard(name)
@@ -245,17 +262,51 @@ class FailureSupervisor:
         self._log("switch-reinstalled", name, boot=boot)
 
     def _rebaseline(self, host: str, channel: SenderChannel) -> None:
-        """Write the channel's dedup baseline on the host's TOR (no-op if
-        the TOR is down or pending re-install — the switch-wide re-install
-        covers it with a fresher sequence number)."""
-        tor = self.host_tor.get(host)
-        if tor is None:
-            return
-        sw = self.switches[tor]
-        if not sw.is_up or getattr(sw, "needs_install", False):
-            return
-        slot = sw.controller.channel_slot((host, channel.index))
-        sw.dedup.reinstall_channel(slot, channel.window.next_seq)
+        """Write the channel's dedup baseline on every switch of the
+        host's path (skipping any that is down or pending re-install — the
+        switch-wide re-install covers those with a fresher sequence
+        number)."""
+        self._baseline_path(host, channel)
+
+    def _baseline_path(
+        self, host: str, channel: SenderChannel, installing: Optional[str] = None
+    ) -> None:
+        """Re-install ``channel``'s reliability baseline (``max_seq``,
+        compact ``seen`` parity) at its next sequence number on every
+        switch of ``host``'s path.  ``installing`` names a switch being
+        re-installed right now: it still reads ``needs_install`` but must
+        receive the baseline."""
+        for name in self.host_paths.get(host, ()):
+            sw = self.switches[name]
+            if name != installing and (
+                not sw.is_up or getattr(sw, "needs_install", False)
+            ):
+                continue
+            slot = sw.controller.channel_slot((host, channel.index))
+            sw.dedup.reinstall_channel(slot, channel.window.next_seq)
+
+    def _tasks_behind(self, name: str) -> tuple[int, ...]:
+        """Task ids a failure of switch ``name`` forces to restart: every
+        task holding a region on it, plus — in a tree — every unsettled
+        region-holding task with a sender whose path traverses it.  The
+        second set matters when the placement policy left ``name`` without
+        regions (a leaf under spine-only placement): its in-flight entries
+        still touched ``name``'s dedup state, so the post-outage baseline
+        invalidates them and only a supervised replay keeps exactly-once.
+        In a flat deployment regions live on the sender-side TORs, so the
+        second set adds nothing and behaviour is unchanged."""
+        behind = list(self.control.tasks_on(name))
+        seen = set(behind)
+        for task_id, task in self._tasks.items():
+            if task_id in seen or task.is_settled:
+                continue
+            if not self.control.has_regions(task_id):
+                continue
+            if any(
+                name in self.host_paths.get(host, ()) for host in task.senders
+            ):
+                behind.append(task_id)
+        return tuple(behind)
 
     # ------------------------------------------------------------------
     # Supervised task restart
@@ -287,7 +338,7 @@ class FailureSupervisor:
             self.control.reset_task(task.task_id)
         for host in rebaseline_hosts:
             channel = self.daemons[host].channel_for_task(task.task_id)
-            self._rebaseline(host, channel)
+            self._baseline_path(host, channel)
         self.daemons[task.receiver].receiver.reset_task(task.task_id, floors)
         for host in task.senders:
             self.daemons[host].resume_task(task)

@@ -20,6 +20,6 @@ the historical import location::
 
 from __future__ import annotations
 
-from repro.core.service import MultiRackService
+from repro.core.service import PLACEMENTS, MultiRackService, TreeAskService
 
-__all__ = ["MultiRackService"]
+__all__ = ["MultiRackService", "TreeAskService", "PLACEMENTS"]

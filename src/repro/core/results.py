@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -97,6 +98,17 @@ class AggregationResult:
 
     def items(self):
         return self.values.items()
+
+
+def values_sha256(values: dict[bytes, int]) -> str:
+    """Canonical fingerprint of an aggregated key→value map.
+
+    The digest is taken over the sorted item list, so any two runs that
+    produced the same aggregate — flat or tree, serial or parallel, either
+    backend — hash identically.  Matches the ``values_sha256`` field the
+    hot-path benchmark has always recorded.
+    """
+    return hashlib.sha256(repr(sorted(values.items())).encode()).hexdigest()
 
 
 def reference_aggregate(

@@ -55,6 +55,11 @@ class SendingJob:
     #: every entry of this job ships raw tuples end-to-end.  The channel
     #: is re-baselined on its switch when the job finishes.
     force_bypass: bool = False
+    #: True once this job has reached the head of its channel's FIFO and
+    #: started pumping.  The first activation fires the channel's
+    #: ``activation_hook`` (tree deployments baseline the spine's dedup
+    #: state there); supervised restart clears it so the replay re-fires.
+    activated: bool = False
 
     @property
     def data_exhausted(self) -> bool:
@@ -138,6 +143,13 @@ class SenderChannel:
         #: so the supervisor can re-baseline the switch's dedup state for
         #: this channel before the next (non-bypass) job opens entries.
         self.rebaseline_hook: Optional[Callable[["SenderChannel"], None]] = None
+        #: Fired once per job, the first time it pumps at the head of the
+        #: FIFO (window empty at that instant — jobs are strictly FIFO).
+        #: Tree deployments use it to baseline combiner-switch dedup state
+        #: for this channel before the job's first sequence goes out.
+        self.activation_hook: Optional[
+            Callable[["SenderChannel", SendingJob], None]
+        ] = None
         # §7: optional ECN/AIMD congestion window, hard-capped at W so the
         # switch receive window can never be outrun.
         self.congestion: Optional[CongestionWindow] = None
@@ -183,6 +195,10 @@ class SenderChannel:
         job = self.active_job
         if job is None:
             return
+        if not job.activated:
+            job.activated = True
+            if self.activation_hook is not None:
+                self.activation_hook(self, job)
         bypass = job.force_bypass or (
             self.bypass_probe is not None and self.bypass_probe()
         )
@@ -325,6 +341,7 @@ class SenderChannel:
         job.unacked = 0
         job.fin_sent = False
         job.fin_acked = False
+        job.activated = False
         return withdrawn
 
     def requeue(self, job: SendingJob) -> None:

@@ -39,6 +39,7 @@ from repro.core.tenancy import DEFAULT_TENANT, encode_task_id
 from repro.net.fault import FaultModel
 from repro.runtime.builder import Deployment, DeploymentBuilder
 from repro.runtime.interfaces import Clock, TaskRunner
+from repro.switch.controller import RegionSpec
 
 Stream = Sequence[tuple[bytes, int]]
 
@@ -194,6 +195,15 @@ class _AskServiceBase:
         """Switches that must hold a region for a task with ``senders``."""
         raise NotImplementedError
 
+    def _region_plan(
+        self, task: AggregationTask
+    ) -> tuple[tuple[str, ...], Optional[Dict[str, RegionSpec]]]:
+        """Region placement for ``task``: switch names plus (optionally)
+        per-switch :class:`RegionSpec` roles.  The default — every switch
+        from :meth:`_switches_for`, no specs — is the flat deployment;
+        tree services override this with their placement policy."""
+        return self._switches_for(task.senders), None
+
     # ------------------------------------------------------------------
     # Task submission (Fig. 4 steps ①–⑧)
     # ------------------------------------------------------------------
@@ -249,8 +259,9 @@ class _AskServiceBase:
 
     def _setup_task(self, task: AggregationTask, streams: dict[str, Stream]) -> None:
         try:
+            switches, specs = self._region_plan(task)
             regions = self.control.allocate(
-                task.task_id, self._switches_for(task.senders), task.region_size
+                task.task_id, switches, task.region_size, specs=specs
             )
         except Exception as exc:
             # Region allocation failed (e.g. the switch pool or a tenant
@@ -316,8 +327,9 @@ class _AskServiceBase:
 
     def _setup_streaming(self, task: AggregationTask, session: StreamingSession) -> None:
         try:
+            switches, specs = self._region_plan(task)
             regions = self.control.allocate(
-                task.task_id, self._switches_for(session.senders), task.region_size
+                task.task_id, switches, task.region_size, specs=specs
             )
         except Exception as exc:
             task.failure_reason = f"region allocation failed: {exc}"
@@ -504,3 +516,206 @@ class MultiRackService(_AskServiceBase):
             if rack not in racks:
                 racks.append(rack)
         return tuple(self.switches[rack].name for rack in racks)
+
+
+#: Valid per-task aggregation placement policies for a tree deployment.
+PLACEMENTS = ("leaf", "spine", "both")
+
+
+class TreeAskService(_AskServiceBase):
+    """A spine–leaf ASK deployment: pods of racks under spine combiners.
+
+    ``pods`` maps pod name → {rack name → host names}; each pod gets one
+    spine switch (``spine-<pod>``), each rack its leaf TOR
+    (``tor-<rack>``).  Inter-rack traffic routes leaf → spine [→ spine]
+    → leaf → host instead of the flat §7 core mesh, and the *placement
+    policy* decides where a task's aggregation state lives:
+
+    ``"leaf"``
+        Regions on the sender-side leaf TORs only (the flat policy on tree
+        routing); spines are pure transit.
+    ``"spine"``
+        Regions on the senders' pod spines only, each admitting the pod's
+        senders via its region ``sources``; leaves run the program for
+        dedup but hold no aggregation state for the task.
+    ``"both"``
+        Relay regions on the sender-side leaves (absorb, then forward even
+        fully-absorbed packets up) plus terminal combiner regions on the
+        pod spines — the full hierarchical pre-aggregation of Flare /
+        SwitchAgg.
+
+    The service-wide default is set at construction; :meth:`submit` and
+    :meth:`open_stream` accept a per-task override.  Whatever the tree and
+    policy, result values are bit-identical to a flat single-switch run of
+    the same workload (aggregation is commutative mod 2^value_bits).
+    """
+
+    def __init__(
+        self,
+        config: Optional[AskConfig] = None,
+        pods: Optional[Dict[str, Dict[str, Iterable[str]]]] = None,
+        placement: str = "both",
+        fault: Optional[FaultModel] = None,
+        max_tasks: int = 64,
+        max_channels: int = 256,
+        core_bandwidth_gbps: Optional[float] = 400.0,
+        backend: str = "sim",
+        bind_host: str = "127.0.0.1",
+    ) -> None:
+        if placement not in PLACEMENTS:
+            raise ValueError(
+                f"unknown placement {placement!r}; pick one of {PLACEMENTS}"
+            )
+        if not pods:
+            pods = {
+                "s0": {"r0": ["h0", "h1"], "r1": ["h2", "h3"]},
+                "s1": {"r2": ["h4", "h5"], "r3": ["h6", "h7"]},
+            }
+        self.placement = placement
+        self._task_placement: Dict[int, str] = {}
+        self._pod_of_rack: Dict[str, str] = {}
+        self._rack_hosts: Dict[str, tuple[str, ...]] = {}
+        builder = DeploymentBuilder(
+            config,
+            backend=backend,
+            fault=fault,
+            max_tasks=max_tasks,
+            max_channels=max_channels,
+            core_bandwidth_gbps=core_bandwidth_gbps,
+            bind_host=bind_host,
+        )
+        for pod, pod_racks in pods.items():
+            spine_name = builder.add_spine(f"spine-{pod}")
+            for rack, host_names in pod_racks.items():
+                names = tuple(host_names)
+                builder.add_rack(
+                    list(names), switch_name=f"tor-{rack}", rack=rack, spine=spine_name
+                )
+                self._pod_of_rack[rack] = pod
+                self._rack_hosts[rack] = names
+        super().__init__(builder.build(on_task_complete=self._on_task_complete))
+        #: rack name -> that rack's leaf TOR switch.
+        self.switches = {
+            rack: self.deployment.switches[f"tor-{rack}"]
+            for rack in self.deployment.racks
+        }
+        #: pod name -> that pod's spine switch.
+        self.spines = {pod: self.deployment.switches[f"spine-{pod}"] for pod in pods}
+
+    # ------------------------------------------------------------------
+    def switch_of_host(self, host: str):
+        """The leaf TOR serving ``host``'s rack."""
+        return self.switches[self.fabric.rack_of_host(host)]
+
+    def spine_of_host(self, host: str):
+        """The spine combiner above ``host``'s rack."""
+        return self.spines[self._pod_of_rack[self.fabric.rack_of_host(host)]]
+
+    def _switches_for(self, senders: Iterable[str]) -> tuple[str, ...]:
+        """Sender-side leaf TORs, deduplicated, sender-first-seen order."""
+        racks = []
+        for sender in senders:
+            rack = self.fabric.rack_of_host(sender)
+            if rack not in racks:
+                racks.append(rack)
+        return tuple(self.switches[rack].name for rack in racks)
+
+    def _region_plan(
+        self, task: AggregationTask
+    ) -> tuple[tuple[str, ...], Optional[Dict[str, RegionSpec]]]:
+        placement = self._task_placement.get(task.task_id, self.placement)
+        senders = task.senders
+        # Sender-first-seen rack and pod orders keep allocation (and so
+        # the whole schedule) deterministic for a given stream dict.
+        racks: list[str] = []
+        for sender in senders:
+            rack = self.fabric.rack_of_host(sender)
+            if rack not in racks:
+                racks.append(rack)
+        pods: list[str] = []
+        for rack in racks:
+            pod = self._pod_of_rack[rack]
+            if pod not in pods:
+                pods.append(pod)
+        rack_senders = {
+            rack: frozenset(
+                s for s in senders if self.fabric.rack_of_host(s) == rack
+            )
+            for rack in racks
+        }
+        pod_senders = {
+            pod: frozenset(
+                s
+                for rack in racks
+                if self._pod_of_rack[rack] == pod
+                for s in rack_senders[rack]
+            )
+            for pod in pods
+        }
+        leaves = tuple(self.switches[rack].name for rack in racks)
+        spine_names = tuple(self.spines[pod].name for pod in pods)
+        if placement == "leaf":
+            return leaves, None
+        if placement == "spine":
+            specs = {
+                self.spines[pod].name: RegionSpec(sources=pod_senders[pod])
+                for pod in pods
+            }
+            return spine_names, specs
+        specs = {
+            self.switches[rack].name: RegionSpec(
+                sources=rack_senders[rack], relay=True
+            )
+            for rack in racks
+        }
+        for pod in pods:
+            specs[self.spines[pod].name] = RegionSpec(sources=pod_senders[pod])
+        return leaves + spine_names, specs
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        streams: dict[str, Stream],
+        receiver: str,
+        region_size: Optional[int] = None,
+        task_id: Optional[int] = None,
+        tenant_id: int = DEFAULT_TENANT,
+        placement: Optional[str] = None,
+    ) -> AggregationTask:
+        """Submit a task, optionally overriding the placement policy for
+        it (``"leaf"`` / ``"spine"`` / ``"both"``).  Region allocation
+        happens one control latency later, so the override is recorded
+        before :meth:`_region_plan` consults it."""
+        if placement is not None and placement not in PLACEMENTS:
+            raise ValueError(
+                f"unknown placement {placement!r}; pick one of {PLACEMENTS}"
+            )
+        task = super().submit(
+            streams,
+            receiver,
+            region_size=region_size,
+            task_id=task_id,
+            tenant_id=tenant_id,
+        )
+        if placement is not None:
+            self._task_placement[task.task_id] = placement
+        return task
+
+    def open_stream(
+        self,
+        senders: Sequence[str],
+        receiver: str,
+        region_size: Optional[int] = None,
+        tenant_id: int = DEFAULT_TENANT,
+        placement: Optional[str] = None,
+    ) -> StreamingSession:
+        if placement is not None and placement not in PLACEMENTS:
+            raise ValueError(
+                f"unknown placement {placement!r}; pick one of {PLACEMENTS}"
+            )
+        session = super().open_stream(
+            senders, receiver, region_size=region_size, tenant_id=tenant_id
+        )
+        if placement is not None:
+            self._task_placement[session.task.task_id] = placement
+        return session

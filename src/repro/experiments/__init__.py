@@ -15,6 +15,7 @@ from repro.experiments import (  # noqa: F401
     fig11_tct,
     fig12_training,
     fig13_scalability,
+    fig13_tree,
     table1_traffic,
 )
 
@@ -27,5 +28,6 @@ __all__ = [
     "fig11_tct",
     "fig12_training",
     "fig13_scalability",
+    "fig13_tree",
     "table1_traffic",
 ]

@@ -1,19 +1,39 @@
-"""Multi-rack topology: one ASK TOR switch per rack, full-mesh core (§7).
+"""Multi-rack topology: per-rack ASK TOR switches, flat mesh or spine–leaf.
 
 Every host is wired to its rack's TOR switch exactly as in
-:class:`~repro.net.topology.StarTopology`; TOR switches are wired pairwise
-with (faster, wider) core links.  Each switch sees the fabric through a
-:class:`RackView` that exposes the same interface a single-rack switch gets
-from its star topology — ``host_names`` (this rack's hosts, which the §7
-bypass rule keys on) and ``send_to_host`` (which transparently routes
-cross-rack traffic over the core, including control packets addressed to a
+:class:`~repro.net.topology.StarTopology`.  Racks interconnect one of two
+ways:
+
+Flat mesh (the §7 deployment, a depth-1 tree)
+    TOR switches are wired pairwise with (faster, wider) core links.  This
+    is the historical layout and stays byte-identical: no spine state is
+    created and every routing decision takes the pre-tree code path.
+
+Spine–leaf tree
+    Racks are grouped into pods, each pod served by one spine switch
+    (:meth:`MultiRackTopology.add_spine`); a rack's TOR (its *leaf*) has
+    an uplink/downlink pair to its pod's spine and spines interconnect
+    pairwise.  Inter-rack paths traverse spine nodes — leaf → spine
+    [→ spine] → leaf → host — instead of the flat ``_send_core`` mesh,
+    which is what lets a spine ``AskSwitch`` act as a combiner for
+    already-partially-aggregated slots.
+
+Each switch sees the fabric through a view exposing the same interface a
+single-rack switch gets from its star topology — ``host_names`` (the §7
+bypass rule keys on it; empty for spines) and ``send_to_host`` (which
+transparently routes anywhere, including control packets addressed to a
 remote switch by name).
+
+Link fault streams derive from stable names (``rack:<rack>``,
+``core:<a>-><b>``, ``up:<rack>-><spine>``, ``down:<spine>-><rack>``), so
+they do not depend on wiring order.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
+from repro.core.errors import TopologyError
 from repro.net.fault import FaultModel
 from repro.net.link import Link
 from repro.net.nic import Nic
@@ -23,11 +43,11 @@ from repro.net.trace import PacketTrace
 
 
 class RackView:
-    """One switch's view of a multi-rack fabric.
+    """One leaf switch's view of a multi-rack fabric.
 
     Implements the topology interface :class:`~repro.switch.switch.AskSwitch`
     binds to: local ``host_names`` plus ``send_to_host`` that routes
-    anywhere (local downlink, or core link toward the owning rack).
+    anywhere (local downlink, core link, or up the tree).
     """
 
     def __init__(self, fabric: "MultiRackTopology", rack: str) -> None:
@@ -42,8 +62,28 @@ class RackView:
         self._fabric.route_from_switch(self.rack, destination, packet, size_bytes)
 
 
+class SpineView:
+    """A spine switch's view of the fabric.
+
+    A spine has no directly attached hosts — ``host_names`` is empty, so
+    the §7 "src is local" rule never fires there and the combiner rule
+    (region ``sources``) is what admits packets to the program.
+    """
+
+    def __init__(self, fabric: "MultiRackTopology", spine: str) -> None:
+        self._fabric = fabric
+        self.spine = spine
+
+    @property
+    def host_names(self) -> list[str]:
+        return []
+
+    def send_to_host(self, destination: str, packet: Any, size_bytes: int) -> None:
+        self._fabric.route_from_spine(self.spine, destination, packet, size_bytes)
+
+
 class MultiRackTopology:
-    """Racks of hosts behind per-rack switches, interconnected pairwise."""
+    """Racks of hosts behind per-rack switches: flat mesh or spine–leaf."""
 
     def __init__(
         self,
@@ -68,9 +108,15 @@ class MultiRackTopology:
         self.ecn_threshold_bytes = ecn_threshold_bytes
         self._stars: Dict[str, StarTopology] = {}
         self._switches: Dict[str, NetworkNode] = {}
-        self._switch_rack: Dict[str, str] = {}  # switch name -> rack
+        self._switch_rack: Dict[str, str] = {}  # leaf switch name -> rack
         self._host_rack: Dict[str, str] = {}
         self._core_links: Dict[tuple[str, str], Nic] = {}
+        # Spine–leaf state (all empty in the flat depth-1 layout).
+        self._spine_switches: Dict[str, NetworkNode] = {}  # spine name -> node
+        self._rack_spine: Dict[str, str] = {}  # rack -> spine switch name
+        self._up_nics: Dict[str, Nic] = {}  # rack -> uplink toward its spine
+        self._down_nics: Dict[str, Nic] = {}  # rack -> downlink from its spine
+        self._spine_core: Dict[tuple[str, str], Nic] = {}
 
     # ------------------------------------------------------------------
     def _make_fault(self, label: str) -> Optional[FaultModel]:
@@ -81,13 +127,43 @@ class MultiRackTopology:
         return self._fault_template.derive(label)
 
     # ------------------------------------------------------------------
-    def add_rack(self, rack: str, switch: NetworkNode) -> RackView:
-        """Create a rack around ``switch``, wiring core links to all
-        existing racks, and return the switch's fabric view."""
+    def add_spine(self, switch: NetworkNode) -> SpineView:
+        """Declare a spine switch, wiring pairwise core links to every
+        existing spine.  Spines must be declared before their racks."""
+        name = switch.name
+        if name in self._spine_switches:
+            raise TopologyError(f"spine {name!r} already exists", name)
+        if name in self._switch_rack:
+            raise TopologyError(f"switch {name!r} already placed as a leaf", name)
+        if len(self._rack_spine) != len(self._stars):
+            raise TopologyError(
+                "cannot add a spine to a flat multi-rack topology: existing "
+                "racks were wired into the pairwise core mesh",
+                name,
+            )
+        for other in list(self._spine_switches):
+            self._wire_spine_core(name, other)
+        self._spine_switches[name] = switch
+        return SpineView(self, name)
+
+    def add_rack(
+        self, rack: str, switch: NetworkNode, spine: Optional[str] = None
+    ) -> RackView:
+        """Create a rack around ``switch`` and return the switch's fabric
+        view.  Without ``spine`` the rack joins the flat pairwise core
+        mesh; with ``spine`` it hangs under that (already declared) spine
+        and inter-rack traffic routes up the tree."""
         if rack in self._stars:
-            raise ValueError(f"rack {rack!r} already exists")
-        if switch.name in self._switch_rack:
-            raise ValueError(f"switch {switch.name!r} already placed")
+            raise TopologyError(f"rack {rack!r} already exists", rack)
+        if switch.name in self._switch_rack or switch.name in self._spine_switches:
+            raise TopologyError(f"switch {switch.name!r} already placed", switch.name)
+        if spine is None and self._spine_switches:
+            raise TopologyError(
+                f"rack {rack!r} needs a spine: this topology is spine–leaf",
+                rack,
+            )
+        if spine is not None and spine not in self._spine_switches:
+            raise TopologyError(f"unknown spine {spine!r}", spine)
         # Each rack's star derives per-link fault streams keyed by rack
         # name, so racks differ but stay reproducible and independent of
         # the order racks were added.
@@ -104,27 +180,43 @@ class MultiRackTopology:
         self._stars[rack] = star
         self._switches[rack] = switch
         self._switch_rack[switch.name] = rack
-        for other in list(self._stars):
-            if other != rack:
-                self._wire_core(rack, other)
+        if spine is None:
+            for other in list(self._stars):
+                if other != rack:
+                    self._wire_core(rack, other)
+        else:
+            self._rack_spine[rack] = spine
+            self._wire_spine_links(rack, spine)
         return RackView(self, rack)
+
+    def _core_link_nic(self, name: str) -> Nic:
+        link = Link(
+            self.sim,
+            self.core_bandwidth_gbps,
+            self.core_latency_ns,
+            fault=self._make_fault(name),
+            name=name,
+            ecn_threshold_bytes=self.ecn_threshold_bytes,
+        )
+        return Nic(self.sim, link, None)
 
     def _wire_core(self, a: str, b: str) -> None:
         for src, dst in ((a, b), (b, a)):
-            core_name = f"core:{src}->{dst}"
-            link = Link(
-                self.sim,
-                self.core_bandwidth_gbps,
-                self.core_latency_ns,
-                fault=self._make_fault(core_name),
-                name=core_name,
-                ecn_threshold_bytes=self.ecn_threshold_bytes,
-            )
-            self._core_links[(src, dst)] = Nic(self.sim, link, None)
+            self._core_links[(src, dst)] = self._core_link_nic(f"core:{src}->{dst}")
+
+    def _wire_spine_links(self, rack: str, spine: str) -> None:
+        self._up_nics[rack] = self._core_link_nic(f"up:{rack}->{spine}")
+        self._down_nics[rack] = self._core_link_nic(f"down:{spine}->{rack}")
+
+    def _wire_spine_core(self, a: str, b: str) -> None:
+        for src, dst in ((a, b), (b, a)):
+            self._spine_core[(src, dst)] = self._core_link_nic(f"core:{src}->{dst}")
 
     def attach_host(self, rack: str, host: NetworkNode) -> None:
         if host.name in self._host_rack:
-            raise ValueError(f"host {host.name!r} already attached")
+            raise TopologyError(f"host {host.name!r} already attached", host.name)
+        if rack not in self._stars:
+            raise TopologyError(f"unknown rack {rack!r}", rack)
         self._stars[rack].attach_host(host)
         self._host_rack[host.name] = rack
 
@@ -135,11 +227,14 @@ class MultiRackTopology:
         return self._stars[rack].host_names
 
     def rack_of_host(self, host: str) -> str:
-        return self._host_rack[host]
+        try:
+            return self._host_rack[host]
+        except KeyError:
+            raise TopologyError(f"unknown host {host!r}", host) from None
 
     def host_node(self, host: str) -> NetworkNode:
         """The attached node object for ``host`` (fault injection)."""
-        return self._stars[self._host_rack[host]].host(host)
+        return self._stars[self.rack_of_host(host)].host(host)
 
     def rack_of_switch(self, switch_name: str) -> str:
         return self._switch_rack[switch_name]
@@ -147,9 +242,20 @@ class MultiRackTopology:
     def switch_of(self, rack: str) -> NetworkNode:
         return self._switches[rack]
 
+    def spine_of_rack(self, rack: str) -> Optional[str]:
+        """The rack's spine switch name (None in the flat layout)."""
+        return self._rack_spine.get(rack)
+
+    def spine_node(self, spine: str) -> NetworkNode:
+        return self._spine_switches[spine]
+
     @property
     def racks(self) -> list[str]:
         return list(self._stars)
+
+    @property
+    def spine_names(self) -> list[str]:
+        return list(self._spine_switches)
 
     @property
     def host_names(self) -> list[str]:
@@ -159,15 +265,15 @@ class MultiRackTopology:
     # Data movement
     # ------------------------------------------------------------------
     def send_to_switch(self, host: str, packet: Any, size_bytes: int) -> None:
-        """Host uplink: always to the host's own TOR."""
-        rack = self._host_rack[host]
+        """Host uplink: always to the host's own TOR (its leaf)."""
+        rack = self.rack_of_host(host)
         self._stars[rack].send_to_switch(host, packet, size_bytes)
 
     def route_from_switch(
         self, rack: str, destination: str, packet: Any, size_bytes: int
     ) -> None:
-        """Route a packet leaving ``rack``'s switch toward ``destination``
-        — a host (local or remote) or a remote switch by name."""
+        """Route a packet leaving ``rack``'s (leaf) switch toward
+        ``destination`` — a host, a remote switch, or a spine by name."""
         if destination in self._switch_rack:
             target_rack = self._switch_rack[destination]
             if target_rack == rack:
@@ -175,13 +281,51 @@ class MultiRackTopology:
                 # notification that was routed here).
                 self._switches[rack].receive(packet)
                 return
-            self._send_core(rack, target_rack, packet, size_bytes)
+            self._send_interrack(rack, target_rack, packet, size_bytes)
             return
+        if destination in self._spine_switches:
+            # Control traffic addressed to a spine: up the tree.
+            self._send_up(rack, packet, size_bytes)
+            return
+        if destination not in self._host_rack:
+            raise TopologyError(f"unknown destination {destination!r}", destination)
         target_rack = self._host_rack[destination]
         if target_rack == rack:
             self._stars[rack].send_to_host(destination, packet, size_bytes)
         else:
-            self._send_core(rack, target_rack, packet, size_bytes)
+            self._send_interrack(rack, target_rack, packet, size_bytes)
+
+    def route_from_spine(
+        self, spine: str, destination: str, packet: Any, size_bytes: int
+    ) -> None:
+        """Route a packet leaving ``spine`` toward ``destination`` — down
+        to a pod leaf/host, across the spine mesh, or to itself."""
+        if destination == spine:
+            self._spine_switches[spine].receive(packet)
+            return
+        if destination in self._spine_switches:
+            self._send_spine_core(spine, destination, packet, size_bytes)
+            return
+        if destination in self._switch_rack:
+            rack = self._switch_rack[destination]
+        else:
+            if destination not in self._host_rack:
+                raise TopologyError(f"unknown destination {destination!r}", destination)
+            rack = self._host_rack[destination]
+        target_spine = self._rack_spine[rack]
+        if target_spine == spine:
+            self._send_down(spine, rack, packet, size_bytes)
+        else:
+            self._send_spine_core(spine, target_spine, packet, size_bytes)
+
+    # -- link drivers ---------------------------------------------------
+    def _send_interrack(
+        self, src_rack: str, dst_rack: str, packet: Any, size_bytes: int
+    ) -> None:
+        if src_rack in self._rack_spine:
+            self._send_up(src_rack, packet, size_bytes)
+        else:
+            self._send_core(src_rack, dst_rack, packet, size_bytes)
 
     def _send_core(self, src_rack: str, dst_rack: str, packet: Any, size_bytes: int) -> None:
         nic = self._core_links[(src_rack, dst_rack)]
@@ -189,3 +333,23 @@ class MultiRackTopology:
         if self.trace is not None:
             self.trace.record(self.sim.now, f"core:{src_rack}->{dst_rack}", "tx", packet)
         nic.send(packet, size_bytes, destination_switch.receive)
+
+    def _send_up(self, rack: str, packet: Any, size_bytes: int) -> None:
+        spine = self._rack_spine[rack]
+        if self.trace is not None:
+            self.trace.record(self.sim.now, f"up:{rack}->{spine}", "tx", packet)
+        self._up_nics[rack].send(packet, size_bytes, self._spine_switches[spine].receive)
+
+    def _send_down(self, spine: str, rack: str, packet: Any, size_bytes: int) -> None:
+        if self.trace is not None:
+            self.trace.record(self.sim.now, f"down:{spine}->{rack}", "tx", packet)
+        self._down_nics[rack].send(packet, size_bytes, self._switches[rack].receive)
+
+    def _send_spine_core(
+        self, src: str, dst: str, packet: Any, size_bytes: int
+    ) -> None:
+        if self.trace is not None:
+            self.trace.record(self.sim.now, f"core:{src}->{dst}", "tx", packet)
+        self._spine_core[(src, dst)].send(
+            packet, size_bytes, self._spine_switches[dst].receive
+        )

@@ -44,11 +44,12 @@ from typing import Optional, Sequence
 CHAOS_SEEDS: tuple[int, ...] = (0, 7, 13, 23, 31)
 
 #: Sub-second jobs for the CI determinism check (``repro suite --quick``):
-#: the analytic figures plus two chaos seeds.  The simulation-heavy
+#: the analytic figures, the smallest tree point (fig13_tree's functional
+#: leg is a 2-pod sim run), plus two chaos seeds.  The simulation-heavy
 #: figures (table1, fig08, fig09) are excluded on purpose — quick mode
 #: exists to verify plumbing and serial/parallel identity, not coverage.
 QUICK_EXPERIMENTS: tuple[str, ...] = (
-    "fig03", "fig07", "fig10", "fig11", "fig12", "fig13",
+    "fig03", "fig07", "fig10", "fig11", "fig12", "fig13", "fig13_tree",
 )
 QUICK_CHAOS_SEEDS: tuple[int, ...] = (0, 7)
 
@@ -57,15 +58,15 @@ QUICK_CHAOS_SEEDS: tuple[int, ...] = (0, 7)
 class Job:
     """One unit of work.  Must stay picklable (fork *and* spawn starts)."""
 
-    kind: str  #: "experiment" | "fig09-shard" | "chaos"
-    name: str  #: experiment name, or "chaos" for chaos jobs
+    kind: str  #: "experiment" | "fig09-shard" | "chaos" | "chaos-tree"
+    name: str  #: experiment name, or "chaos"/"chaos-tree" for chaos jobs
     shard: Optional[str] = None  #: fig09 stream kind for shard jobs
     seed: Optional[int] = None  #: chaos schedule seed
 
     @property
     def label(self) -> str:
-        if self.kind == "chaos":
-            return f"chaos[seed={self.seed}]"
+        if self.kind in ("chaos", "chaos-tree"):
+            return f"{self.kind}[seed={self.seed}]"
         if self.shard is not None:
             return f"{self.name}[{self.shard}]"
         return self.name
@@ -99,15 +100,20 @@ def run_job(job: Job) -> JobResult:
 
             assert job.shard is not None
             payload = fig09_prioritization.run(kinds=(job.shard,))
-        elif job.kind == "chaos":
-            from repro.cli import _run_chaos
+        elif job.kind in ("chaos", "chaos-tree"):
+            from repro.cli import _run_chaos, _run_tree_chaos
 
             assert job.seed is not None
             buffer = io.StringIO()
             with redirect_stdout(buffer):
-                status = _run_chaos("sim", job.seed, None)
+                if job.kind == "chaos-tree":
+                    status = _run_tree_chaos("sim", job.seed, None)
+                else:
+                    status = _run_chaos("sim", job.seed, None)
             if status != 0:
-                raise RuntimeError(f"chaos seed {job.seed} exited with {status}")
+                raise RuntimeError(
+                    f"{job.kind} seed {job.seed} exited with {status}"
+                )
             payload = buffer.getvalue()
         else:
             raise ValueError(f"unknown job kind {job.kind!r}")
@@ -155,6 +161,9 @@ def plan(
         else:
             jobs.append(Job("experiment", name))
     jobs.extend(Job("chaos", "chaos", seed=seed) for seed in chaos_seeds)
+    # The tree-failover drill (spine crash mid-task on a spine–leaf tree)
+    # rides the same seed matrix, after the flat schedules.
+    jobs.extend(Job("chaos-tree", "chaos-tree", seed=seed) for seed in chaos_seeds)
     return jobs
 
 

@@ -29,7 +29,7 @@ import asyncio
 import random
 from typing import Any, Callable, Dict, Optional, Tuple
 
-from repro.core.errors import FabricTimeoutError
+from repro.core.errors import FabricTimeoutError, TopologyError
 from repro.core.packet import AskPacket
 from repro.net.fault import FaultModel, corrupt_bytes
 from repro.net.trace import PacketTrace
@@ -121,8 +121,53 @@ class _NodeEndpoint(asyncio.DatagramProtocol):
             self.node.receive(packet)
 
 
+class _AsyncioRackView:
+    """A leaf switch's fabric view in the asyncio multi-rack mode: local
+    ``host_names`` plus tree/mesh routing for everything egressing."""
+
+    def __init__(self, fabric: "AsyncioFabric", rack: str) -> None:
+        self._fabric = fabric
+        self.rack = rack
+
+    @property
+    def host_names(self) -> list[str]:
+        return self._fabric.hosts_of(self.rack)
+
+    def send_to_host(self, destination: str, packet: AskPacket, size_bytes: int) -> None:
+        self._fabric.route_from_switch(self.rack, destination, packet)
+
+
+class _AsyncioSpineView:
+    """A spine switch's fabric view: no local hosts (the combiner rule
+    admits packets by region ``sources``), next-hop routing down/across."""
+
+    def __init__(self, fabric: "AsyncioFabric", spine: str) -> None:
+        self._fabric = fabric
+        self.spine = spine
+
+    @property
+    def host_names(self) -> list[str]:
+        return []
+
+    def send_to_host(self, destination: str, packet: AskPacket, size_bytes: int) -> None:
+        self._fabric.route_from_spine(self.spine, destination, packet)
+
+
 class AsyncioFabric:
-    """A single ASK rack on localhost UDP sockets."""
+    """One ASK deployment on localhost UDP sockets.
+
+    Two wiring modes share the same datagram machinery:
+
+    - *single-rack* (the historical mode, unchanged): one switch, the
+      fabric itself is the switch's view, every frame is host↔switch.
+    - *multi-rack / tree*: ``install_switch(switch, rack=...)`` (plus
+      optional ``install_spine``) gives every switch its own
+      :class:`_AsyncioRackView`/:class:`_AsyncioSpineView` and frames hop
+      name-to-name along the same leaf→spine→leaf paths the simulated
+      :class:`~repro.net.multirack.MultiRackTopology` takes.  Each hop is
+      a real kernel datagram with its own per-direction fault stream
+      (``fault.derive("src->dst")``), so per-hop loss falls out for free.
+    """
 
     backend = "asyncio"
 
@@ -145,6 +190,13 @@ class AsyncioFabric:
         self._endpoints: Dict[str, _NodeEndpoint] = {}
         self._faults: Dict[Tuple[str, str], FaultModel] = {}
         self._switch_name: Optional[str] = None
+        # Multi-rack / tree wiring (all empty in single-rack mode).
+        self._rack_switch: Dict[str, str] = {}  # rack -> leaf switch name
+        self._switch_rack: Dict[str, str] = {}  # leaf switch name -> rack
+        self._rack_spine: Dict[str, str] = {}  # rack -> spine switch name
+        self._spines: set[str] = set()
+        self._host_rack: Dict[str, str] = {}
+        self._rack_hosts: Dict[str, list[str]] = {}
         self._started = False
         self._closed = False
         # Frames sent before the sockets are open (timers that were already
@@ -180,16 +232,78 @@ class AsyncioFabric:
     # ------------------------------------------------------------------
     # Wiring
     # ------------------------------------------------------------------
-    def install_switch(self, switch: Node) -> None:
+    def install_switch(
+        self, switch: Node, rack: Optional[str] = None, spine: Optional[str] = None
+    ) -> None:
+        """Install a switch.  ``rack=None`` keeps the historical
+        single-switch mode (the fabric itself is the switch's view);
+        naming a rack enters multi-rack mode, optionally hanging the rack
+        under an already-installed ``spine``."""
+        if rack is None:
+            if spine is not None:
+                raise TopologyError("a single-rack switch takes no spine", switch.name)
+            if self._multirack:
+                raise RuntimeError(
+                    "fabric already in multi-rack mode; pass rack= to install_switch"
+                )
+            if self._switch_name is not None:
+                raise RuntimeError("fabric already has a switch installed")
+            self._register(switch)
+            self._switch_name = switch.name
+            bind = getattr(switch, "bind", None)
+            if bind is not None:
+                bind(self)
+            return
         if self._switch_name is not None:
-            raise RuntimeError("fabric already has a switch installed")
+            raise RuntimeError("fabric already has a single-rack switch installed")
+        if rack in self._rack_switch:
+            raise TopologyError(f"rack {rack!r} already exists", rack)
+        if spine is None and self._rack_spine:
+            raise TopologyError(
+                f"rack {rack!r} needs a spine: this fabric is spine–leaf", rack
+            )
+        if spine is not None and spine not in self._spines:
+            raise TopologyError(f"unknown spine {spine!r}", spine)
         self._register(switch)
-        self._switch_name = switch.name
+        self._rack_switch[rack] = switch.name
+        self._switch_rack[switch.name] = rack
+        self._rack_hosts[rack] = []
+        if spine is not None:
+            self._rack_spine[rack] = spine
         bind = getattr(switch, "bind", None)
         if bind is not None:
-            bind(self)
+            bind(_AsyncioRackView(self, rack))
 
-    def attach_host(self, host: Node) -> None:
+    def install_spine(self, switch: Node) -> None:
+        """Declare a spine switch (multi-rack tree mode only)."""
+        if self._switch_name is not None:
+            raise RuntimeError("fabric already has a single-rack switch installed")
+        if self._rack_switch and len(self._rack_spine) != len(self._rack_switch):
+            raise TopologyError(
+                "cannot add a spine to a flat multi-rack fabric", switch.name
+            )
+        self._register(switch)
+        self._spines.add(switch.name)
+        bind = getattr(switch, "bind", None)
+        if bind is not None:
+            bind(_AsyncioSpineView(self, switch.name))
+
+    @property
+    def _multirack(self) -> bool:
+        return bool(self._rack_switch or self._spines)
+
+    def attach_host(self, host: Node, rack: Optional[str] = None) -> None:
+        if self._multirack:
+            if rack is None:
+                raise ValueError("a multi-rack fabric needs the host's rack")
+            if rack not in self._rack_switch:
+                raise TopologyError(f"unknown rack {rack!r}", rack)
+            if host.name in self._host_rack:
+                raise TopologyError(f"host {host.name!r} already attached", host.name)
+            self._register(host)
+            self._host_rack[host.name] = rack
+            self._rack_hosts[rack].append(host.name)
+            return
         if self._switch_name is not None and host.name == self._switch_name:
             raise ValueError(f"{host.name!r} is already the switch")
         self._register(host)
@@ -203,7 +317,18 @@ class AsyncioFabric:
 
     @property
     def host_names(self) -> list[str]:
+        if self._multirack:
+            return list(self._host_rack)
         return [name for name in self._endpoints if name != self._switch_name]
+
+    def hosts_of(self, rack: str) -> list[str]:
+        return list(self._rack_hosts[rack])
+
+    def rack_of_host(self, host: str) -> str:
+        try:
+            return self._host_rack[host]
+        except KeyError:
+            raise TopologyError(f"unknown host {host!r}", host) from None
 
     def port_of(self, name: str) -> Optional[int]:
         """UDP port bound by ``name`` (None before :meth:`start`)."""
@@ -219,7 +344,7 @@ class AsyncioFabric:
             return
         if self._closed:
             raise RuntimeError("fabric already closed")
-        if self._switch_name is None:
+        if self._switch_name is None and not self._rack_switch:
             raise RuntimeError("install_switch() must run before start()")
         self.loop.run_until_complete(self._open_endpoints())
         self._started = True
@@ -337,14 +462,70 @@ class AsyncioFabric:
         transport.sendto(data, address)
 
     def send_to_switch(self, host: str, packet: AskPacket, size_bytes: int) -> None:
+        if self._multirack:
+            self._transmit(host, self._rack_switch[self.rack_of_host(host)], packet)
+            return
         if self._switch_name is None:
             raise RuntimeError("no switch installed")
         self._transmit(host, self._switch_name, packet)
 
     def send_to_host(self, host: str, packet: AskPacket, size_bytes: int) -> None:
+        if self._multirack:
+            # Route from the host's own TOR (tests/tools; switches route
+            # through their bound views instead).
+            self.route_from_switch(self.rack_of_host(host), host, packet)
+            return
         if self._switch_name is None:
             raise RuntimeError("no switch installed")
         self._transmit(self._switch_name, host, packet)
+
+    # ------------------------------------------------------------------
+    # Multi-rack / tree routing (name-level next hops over _transmit)
+    # ------------------------------------------------------------------
+    def route_from_switch(self, rack: str, destination: str, packet: AskPacket) -> None:
+        """Next hop for a packet leaving ``rack``'s leaf switch."""
+        me = self._rack_switch[rack]
+        if destination in self._switch_rack:
+            target_rack = self._switch_rack[destination]
+            if target_rack == rack:
+                self._transmit(me, me, packet)  # self-addressed loopback
+            elif rack in self._rack_spine:
+                self._transmit(me, self._rack_spine[rack], packet)
+            else:
+                self._transmit(me, destination, packet)
+            return
+        if destination in self._spines:
+            self._transmit(me, self._rack_spine[rack], packet)
+            return
+        if destination not in self._host_rack:
+            raise TopologyError(f"unknown destination {destination!r}", destination)
+        target_rack = self._host_rack[destination]
+        if target_rack == rack:
+            self._transmit(me, destination, packet)
+        elif rack in self._rack_spine:
+            self._transmit(me, self._rack_spine[rack], packet)
+        else:
+            self._transmit(me, self._rack_switch[target_rack], packet)
+
+    def route_from_spine(self, spine: str, destination: str, packet: AskPacket) -> None:
+        """Next hop for a packet leaving ``spine``."""
+        if destination == spine:
+            self._transmit(spine, spine, packet)
+            return
+        if destination in self._spines:
+            self._transmit(spine, destination, packet)
+            return
+        if destination in self._switch_rack:
+            rack = self._switch_rack[destination]
+        else:
+            if destination not in self._host_rack:
+                raise TopologyError(f"unknown destination {destination!r}", destination)
+            rack = self._host_rack[destination]
+        target_spine = self._rack_spine[rack]
+        if target_spine == spine:
+            self._transmit(spine, self._rack_switch[rack], packet)
+        else:
+            self._transmit(spine, target_spine, packet)
 
     # ------------------------------------------------------------------
     # Fault injection: network partitions (pure loss, pre-kernel)

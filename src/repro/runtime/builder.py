@@ -28,6 +28,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Union
 from repro.core.config import AskConfig
 from repro.core.controlplane import ControlPlane
 from repro.core.daemon import HostDaemon
+from repro.core.errors import ConfigError
 from repro.core.failover import FailureSupervisor
 from repro.core.packet import AskPacket
 from repro.core.task import AggregationTask
@@ -121,33 +122,46 @@ class DeploymentBuilder:
         self.switch_factory = switch_factory
         self.core_bandwidth_gbps = core_bandwidth_gbps
         self.bind_host = bind_host
-        self._racks: List[tuple[str, str, List[str]]] = []
+        self._racks: List[tuple[str, str, List[str], Optional[str]]] = []
+        self._spines: List[str] = []
 
     # ------------------------------------------------------------------
+    def add_spine(self, switch_name: Optional[str] = None) -> str:
+        """Declare a spine switch (one per pod of racks) and return its
+        name, to be passed as ``spine=`` to the pod's ``add_rack`` calls.
+        Spine-backed racks route inter-rack traffic up the tree instead of
+        over the flat pairwise core mesh."""
+        if switch_name is None:
+            switch_name = f"spine-s{len(self._spines)}"
+        self._spines.append(switch_name)
+        return switch_name
+
     def add_rack(
         self,
         hosts: Union[int, Iterable[str]],
         switch_name: Optional[str] = None,
         rack: Optional[str] = None,
+        spine: Optional[str] = None,
     ) -> "DeploymentBuilder":
         """Declare one rack: its hosts and (optionally) names.
 
         ``hosts`` is a count (named ``h0..hN-1``, continuing across
         racks) or explicit names.  The first rack's switch defaults to
         ``"switch"`` to preserve the single-rack service's addressing;
-        later racks default to ``tor-<rack>``.
+        later racks default to ``tor-<rack>``.  ``spine`` hangs the rack
+        under a switch declared with :meth:`add_spine`.
         """
         index = len(self._racks)
         if rack is None:
             rack = f"r{index}"
         if isinstance(hosts, int):
-            offset = sum(len(names) for _, _, names in self._racks)
+            offset = sum(len(names) for _, _, names, _ in self._racks)
             host_names = [f"h{offset + i}" for i in range(hosts)]
         else:
             host_names = list(hosts)
         if switch_name is None:
             switch_name = "switch" if index == 0 else f"tor-{rack}"
-        self._racks.append((rack, switch_name, host_names))
+        self._racks.append((rack, switch_name, host_names, spine))
         return self
 
     # ------------------------------------------------------------------
@@ -155,11 +169,6 @@ class DeploymentBuilder:
         config = self.config
         ecn = config.ecn_threshold_bytes if config.congestion_control else None
         if self.backend == "asyncio":
-            if len(self._racks) > 1:
-                raise ValueError(
-                    "the asyncio backend frames a single rack onto UDP; "
-                    "multi-rack deployments need backend='sim'"
-                )
             # Integrity off => speak the legacy v1 frame (no CRC trailer),
             # the wire-level equivalent of skipping the checksum verify.
             frame_version = VERSION if config.integrity_checks else VERSION_LEGACY
@@ -169,7 +178,7 @@ class DeploymentBuilder:
                 trace=trace,
                 frame_version=frame_version,
             )
-        if len(self._racks) > 1:
+        if len(self._racks) > 1 or self._spines:
             return SimMultiRackFabric(
                 bandwidth_gbps=config.link_bandwidth_gbps,
                 latency_ns=config.link_latency_ns,
@@ -203,16 +212,38 @@ class DeploymentBuilder:
         """
         if not self._racks:
             raise ValueError("declare at least one rack with add_rack()")
+        if self._spines and self.config.vectorized:
+            raise ConfigError(
+                "vectorized=True does not support spine–leaf trees: the SoA "
+                "batch data plane has no combiner-region admission path; "
+                "use the scalar data plane (vectorized=False) for tree "
+                "deployments"
+            )
         trace = PacketTrace(enabled=self.config.trace)
         active_trace = trace if self.config.trace else None
         fabric = self._make_fabric(active_trace)
-        multirack = len(self._racks) > 1
+        multirack = len(self._racks) > 1 or bool(self._spines)
         control = ControlPlane()
         switches: Dict[str, Any] = {}
         daemons: Dict[str, HostDaemon] = {}
         racks: Dict[str, List[str]] = {}
 
-        for rack, switch_name, host_names in self._racks:
+        # Spines first (a rack's add_rack wires uplinks to an existing
+        # spine); declaration order is part of the determinism contract.
+        for spine_name in self._spines:
+            spine_switch = self.switch_factory(
+                self.config,
+                fabric.clock,
+                name=spine_name,
+                max_tasks=self.max_tasks,
+                max_channels=self.max_channels,
+                trace=active_trace,
+            )
+            fabric.install_spine(spine_switch)
+            switches[spine_name] = spine_switch
+            control.register(spine_name, spine_switch.controller)
+
+        for rack, switch_name, host_names, spine in self._racks:
             switch = self.switch_factory(
                 self.config,
                 fabric.clock,
@@ -222,7 +253,7 @@ class DeploymentBuilder:
                 trace=active_trace,
             )
             if multirack:
-                fabric.install_switch(switch, rack)
+                fabric.install_switch(switch, rack, spine=spine)
             else:
                 fabric.install_switch(switch)
             switches[switch_name] = switch
@@ -243,15 +274,46 @@ class DeploymentBuilder:
                 else:
                     fabric.attach_host(daemon)
 
+        if self._spines:
+            # Combiner dedup baselining: whenever a job first activates on
+            # a channel, the pod spine's `seen`/`max_seq` state for that
+            # channel is re-installed at the channel's next sequence number
+            # iff the task's spine region admits this host.  Packets of
+            # other jobs may have bypassed the spine entirely (same-rack
+            # traffic, leaf-only tasks), so the contiguity Eq. 8 requires
+            # is re-established per job, at a moment the window is
+            # provably empty (jobs are strictly FIFO).
+            host_spine = {
+                host: spine
+                for _, _, rack_hosts, spine in self._racks
+                if spine is not None
+                for host in rack_hosts
+            }
+            hook = _make_activation_hook(switches, host_spine)
+            for daemon in daemons.values():
+                for channel in daemon.channels:
+                    channel.activation_hook = hook
+
         supervisor: Optional[FailureSupervisor] = None
         if self.config.failure_detection:
             host_tor = {
                 host: tor
-                for _, tor, rack_hosts in self._racks
+                for _, tor, rack_hosts, _ in self._racks
+                for host in rack_hosts
+            }
+            host_paths = {
+                host: (tor,) if spine is None else (tor, spine)
+                for _, tor, rack_hosts, spine in self._racks
                 for host in rack_hosts
             }
             supervisor = FailureSupervisor(
-                fabric.clock, self.config, control, daemons, switches, host_tor
+                fabric.clock,
+                self.config,
+                control,
+                daemons,
+                switches,
+                host_tor,
+                host_paths=host_paths,
             )
             for name, daemon in daemons.items():
                 probe = supervisor.probe_for(name)
@@ -272,3 +334,33 @@ class DeploymentBuilder:
             racks=racks,
             supervisor=supervisor,
         )
+
+
+def _make_activation_hook(
+    switches: Dict[str, Any], host_spine: Dict[str, str]
+) -> Callable[[Any, Any], None]:
+    """Per-job spine dedup baselining for tree deployments (see the
+    comment at the builder's wiring site)."""
+
+    def hook(channel: Any, job: Any) -> None:
+        spine_name = host_spine.get(channel.host)
+        if spine_name is None:
+            return
+        if channel.window.next_seq == 0:
+            return  # power-on state is the correct baseline
+        sw = switches[spine_name]
+        if not sw.is_up or getattr(sw, "needs_install", False):
+            return  # the supervisor's re-install covers it with fresher state
+        region = sw.controller.lookup_region(job.task.task_id)
+        if (
+            region is None
+            or region.sources is None
+            or channel.host not in region.sources
+        ):
+            return  # this task's packets never run the program at the spine
+        sw.dedup.reinstall_channel(
+            sw.controller.channel_slot((channel.host, channel.index)),
+            channel.window.next_seq,
+        )
+
+    return hook

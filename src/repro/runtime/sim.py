@@ -21,7 +21,7 @@ from typing import Callable, Dict, Iterator, Optional
 
 from repro.net.fault import CorruptedFrame, FaultModel, corrupt_packet_fields
 from repro.net.link import Link
-from repro.net.multirack import MultiRackTopology, RackView
+from repro.net.multirack import MultiRackTopology, RackView, SpineView
 from repro.net.simulator import Simulator
 from repro.net.topology import NetworkNode, StarTopology
 from repro.net.trace import PacketTrace
@@ -284,9 +284,21 @@ class SimMultiRackFabric:
         return SimRunner(self.sim)
 
     # ------------------------------------------------------------------
-    def install_switch(self, switch: Node, rack: str) -> RackView:
-        """Create ``rack`` around ``switch``, wire core links, bind."""
-        view = self.topology.add_rack(rack, switch)
+    def install_switch(
+        self, switch: Node, rack: str, spine: Optional[str] = None
+    ) -> RackView:
+        """Create ``rack`` around ``switch``, wire links, bind.  With
+        ``spine`` the rack hangs under that (already installed) spine
+        instead of joining the flat pairwise core mesh."""
+        view = self.topology.add_rack(rack, switch, spine=spine)
+        bind = getattr(switch, "bind", None)
+        if bind is not None:
+            bind(view)
+        return view
+
+    def install_spine(self, switch: Node) -> "SpineView":
+        """Declare a spine switch (tree deployments) and bind its view."""
+        view = self.topology.add_spine(switch)
         bind = getattr(switch, "bind", None)
         if bind is not None:
             bind(view)
@@ -333,6 +345,8 @@ class SimMultiRackFabric:
         topo = self.topology
         if name in topo._switch_rack:  # noqa: SLF001 - fabric owns its topology
             return topo.switch_of(topo.rack_of_switch(name))
+        if name in topo._spine_switches:  # noqa: SLF001
+            return topo.spine_node(name)
         return topo.host_node(name)
 
     def partition(self, name: str) -> None:
@@ -373,6 +387,12 @@ class SimMultiRackFabric:
             for port in star._downlinks.values():  # noqa: SLF001
                 yield port.link
         for nic in topo._core_links.values():  # noqa: SLF001
+            yield nic.link
+        for nic in topo._up_nics.values():  # noqa: SLF001
+            yield nic.link
+        for nic in topo._down_nics.values():  # noqa: SLF001
+            yield nic.link
+        for nic in topo._spine_core.values():  # noqa: SLF001
             yield nic.link
 
     @property

@@ -17,7 +17,7 @@ atomic with respect to packet passes (the simulator serializes events).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, FrozenSet, Optional
 
 from repro.core.config import AskConfig
 from repro.core.errors import RegionExhaustedError, TaskStateError
@@ -30,16 +30,42 @@ from repro.switch.shadow import ShadowDirectory
 @dataclass(frozen=True)
 class Region:
     """A task's slice of every AA: aggregator indices ``[offset, offset+size)``
-    within each copy."""
+    within each copy.
+
+    ``sources`` and ``relay`` give a region a *combiner* role in a
+    spine–leaf tree.  ``sources`` widens the §7 "src is a local host"
+    program-admission rule: when set, packets from those named senders run
+    the program here even though they are not directly attached (a spine
+    aggregating slots pre-combined by its leaves).  ``relay=True`` marks a
+    leaf region whose absorbed packets must still be forwarded up the tree
+    (never ACK-consumed) because a terminal region above it holds the
+    running total.  The defaults reproduce the flat one-switch-per-rack
+    behaviour exactly.
+    """
 
     task_id: int
     task_slot: int
     offset: int
     size: int
+    sources: Optional[FrozenSet[str]] = None
+    relay: bool = False
 
     @property
     def end(self) -> int:
         return self.offset + self.size
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """Per-switch placement policy for one task's region allocation.
+
+    Carried by :meth:`~repro.core.controlplane.ControlPlane.allocate` so a
+    tree deployment can give each switch on the aggregation path its own
+    admission set and relay verdict.
+    """
+
+    sources: Optional[FrozenSet[str]] = None
+    relay: bool = False
 
 
 class SwitchController:
@@ -70,11 +96,18 @@ class SwitchController:
     # ------------------------------------------------------------------
     # Region allocation (first-fit over the per-copy aggregator space)
     # ------------------------------------------------------------------
-    def allocate_region(self, task_id: int, size: Optional[int] = None) -> Region:
+    def allocate_region(
+        self,
+        task_id: int,
+        size: Optional[int] = None,
+        sources: Optional[FrozenSet[str]] = None,
+        relay: bool = False,
+    ) -> Region:
         """Reserve ``size`` aggregators per AA (per copy) for ``task_id``.
 
-        ``size=None`` requests the largest free extent.  Raises
-        :class:`RegionExhaustedError` when no extent fits and
+        ``size=None`` requests the largest free extent.  ``sources`` and
+        ``relay`` set the region's combiner role (see :class:`Region`).
+        Raises :class:`RegionExhaustedError` when no extent fits and
         :class:`TaskStateError` on double allocation.
         """
         if task_id in self._regions:
@@ -99,7 +132,9 @@ class SwitchController:
                     f"{max(extent for _, extent in free)})"
                 )
         self.tenant_quotas.charge(task_id, size)
-        region = Region(task_id, self._free_task_slots.pop(), offset, size)
+        region = Region(
+            task_id, self._free_task_slots.pop(), offset, size, sources, relay
+        )
         self._regions[task_id] = region
         return region
 

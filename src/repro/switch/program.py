@@ -197,9 +197,13 @@ class AskSwitchProgram:
         if flags & 0x10:  # LONG
             stats.long_packets += 1
             return SwitchDecision(SwitchAction.FORWARD, [pkt.with_bitmap(bitmap)])
-        if bitmap == 0:
+        if bitmap == 0 and (region is None or not region.relay):
             stats.packets_acked += 1
             return SwitchDecision(SwitchAction.ACK, [ack_for(pkt, self.switch_name)])
+        # Relay regions never consume: even a fully-absorbed packet (and any
+        # bitmap-0 retransmission — the original forward may have died on the
+        # uplink) continues toward the terminal region that holds the running
+        # total, which is the one entitled to ACK it.
         stats.packets_forwarded += 1
         return SwitchDecision(SwitchAction.FORWARD, [pkt.with_bitmap(bitmap)])
 

@@ -129,13 +129,16 @@ class AskSwitch(NetworkNode):
         return hosts
 
     def _should_run_program(self, packet: AskPacket) -> bool:
-        """The §7 bypass rule: the ASK program runs only at the sender-side
-        TOR (the switch whose rack originated the packet) and for control
-        packets addressed to this switch.  Everything else — ACKs, degraded
-        BYPASS traffic, all traffic while the rebooted program awaits
-        re-install, and cross-rack traffic transiting toward the receiver
-        host — is routed untouched, so the receiver-side TOR keeps no
-        per-channel state.
+        """The §7 bypass rule, extended with the combiner role: the ASK
+        program runs at the sender-side TOR (the switch whose rack
+        originated the packet), for control packets addressed to this
+        switch, and — in a spine–leaf tree — wherever the task's region
+        names the packet's sender in its ``sources`` admission set (a spine
+        combining slots its leaves pre-aggregated).  Everything else —
+        ACKs, degraded BYPASS traffic, all traffic while the rebooted
+        program awaits re-install, and cross-rack transit toward the
+        receiver host — is routed untouched, so a pure-transit switch keeps
+        no per-channel state.
         """
         flags = packet.flags
         if flags & 0x2:  # ACK
@@ -147,7 +150,14 @@ class AskSwitch(NetworkNode):
         hosts = self._local_hosts_cache
         if hosts is None:
             hosts = self.local_hosts  # rebuilds and caches
-        return packet.src in hosts
+        if packet.src in hosts:
+            return True
+        region = self.controller.lookup_region(packet.task_id)
+        return (
+            region is not None
+            and region.sources is not None
+            and packet.src in region.sources
+        )
 
     def receive(self, packet: AskPacket) -> None:
         """Ingress: run the pipeline pass (or pure routing for transit

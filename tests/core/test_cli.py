@@ -52,6 +52,7 @@ def test_experiment_registry_covers_every_paper_result():
         "fig11",
         "fig12",
         "fig13",
+        "fig13_tree",
     }
 
 

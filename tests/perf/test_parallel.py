@@ -16,6 +16,8 @@ def test_plan_orders_experiments_then_chaos_and_shards_fig09():
         "fig13",
         "chaos[seed=0]",
         "chaos[seed=7]",
+        "chaos-tree[seed=0]",
+        "chaos-tree[seed=7]",
     ]
 
 
