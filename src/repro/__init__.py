@@ -32,13 +32,20 @@ from repro.core.packet import AskPacket, PacketFlag, Slot
 from repro.core.results import AggregationResult, TaskStats, reference_aggregate
 from repro.core.service import AskService
 from repro.core.task import AggregationTask, TaskPhase
-from repro.core.tenancy import encode_task_id, tenant_of
+from repro.core.tenancy import (
+    AdmissionController,
+    QuotaAccountingError,
+    TenantQuotaError,
+    encode_task_id,
+    tenant_of,
+)
 from repro.net.fault import FaultModel
 from repro.switch.trio import TrioSwitch
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionController",
     "AggregationResult",
     "AggregationTask",
     "AskConfig",
@@ -50,8 +57,10 @@ __all__ = [
     "KeyTooLongError",
     "MultiRackService",
     "PacketFlag",
+    "QuotaAccountingError",
     "Slot",
     "TaskPhase",
+    "TenantQuotaError",
     "TaskStateError",
     "TaskStats",
     "TopologyError",

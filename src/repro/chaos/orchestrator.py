@@ -11,7 +11,7 @@ otherwise quiescent would not wake it by itself.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.chaos.report import DegradationReport
 from repro.chaos.schedule import ChaosEvent, ChaosSchedule
@@ -27,6 +27,8 @@ class ChaosOrchestrator:
         deployment: Deployment,
         schedule: ChaosSchedule,
         require_supervisor: bool = True,
+        on_overload: Optional[Callable[[str], None]] = None,
+        on_relent: Optional[Callable[[str], None]] = None,
     ) -> None:
         if require_supervisor and deployment.supervisor is None:
             raise ValueError(
@@ -41,8 +43,19 @@ class ChaosOrchestrator:
         ]
         if unknown:
             raise KeyError(f"schedule targets unknown nodes: {unknown}")
+        has_overload = any(
+            e.kind in ("overload", "relent") for e in schedule.events
+        )
+        if has_overload and (on_overload is None or on_relent is None):
+            raise ValueError(
+                "schedule contains overload/relent events; pass on_overload "
+                "and on_relent hooks (the drill defines what the abusive "
+                "tenant does)"
+            )
         self.deployment = deployment
         self.schedule = schedule
+        self.on_overload = on_overload
+        self.on_relent = on_relent
         #: Chronological record of every injection actually applied.
         self.injected: List[Dict[str, Any]] = []
         self._armed = False
@@ -76,6 +89,12 @@ class ChaosOrchestrator:
             self.deployment.fabric.corrupt(event.target)
         elif event.kind == "cleanse":
             self.deployment.fabric.cleanse(event.target)
+        elif event.kind == "overload":
+            assert self.on_overload is not None
+            self.on_overload(event.target)
+        elif event.kind == "relent":
+            assert self.on_relent is not None
+            self.on_relent(event.target)
         else:  # "heal"
             self.deployment.fabric.heal(event.target)
         self.injected.append(

@@ -32,6 +32,10 @@ class DegradationReport:
     #: node -> {"counters": {reason: n}, "quarantine": {...}} for every
     #: node that dropped or quarantined at least one frame.
     robustness: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: Admission-controller snapshot (queued/granted/retried/degraded/
+    #: rejected counters, live waiters, per-tenant occupancy); empty when
+    #: the deployment runs without admission control.
+    admission: Dict[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -124,6 +128,21 @@ class DegradationReport:
                     t.stats.bypass_packets_received for t in tasks.values()
                 ),
             )
+        admission: Dict[str, Any] = {}
+        controller = getattr(deployment, "admission", None)
+        if controller is not None:
+            admission = controller.snapshot()
+            totals.update(
+                overloads_injected=sum(
+                    1 for e in injected if e["kind"] == "overload"
+                ),
+                admission_queued=admission["queued"],
+                admission_granted=admission["granted"],
+                admission_retried=admission["retried"],
+                admission_degraded=admission["degraded"],
+                admission_rejected=admission["rejected_full"]
+                + admission["rejected_deadline"],
+            )
         return cls(
             seed=schedule.seed,
             backend=deployment.backend,
@@ -132,6 +151,7 @@ class DegradationReport:
             recovery_latencies_ns=latencies,
             totals=totals,
             robustness=robustness,
+            admission=admission,
         )
 
     # ------------------------------------------------------------------
@@ -145,6 +165,7 @@ class DegradationReport:
                 "recovery_latencies_ns": self.recovery_latencies_ns,
                 "totals": self.totals,
                 "robustness": self.robustness,
+                "admission": self.admission,
             },
             indent=indent,
         )
@@ -181,6 +202,22 @@ class DegradationReport:
                     f"held={quarantine['held']} evicted={quarantine['evicted']}"
                 )
             lines.append(f"  integrity {node}: {pretty}")
+        if self.admission:
+            adm = self.admission
+            lines.append(
+                "  admission: "
+                f"queued={adm['queued']} granted={adm['granted']} "
+                f"retried={adm['retried']} degraded={adm['degraded']} "
+                f"rejected_full={adm['rejected_full']} "
+                f"rejected_deadline={adm['rejected_deadline']} "
+                f"cancelled={adm['cancelled']} waiting={adm['waiting']}"
+            )
+            if adm.get("occupancy"):
+                pretty = ", ".join(
+                    f"tenant {t}: {used}"
+                    for t, used in adm["occupancy"].items()
+                )
+                lines.append(f"  occupancy: {pretty}")
         for key, value in self.totals.items():
             lines.append(f"  {key} = {value:,}")
         return "\n".join(lines)

@@ -19,10 +19,22 @@ from typing import Iterable, Sequence
 
 #: Fault kind -> the event kind that undoes it.  "corrupt" opens a
 #: corruption window on the target (frames it sends/receives are
-#: delivered with flipped bits) and "cleanse" closes it.
-RECOVERY_OF = {"crash": "restore", "partition": "heal", "corrupt": "cleanse"}
+#: delivered with flipped bits) and "cleanse" closes it.  "overload"
+#: opens an overload window (an abusive tenant floods tasks from the
+#: target host while hoarding switch memory; the drill's on_overload
+#: hook defines the flood) and "relent" closes it (the hoard is
+#: released, so reclaim wakes the admission queue).
+RECOVERY_OF = {
+    "crash": "restore",
+    "partition": "heal",
+    "corrupt": "cleanse",
+    "overload": "relent",
+}
 
-_EVENT_KINDS = ("crash", "restore", "partition", "heal", "corrupt", "cleanse")
+_EVENT_KINDS = (
+    "crash", "restore", "partition", "heal",
+    "corrupt", "cleanse", "overload", "relent",
+)
 
 
 @dataclass(frozen=True)
@@ -31,7 +43,7 @@ class ChaosEvent:
     ``target`` (a host daemon or switch name)."""
 
     at_ns: int
-    kind: str  # "crash" | "restore" | "partition" | "heal" | "corrupt" | "cleanse"
+    kind: str  #: one of ``_EVENT_KINDS``
     target: str
 
     def __post_init__(self) -> None:

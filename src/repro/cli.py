@@ -275,12 +275,220 @@ def _run_tree_chaos(backend: str, seed: int, report_path: str | None) -> int:
     return 0
 
 
+def _run_overload_chaos(backend: str, seed: int, report_path: str | None) -> int:
+    """``repro chaos --overload``: the abusive-tenant isolation drill.
+
+    One tenant hoards three quarters of the switch's aggregator space
+    through idle streaming sessions, then — at a seed-deterministic
+    moment — floods a burst of tasks at the service (the ``overload``
+    event; ``relent`` closes the hoard).  Two well-behaved tenants submit
+    normal tasks into the squeeze.  The admission controller must keep
+    the blast radius inside the abusive tenant: its flood waits, degrades
+    to bypass, or is rejected at the queue bound, while every
+    well-behaved task is granted memory (never degraded) and completes
+    bit-exact against the flat-run reference fingerprint.
+    """
+    import dataclasses
+    import random
+
+    from repro import AskService
+    from repro.chaos import ChaosOrchestrator, ChaosSchedule
+    from repro.chaos.schedule import ChaosEvent
+    from repro.core.results import reference_aggregate, values_sha256
+    from repro.core.task import TaskPhase
+
+    sim = backend == "sim"
+    config = dataclasses.replace(
+        _chaos_config(backend),
+        admission_control=True,
+        admission_queue_limit=4,
+        admission_retry_us=20.0 if sim else 5_000.0,
+        admission_backoff=2.0,
+        admission_backoff_cap_us=160.0 if sim else 40_000.0,
+        # Sim: tight deadline so part of the flood visibly degrades.
+        # Asyncio: generous wall-clock deadline so well-behaved grants
+        # (which arrive on region release) always beat it — scheduling
+        # jitter must not degrade an innocent tenant.
+        admission_deadline_us=120.0 if sim else 5_000_000.0,
+    )
+    service = AskService(config, hosts=5, backend=backend)
+    try:
+        horizon = 250_000 if sim else 30_000_000
+        # Seed-deterministic timing; the target is always the abusive
+        # tenant's flood host.
+        rng = random.Random(seed)
+        start = rng.randrange(horizon // 5, horizon // 2)
+        duration = rng.randrange(horizon // 4, horizon // 2)
+        flood_host = "h1"
+        schedule = ChaosSchedule(
+            seed=seed,
+            horizon_ns=horizon,
+            events=(
+                ChaosEvent(start, "overload", flood_host),
+                ChaosEvent(start + duration, "relent", flood_host),
+            ),
+        )
+        # Tenants: two well-behaved (double fair share) and one abusive,
+        # quota-capped at 24 of the 32 per-copy aggregators.
+        service.register_tenant(1, name="analytics", weight=2)
+        service.register_tenant(2, name="training", weight=2)
+        service.register_tenant(9, name="abuser", weight=1, quota=24)
+        # The hoard: three idle streaming sessions pin 24 aggregators
+        # until the relent event closes them.
+        hoards = [
+            service.open_stream(
+                ["h0"], receiver="h4", region_size=8, tenant_id=9
+            )
+            for _ in range(3)
+        ]
+        flood: list = []
+        flood_stream = [(b"abuse", 1)] * 20
+
+        def on_overload(target: str) -> None:
+            # Queue limit is 4: the burst of 6 overflows it, so two tasks
+            # must be rejected loudly and the rest wait their turn.
+            for _ in range(6):
+                flood.append(
+                    service.submit(
+                        {target: list(flood_stream)},
+                        receiver="h4",
+                        region_size=8,
+                        tenant_id=9,
+                    )
+                )
+
+        def on_relent(_target: str) -> None:
+            for session in hoards:
+                session.close()
+
+        orchestrator = ChaosOrchestrator(
+            service.deployment,
+            schedule,
+            on_overload=on_overload,
+            on_relent=on_relent,
+        )
+        fabric_start = getattr(service.fabric, "start", None)
+        if fabric_start is not None:
+            fabric_start()
+        orchestrator.arm()
+        # Well-behaved tenants submit into the squeeze: 8 aggregators
+        # remain, so one task is granted at once and the other waits in
+        # admission until the first completes and releases its region.
+        good_streams = {
+            1: {
+                "h2": [(b"good-total", 1)] * 30
+                + [(f"t1-{i:03d}".encode(), i) for i in range(60)]
+            },
+            2: {
+                "h3": [(b"good-total", 2)] * 30
+                + [(f"t2-{i:03d}".encode(), 1) for i in range(60)]
+            },
+        }
+        good = {
+            tenant: service.submit(
+                streams, receiver="h4", region_size=8, tenant_id=tenant
+            )
+            for tenant, streams in good_streams.items()
+        }
+        service.run_to_completion(timeout_s=60.0)
+        report = orchestrator.report(tasks=service.tasks)
+
+        failures: list[str] = []
+        print(
+            f"abusive-tenant overload drill (seed {seed}, backend {backend!r}):"
+        )
+        for tenant, task in good.items():
+            expected = reference_aggregate(
+                {h: list(s) for h, s in good_streams[tenant].items()},
+                config.value_mask,
+            )
+            assert task.result is not None
+            digest = values_sha256(task.result.values)
+            print(
+                f"  tenant {tenant}: {len(task.result.values)} keys, "
+                f"sha256 {digest[:16]}…, "
+                f"admission wait {task.stats.admission_wait_ns:,}ns "
+                f"({task.stats.admission_retries} retries), "
+                f"degraded={task.stats.degraded_to_bypass}"
+            )
+            if task.result.values != expected:
+                failures.append(f"tenant {tenant} deviates from the reference")
+            if values_sha256(expected) != digest:
+                failures.append(f"tenant {tenant} fingerprint mismatch")
+            if task.stats.degraded_to_bypass:
+                failures.append(
+                    f"well-behaved tenant {tenant} was degraded to bypass"
+                )
+        flood_expected = reference_aggregate(
+            {flood_host: list(flood_stream)}, config.value_mask
+        )
+        completed = degraded = rejected = 0
+        for task in flood:
+            if task.phase is TaskPhase.COMPLETE:
+                completed += 1
+                degraded += int(task.stats.degraded_to_bypass)
+                assert task.result is not None
+                if task.result.values != flood_expected:
+                    failures.append(
+                        f"flood task {task.task_id} deviates from the reference"
+                    )
+            elif task.phase is TaskPhase.FAILED:
+                rejected += 1
+                if "queue full" not in (task.failure_reason or ""):
+                    failures.append(
+                        f"flood task {task.task_id} failed for the wrong "
+                        f"reason: {task.failure_reason}"
+                    )
+            else:
+                failures.append(
+                    f"flood task {task.task_id} never settled "
+                    f"({task.phase.value})"
+                )
+        print(
+            f"  abusive tenant: {completed} completed "
+            f"({degraded} via bypass degrade), {rejected} rejected at the "
+            f"queue bound — all exactly-once"
+        )
+        adm = report.admission
+        ledger = (
+            adm["granted"] + adm["degraded"] + adm["rejected_deadline"]
+            + adm["cancelled"] + adm["waiting"]
+        )
+        if ledger != adm["queued"]:
+            failures.append(
+                f"admission ledger does not balance: queued={adm['queued']} "
+                f"!= granted+degraded+rejected_deadline+cancelled+waiting="
+                f"{ledger}"
+            )
+        print(report.summary())
+        if report_path is not None:
+            with open(report_path, "w", encoding="utf-8") as fh:
+                fh.write(report.to_json())
+            print(f"[degradation report written to {report_path}]")
+        if failures:
+            for failure in failures:
+                print(f"ISOLATION VIOLATED: {failure}", file=sys.stderr)
+            return 1
+        print("isolation held: abusive tenant contained, fingerprints exact")
+    finally:
+        service.close()
+    return 0
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
+    exclusive = sum(
+        (bool(args.tree), bool(args.overload), bool(args.corrupt_rate))
+    )
+    if exclusive > 1:
+        print(
+            "--tree, --overload and --corrupt-rate are separate drills",
+            file=sys.stderr,
+        )
+        return 2
     if args.tree:
-        if args.corrupt_rate:
-            print("--tree and --corrupt-rate are separate drills", file=sys.stderr)
-            return 2
         return _run_tree_chaos(args.backend, args.seed, args.report)
+    if args.overload:
+        return _run_overload_chaos(args.backend, args.seed, args.report)
     return _run_chaos(args.backend, args.seed, args.report, args.corrupt_rate)
 
 
@@ -485,6 +693,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the spine-crash drill on a 2-pod spine–leaf tree "
         "instead of the flat single-rack schedule",
+    )
+    chaos.add_argument(
+        "--overload",
+        action="store_true",
+        help="run the abusive-tenant isolation drill: one tenant hoards "
+        "switch memory and floods the admission queue; well-behaved "
+        "tenants must still complete bit-exact and undegraded",
     )
     chaos.set_defaults(func=cmd_chaos)
     serve = sub.add_parser(

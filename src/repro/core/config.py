@@ -95,6 +95,22 @@ class AskConfig:
     # where a flipped bit silently poisons the aggregate.
     integrity_checks: bool = True
 
+    # Multi-tenant service plane (§7).  Off by default: allocation failure
+    # stays a loud error and nothing is added to the schedule, preserving
+    # the fault-free fast path bit-for-bit.  When on, allocation failure
+    # queues the task in the AdmissionController instead: per-tenant FIFO
+    # (bounded by admission_queue_limit), weighted deficit-round-robin
+    # grants on region release, deterministic exponential retry backoff,
+    # and — at the deadline — graceful degradation to the host-side
+    # bypass path (or a loud reject when admission_degrade is off).
+    admission_control: bool = False
+    admission_queue_limit: int = 64
+    admission_retry_us: float = 100.0
+    admission_backoff: float = 2.0
+    admission_backoff_cap_us: float = 1_600.0
+    admission_deadline_us: Optional[float] = 5_000.0
+    admission_degrade: bool = True
+
     # Hot-key prioritization
     shadow_copy: bool = True
     swap_threshold_packets: int = 1024
@@ -175,6 +191,23 @@ class AskConfig:
             )
         if self.swap_threshold_packets < 1:
             raise ConfigError("swap_threshold_packets must be >= 1")
+        if self.admission_queue_limit < 1:
+            raise ConfigError("admission_queue_limit must be >= 1")
+        if self.admission_retry_us <= 0:
+            raise ConfigError("admission_retry_us must be positive")
+        if self.admission_backoff < 1.0:
+            raise ConfigError("admission_backoff must be >= 1.0")
+        if self.admission_backoff_cap_us < self.admission_retry_us:
+            raise ConfigError(
+                "admission_backoff_cap_us must be >= admission_retry_us"
+            )
+        if self.admission_deadline_us is not None and (
+            self.admission_deadline_us < self.admission_retry_us
+        ):
+            raise ConfigError(
+                "admission_deadline_us must be >= admission_retry_us "
+                "(a waiter must get at least one timed retry)"
+            )
         if self.vectorized:
             # The SoA engine packs key segments and values into int64
             # lanes and per-AA bit positions into one int64 bitmap word;
@@ -265,6 +298,22 @@ class AskConfig:
         if self.give_up_timeout_us is None:
             return None
         return int(round(self.give_up_timeout_us * 1_000))
+
+    @property
+    def admission_retry_ns(self) -> int:
+        return int(round(self.admission_retry_us * 1_000))
+
+    @property
+    def admission_backoff_cap_ns(self) -> int:
+        return int(round(self.admission_backoff_cap_us * 1_000))
+
+    @property
+    def admission_deadline_ns(self) -> Optional[int]:
+        """Queue residence after which a waiter degrades to bypass (or is
+        rejected); ``None`` waits until memory frees up, however long."""
+        if self.admission_deadline_us is None:
+            return None
+        return int(round(self.admission_deadline_us * 1_000))
 
     @property
     def payload_bytes(self) -> int:

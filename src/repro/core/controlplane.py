@@ -9,7 +9,7 @@ module gives the receiver engine one object to talk to either way.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Callable, Dict, Iterable, Optional
 
 from repro.core.errors import TaskStateError
 from repro.switch.controller import Region, RegionSpec, SwitchController
@@ -21,6 +21,11 @@ class ControlPlane:
     def __init__(self) -> None:
         self._controllers: Dict[str, SwitchController] = {}
         self._task_switches: Dict[int, tuple[str, ...]] = {}
+        #: Fired after a task's regions are returned to the pool — every
+        #: deallocation path lands here (normal teardown, loud failure,
+        #: supervisor lease-lapse reclaim), so the admission controller
+        #: can re-examine its waiters the instant memory frees up.
+        self.on_release: Optional[Callable[[], None]] = None
 
     # ------------------------------------------------------------------
     def register(self, switch_name: str, controller: SwitchController) -> None:
@@ -110,5 +115,18 @@ class ControlPlane:
         return merged
 
     def deallocate(self, task_id: int) -> None:
-        for name in self._task_switches.pop(task_id, ()):
+        names = self._task_switches.pop(task_id, ())
+        for name in names:
             self._controllers[name].deallocate(task_id)
+        if names and self.on_release is not None:
+            self.on_release()
+
+    # ------------------------------------------------------------------
+    def tenant_occupancy(self) -> Dict[int, int]:
+        """tenant -> aggregators held across every registered switch
+        (the admission controller's occupancy view)."""
+        merged: Dict[int, int] = {}
+        for controller in self._controllers.values():
+            for tenant, used in controller.tenant_usage().items():
+                merged[tenant] = merged.get(tenant, 0) + used
+        return merged

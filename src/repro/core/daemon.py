@@ -169,9 +169,15 @@ class HostDaemon(NetworkNode):
         task: AggregationTask,
         tuples: list[tuple[bytes, int]],
         on_complete: Optional[Callable[[SendingJob], None]] = None,
+        force_bypass: bool = False,
     ) -> SendingJob:
         """Steps ⑤–⑧: application data arrives via shared memory, the daemon
-        packs it and enqueues the job on the hash-selected data channel."""
+        packs it and enqueues the job on the hash-selected data channel.
+
+        ``force_bypass`` marks every entry of the job BYPASS before it is
+        enqueued (enqueueing pumps immediately): the admission controller's
+        degrade path, where a task that never got switch memory aggregates
+        host-side end to end."""
         region = self.shm.allocate(task.task_id, role="send")
         region.write(tuples)
         region.seal()
@@ -187,12 +193,17 @@ class HostDaemon(NetworkNode):
             if on_complete is not None:
                 on_complete(job)
 
-        job = SendingJob(task=task, dst=task.receiver, payloads=payloads, on_complete=_done)
+        job = SendingJob(
+            task=task, dst=task.receiver, payloads=payloads,
+            on_complete=_done, force_bypass=force_bypass,
+        )
         self._jobs_by_task[task.task_id] = job
         self.channel_for_task(task.task_id).enqueue(job)
         return job
 
-    def start_streaming(self, task: AggregationTask) -> StreamHandle:
+    def start_streaming(
+        self, task: AggregationTask, force_bypass: bool = False
+    ) -> StreamHandle:
         """Open an unbounded sending stream for ``task`` on the
         hash-selected data channel (§3.1 load balancing applies to
         streaming tasks exactly as to batch ones)."""
@@ -207,7 +218,7 @@ class HostDaemon(NetworkNode):
 
         job = SendingJob(
             task=task, dst=task.receiver, payloads=[], on_complete=_done,
-            finished=False,
+            finished=False, force_bypass=force_bypass,
         )
         channel = self.channel_for_task(task.task_id)
         self._jobs_by_task[task.task_id] = job

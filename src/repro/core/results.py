@@ -33,6 +33,13 @@ class TaskStats:
     bypass_packets_received: int = 0
     task_restarts: int = 0
 
+    # Admission (multi-tenant service plane).  admission_wait_ns is the
+    # queue residence time before the grant/degrade edge; degraded_to_bypass
+    # marks a task whose deadline lapsed and which completed host-side.
+    admission_wait_ns: int = 0
+    admission_retries: int = 0
+    degraded_to_bypass: bool = False
+
     # Receiver side
     tuples_merged_at_receiver: int = 0
     packets_received: int = 0

@@ -32,10 +32,19 @@ from typing import Any, Dict, Iterable, Optional, Sequence, Union
 
 from repro.core.config import AskConfig
 from repro.core.daemon import HostDaemon
-from repro.core.errors import TaskFailedError, TaskStateError
+from repro.core.errors import (
+    RegionExhaustedError,
+    TaskFailedError,
+    TaskStateError,
+)
 from repro.core.results import AggregationResult, reference_aggregate
 from repro.core.task import AggregationTask, TaskPhase
-from repro.core.tenancy import DEFAULT_TENANT, encode_task_id
+from repro.core.tenancy import (
+    DEFAULT_TENANT,
+    AdmissionWaiter,
+    TenantQuotaError,
+    encode_task_id,
+)
 from repro.net.fault import FaultModel
 from repro.runtime.builder import Deployment, DeploymentBuilder
 from repro.runtime.interfaces import Clock, TaskRunner
@@ -139,6 +148,9 @@ class _AskServiceBase:
         self.supervisor = deployment.supervisor
         if self.supervisor is not None:
             self.supervisor.bind(self.tasks)
+        #: Present when ``config.admission_control`` is on: queued tasks
+        #: waiting for switch memory instead of failing loudly.
+        self.admission = deployment.admission
 
     # ------------------------------------------------------------------
     # Compatibility / convenience surfaces
@@ -186,6 +198,33 @@ class _AskServiceBase:
 
     def daemon(self, host: str) -> HostDaemon:
         return self.daemons[host]
+
+    def register_tenant(
+        self,
+        tenant_id: int,
+        name: Optional[str] = None,
+        weight: int = 1,
+        quota: Optional[int] = None,
+    ) -> None:
+        """Declare a tenant on the service plane.
+
+        ``weight`` is the tenant's deficit-round-robin share of freed
+        switch memory (admission control only); ``quota`` caps its
+        aggregators on every switch.  Undeclared tenants run with weight
+        1 and no quota.
+        """
+        if self.admission is not None:
+            self.admission.registry.register(tenant_id, name=name, weight=weight)
+        elif weight != 1:
+            raise TaskStateError(
+                "tenant fairness weights require admission control "
+                "(config.admission_control=True)"
+            )
+        if quota is not None:
+            for switch_name in sorted(self.control.switch_names):
+                self.control.controller(switch_name).tenant_quotas.set(
+                    tenant_id, quota
+                )
 
     @property
     def hosts(self) -> list[str]:
@@ -263,15 +302,24 @@ class _AskServiceBase:
             regions = self.control.allocate(
                 task.task_id, switches, task.region_size, specs=specs
             )
+        except (RegionExhaustedError, TenantQuotaError) as exc:
+            # Memory contention, not a bug.  With admission control on,
+            # the task waits its turn instead of dying; the waiter's
+            # closures re-run the allocation and the sender kickoff when
+            # memory frees up (or flip to bypass at the deadline).
+            if self.admission is not None:
+                self._queue_for_admission(task, switches, specs, streams=streams)
+                return
+            self._fail_allocation(task, exc)
+            raise
         except Exception as exc:
-            # Region allocation failed (e.g. the switch pool or a tenant
-            # quota is exhausted).  ControlPlane.allocate already rolled
-            # back partial reservations and nothing else was wired yet;
-            # fail the handle, drop the task from the service's books so
-            # it stays fully reusable, and let the error surface.
-            task.failure_reason = f"region allocation failed: {exc}"
-            task.advance(TaskPhase.FAILED)
-            self.tasks.pop(task.task_id, None)
+            # Anything else (bad region plan, controller invariant) is a
+            # terminal error regardless of admission control.
+            # ControlPlane.allocate already rolled back partial
+            # reservations and nothing else was wired yet; fail the
+            # handle, drop the task from the service's books so it stays
+            # fully reusable, and let the error surface.
+            self._fail_allocation(task, exc)
             raise
         self.daemons[task.receiver].open_receive_task(task, regions)
         task.advance(TaskPhase.SETUP)
@@ -280,10 +328,83 @@ class _AskServiceBase:
             self.config.control_latency_ns, self._start_senders, task, streams
         )
 
-    def _start_senders(self, task: AggregationTask, streams: dict[str, Stream]) -> None:
+    def _fail_allocation(self, task: AggregationTask, exc: Exception) -> None:
+        task.failure_reason = f"region allocation failed: {exc}"
+        task.advance(TaskPhase.FAILED)
+        self.tasks.pop(task.task_id, None)
+
+    def _queue_for_admission(
+        self,
+        task: AggregationTask,
+        switches: tuple[str, ...],
+        specs,
+        streams: Optional[dict[str, Stream]] = None,
+        session: Optional["StreamingSession"] = None,
+    ) -> None:
+        """Enqueue a task whose allocation failed on the admission
+        controller.  The region plan is captured once — it is a pure
+        function of the task's senders, so re-planning at grant time
+        would only recompute the same placement."""
+
+        def _wire(regions, bypass: bool) -> None:
+            self.daemons[task.receiver].open_receive_task(task, regions)
+            task.advance(TaskPhase.SETUP)
+            if session is None:
+                self.clock.schedule(
+                    self.config.control_latency_ns,
+                    self._start_senders, task, streams, bypass,
+                )
+            else:
+                self.clock.schedule(
+                    self.config.control_latency_ns,
+                    self._attach_streams, task, session, bypass,
+                )
+
+        def grant() -> bool:
+            try:
+                regions = self.control.allocate(
+                    task.task_id, switches, task.region_size, specs=specs
+                )
+            except (RegionExhaustedError, TenantQuotaError):
+                return False
+            _wire(regions, bypass=False)
+            return True
+
+        def degrade() -> None:
+            # No switch memory within the deadline: run the task entirely
+            # host-side.  Every entry is sent BYPASS, the switch forwards
+            # them untouched, and the receiver completes from its residual
+            # alone — exactly-once and bit-exact, just without offload.
+            task.stats.degraded_to_bypass = True
+            _wire({}, bypass=True)
+
+        def reject(reason: str) -> None:
+            task.failure_reason = reason
+            task.advance(TaskPhase.FAILED)
+            self.tasks.pop(task.task_id, None)
+
+        waiter = AdmissionWaiter(
+            task=task, grant=grant, degrade=degrade, reject=reject
+        )
+        if self.admission.admit(waiter):
+            task.advance(TaskPhase.QUEUED)
+        if self.supervisor is not None:
+            # Queue residence extends the run; keep the heartbeat loop
+            # (and with it lease-lapse reclaim, which frees memory for
+            # this very waiter) alive while the task waits.
+            self.supervisor.notice_activity()
+
+    def _start_senders(
+        self,
+        task: AggregationTask,
+        streams: dict[str, Stream],
+        bypass: bool = False,
+    ) -> None:
         task.advance(TaskPhase.STREAMING)
         for host, stream in streams.items():
-            self.daemons[host].start_sending(task, list(stream))
+            self.daemons[host].start_sending(
+                task, list(stream), force_bypass=bypass
+            )
 
     # ------------------------------------------------------------------
     # Streaming tasks (unbounded key-value streams)
@@ -331,10 +452,14 @@ class _AskServiceBase:
             regions = self.control.allocate(
                 task.task_id, switches, task.region_size, specs=specs
             )
+        except (RegionExhaustedError, TenantQuotaError) as exc:
+            if self.admission is not None:
+                self._queue_for_admission(task, switches, specs, session=session)
+                return
+            self._fail_allocation(task, exc)
+            raise
         except Exception as exc:
-            task.failure_reason = f"region allocation failed: {exc}"
-            task.advance(TaskPhase.FAILED)
-            self.tasks.pop(task.task_id, None)
+            self._fail_allocation(task, exc)
             raise
         self.daemons[task.receiver].open_receive_task(task, regions)
         task.advance(TaskPhase.SETUP)
@@ -342,10 +467,18 @@ class _AskServiceBase:
             self.config.control_latency_ns, self._attach_streams, task, session
         )
 
-    def _attach_streams(self, task: AggregationTask, session: StreamingSession) -> None:
+    def _attach_streams(
+        self,
+        task: AggregationTask,
+        session: StreamingSession,
+        bypass: bool = False,
+    ) -> None:
         task.advance(TaskPhase.STREAMING)
         for host in session.senders:
-            session._attach(host, self.daemons[host].start_streaming(task))
+            session._attach(
+                host,
+                self.daemons[host].start_streaming(task, force_bypass=bypass),
+            )
 
     # ------------------------------------------------------------------
     # Driving the deployment

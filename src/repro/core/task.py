@@ -14,6 +14,7 @@ class TaskPhase(enum.Enum):
     """Lifecycle phases of an aggregation task."""
 
     SUBMITTED = "submitted"  #: receiver handed the task to its daemon (①)
+    QUEUED = "queued"  #: no switch memory free; waiting in admission
     SETUP = "setup"  #: shared memory + switch region allocated (②③)
     STREAMING = "streaming"  #: senders are streaming packets (⑧)
     FINALIZING = "finalizing"  #: all FINs in; fetching switch results (⑨)
@@ -22,7 +23,11 @@ class TaskPhase(enum.Enum):
 
 
 _ALLOWED = {
-    TaskPhase.SUBMITTED: {TaskPhase.SETUP, TaskPhase.FAILED},
+    TaskPhase.SUBMITTED: {TaskPhase.SETUP, TaskPhase.QUEUED, TaskPhase.FAILED},
+    # QUEUED -> SETUP is the admission grant (or the deadline degrade to
+    # bypass, which also opens the receive side); a queued task never had
+    # sender jobs, so nothing needs tearing down on QUEUED -> FAILED.
+    TaskPhase.QUEUED: {TaskPhase.SETUP, TaskPhase.FAILED},
     TaskPhase.SETUP: {TaskPhase.STREAMING, TaskPhase.FAILED},
     TaskPhase.STREAMING: {TaskPhase.FINALIZING, TaskPhase.FAILED},
     # FINALIZING -> STREAMING is the supervised-restart path: a switch

@@ -1,4 +1,4 @@
-"""Multi-tenancy (§7): tenant IDs encoded in task IDs, isolated quotas.
+"""Multi-tenancy (§7): tenant IDs in task IDs, quotas, and admission.
 
 "When there are aggregation tasks from multiple tenants, these tasks need
 to encode the tenant ID into the task ID.  Then the ASK daemon would
@@ -9,11 +9,31 @@ The encoding puts the tenant in the high 32 bits of the 64-bit task ID, so
 every component that already keys on task IDs (regions, match tables,
 shared memory, receiver state) is tenant-isolated for free; the switch
 controller additionally enforces per-tenant aggregator quotas.
+
+Beyond the static quotas, this module holds the *service plane* of a
+shared ASK deployment:
+
+:class:`TenantRegistry`
+    Declared tenants with their fairness weights.
+
+:class:`AdmissionController`
+    Turns region-allocation failure from a terminal error into a bounded
+    per-tenant wait queue.  Waiters retry with deterministic exponential
+    backoff, are re-examined immediately whenever the control plane frees
+    a region, are granted in weighted deficit-round-robin order across
+    tenants, and — once their deadline lapses — degrade to the host-side
+    bypass path (or are rejected loudly when degradation is disabled).
+    A queued task has no sender jobs, so it transmits no DATA: the queue
+    itself is the backpressure signal.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.core.errors import AskError
 
 #: Tenant 0 is the implicit single-tenant default.
 DEFAULT_TENANT = 0
@@ -41,8 +61,25 @@ def local_task_of(task_id: int) -> int:
     return task_id & _LOCAL_MASK
 
 
-class TenantQuotaError(Exception):
+class TenantQuotaError(AskError):
     """A tenant asked for more switch memory than its quota allows."""
+
+
+class QuotaAccountingError(AskError, RuntimeError):
+    """The quota ledger was driven inconsistently — a double charge for a
+    task that already holds an allocation, a refund for a task that was
+    never charged, or a refund whose size disagrees with the charge.
+
+    These are controller bugs, not tenant overload: they must fail loudly
+    (``reason`` tags which invariant broke) instead of silently clamping
+    the ledger, which would let one task's leak grant another tenant's
+    memory forever.
+    """
+
+    def __init__(self, message: str, reason: str):
+        super().__init__(message)
+        #: "double-charge" | "unknown-task" | "size-mismatch"
+        self.reason = reason
 
 
 @dataclass
@@ -51,11 +88,15 @@ class TenantQuotas:
     switch controller at region-allocation time.
 
     A tenant without an entry is unlimited (subject to physical memory);
-    ``set`` assigns a budget in aggregators.
+    ``set`` assigns a budget in aggregators.  The ledger records each
+    task's charge so a refund can be validated exactly: every allocation
+    is charged once and refunded once, with matching sizes.
     """
 
     _budgets: dict[int, int] = field(default_factory=dict)
     _used: dict[int, int] = field(default_factory=dict)
+    #: task_id -> the size it was charged (outstanding allocations).
+    _charges: dict[int, int] = field(default_factory=dict)
 
     def set(self, tenant_id: int, aggregators: int) -> None:
         if aggregators < 0:
@@ -68,9 +109,19 @@ class TenantQuotas:
     def used_by(self, tenant_id: int) -> int:
         return self._used.get(tenant_id, 0)
 
+    def usage(self) -> dict[int, int]:
+        """tenant -> aggregators currently charged (occupancy view)."""
+        return {t: u for t, u in self._used.items() if u}
+
     # ------------------------------------------------------------------
     def charge(self, task_id: int, size: int) -> None:
         """Account a region allocation, raising if over budget."""
+        if task_id in self._charges:
+            raise QuotaAccountingError(
+                f"task {task_id} is already charged "
+                f"{self._charges[task_id]} aggregators",
+                reason="double-charge",
+            )
         tenant = tenant_of(task_id)
         budget = self._budgets.get(tenant)
         used = self._used.get(tenant, 0)
@@ -80,8 +131,319 @@ class TenantQuotas:
                 f"quota is {budget}"
             )
         self._used[tenant] = used + size
+        self._charges[task_id] = size
 
     def refund(self, task_id: int, size: int) -> None:
         """Release a region's accounting at deallocation."""
+        charged = self._charges.get(task_id)
+        if charged is None:
+            raise QuotaAccountingError(
+                f"refund for task {task_id}, which holds no charge",
+                reason="unknown-task",
+            )
+        if charged != size:
+            raise QuotaAccountingError(
+                f"task {task_id} refunds {size} aggregators but was "
+                f"charged {charged}",
+                reason="size-mismatch",
+            )
+        del self._charges[task_id]
         tenant = tenant_of(task_id)
-        self._used[tenant] = max(0, self._used.get(tenant, 0) - size)
+        self._used[tenant] = self._used.get(tenant, 0) - size
+
+
+# ----------------------------------------------------------------------
+# Tenant registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TenantRecord:
+    """One declared tenant: display name plus DRR fairness weight."""
+
+    tenant_id: int
+    name: str
+    weight: int = 1
+
+
+class TenantRegistry:
+    """Declared tenants and their admission fairness weights.
+
+    Undeclared tenants are served with weight 1 — declaration is an
+    upgrade path (a bigger fair share), never a gate, matching the
+    quota table's unlimited-by-default posture.
+    """
+
+    def __init__(self) -> None:
+        self._tenants: Dict[int, TenantRecord] = {}
+
+    def register(
+        self, tenant_id: int, name: Optional[str] = None, weight: int = 1
+    ) -> TenantRecord:
+        if weight < 1:
+            raise ValueError("tenant weight must be >= 1")
+        record = TenantRecord(
+            tenant_id=tenant_id,
+            name=name if name is not None else f"tenant-{tenant_id}",
+            weight=weight,
+        )
+        self._tenants[tenant_id] = record
+        return record
+
+    def get(self, tenant_id: int) -> Optional[TenantRecord]:
+        return self._tenants.get(tenant_id)
+
+    def weight_of(self, tenant_id: int) -> int:
+        record = self._tenants.get(tenant_id)
+        return record.weight if record is not None else 1
+
+    def known(self) -> tuple[int, ...]:
+        return tuple(sorted(self._tenants))
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+@dataclass
+class AdmissionWaiter:
+    """One task waiting for switch memory.
+
+    The service enqueues closures instead of exposing its internals:
+    ``grant`` retries the allocation and wires the task when it succeeds
+    (returning False when memory is still short), ``degrade`` flips the
+    task to the host-side bypass path, ``reject`` fails it loudly.
+    """
+
+    task: Any
+    grant: Callable[[], bool]
+    degrade: Callable[[], None]
+    reject: Callable[[str], None]
+    enqueued_at_ns: int = 0
+    #: Allocation attempts so far (the submit-time attempt counts as 1).
+    attempts: int = 1
+
+
+class AdmissionController:
+    """Bounded, per-tenant-fair wait queue in front of region allocation.
+
+    Grant order is weighted deficit round robin: each pump round visits
+    the tenants with waiters in sorted-ID order, tops each tenant's
+    deficit up by its registry weight (capped at twice the weight so a
+    long-blocked tenant cannot burst unboundedly), and grants from the
+    head of that tenant's FIFO while the deficit covers the unit grant
+    cost.  A head-of-line waiter whose allocation still fails blocks only
+    its own tenant's queue for the round.  Everything — queue order,
+    round order, retry timing — is a pure function of the schedule, so a
+    sim run is bit-reproducible.
+
+    Pumps happen on two edges:
+
+    * ``on_release`` — the control plane freed a region (task completed,
+      failed, or its lease lapsed), so a waiter may fit *now*;
+    * a retry timer with deterministic exponential backoff (reset by any
+      successful grant), which also sweeps deadlines: a waiter older than
+      ``admission_deadline_us`` degrades to bypass (or is rejected when
+      ``admission_degrade`` is off).
+
+    The timer only reschedules itself while waiters exist, so an idle
+    controller adds zero events and the sim heap drains.
+    """
+
+    def __init__(self, clock: Any, config: Any, registry: Optional[TenantRegistry] = None):
+        self.clock = clock
+        self.config = config
+        self.registry = registry if registry is not None else TenantRegistry()
+        #: Optional () -> {tenant: aggregators} occupancy view, wired by
+        #: the builder to ``ControlPlane.tenant_occupancy``.
+        self.occupancy_fn: Optional[Callable[[], Dict[int, int]]] = None
+        self._queues: Dict[int, deque[AdmissionWaiter]] = {}
+        self._deficits: Dict[int, int] = {}
+        self._timer_pending = False
+        self._backoff_exp = 0
+        self._pumping = False
+        self._release_pending = False
+        # Lifetime counters (DegradationReport's admission section).
+        self.queued = 0
+        self.granted = 0
+        self.retried = 0
+        self.degraded = 0
+        self.rejected_full = 0
+        self.rejected_deadline = 0
+        self.cancelled = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def waiting(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def waiting_of(self, tenant_id: int) -> int:
+        queue = self._queues.get(tenant_id)
+        return len(queue) if queue is not None else 0
+
+    # ------------------------------------------------------------------
+    def admit(self, waiter: AdmissionWaiter) -> bool:
+        """Queue a task whose allocation just failed.  Returns True when
+        queued; False when the tenant's queue is full (the waiter's
+        ``reject`` has then already failed the task loudly)."""
+        tenant = tenant_of(waiter.task.task_id)
+        queue = self._queues.setdefault(tenant, deque())
+        limit = self.config.admission_queue_limit
+        if len(queue) >= limit:
+            self.rejected_full += 1
+            waiter.reject(
+                f"admission queue full for tenant {tenant} "
+                f"({limit} task(s) already waiting)"
+            )
+            return False
+        waiter.enqueued_at_ns = self.clock.now
+        queue.append(waiter)
+        self.queued += 1
+        self._ensure_timer()
+        return True
+
+    def on_release(self) -> None:
+        """The control plane freed switch memory: pump immediately."""
+        if self._pumping:
+            self._release_pending = True
+            return
+        if self._pump():
+            self._backoff_exp = 0
+
+    # ------------------------------------------------------------------
+    def _pump(self, count_retries: bool = False) -> bool:
+        """One or more DRR rounds; returns True if anything was granted."""
+        progressed = False
+        self._pumping = True
+        try:
+            while True:
+                self._release_pending = False
+                active = [t for t in sorted(self._queues) if self._queues[t]]
+                if not active:
+                    break
+                granted_this_round = False
+                for tenant in active:
+                    queue = self._queues[tenant]
+                    weight = self.registry.weight_of(tenant)
+                    deficit = min(
+                        self._deficits.get(tenant, 0) + weight, 2 * weight
+                    )
+                    while queue and deficit >= 1:
+                        waiter = queue[0]
+                        if waiter.task.is_settled:
+                            # Failed elsewhere (give-up deadline, presumed-
+                            # dead peer) while queued: just drop it.
+                            queue.popleft()
+                            self.cancelled += 1
+                            continue
+                        if not waiter.grant():
+                            if count_retries:
+                                waiter.attempts += 1
+                                self.retried += 1
+                            break  # head-of-line blocked for this round
+                        queue.popleft()
+                        deficit -= 1
+                        self._finish_wait(waiter)
+                        self.granted += 1
+                        granted_this_round = True
+                        progressed = True
+                    self._deficits[tenant] = deficit if queue else 0
+                # Retries are counted once per tick (first round only),
+                # not once per round.
+                count_retries = False
+                if not granted_this_round and not self._release_pending:
+                    break
+        finally:
+            self._pumping = False
+        return progressed
+
+    def _finish_wait(self, waiter: AdmissionWaiter) -> None:
+        stats = waiter.task.stats
+        stats.admission_wait_ns = self.clock.now - waiter.enqueued_at_ns
+        stats.admission_retries = waiter.attempts - 1
+
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        self._timer_pending = False
+        self._sweep_deadlines(self.clock.now)
+        if self._pump(count_retries=True):
+            self._backoff_exp = 0
+        elif self.waiting:
+            self._backoff_exp += 1
+        self._ensure_timer()
+
+    def _sweep_deadlines(self, now: int) -> None:
+        deadline_ns = self.config.admission_deadline_ns
+        if deadline_ns is None:
+            return
+        for tenant in sorted(self._queues):
+            queue = self._queues[tenant]
+            if not queue:
+                continue
+            kept: deque[AdmissionWaiter] = deque()
+            for waiter in queue:
+                if waiter.task.is_settled:
+                    self.cancelled += 1
+                    continue
+                if now - waiter.enqueued_at_ns < deadline_ns:
+                    kept.append(waiter)
+                    continue
+                self._finish_wait(waiter)
+                if self.config.admission_degrade:
+                    self.degraded += 1
+                    waiter.degrade()
+                else:
+                    self.rejected_deadline += 1
+                    waiter.reject(
+                        f"admission deadline lapsed after "
+                        f"{now - waiter.enqueued_at_ns}ns "
+                        f"({waiter.attempts} allocation attempt(s))"
+                    )
+            self._queues[tenant] = kept
+
+    def _ensure_timer(self) -> None:
+        if self._timer_pending or not self.waiting:
+            return
+        delay = min(
+            int(self.config.admission_retry_ns * (
+                self.config.admission_backoff ** self._backoff_exp
+            )),
+            self.config.admission_backoff_cap_ns,
+        )
+        deadline_ns = self.config.admission_deadline_ns
+        if deadline_ns is not None:
+            # Never sleep past the earliest waiter's deadline: degrade
+            # timing stays exact instead of overshooting by a backoff.
+            now = self.clock.now
+            earliest = min(
+                w.enqueued_at_ns
+                for q in self._queues.values()
+                for w in q
+            )
+            delay = max(1, min(delay, earliest + deadline_ns - now))
+        self._timer_pending = True
+        self.clock.schedule(delay, self._tick)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Admission counters + live queue/occupancy view (JSON-ready:
+        tenant keys are strings, insertion order sorted)."""
+        waiting_per_tenant = {
+            str(t): len(q) for t, q in sorted(self._queues.items()) if q
+        }
+        occupancy: Dict[str, int] = {}
+        if self.occupancy_fn is not None:
+            occupancy = {
+                str(t): used
+                for t, used in sorted(self.occupancy_fn().items())
+                if used
+            }
+        return {
+            "queued": self.queued,
+            "granted": self.granted,
+            "retried": self.retried,
+            "degraded": self.degraded,
+            "rejected_full": self.rejected_full,
+            "rejected_deadline": self.rejected_deadline,
+            "cancelled": self.cancelled,
+            "waiting": self.waiting,
+            "waiting_per_tenant": waiting_per_tenant,
+            "occupancy": occupancy,
+        }

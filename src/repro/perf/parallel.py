@@ -58,14 +58,14 @@ QUICK_CHAOS_SEEDS: tuple[int, ...] = (0, 7)
 class Job:
     """One unit of work.  Must stay picklable (fork *and* spawn starts)."""
 
-    kind: str  #: "experiment" | "fig09-shard" | "chaos" | "chaos-tree"
-    name: str  #: experiment name, or "chaos"/"chaos-tree" for chaos jobs
+    kind: str  #: "experiment" | "fig09-shard" | "chaos" | "chaos-tree" | "chaos-overload"
+    name: str  #: experiment name, or the job kind for chaos jobs
     shard: Optional[str] = None  #: fig09 stream kind for shard jobs
     seed: Optional[int] = None  #: chaos schedule seed
 
     @property
     def label(self) -> str:
-        if self.kind in ("chaos", "chaos-tree"):
+        if self.kind in ("chaos", "chaos-tree", "chaos-overload"):
             return f"{self.kind}[seed={self.seed}]"
         if self.shard is not None:
             return f"{self.name}[{self.shard}]"
@@ -100,14 +100,16 @@ def run_job(job: Job) -> JobResult:
 
             assert job.shard is not None
             payload = fig09_prioritization.run(kinds=(job.shard,))
-        elif job.kind in ("chaos", "chaos-tree"):
-            from repro.cli import _run_chaos, _run_tree_chaos
+        elif job.kind in ("chaos", "chaos-tree", "chaos-overload"):
+            from repro.cli import _run_chaos, _run_overload_chaos, _run_tree_chaos
 
             assert job.seed is not None
             buffer = io.StringIO()
             with redirect_stdout(buffer):
                 if job.kind == "chaos-tree":
                     status = _run_tree_chaos("sim", job.seed, None)
+                elif job.kind == "chaos-overload":
+                    status = _run_overload_chaos("sim", job.seed, None)
                 else:
                     status = _run_chaos("sim", job.seed, None)
             if status != 0:
@@ -164,6 +166,11 @@ def plan(
     # The tree-failover drill (spine crash mid-task on a spine–leaf tree)
     # rides the same seed matrix, after the flat schedules.
     jobs.extend(Job("chaos-tree", "chaos-tree", seed=seed) for seed in chaos_seeds)
+    # So does the abusive-tenant overload drill (admission-control
+    # isolation under hoard + flood).
+    jobs.extend(
+        Job("chaos-overload", "chaos-overload", seed=seed) for seed in chaos_seeds
+    )
     return jobs
 
 

@@ -32,6 +32,7 @@ from repro.core.errors import ConfigError
 from repro.core.failover import FailureSupervisor
 from repro.core.packet import AskPacket
 from repro.core.task import AggregationTask
+from repro.core.tenancy import AdmissionController
 from repro.net.fault import FaultModel
 from repro.net.trace import PacketTrace
 from repro.runtime.asyncio_fabric import AsyncioFabric
@@ -61,6 +62,9 @@ class Deployment:
     #: Present when ``config.failure_detection`` is on: heartbeat leases,
     #: switch failover and supervised recovery for this deployment.
     supervisor: Optional[FailureSupervisor] = None
+    #: Present when ``config.admission_control`` is on: the bounded,
+    #: per-tenant-fair wait queue in front of region allocation.
+    admission: Optional[AdmissionController] = None
 
     @property
     def clock(self) -> Clock:
@@ -294,16 +298,17 @@ class DeploymentBuilder:
                 for channel in daemon.channels:
                     channel.activation_hook = hook
 
+        host_paths = {
+            host: (tor,) if spine is None else (tor, spine)
+            for _, tor, rack_hosts, spine in self._racks
+            for host in rack_hosts
+        }
+
         supervisor: Optional[FailureSupervisor] = None
         if self.config.failure_detection:
             host_tor = {
                 host: tor
                 for _, tor, rack_hosts, _ in self._racks
-                for host in rack_hosts
-            }
-            host_paths = {
-                host: (tor,) if spine is None else (tor, spine)
-                for _, tor, rack_hosts, spine in self._racks
                 for host in rack_hosts
             }
             supervisor = FailureSupervisor(
@@ -322,6 +327,25 @@ class DeploymentBuilder:
                     channel.rebaseline_hook = supervisor.rebaseline_channel
                 daemon.receiver.degraded_probe = supervisor.is_degraded
 
+        admission: Optional[AdmissionController] = None
+        if self.config.admission_control:
+            admission = AdmissionController(fabric.clock, self.config)
+            admission.occupancy_fn = control.tenant_occupancy
+            # Every deallocation path — task teardown, loud failure,
+            # supervisor reclaim — wakes the waiters immediately.
+            control.on_release = admission.on_release
+            if supervisor is None:
+                # A degraded (forced-bypass) job skips the switch, so the
+                # switch-side dedup never advances past its sequences;
+                # when the job finishes, the channel's baseline must be
+                # re-installed on the host's path before the next job's
+                # non-bypass entries arrive.  With failure detection on,
+                # the supervisor's hook already does this.
+                hook = _make_degrade_rebaseline_hook(switches, host_paths)
+                for daemon in daemons.values():
+                    for channel in daemon.channels:
+                        channel.rebaseline_hook = hook
+
         return Deployment(
             config=self.config,
             backend=self.backend,
@@ -333,7 +357,28 @@ class DeploymentBuilder:
             trace=trace,
             racks=racks,
             supervisor=supervisor,
+            admission=admission,
         )
+
+
+def _make_degrade_rebaseline_hook(
+    switches: Dict[str, Any], host_paths: Dict[str, tuple[str, ...]]
+) -> Callable[[Any], None]:
+    """Re-install a channel's dedup baseline on every switch of its
+    host's path after a forced-bypass job finishes (admission-degrade
+    deployments without a failure supervisor — see the wiring site)."""
+
+    def hook(channel: Any) -> None:
+        for name in host_paths.get(channel.host, ()):
+            sw = switches[name]
+            if not sw.is_up or getattr(sw, "needs_install", False):
+                continue
+            sw.dedup.reinstall_channel(
+                sw.controller.channel_slot((channel.host, channel.index)),
+                channel.window.next_seq,
+            )
+
+    return hook
 
 
 def _make_activation_hook(

@@ -167,6 +167,22 @@ class SwitchController:
         """Data-plane match table: task id → region."""
         return self._regions.get(task_id)
 
+    # ------------------------------------------------------------------
+    # Occupancy views (admission control / reclaim accounting)
+    # ------------------------------------------------------------------
+    def tenant_usage(self) -> Dict[int, int]:
+        """tenant -> aggregators currently charged on this switch."""
+        return self.tenant_quotas.usage()
+
+    def free_aggregators(self) -> int:
+        """Free aggregators in the per-copy space (any fragmentation)."""
+        return sum(extent for _, extent in self._free_extents())
+
+    def largest_free_extent(self) -> int:
+        """The biggest single region this switch could still allocate."""
+        free = self._free_extents()
+        return max((extent for _, extent in free), default=0)
+
     def reset_task(self, task_id: int) -> None:
         """Blank a task's data-plane state while keeping its allocation.
 

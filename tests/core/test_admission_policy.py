@@ -1,0 +1,278 @@
+"""Unit tests for the admission controller's scheduling policy.
+
+Everything here drives :class:`~repro.core.tenancy.AdmissionController`
+directly against a stub clock and closure-based waiters, so each policy
+property — weighted deficit-round-robin order, bounded queues, backoff
+shape, deadline handling — is observable in isolation from the fabric.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import AskConfig
+from repro.core.results import TaskStats
+from repro.core.tenancy import (
+    AdmissionController,
+    AdmissionWaiter,
+    TenantRegistry,
+    encode_task_id,
+)
+
+
+class StubClock:
+    """Deterministic manual clock: ``fire_next`` pops the earliest timer."""
+
+    def __init__(self):
+        self.now = 0
+        self.timers = []
+
+    def schedule(self, delay_ns, callback, *args):
+        self.timers.append((self.now + delay_ns, callback, args))
+
+    def fire_next(self):
+        assert self.timers, "no timer pending"
+        self.timers.sort(key=lambda t: t[0])
+        at, callback, args = self.timers.pop(0)
+        self.now = at
+        callback(*args)
+
+
+class StubTask:
+    def __init__(self, tenant, local):
+        self.task_id = encode_task_id(tenant, local)
+        self.is_settled = False
+        self.stats = TaskStats()
+        self.failure_reason = None
+
+
+def make_config(**overrides):
+    base = dict(
+        admission_control=True,
+        admission_queue_limit=4,
+        admission_retry_us=100.0,
+        admission_backoff=2.0,
+        admission_backoff_cap_us=1_600.0,
+        admission_deadline_us=5_000.0,
+    )
+    base.update(overrides)
+    return dataclasses.replace(AskConfig(), **base)
+
+
+class Harness:
+    """Controller + shared capacity pool; records grant order by tenant."""
+
+    def __init__(self, config=None, registry=None, capacity=0):
+        self.clock = StubClock()
+        self.controller = AdmissionController(
+            self.clock, config or make_config(), registry=registry
+        )
+        self.capacity = capacity
+        self.order = []
+        self.degraded = []
+        self.rejections = []
+        self._locals = iter(range(1, 10_000))
+
+    def waiter(self, tenant):
+        task = StubTask(tenant, next(self._locals))
+
+        def grant():
+            if self.capacity < 1:
+                return False
+            self.capacity -= 1
+            self.order.append(tenant)
+            return True
+
+        w = AdmissionWaiter(
+            task=task,
+            grant=grant,
+            degrade=lambda: self.degraded.append(tenant),
+            reject=lambda reason: self.rejections.append((tenant, reason)),
+        )
+        return w
+
+
+# ---------------------------------------------------------------------------
+# Weighted deficit round robin
+# ---------------------------------------------------------------------------
+def test_drr_interleaves_grants_by_weight():
+    registry = TenantRegistry()
+    registry.register(1, weight=2)
+    registry.register(2, weight=1)
+    h = Harness(config=make_config(admission_queue_limit=8), registry=registry)
+    for _ in range(6):
+        h.controller.admit(h.waiter(1))
+    for _ in range(3):
+        h.controller.admit(h.waiter(2))
+    h.capacity = 9
+    h.controller.on_release()
+    # Each round: two grants for the weight-2 tenant, one for weight-1.
+    assert h.order == [1, 1, 2, 1, 1, 2, 1, 1, 2]
+    assert h.controller.granted == 9
+    assert h.controller.waiting == 0
+
+
+def test_undeclared_tenants_are_served_with_weight_one():
+    h = Harness()
+    for tenant in (5, 3):
+        h.controller.admit(h.waiter(tenant))
+        h.controller.admit(h.waiter(tenant))
+    h.capacity = 4
+    h.controller.on_release()
+    # Sorted-tenant-ID round order, one grant per tenant per round.
+    assert h.order == [3, 5, 3, 5]
+
+
+def test_head_of_line_block_stalls_only_its_own_tenant():
+    h = Harness()
+    blocked = h.waiter(1)
+    blocked.grant = lambda: False  # tenant 1's head can never fit
+    h.controller.admit(blocked)
+    h.controller.admit(h.waiter(2))
+    h.capacity = 2
+    h.controller.on_release()
+    assert h.order == [2]
+    assert h.controller.waiting_of(1) == 1
+    assert h.controller.waiting_of(2) == 0
+
+
+# ---------------------------------------------------------------------------
+# Bounded queues
+# ---------------------------------------------------------------------------
+def test_queue_limit_rejects_loudly_per_tenant():
+    h = Harness(config=make_config(admission_queue_limit=2))
+    assert h.controller.admit(h.waiter(1))
+    assert h.controller.admit(h.waiter(1))
+    assert not h.controller.admit(h.waiter(1))
+    # Another tenant's queue is unaffected by tenant 1 being full.
+    assert h.controller.admit(h.waiter(2))
+    assert h.controller.rejected_full == 1
+    (tenant, reason), = h.rejections
+    assert tenant == 1 and "queue full" in reason
+
+
+# ---------------------------------------------------------------------------
+# Retry timer: deterministic exponential backoff, deadline-clamped
+# ---------------------------------------------------------------------------
+def test_backoff_doubles_to_the_cap_and_degrades_exactly_at_deadline():
+    h = Harness()
+    h.controller.admit(h.waiter(1))
+    fire_times = []
+    while h.clock.timers:
+        h.clock.fire_next()
+        fire_times.append(h.clock.now)
+    # retry 100µs doubling to the 1.6ms cap, final tick clamped so the
+    # sweep lands exactly on the 5ms deadline — never past it.
+    assert fire_times == [
+        100_000, 300_000, 700_000, 1_500_000, 3_100_000, 4_700_000, 5_000_000
+    ]
+    assert h.degraded == [1]
+    assert h.controller.degraded == 1
+    assert h.controller.retried == len(fire_times) - 1
+    # The sweep stamps the waiter's stats before degrading.
+    assert h.controller.waiting == 0
+
+
+def test_deadline_reject_when_degrade_disabled():
+    h = Harness(config=make_config(admission_degrade=False))
+    h.controller.admit(h.waiter(7))
+    while h.clock.timers:
+        h.clock.fire_next()
+    assert h.degraded == []
+    assert h.controller.rejected_deadline == 1
+    (tenant, reason), = h.rejections
+    assert tenant == 7 and "deadline" in reason
+
+
+def test_no_deadline_means_waiters_park_at_the_backoff_cap():
+    h = Harness(config=make_config(admission_deadline_us=None))
+    h.controller.admit(h.waiter(1))
+    for _ in range(8):
+        h.clock.fire_next()
+    # Timer keeps rescheduling (no deadline to drain it) at the cap.
+    spans = [h.clock.timers[0][0] - h.clock.now]
+    assert spans == [1_600_000]
+    assert h.controller.waiting == 1
+
+
+def test_successful_grant_resets_the_backoff():
+    h = Harness(config=make_config(admission_deadline_us=None))
+    h.controller.admit(h.waiter(1))
+    h.clock.fire_next()  # 100µs, no memory
+    h.clock.fire_next()  # 200µs, no memory
+    assert h.controller._backoff_exp == 2
+    h.capacity = 1
+    h.controller.on_release()
+    assert h.order == [1]
+    assert h.controller._backoff_exp == 0
+
+
+def test_timer_self_terminates_when_queues_empty():
+    h = Harness()
+    h.controller.admit(h.waiter(1))
+    h.capacity = 1
+    h.controller.on_release()
+    # The pending tick fires once more, finds nothing, and does not
+    # reschedule — the sim heap drains.
+    while h.clock.timers:
+        h.clock.fire_next()
+    assert h.clock.timers == []
+    assert h.controller.waiting == 0
+
+
+# ---------------------------------------------------------------------------
+# Cancelled waiters and stats
+# ---------------------------------------------------------------------------
+def test_settled_task_is_cancelled_not_granted():
+    h = Harness()
+    w = h.waiter(1)
+    h.controller.admit(w)
+    w.task.is_settled = True  # failed elsewhere while queued
+    h.capacity = 1
+    h.controller.on_release()
+    assert h.order == []
+    assert h.controller.cancelled == 1
+    assert h.controller.waiting == 0
+
+
+def test_grant_stamps_wait_time_and_retry_count():
+    h = Harness(config=make_config(admission_deadline_us=None))
+    w = h.waiter(1)
+    h.controller.admit(w)
+    h.clock.fire_next()  # retry #1 fails
+    h.capacity = 1
+    h.clock.fire_next()  # retry #2 grants
+    assert w.task.stats.admission_wait_ns == h.clock.now
+    # "retries" counts the *failed* re-allocations while queued; the
+    # attempt that finally succeeds is the grant, not a retry.
+    assert w.task.stats.admission_retries == 1
+    assert h.controller.retried == 1
+
+
+# ---------------------------------------------------------------------------
+# Snapshot / registry
+# ---------------------------------------------------------------------------
+def test_snapshot_is_json_ready_and_sorted():
+    import json
+
+    registry = TenantRegistry()
+    registry.register(2, name="training", weight=2)
+    h = Harness(registry=registry)
+    h.controller.admit(h.waiter(9))
+    h.controller.admit(h.waiter(2))
+    h.controller.occupancy_fn = lambda: {9: 24, 2: 0}
+    snap = h.controller.snapshot()
+    json.dumps(snap)  # no non-string keys anywhere
+    assert snap["waiting"] == 2
+    assert snap["waiting_per_tenant"] == {"2": 1, "9": 1}
+    assert snap["occupancy"] == {"9": 24}  # zero entries elided
+
+
+def test_registry_validates_weights_and_defaults_unknown_to_one():
+    registry = TenantRegistry()
+    with pytest.raises(ValueError):
+        registry.register(1, weight=0)
+    registry.register(1, weight=3)
+    assert registry.weight_of(1) == 3
+    assert registry.weight_of(42) == 1
+    assert registry.known() == (1,)

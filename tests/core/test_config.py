@@ -68,11 +68,28 @@ def test_small_accepts_overrides():
         {"retransmit_timeout_us": 0},
         {"data_channels_per_host": 0},
         {"swap_threshold_packets": 0},
+        {"admission_queue_limit": 0},
+        {"admission_retry_us": 0},
+        {"admission_backoff": 0.5},
+        {"admission_backoff_cap_us": 50.0},  # below the 100µs retry
+        {"admission_deadline_us": 50.0},  # below the 100µs retry
     ],
 )
 def test_invalid_configs_rejected(kwargs):
     with pytest.raises(ConfigError):
         AskConfig(**kwargs)
+
+
+def test_admission_knobs_convert_to_nanoseconds():
+    config = AskConfig(
+        admission_retry_us=20.0,
+        admission_backoff_cap_us=160.0,
+        admission_deadline_us=120.0,
+    )
+    assert config.admission_retry_ns == 20_000
+    assert config.admission_backoff_cap_ns == 160_000
+    assert config.admission_deadline_ns == 120_000
+    assert AskConfig(admission_deadline_us=None).admission_deadline_ns is None
 
 
 def test_medium_groups_cannot_exceed_aas():

@@ -1,0 +1,214 @@
+"""End-to-end admission control: overload becomes a bounded wait, not a
+terminal error.
+
+Every test pins the switch's memory with a streaming "hog" session that
+holds the whole per-copy aggregator space, then watches what the
+admission controller does with tasks submitted into the squeeze: queue
+and grant on release, degrade to bypass at the deadline, or reject
+loudly — always with exactly-once, bit-exact results.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import AskConfig
+from repro.core.results import reference_aggregate
+from repro.core.service import AskService
+from repro.core.task import TaskPhase
+
+#: AskConfig.small() has 32 aggregators per copy: one region of 32 pins
+#: the whole space, so any further allocation fails until it is freed.
+FULL = 32
+
+
+def make_service(**overrides):
+    knobs = dict(
+        admission_control=True,
+        admission_retry_us=20.0,
+        admission_backoff=2.0,
+        admission_backoff_cap_us=160.0,
+        admission_deadline_us=None,
+    )
+    knobs.update(overrides)
+    return AskService(dataclasses.replace(AskConfig.small(), **knobs), hosts=3)
+
+
+def settle(service):
+    service.run_to_completion()
+
+
+# ---------------------------------------------------------------------------
+# Queue -> grant on the release edge
+# ---------------------------------------------------------------------------
+def test_queued_task_grants_when_the_hog_releases():
+    service = make_service()
+    hog = service.open_stream(["h0"], receiver="h2", region_size=FULL)
+    service.run(until=service.clock.now + 50_000)
+    streams = {"h0": [(b"k", 1)] * 40, "h1": [(b"k", 2)] * 40}
+    task = service.submit(streams, receiver="h2", region_size=8)
+    service.run(until=service.clock.now + 50_000)
+    assert task.phase is TaskPhase.QUEUED
+    hog.close()
+    settle(service)
+    assert task.phase is TaskPhase.COMPLETE
+    assert task.result.values == reference_aggregate(
+        streams, service.config.value_mask
+    )
+    assert task.stats.admission_wait_ns > 0
+    assert not task.stats.degraded_to_bypass
+    assert service.deployment.admission.granted == 1
+    assert service.deployment.admission.waiting == 0
+
+
+def test_queued_streaming_session_attaches_after_grant():
+    service = make_service()
+    hog = service.open_stream(["h0"], receiver="h2", region_size=FULL)
+    service.run(until=service.clock.now + 50_000)
+    session = service.open_stream(["h0", "h1"], receiver="h2", region_size=8)
+    service.run(until=service.clock.now + 50_000)
+    assert session.task.phase is TaskPhase.QUEUED
+    hog.close()
+    service.run(until=service.clock.now + 100_000)
+    session.feed("h0", [(b"s", 3)] * 10)
+    session.feed("h1", [(b"s", 4)] * 10)
+    session.close()
+    settle(service)
+    assert session.task.result.values == {b"s": 70}
+    assert session.task.stats.admission_wait_ns > 0
+
+
+# ---------------------------------------------------------------------------
+# Backpressure: a queued task transmits nothing
+# ---------------------------------------------------------------------------
+def test_queued_task_sends_no_data():
+    service = make_service()
+    hog = service.open_stream(["h0"], receiver="h2", region_size=FULL)
+    task = service.submit(
+        {"h0": [(b"quiet", 1)] * 100}, receiver="h2", region_size=8
+    )
+    service.run(until=service.clock.now + 200_000)
+    # Queue residence is the backpressure: no sender job exists yet, so
+    # not a single DATA (or bypass) packet has left the host.
+    assert task.phase is TaskPhase.QUEUED
+    assert task.stats.data_packets_sent == 0
+    assert task.stats.bypass_packets_sent == 0
+    hog.close()
+    settle(service)
+    assert task.result.values == {b"quiet": 100}
+    assert task.stats.data_packets_sent > 0
+
+
+# ---------------------------------------------------------------------------
+# Deadline: degrade to bypass (or reject loudly when disabled)
+# ---------------------------------------------------------------------------
+def test_deadline_degrades_to_bypass_and_stays_exact():
+    service = make_service(admission_deadline_us=120.0)
+    hog = service.open_stream(["h0"], receiver="h2", region_size=FULL)
+    # Sender h1, not h0: the hog's never-finishing job owns h0's data
+    # channel, and a bypass job queued behind it would never run.
+    streams = {"h1": [(b"deg", 5)] * 30 + [(b"deg2", 1)] * 30}
+    task = service.submit(streams, receiver="h2", region_size=8)
+    # The hog never relents; the deadline must flip the task host-side.
+    service.run(until=service.clock.now + 1_000_000)
+    assert task.phase is TaskPhase.COMPLETE
+    assert task.stats.degraded_to_bypass
+    assert task.stats.admission_wait_ns == 120_000  # exactly the deadline
+    # Every packet the degraded task sent was bypass-tagged: nothing hit
+    # the switch program (bypass counts are a subset of data counts).
+    assert task.stats.bypass_packets_sent == task.stats.data_packets_sent > 0
+    assert task.result.values == reference_aggregate(
+        streams, service.config.value_mask
+    )
+    assert service.deployment.admission.degraded == 1
+    hog.close()
+    settle(service)
+
+
+def test_deadline_rejects_loudly_when_degrade_disabled():
+    service = make_service(admission_deadline_us=120.0, admission_degrade=False)
+    hog = service.open_stream(["h0"], receiver="h2", region_size=FULL)
+    task = service.submit(
+        {"h0": [(b"x", 1)] * 10}, receiver="h2", region_size=8
+    )
+    service.run(until=service.clock.now + 1_000_000)
+    assert task.phase is TaskPhase.FAILED
+    assert "deadline" in task.failure_reason
+    # Rejected tasks leave the service's books; the deployment stays usable.
+    assert task.task_id not in service.tasks
+    assert service.deployment.admission.rejected_deadline == 1
+    hog.close()
+    settle(service)
+    result = service.aggregate(
+        {"h0": [(b"after", 2)] * 5}, receiver="h2", check=True
+    )
+    assert result[b"after"] == 10
+
+
+# ---------------------------------------------------------------------------
+# Bounded queue
+# ---------------------------------------------------------------------------
+def test_queue_bound_rejects_the_overflow_task():
+    service = make_service(admission_queue_limit=1)
+    hog = service.open_stream(["h0"], receiver="h2", region_size=FULL)
+    service.run(until=service.clock.now + 50_000)
+    queued = service.submit(
+        {"h0": [(b"q", 1)] * 10}, receiver="h2", region_size=8
+    )
+    overflow = service.submit(
+        {"h0": [(b"q", 1)] * 10}, receiver="h2", region_size=8
+    )
+    service.run(until=service.clock.now + 50_000)
+    assert queued.phase is TaskPhase.QUEUED
+    assert overflow.phase is TaskPhase.FAILED
+    assert "queue full" in overflow.failure_reason
+    assert service.deployment.admission.rejected_full == 1
+    hog.close()
+    settle(service)
+    assert queued.result.values == {b"q": 10}
+
+
+# ---------------------------------------------------------------------------
+# Determinism
+# ---------------------------------------------------------------------------
+def test_admission_outcome_is_bit_reproducible():
+    def run_once():
+        service = make_service(admission_deadline_us=120.0, admission_queue_limit=2)
+        hog = service.open_stream(["h0"], receiver="h2", region_size=FULL)
+        tasks = [
+            service.submit(
+                {"h0": [(b"r", i + 1)] * 20}, receiver="h2", region_size=8
+            )
+            for i in range(3)
+        ]
+        service.run(until=service.clock.now + 80_000)
+        hog.close()
+        settle(service)
+        snap = service.deployment.admission.snapshot()
+        outcomes = tuple(
+            (t.phase.value, t.stats.admission_wait_ns, t.stats.degraded_to_bypass)
+            for t in tasks
+        )
+        return snap, outcomes
+
+    assert run_once() == run_once()
+
+
+# ---------------------------------------------------------------------------
+# Default-off: the knob exists but nothing changes without it
+# ---------------------------------------------------------------------------
+def test_admission_disabled_keeps_the_loud_failure():
+    from repro.core.errors import RegionExhaustedError
+
+    service = AskService(AskConfig.small(), hosts=3)
+    assert service.deployment.admission is None
+    hog = service.open_stream(["h0"], receiver="h2", region_size=FULL)
+    service.run(until=service.clock.now + 50_000)
+    doomed = service.submit(
+        {"h0": [(b"x", 1)] * 10}, receiver="h2", region_size=8
+    )
+    with pytest.raises(RegionExhaustedError):
+        settle(service)
+    assert doomed.phase is TaskPhase.FAILED
+    hog.close()
+    settle(service)

@@ -5,6 +5,7 @@ import pytest
 from repro.core.config import AskConfig
 from repro.core.service import AskService
 from repro.core.tenancy import (
+    QuotaAccountingError,
     TenantQuotaError,
     TenantQuotas,
     encode_task_id,
@@ -61,6 +62,67 @@ def test_quota_is_per_tenant():
     quotas.set(1, 10)
     quotas.charge(encode_task_id(1, 1), 10)
     quotas.charge(encode_task_id(2, 1), 1000)  # other tenant unaffected
+
+
+# ---------------------------------------------------------------------------
+# Ledger hardening: every allocation is charged once and refunded once,
+# with matching sizes; anything else is a controller bug and fails loudly.
+# ---------------------------------------------------------------------------
+def test_double_charge_is_a_tagged_accounting_error():
+    quotas = TenantQuotas()
+    task = encode_task_id(1, 1)
+    quotas.charge(task, 8)
+    with pytest.raises(QuotaAccountingError) as excinfo:
+        quotas.charge(task, 8)
+    assert excinfo.value.reason == "double-charge"
+    # The failed charge must not have touched the ledger.
+    assert quotas.used_by(1) == 8
+
+
+def test_refund_for_unknown_task_is_a_tagged_accounting_error():
+    quotas = TenantQuotas()
+    with pytest.raises(QuotaAccountingError) as excinfo:
+        quotas.refund(encode_task_id(1, 99), 8)
+    assert excinfo.value.reason == "unknown-task"
+
+
+def test_refund_size_mismatch_is_a_tagged_accounting_error():
+    quotas = TenantQuotas()
+    task = encode_task_id(2, 1)
+    quotas.charge(task, 8)
+    with pytest.raises(QuotaAccountingError) as excinfo:
+        quotas.refund(task, 16)
+    assert excinfo.value.reason == "size-mismatch"
+    # The charge is still outstanding; the correct refund settles it.
+    quotas.refund(task, 8)
+    assert quotas.used_by(2) == 0
+
+
+def test_double_refund_is_rejected():
+    quotas = TenantQuotas()
+    task = encode_task_id(3, 1)
+    quotas.charge(task, 8)
+    quotas.refund(task, 8)
+    with pytest.raises(QuotaAccountingError) as excinfo:
+        quotas.refund(task, 8)
+    assert excinfo.value.reason == "unknown-task"
+    assert quotas.used_by(3) == 0  # never driven negative
+
+
+def test_accounting_errors_are_not_quota_errors():
+    # Callers catch TenantQuotaError to mean "tenant over budget, queue
+    # or fail the task"; a ledger bug must never be swallowed that way.
+    assert not issubclass(QuotaAccountingError, TenantQuotaError)
+    with pytest.raises(RuntimeError):  # also a RuntimeError for re-raise
+        raise QuotaAccountingError("x", reason="double-charge")
+
+
+def test_usage_view_elides_idle_tenants():
+    quotas = TenantQuotas()
+    quotas.charge(encode_task_id(1, 1), 8)
+    quotas.charge(encode_task_id(2, 1), 4)
+    quotas.refund(encode_task_id(2, 1), 4)
+    assert quotas.usage() == {1: 8}
 
 
 # ---------------------------------------------------------------------------

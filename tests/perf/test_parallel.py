@@ -18,6 +18,8 @@ def test_plan_orders_experiments_then_chaos_and_shards_fig09():
         "chaos[seed=7]",
         "chaos-tree[seed=0]",
         "chaos-tree[seed=7]",
+        "chaos-overload[seed=0]",
+        "chaos-overload[seed=7]",
     ]
 
 
