@@ -20,6 +20,14 @@ section): synthetic wide batches through the scalar compiled program and
 the SoA batch engine, reporting both in packets/sec plus the ratio
 against the floor recorded by the previous run's history entry.
 
+The ``sharded`` section runs first (before the other legs heat the
+machine — its absolute rate is what check_regression.py gates): one
+16-rack spine–leaf scenario executed by the serial oracle and by the
+rack-sharded conservative PDES backend, best-of-2 timed.  Both
+fingerprints must be byte-identical on every run, and the leg's
+``packets_per_sec`` counts fabric packet-hops (every per-link
+``packets_sent``) per second of sharded wall time.
+
 It measures simulator events/sec and transmitted packets/sec, then enforces
 the determinism contract: all three scalar runs must agree on the final
 ``sim.now``, ``events_processed``, retransmission count, per-host packet
@@ -63,10 +71,12 @@ from repro.transport.reference import reference_mode  # noqa: E402
 FULL = dict(
     hosts=4, tuples_per_sender=20_000, window=256, num_keys=512, seed=7,
     dp_batches=40,
+    sharded_racks=16, sharded_shards=4, sharded_tuples=8_000,
 )
 SMOKE = dict(
     hosts=3, tuples_per_sender=2_000, window=64, num_keys=128, seed=7,
     dp_batches=8,
+    sharded_racks=4, sharded_shards=2, sharded_tuples=400,
 )
 
 #: Data-plane microbench shape: wide same-instant batches, one tuple per
@@ -137,6 +147,143 @@ def run_scenario(params: dict, switch_factory=None) -> dict:
     }
 
 
+def _sharded_case(params: dict):
+    """The sharded full-scenario leg: a fig13-scale spine–leaf fabric
+    (``sharded_racks`` single-rack pods), cut into ``sharded_shards``
+    rack shards with spines spread round-robin so every shard's
+    aggregation traffic transits spines owned by *other* shards.  One
+    task per shard fans all of the shard's racks into its last rack, so
+    the load is balanced and every up/core/down link class crosses the
+    cut."""
+    from repro.runtime.sharded import ShardedScenario, ShardedTask, make_plan
+
+    racks = params["sharded_racks"]
+    shards = params["sharded_shards"]
+    rng = random.Random(params["seed"])
+    keys = [("k%03d" % i).encode() for i in range(params["num_keys"])]
+    pods = {
+        f"p{i}": {f"r{i}": (f"h{2 * i}", f"h{2 * i + 1}")} for i in range(racks)
+    }
+
+    def stream():
+        return tuple(
+            (rng.choice(keys), rng.randint(1, 99))
+            for _ in range(params["sharded_tuples"])
+        )
+
+    per_shard = racks // shards
+    tasks = []
+    for k in range(shards):
+        shard_racks = range(k * per_shard, (k + 1) * per_shard)
+        senders = {f"h{2 * r}": stream() for r in shard_racks}
+        receiver = f"h{2 * max(shard_racks) + 1}"
+        tasks.append(
+            ShardedTask(streams=senders, receiver=receiver, region_size=8)
+        )
+    scenario = ShardedScenario(
+        config=AskConfig.small(
+            window_size=params["window"], retransmit_timeout_us=400.0
+        ),
+        pods=pods,
+        placement="leaf",
+        tasks=tuple(tasks),
+        fault={
+            "loss_rate": 0.02,
+            "duplicate_rate": 0.01,
+            "reorder_rate": 0.05,
+            "max_extra_delay_ns": 50_000,
+            "seed": params["seed"],
+        },
+        core_latency_ns=50_000,
+    )
+    return scenario, make_plan(scenario, shards, spread_spines=True)
+
+
+def run_sharded_scenario(params: dict) -> dict:
+    """Serial and rack-sharded runs of the same giant scenario.
+
+    The sharded run is the throughput number; the serial run is the
+    oracle — both fingerprints must be byte-identical, and every task's
+    values digest must equal the exact host-side reference.
+
+    Execution mode is chosen the way ``repro sim-sharded`` chooses it:
+    one forked worker per shard when the runner exposes more than one
+    CPU, the in-process round-robin scheduler otherwise (forking four
+    interpreters onto one core only adds contention).  The recorded
+    ``cpus``/``execution`` fields let ``check_regression.py`` arm the
+    parallel-speedup gate only where parallel hardware exists.
+
+    ``packets_per_sec`` counts *fabric packet-hops*: every packet
+    traversal of every link (host uplinks/downlinks, rack-to-spine,
+    spine core mesh) in the 16-rack fabric, summed from the per-link
+    ``packets_sent`` counters the fingerprint already carries.  That is
+    the multi-rack analogue of the single-switch legs' packets/s — the
+    event-loop work the simulator performs per second — and is the
+    number the sharded cut is supposed to multiply."""
+    from repro.perf.parallel import default_workers
+    from repro.runtime.sharded import run_serial, run_sharded
+
+    scenario, plan = _sharded_case(params)
+    cpus = default_workers()
+    use_processes = cpus > 1
+
+    wall_start = time.perf_counter()
+    serial_fp = run_serial(scenario, plan)
+    serial_wall = time.perf_counter() - wall_start
+
+    # Best-of-2 for the timed number: wall-clock on shared/burst-credit
+    # runners swings far more between runs than the code's own cost does,
+    # and the minimum is the least-contended estimate (pyperf's rule).
+    # Identity is checked on EVERY run — a nondeterministic schedule
+    # cannot hide behind the faster timing.
+    sharded_walls = []
+    identical = True
+    for _ in range(2):
+        wall_start = time.perf_counter()
+        sharded_fp, stats = run_sharded(scenario, plan, processes=use_processes)
+        sharded_walls.append(time.perf_counter() - wall_start)
+        identical = identical and serial_fp == sharded_fp
+    sharded_wall = min(sharded_walls)
+
+    for index, task in enumerate(scenario.tasks):
+        expected = reference_aggregate(
+            {h: list(s) for h, s in task.streams.items()},
+            scenario.config.value_mask,
+        )
+        expected_digest = hashlib.sha256(
+            repr(sorted(expected.items())).encode()
+        ).hexdigest()
+        if serial_fp["tasks"][index]["values_sha256"] != expected_digest:
+            raise AssertionError(
+                f"sharded-leg task {index} diverges from the exact answer"
+            )
+
+    host_packets = sum(host[0] for host in serial_fp["hosts"].values())
+    fabric_hops = sum(counters[0] for counters in serial_fp["links"].values())
+    events = serial_fp["events_processed"]
+    return {
+        "racks": params["sharded_racks"],
+        "shards": stats.shards,
+        "windows": stats.windows,
+        "cross_shard_messages": stats.messages,
+        "lookahead_ns": stats.lookahead_ns,
+        "cpus": cpus,
+        "execution": "fork" if use_processes else "inproc",
+        "fabric_links": len(serial_fp["links"]),
+        "fabric_packet_hops": fabric_hops,
+        "host_packets": host_packets,
+        "serial_wall_seconds": round(serial_wall, 4),
+        "sharded_wall_seconds": round(sharded_wall, 4),
+        "sharded_walls_seconds": [round(w, 4) for w in sharded_walls],
+        "serial_packets_per_sec": round(fabric_hops / serial_wall, 1),
+        "packets_per_sec": round(fabric_hops / sharded_wall, 1),
+        "host_packets_per_sec": round(host_packets / sharded_wall, 1),
+        "events_per_sec": round(events / sharded_wall, 1),
+        "sharded_vs_serial": round(serial_wall / sharded_wall, 3),
+        "identical": identical,
+    }
+
+
 def _build_synthetic_batches(config, params: dict) -> list[list]:
     from repro.core.packer import pack_stream
     from repro.core.packet import AskPacket, PacketFlag
@@ -144,7 +291,10 @@ def _build_synthetic_batches(config, params: dict) -> list[list]:
     rng = random.Random(params["seed"])
     keys = [("k%03d" % i).encode() for i in range(params["num_keys"])]
     batches = []
-    for seq in range(DP_WARMUP + params["dp_batches"]):
+    # Warmup plus TWO disjoint timed sets: repetitions must carry fresh
+    # sequence numbers, or the second rep measures the duplicate-drop
+    # path instead of aggregation.
+    for seq in range(DP_WARMUP + 2 * params["dp_batches"]):
         packets = []
         for lane in range(DP_LANES):
             payloads, _ = pack_stream(
@@ -181,19 +331,17 @@ def bench_data_plane(params: dict) -> dict:
 
     config = AskConfig.small(window_size=params["window"])
     batches = _build_synthetic_batches(config, params)
-    warm, timed = batches[:DP_WARMUP], batches[DP_WARMUP:]
-    packets = sum(len(batch) for batch in timed)
+    count = params["dp_batches"]
+    warm = batches[:DP_WARMUP]
+    timed_a = batches[DP_WARMUP : DP_WARMUP + count]
+    timed_b = batches[DP_WARMUP + count :]
+    packets = sum(len(batch) for batch in timed_a)
 
     scalar = AskSwitch(config, Simulator(), max_tasks=4, max_channels=2 * DP_LANES)
     scalar.controller.allocate_region(1, size=32)
     for batch in warm:
         for pkt in batch:
             scalar.program.process(scalar.pipeline.begin_pass(), pkt)
-    start = time.perf_counter()
-    for batch in timed:
-        for pkt in batch:
-            scalar.program.process(scalar.pipeline.begin_pass(), pkt)
-    scalar_pps = packets / (time.perf_counter() - start)
 
     vector = VectorizedAskSwitch(
         config, Simulator(), max_tasks=4, max_channels=2 * DP_LANES
@@ -201,14 +349,34 @@ def bench_data_plane(params: dict) -> dict:
     vector.controller.allocate_region(1, size=32)
     for batch in warm:
         vector.program.process_batch(batch)
-    start = time.perf_counter()
-    for batch in timed:
-        vector.program.process_batch(batch)
-    vector_pps = packets / (time.perf_counter() - start)
+
+    def time_scalar(timed) -> float:
+        start = time.perf_counter()
+        for batch in timed:
+            for pkt in batch:
+                scalar.program.process(scalar.pipeline.begin_pass(), pkt)
+        return time.perf_counter() - start
+
+    def time_vector(timed) -> float:
+        start = time.perf_counter()
+        for batch in timed:
+            vector.program.process_batch(batch)
+        return time.perf_counter() - start
+
+    # ABBA order, best-of-2 each: the vector/scalar ratio is the gated
+    # number, and a machine that slows down mid-leg (burst credits,
+    # thermal) must not bias whichever engine happened to run second.
+    # Each rep consumes its own disjoint timed set — fresh seqs, so both
+    # reps measure aggregation, not dedup drops.
+    scalar_walls = [time_scalar(timed_a)]
+    vector_walls = [time_vector(timed_a), time_vector(timed_b)]
+    scalar_walls.append(time_scalar(timed_b))
+    scalar_pps = packets / min(scalar_walls)
+    vector_pps = packets / min(vector_walls)
 
     return {
         "lanes_per_batch": DP_LANES,
-        "timed_batches": len(timed),
+        "timed_batches": len(timed_a),
         "scalar_packets_per_sec": round(scalar_pps, 1),
         "vector_packets_per_sec": round(vector_pps, 1),
         "vector_vs_scalar": round(vector_pps / scalar_pps, 3),
@@ -267,6 +435,20 @@ def main(argv: list[str] | None = None) -> int:
     params = SMOKE if args.smoke else FULL
 
     print(f"scenario: {params}")
+    # The sharded leg runs first: its absolute packets/s is gated by
+    # check_regression.py, and on burst-credit/thermally-throttled
+    # runners a leg measured after a minute of sustained load reads up
+    # to ~30% slower than the same code from idle.  The other legs are
+    # gated on ratios, which cancel machine state.
+    sharded = run_sharded_scenario(params)
+    print(
+        f"sharded   : {sharded['sharded_wall_seconds']:8.3f}s  "
+        f"{sharded['events_per_sec']:>10,.0f} ev/s  "
+        f"{sharded['packets_per_sec']:>9,.0f} pkt/s  "
+        f"({sharded['shards']} shards, {sharded['execution']} on "
+        f"{sharded['cpus']} cpu, {sharded['sharded_vs_serial']}x vs "
+        f"serial {sharded['serial_wall_seconds']:.3f}s)"
+    )
     optimized = run_scenario(params)
     print(
         f"optimized : {optimized['wall_seconds']:8.3f}s  "
@@ -319,6 +501,7 @@ def main(argv: list[str] | None = None) -> int:
         "reference": reference,
         "vectorized": vectorized,
         "data_plane": data_plane,
+        "sharded": sharded,
         "speedup": {
             "events_per_sec": speedup_events,
             "packets_per_sec": speedup_packets,
@@ -327,6 +510,7 @@ def main(argv: list[str] | None = None) -> int:
             "repeat_identical": repeat_identical,
             "reference_identical": reference_identical,
             "vectorized_identical": vectorized_identical,
+            "sharded_identical": sharded["identical"],
         },
     }
     history = load_history(args.output)
@@ -352,6 +536,10 @@ def main(argv: list[str] | None = None) -> int:
                 "vector_packets_per_sec"
             ],
             "data_plane_vector_vs_floor": data_plane.get("vector_vs_floor"),
+            "sharded_packets_per_sec": sharded["packets_per_sec"],
+            "sharded_vs_serial": sharded["sharded_vs_serial"],
+            "sharded_cpus": sharded["cpus"],
+            "sharded_execution": sharded["execution"],
         }
     ]
     args.output.write_text(json.dumps(report, indent=2) + "\n")
@@ -375,7 +563,11 @@ def main(argv: list[str] | None = None) -> int:
         print("FAIL: vectorized backend diverges from the scalar oracle",
               file=sys.stderr)
         return 2
-    print("determinism guard: OK (4 runs, identical fingerprints)")
+    if not sharded["identical"]:
+        print("FAIL: sharded simulator diverges from the serial oracle",
+              file=sys.stderr)
+        return 2
+    print("determinism guard: OK (4 runs + sharded leg, identical fingerprints)")
     return 0
 
 

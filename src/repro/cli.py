@@ -492,10 +492,43 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return _run_chaos(args.backend, args.seed, args.report, args.corrupt_rate)
 
 
+def _run_sharded_demo(seed: int) -> int:
+    """Demo the rack-sharded PDES backend: run the canonical 4-pod
+    scenario serial and sharded (one forked worker per shard) and show
+    the identity + window/message stats."""
+    from repro.perf.parallel import default_workers
+    from repro.runtime.sharded import demo_plan, demo_scenario, run_serial, run_sharded
+
+    scenario = demo_scenario(seed)
+    plan = demo_plan(scenario)
+    serial = run_serial(scenario, plan)
+    sharded, stats = run_sharded(
+        scenario, plan, processes=default_workers() > 1
+    )
+    print(
+        f"sharded PDES over {stats.shards} shards "
+        f"(lookahead {stats.lookahead_ns} ns): "
+        f"{stats.windows} windows, {stats.messages} cross-shard messages"
+    )
+    for index, fingerprint in sorted(serial["tasks"].items()):
+        digest = fingerprint["values_sha256"]
+        print(
+            f"  task {index}: {fingerprint['phase']:>9}  "
+            f"values {digest[:16] if digest else '-'}"
+        )
+    if serial != sharded:
+        print("FAILED: sharded fingerprint diverged from serial", file=sys.stderr)
+        return 1
+    print("serial and sharded fingerprints identical")
+    return 0
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     from repro import AskService, FaultModel
 
     backend = getattr(args, "backend", "sim")
+    if backend == "sim-sharded":
+        return _run_sharded_demo(getattr(args, "seed", 1))
     if getattr(args, "chaos", False):
         return _run_chaos(backend, getattr(args, "seed", 1), None)
     service = AskService(
@@ -599,7 +632,9 @@ def cmd_suite(args: argparse.Namespace) -> int:
         else (parallel.QUICK_CHAOS_SEEDS if args.quick else parallel.CHAOS_SEEDS)
     )
     workers = 1 if args.serial else args.jobs
-    run = parallel.run_suite(names, chaos_seeds=seeds, workers=workers)
+    run = parallel.run_suite(
+        names, chaos_seeds=seeds, workers=workers, sharded=args.sharded
+    )
     print(run.text(), end="")
     print(
         f"\n[suite: {len(run.results)} jobs, {run.workers} workers, "
@@ -611,7 +646,9 @@ def cmd_suite(args: argparse.Namespace) -> int:
             print(f"FAILED {label}: {error}", file=sys.stderr)
         status = 1
     if args.verify:
-        serial = parallel.run_suite(names, chaos_seeds=seeds, workers=1)
+        serial = parallel.run_suite(
+            names, chaos_seeds=seeds, workers=1, sharded=args.sharded
+        )
         if parallel.verify_identical(serial, run):
             print(
                 f"[verify: serial ({serial.wall_seconds:.1f}s) and parallel "
@@ -649,10 +686,11 @@ def build_parser() -> argparse.ArgumentParser:
     demo = sub.add_parser("demo", help="run a quick end-to-end demo")
     demo.add_argument(
         "--backend",
-        choices=("sim", "asyncio"),
+        choices=("sim", "asyncio", "sim-sharded"),
         default="sim",
-        help="fabric backend: deterministic simulation (default) or real "
-        "localhost UDP sockets under asyncio",
+        help="fabric backend: deterministic simulation (default), real "
+        "localhost UDP sockets under asyncio, or the rack-sharded "
+        "parallel simulator (runs serial + sharded and checks identity)",
     )
     demo.add_argument(
         "--chaos",
@@ -727,7 +765,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs",
         type=int,
         default=None,
-        help="worker processes (default: all cores)",
+        help="worker processes (default: CPUs schedulable by this "
+        "process, per os.sched_getaffinity)",
     )
     suite.add_argument(
         "--serial", action="store_true", help="run in-process, one job at a time"
@@ -744,6 +783,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify",
         action="store_true",
         help="re-run serially and fail unless the reports are byte-identical",
+    )
+    suite.add_argument(
+        "--sharded",
+        action="store_true",
+        help="also run the sharded-simulator identity drills (serial vs "
+        "rack-sharded fingerprints must match byte for byte)",
     )
     suite.set_defaults(func=cmd_suite)
     sub.add_parser(

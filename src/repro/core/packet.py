@@ -235,6 +235,27 @@ class AskPacket:
             self.slots = ()
             pool.append(self)
 
+    def snapshot(self) -> "AskPacket":
+        """A by-value copy that survives this instance being recycled.
+
+        Shares the ``slots`` tuple — ``Slot`` objects are immutable once
+        built (corruption rebuilds, never mutates) — and copies every
+        scalar field.  The sharded outbox snapshots cross-shard packets
+        with this: a message must not alias a pooled instance whose
+        sender may re-initialize it before the barrier ships the frame.
+        """
+        return AskPacket.acquire(
+            self.flags,
+            self.task_id,
+            self.src,
+            self.dst,
+            self.channel_index,
+            self.seq,
+            self.bitmap,
+            self.slots,
+            self.ecn,
+        )
+
     @classmethod
     def pool_size(cls) -> int:
         """Number of instances currently pooled (observability/tests)."""

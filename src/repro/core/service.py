@@ -618,6 +618,7 @@ class MultiRackService(_AskServiceBase):
         max_tasks: int = 64,
         max_channels: int = 256,
         core_bandwidth_gbps: Optional[float] = 400.0,
+        core_latency_ns: int = 2_000,
     ) -> None:
         if not racks:
             racks = {"r0": ["h0", "h1"], "r1": ["h2", "h3"]}
@@ -628,6 +629,7 @@ class MultiRackService(_AskServiceBase):
             max_tasks=max_tasks,
             max_channels=max_channels,
             core_bandwidth_gbps=core_bandwidth_gbps,
+            core_latency_ns=core_latency_ns,
         )
         for rack, host_names in racks.items():
             builder.add_rack(list(host_names), switch_name=f"tor-{rack}", rack=rack)
@@ -692,6 +694,7 @@ class TreeAskService(_AskServiceBase):
         max_tasks: int = 64,
         max_channels: int = 256,
         core_bandwidth_gbps: Optional[float] = 400.0,
+        core_latency_ns: int = 2_000,
         backend: str = "sim",
         bind_host: str = "127.0.0.1",
     ) -> None:
@@ -715,6 +718,7 @@ class TreeAskService(_AskServiceBase):
             max_tasks=max_tasks,
             max_channels=max_channels,
             core_bandwidth_gbps=core_bandwidth_gbps,
+            core_latency_ns=core_latency_ns,
             bind_host=bind_host,
         )
         for pod, pod_racks in pods.items():

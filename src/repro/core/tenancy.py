@@ -268,6 +268,11 @@ class AdmissionController:
         self.rejected_full = 0
         self.rejected_deadline = 0
         self.cancelled = 0
+        #: Lifetime count of actual allocation attempts (``grant`` calls).
+        #: With the per-pump blocked-head cache, one pump costs
+        #: O(grants + blocked tenants) attempts instead of
+        #: O(rounds x tenants).
+        self.grant_attempts = 0
 
     # ------------------------------------------------------------------
     @property
@@ -309,11 +314,26 @@ class AdmissionController:
 
     # ------------------------------------------------------------------
     def _pump(self, count_retries: bool = False) -> bool:
-        """One or more DRR rounds; returns True if anything was granted."""
+        """One or more DRR rounds; returns True if anything was granted.
+
+        Blocked heads are attempted at most once per pump: allocation is
+        all-or-nothing (failed attempts roll back) and free space only
+        grows on release, so a head that failed this pump is guaranteed
+        to fail again in every later round of it.  ``blocked`` caches
+        those heads (by identity, so a popped head can never shadow its
+        successor) and is dropped whenever a mid-pump release lands —
+        one pump therefore costs O(grants + blocked tenants) allocation
+        attempts instead of O(rounds x tenants).
+        """
         progressed = False
         self._pumping = True
+        blocked: Dict[int, AdmissionWaiter] = {}
         try:
             while True:
+                if self._release_pending:
+                    # A grant's completion callback released memory while
+                    # we were pumping: cached failures are stale.
+                    blocked.clear()
                 self._release_pending = False
                 active = [t for t in sorted(self._queues) if self._queues[t]]
                 if not active:
@@ -333,7 +353,13 @@ class AdmissionController:
                             queue.popleft()
                             self.cancelled += 1
                             continue
+                        if blocked.get(tenant) is waiter:
+                            # Already failed this pump with no release
+                            # since: the attempt would fail again.
+                            break
+                        self.grant_attempts += 1
                         if not waiter.grant():
+                            blocked[tenant] = waiter
                             if count_retries:
                                 waiter.attempts += 1
                                 self.retried += 1

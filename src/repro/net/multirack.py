@@ -31,7 +31,7 @@ they do not depend on wiring order.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Iterator, Optional, Sequence
 
 from repro.core.errors import TopologyError
 from repro.net.fault import FaultModel
@@ -80,6 +80,152 @@ class SpineView:
 
     def send_to_host(self, destination: str, packet: Any, size_bytes: int) -> None:
         self._fabric.route_from_spine(self.spine, destination, packet, size_bytes)
+
+
+class ShardPlan:
+    """A rack-cut partition of a multi-rack topology.
+
+    ``shards`` maps shard name → the racks (and, for trees, the spines)
+    that shard owns.  Shard *rank* is the position in declaration order;
+    ranks feed the composite order tickets of
+    :meth:`~repro.net.simulator.Simulator.enable_shard_order`, so the plan
+    itself — like link names — is part of the determinism contract and
+    must be identical in every shard process.
+
+    Construction validates the plan shape (duplicate shard names,
+    double-assigned or empty shards); :meth:`validate` checks it against a
+    concrete topology (unknown/missing racks and spines).
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[tuple[str, Sequence[str], Sequence[str]]],
+    ) -> None:
+        #: (shard name, racks, spines) per shard, rank order.
+        self.shards: list[tuple[str, tuple[str, ...], tuple[str, ...]]] = []
+        self._rack_rank: Dict[str, int] = {}
+        self._spine_rank: Dict[str, int] = {}
+        names: set[str] = set()
+        for rank, (name, racks, spines) in enumerate(shards):
+            if name in names:
+                raise TopologyError(f"duplicate shard name {name!r}", name)
+            names.add(name)
+            racks = tuple(racks)
+            spines = tuple(spines)
+            if not racks:
+                raise TopologyError(f"shard {name!r} owns no racks", name)
+            for rack in racks:
+                if rack in self._rack_rank:
+                    raise TopologyError(
+                        f"rack {rack!r} assigned to two shards", rack
+                    )
+                self._rack_rank[rack] = rank
+            for spine in spines:
+                if spine in self._spine_rank:
+                    raise TopologyError(
+                        f"spine {spine!r} assigned to two shards", spine
+                    )
+                self._spine_rank[spine] = rank
+            self.shards.append((name, racks, spines))
+        if not self.shards:
+            raise TopologyError("a shard plan needs at least one shard", "")
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    @property
+    def names(self) -> list[str]:
+        return [name for name, _, _ in self.shards]
+
+    def rank_of_rack(self, rack: str) -> int:
+        try:
+            return self._rack_rank[rack]
+        except KeyError:
+            raise TopologyError(f"rack {rack!r} is not in the shard plan", rack) from None
+
+    def rank_of_spine(self, spine: str) -> int:
+        try:
+            return self._spine_rank[spine]
+        except KeyError:
+            raise TopologyError(
+                f"spine {spine!r} is not in the shard plan", spine
+            ) from None
+
+    def rank_of(self, endpoint: tuple[str, str]) -> int:
+        """Rank of a boundary-link endpoint: ``("rack"|"spine", name)``."""
+        kind, name = endpoint
+        return self.rank_of_rack(name) if kind == "rack" else self.rank_of_spine(name)
+
+    def validate(self, topology: "MultiRackTopology") -> None:
+        """Check the plan covers ``topology`` exactly (racks and spines)."""
+        planned_racks = set(self._rack_rank)
+        actual_racks = set(topology.racks)
+        for rack in sorted(planned_racks - actual_racks):
+            raise TopologyError(f"shard plan names unknown rack {rack!r}", rack)
+        for rack in sorted(actual_racks - planned_racks):
+            raise TopologyError(f"rack {rack!r} is not in the shard plan", rack)
+        planned_spines = set(self._spine_rank)
+        actual_spines = set(topology.spine_names)
+        for spine in sorted(planned_spines - actual_spines):
+            raise TopologyError(f"shard plan names unknown spine {spine!r}", spine)
+        for spine in sorted(actual_spines - planned_spines):
+            raise TopologyError(f"spine {spine!r} is not in the shard plan", spine)
+
+
+def plan_rack_shards(
+    racks: Sequence[str],
+    count: int,
+    spine_of: Optional[Dict[str, str]] = None,
+    spread_spines: bool = False,
+) -> ShardPlan:
+    """Partition ``racks`` (declaration order) into ``count`` contiguous,
+    balanced shards named ``shard0..shardN-1``.
+
+    Spines follow their pod by default — a spine is owned by the shard of
+    the first rack hanging under it, so spine-resident aggregation state
+    (placement ``"spine"``/``"both"``) stays co-resident with its pod when
+    pods are not split across shards.  ``spread_spines=True`` instead
+    deals spines round-robin across shards: the right call for
+    transit-only spines (placement ``"leaf"``), where it turns the spine
+    mesh itself into cross-shard parallelism.
+    """
+    racks = list(racks)
+    if count < 1:
+        raise TopologyError(f"shard count must be >= 1, got {count}", str(count))
+    if count > len(racks):
+        raise TopologyError(
+            f"cannot cut {len(racks)} rack(s) into {count} shards", str(count)
+        )
+    base, extra = divmod(len(racks), count)
+    groups: list[list[str]] = []
+    start = 0
+    for index in range(count):
+        size = base + (1 if index < extra else 0)
+        groups.append(racks[start:start + size])
+        start += size
+    spine_ranks: Dict[str, int] = {}
+    if spine_of:
+        spines = list(dict.fromkeys(spine_of.values()))
+        if spread_spines:
+            for index, spine in enumerate(spines):
+                spine_ranks[spine] = index % count
+        else:
+            rack_rank = {
+                rack: rank for rank, group in enumerate(groups) for rack in group
+            }
+            for spine in spines:
+                first = next(r for r in racks if spine_of.get(r) == spine)
+                spine_ranks[spine] = rack_rank[first]
+    return ShardPlan(
+        [
+            (
+                f"shard{rank}",
+                group,
+                tuple(s for s, r in spine_ranks.items() if r == rank),
+            )
+            for rank, group in enumerate(groups)
+        ]
+    )
 
 
 class MultiRackTopology:
@@ -260,6 +406,41 @@ class MultiRackTopology:
     @property
     def host_names(self) -> list[str]:
         return list(self._host_rack)
+
+    # ------------------------------------------------------------------
+    # Sharding support
+    # ------------------------------------------------------------------
+    def interconnect_links(
+        self,
+    ) -> Iterator[tuple[str, tuple[str, str], tuple[str, str], Nic]]:
+        """Every switch-to-switch link as ``(link_name, src, dst, nic)``.
+
+        ``src``/``dst`` are ``("rack"|"spine", name)`` endpoint tags.  Host
+        uplinks/downlinks never appear here — a host always shares a shard
+        with its rack's TOR, so only these fabric links can cross a shard
+        cut.  Names cannot collide: ``core:`` names are rack-pair names in
+        the flat mesh and spine-pair names in a tree, and the two layouts
+        are mutually exclusive by construction.
+        """
+        for (a, b), nic in self._core_links.items():
+            yield f"core:{a}->{b}", ("rack", a), ("rack", b), nic
+        for rack, nic in self._up_nics.items():
+            spine = self._rack_spine[rack]
+            yield f"up:{rack}->{spine}", ("rack", rack), ("spine", spine), nic
+        for rack, nic in self._down_nics.items():
+            spine = self._rack_spine[rack]
+            yield f"down:{spine}->{rack}", ("spine", spine), ("rack", rack), nic
+        for (a, b), nic in self._spine_core.items():
+            yield f"core:{a}->{b}", ("spine", a), ("spine", b), nic
+
+    def interconnect_targets(self) -> Dict[str, Callable[[Any], None]]:
+        """Map link name → the destination node's ``receive`` callback,
+        for delivering inbound cross-shard packets on the far side."""
+        targets: Dict[str, Callable[[Any], None]] = {}
+        for name, _src, (dst_kind, dst), _nic in self.interconnect_links():
+            node = self._switches[dst] if dst_kind == "rack" else self._spine_switches[dst]
+            targets[name] = node.receive
+        return targets
 
     # ------------------------------------------------------------------
     # Data movement

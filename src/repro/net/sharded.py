@@ -1,0 +1,469 @@
+"""Conservative parallel discrete-event simulation over rack shards.
+
+A sharded run cuts a :class:`~repro.net.multirack.MultiRackTopology` along
+rack boundaries (:class:`~repro.net.multirack.ShardPlan`) and executes one
+:class:`~repro.net.simulator.Simulator` per shard — each in its own forked
+process, or in-process for tests — synchronized with the classic
+conservative-window barrier of parallel DES:
+
+lookahead
+    ``L`` = the minimum latency over all links whose endpoints live in
+    different shards (:func:`cross_shard_lookahead`).  A cross-shard
+    packet pushed at simulated time ``p`` arrives no earlier than
+    ``p + L``; a zero-latency cross-shard link would collapse the window
+    to nothing and is rejected up front.
+
+safe horizon
+    Each round the coordinator collects every shard's earliest pending
+    event time and the arrival times of not-yet-delivered cross-shard
+    messages; with global minimum ``m``, every message any shard can emit
+    this round arrives at ``>= m + L``, so all events strictly below
+    ``H = m + L`` are safe to execute without hearing from other shards.
+    Shards drain to the *exclusive* horizon (``drain_until``), leaving
+    ``now == H - 1`` — strictly below every future arrival, which keeps
+    the heap-merge injection legal at the next barrier.
+
+determinism
+    The whole point of the exercise is that sharded output is
+    **byte-identical** to serial, not merely statistically equivalent.
+    Three mechanisms carry that guarantee:
+
+    * every shard builds the *full* deployment replica in the same
+      construction order, so node/link names — and therefore the
+      name-derived per-link fault RNG streams — are identical everywhere;
+    * order tickets become shard-composite
+      (:meth:`~repro.net.simulator.Simulator.enable_shard_order`), so an
+      injected remote delivery lands in the destination heap exactly
+      where the serial run's ``call_at`` push would have put it — and the
+      serial oracle itself runs the *canonical* schedule
+      (:meth:`~repro.net.simulator.Simulator.enable_serial_shard_order`
+      plus :func:`attach_serial_boundaries`), so the ``(time, rank,
+      seq)`` ticket defines same-instant order on both sides instead of
+      the plain counter's causal-path order, which no shard can know;
+    * a boundary link keeps *all* of its state (FIFO serialization, ECN,
+      fault draws, counters) on the owning source shard — only the final
+      "deliver packet at t" edge crosses the cut, as a pickled frame
+      stamped with the sender-claimed ticket (:class:`_OutboxSim`).
+
+Frames are snapshotted eagerly at emission time: packet objects are
+pooled (:mod:`repro.core.packet`), so a slot could be recycled by the
+time the barrier ships the outbox.  The snapshot is a shallow clone
+(``AskPacket.snapshot``; slots are immutable once built) rather than a
+pickle round-trip — in-process shards hand the clone straight to
+``inject``, and process-mode pipes pickle it in transit anyway.  Serial
+runs never mutate an in-flight packet, so the eager snapshot is
+semantically identical.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence, Tuple
+
+from repro.core.errors import TopologyError
+from repro.net.multirack import MultiRackTopology, ShardPlan
+from repro.net.simulator import (
+    ShardContextCall,
+    SimulationError,
+    Simulator,
+    paused_gc,
+)
+
+#: One cross-shard delivery: (arrival_ns, order_ticket, link_name, packet).
+#: The ticket was claimed on the sending shard; the link name resolves to
+#: the destination node's ``receive`` on the far side.  The packet is a
+#: by-value snapshot (see :class:`_OutboxSim`); process-mode pipes pickle
+#: it in transit like any other message field.
+Message = Tuple[int, int, str, Any]
+
+#: Hard cap on synchronization rounds — a runaway-loop backstop far above
+#: any real scenario (every round advances the global clock by >= 1 ns).
+MAX_WINDOWS = 50_000_000
+
+
+class ShardContext(Protocol):
+    """What a shard factory returns: one fully-built deployment replica.
+
+    ``sim`` is the shard's simulator (shard ordering already enabled),
+    ``inbound`` maps cross-shard link names to local delivery callbacks,
+    ``outbox`` accumulates this window's outgoing messages, and
+    ``finish()`` renders the shard's deterministic result payload once the
+    run is complete.
+    """
+
+    sim: Simulator
+    inbound: Dict[str, Callable[[Any], None]]
+    outbox: List[Message]
+
+    def finish(self) -> Any: ...
+
+
+class _OutboxSim:
+    """Scheduling proxy installed as a boundary link's ``sim``.
+
+    :class:`~repro.net.link.Link` touches its simulator in exactly two
+    ways — ``sim.now`` (serialization/ECN bookkeeping) and
+    ``sim.call_at(arrival, deliver, packet)`` (the delivery push).  The
+    proxy delegates ``now`` to the real shard simulator and converts the
+    delivery push into an outbox message: it claims an order ticket from
+    the real simulator (consuming the same ticket the serial run's
+    ``call_at`` would have) and snapshots the packet by value —
+    ``packet.snapshot()`` when available (a shallow clone; pooled packet
+    slots may be re-initialized before the barrier ships the outbox),
+    falling back to a pickle round-trip for foreign packet types.  The
+    ``deliver`` callback is dropped on purpose: it points at this shard's
+    replica of the destination node; the destination *shard* re-resolves
+    the link name to its own replica's callback.
+    """
+
+    __slots__ = ("_sim", "_link_name", "_outbox")
+
+    def __init__(self, sim: Simulator, link_name: str, outbox: List[Message]) -> None:
+        self._sim = sim
+        self._link_name = link_name
+        self._outbox = outbox
+
+    @property
+    def now(self) -> int:
+        return self._sim.now
+
+    def call_at(
+        self, time_ns: int, deliver: Callable[..., Any], packet: Any
+    ) -> None:
+        ticket = self._sim.claim_shard_ticket()
+        snapshot = getattr(packet, "snapshot", None)
+        if snapshot is not None:
+            frame = snapshot()
+        else:
+            frame = pickle.loads(
+                pickle.dumps(packet, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+        self._outbox.append((int(time_ns), ticket, self._link_name, frame))
+
+
+class _SerialBoundarySim:
+    """Boundary-link ``sim`` stand-in for the canonical serial oracle.
+
+    The serial run keeps every delivery local (no outbox), but re-homes
+    it across the cut: the push claims its ticket under the *source*
+    shard's context — exactly the ticket :class:`_OutboxSim` stamps on a
+    real cross-shard message — while the callback runs under the
+    *destination* shard's context, mirroring the replica handoff of a
+    sharded run.  Requires
+    :meth:`~repro.net.simulator.Simulator.enable_serial_shard_order`.
+    """
+
+    __slots__ = ("_sim", "_dest_rank")
+
+    def __init__(self, sim: Simulator, dest_rank: int) -> None:
+        self._sim = sim
+        self._dest_rank = dest_rank
+
+    @property
+    def now(self) -> int:
+        return self._sim.now
+
+    def call_at(
+        self, time_ns: int, deliver: Callable[..., Any], packet: Any
+    ) -> None:
+        self._sim.call_at(
+            time_ns, ShardContextCall(self._sim, self._dest_rank, deliver), packet
+        )
+
+
+def attach_serial_boundaries(
+    topology: MultiRackTopology, plan: ShardPlan, sim: Simulator
+) -> None:
+    """Wire the serial oracle's cross-shard links for canonical ordering.
+
+    Call after :meth:`Simulator.enable_serial_shard_order`: every link
+    crossing the shard cut then schedules its deliveries with
+    source-context tickets and destination-context execution, keeping the
+    serial schedule aligned with the sharded replicas' handoff points.
+    """
+    plan.validate(topology)
+    for _name, src, dst, nic in topology.interconnect_links():
+        dst_rank = plan.rank_of(dst)
+        if plan.rank_of(src) != dst_rank:
+            nic.link.sim = _SerialBoundarySim(topology.sim, dst_rank)
+
+
+def cross_shard_lookahead(
+    topology: MultiRackTopology, plan: ShardPlan
+) -> Optional[int]:
+    """Minimum latency over links crossing the shard cut, or ``None`` when
+    no link crosses (single shard / disjoint islands).
+
+    Raises a tagged :class:`TopologyError` for a zero-latency cross-shard
+    link — conservative windows need at least 1 ns of lookahead.
+    """
+    lookahead: Optional[int] = None
+    for name, src, dst, nic in topology.interconnect_links():
+        if plan.rank_of(src) == plan.rank_of(dst):
+            continue
+        latency = int(nic.link.latency_ns)
+        if latency < 1:
+            raise TopologyError(
+                f"cross-shard link {name!r} has zero latency; conservative "
+                "windows need lookahead >= 1 ns",
+                name,
+            )
+        lookahead = latency if lookahead is None else min(lookahead, latency)
+    return lookahead
+
+
+def cross_shard_routes(topology: MultiRackTopology, plan: ShardPlan) -> Dict[str, int]:
+    """Map each cross-shard link name to its destination shard rank."""
+    routes: Dict[str, int] = {}
+    for name, src, dst, _nic in topology.interconnect_links():
+        if plan.rank_of(src) != plan.rank_of(dst):
+            routes[name] = plan.rank_of(dst)
+    return routes
+
+
+def attach_boundaries(
+    topology: MultiRackTopology,
+    plan: ShardPlan,
+    rank: int,
+    outbox: List[Message],
+) -> Dict[str, Callable[[Any], None]]:
+    """Wire shard ``rank``'s replica for cross-shard traffic.
+
+    Every cross-shard link whose *source* endpoint this shard owns gets
+    the :class:`_OutboxSim` proxy (the link itself — serialization state,
+    fault stream, counters — stays local).  Returns the inbound map for
+    links whose *destination* is local: link name → the replica node's
+    ``receive``.
+    """
+    plan.validate(topology)
+    inbound: Dict[str, Callable[[Any], None]] = {}
+    targets = topology.interconnect_targets()
+    for name, src, dst, nic in topology.interconnect_links():
+        src_rank = plan.rank_of(src)
+        dst_rank = plan.rank_of(dst)
+        if src_rank == dst_rank:
+            continue
+        if src_rank == rank:
+            nic.link.sim = _OutboxSim(topology.sim, name, outbox)
+        if dst_rank == rank:
+            inbound[name] = targets[name]
+    return inbound
+
+
+def run_window(
+    ctx: ShardContext, horizon_ns: Optional[int], messages: Sequence[Message]
+) -> Tuple[List[Message], Optional[int]]:
+    """One conservative window on one shard: inject, drain, report.
+
+    Injects this window's inbound cross-shard messages (each strictly
+    beyond ``now`` by the horizon invariant), drains to the exclusive
+    horizon (or fully, when ``horizon_ns`` is None — the no-cross-links
+    case), and returns ``(outbox, next_event_time)``.
+    """
+    sim = ctx.sim
+    inbound = ctx.inbound
+    for arrival, ticket, link_name, frame in messages:
+        sim.inject(arrival, ticket, inbound[link_name], frame)
+    if horizon_ns is None:
+        sim.run()
+    else:
+        sim.drain_until(horizon_ns)
+    outbox = list(ctx.outbox)
+    ctx.outbox.clear()
+    return outbox, sim.next_event_time()
+
+
+# ----------------------------------------------------------------------
+# Shard handles: one replica each, in-process or forked
+# ----------------------------------------------------------------------
+class InProcessShard:
+    """A shard living in the coordinator's process.
+
+    The reference execution mode: no fork, no pipes, fully steppable
+    under a debugger, and what the hypothesis property drives (thousands
+    of examples would be far too slow with per-example process spawns).
+    """
+
+    def __init__(self, factory: Callable[[int], ShardContext], rank: int) -> None:
+        self._ctx = factory(rank)
+        self._reply: Optional[Tuple[List[Message], Optional[int]]] = None
+
+    def next_time(self) -> Optional[int]:
+        return self._ctx.sim.next_event_time()
+
+    def send_window(self, horizon_ns: Optional[int], messages: Sequence[Message]) -> None:
+        self._reply = run_window(self._ctx, horizon_ns, messages)
+
+    def recv_window(self) -> Tuple[List[Message], Optional[int]]:
+        assert self._reply is not None
+        reply, self._reply = self._reply, None
+        return reply
+
+    def finish(self) -> Any:
+        return self._ctx.finish()
+
+    def close(self) -> None:
+        pass
+
+
+def _shard_worker(
+    conn: Any, factory: Callable[[int], ShardContext], rank: int
+) -> None:
+    """Child-process loop: build the replica, then serve barrier commands.
+
+    Runs with the cyclic GC paused (:func:`~repro.net.simulator.paused_gc`)
+    — the child exists only to serve this loop, so the deferred collection
+    simply never happens before exit."""
+    try:
+        with paused_gc():
+            ctx = factory(rank)
+            conn.send(("ready", ctx.sim.next_event_time()))
+            while True:
+                cmd, payload = conn.recv()
+                if cmd == "window":
+                    horizon_ns, messages = payload
+                    conn.send(("window", run_window(ctx, horizon_ns, messages)))
+                elif cmd == "finish":
+                    conn.send(("finish", ctx.finish()))
+                elif cmd == "exit":
+                    return
+                else:  # pragma: no cover - protocol bug guard
+                    raise SimulationError(f"unknown shard command {cmd!r}")
+    except BaseException as exc:  # noqa: BLE001 - ship the error to the parent
+        try:
+            conn.send(
+                ("error", f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}")
+            )
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+    finally:
+        conn.close()
+
+
+class ProcessShard:
+    """A shard in its own forked process, spoken to over a pipe.
+
+    Fork is required (and available on every platform the simulator
+    targets): the shard factory is a closure over live topology-building
+    code and rides into the child by inheritance, never pickling.  Only
+    :data:`Message` tuples and the shard's ``finish()`` payload cross the
+    pipe.
+    """
+
+    def __init__(self, factory: Callable[[int], ShardContext], rank: int) -> None:
+        ctx = mp.get_context("fork")
+        parent, child = ctx.Pipe()
+        self._conn = parent
+        self._proc = ctx.Process(
+            target=_shard_worker, args=(child, factory, rank), daemon=True
+        )
+        self._proc.start()
+        child.close()
+        self._next = self._expect("ready")
+
+    def _expect(self, want: str) -> Any:
+        tag, payload = self._conn.recv()
+        if tag == "error":
+            raise SimulationError(f"shard process failed:\n{payload}")
+        if tag != want:  # pragma: no cover - protocol bug guard
+            raise SimulationError(f"expected {want!r} from shard, got {tag!r}")
+        return payload
+
+    def next_time(self) -> Optional[int]:
+        return self._next
+
+    def send_window(self, horizon_ns: Optional[int], messages: Sequence[Message]) -> None:
+        self._conn.send(("window", (horizon_ns, list(messages))))
+
+    def recv_window(self) -> Tuple[List[Message], Optional[int]]:
+        outbox, next_time = self._expect("window")
+        self._next = next_time
+        return outbox, next_time
+
+    def finish(self) -> Any:
+        self._conn.send(("finish", None))
+        return self._expect("finish")
+
+    def close(self) -> None:
+        try:
+            self._conn.send(("exit", None))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+        self._proc.join(timeout=10)
+        if self._proc.is_alive():  # pragma: no cover - hung child guard
+            self._proc.terminate()
+            self._proc.join(timeout=10)
+        self._conn.close()
+
+
+class ShardedSimulator:
+    """The conservative-window coordinator.
+
+    Drives N shard handles through synchronization rounds until every
+    shard is drained and no cross-shard message remains undelivered, then
+    collects each shard's ``finish()`` payload.
+
+    All pending messages are delivered at every barrier (not only those
+    below the new horizon): a message emitted during a window bounded by
+    horizon ``H`` carries arrival ``>= H`` by the lookahead argument,
+    while every shard sits at ``now == H - 1`` — so arrivals are always
+    strictly in each receiver's future and injection never back-dates.
+    """
+
+    def __init__(
+        self,
+        handles: Sequence[Any],
+        routes: Dict[str, int],
+        lookahead_ns: Optional[int],
+        max_windows: int = MAX_WINDOWS,
+    ) -> None:
+        if lookahead_ns is None and len(handles) > 1 and routes:
+            raise SimulationError(
+                "multi-shard run with cross-shard links needs a lookahead"
+            )
+        self.handles = list(handles)
+        self.routes = routes
+        self.lookahead_ns = lookahead_ns
+        self.max_windows = max_windows
+        self.windows = 0  #: synchronization rounds executed
+        self.messages = 0  #: cross-shard messages delivered
+
+    def run(self) -> List[Any]:
+        with paused_gc():
+            return self._run()
+
+    def _run(self) -> List[Any]:
+        handles = self.handles
+        pending: List[List[Message]] = [[] for _ in handles]
+        nexts: List[Optional[int]] = [h.next_time() for h in handles]
+        while True:
+            candidates = [t for t in nexts if t is not None]
+            candidates.extend(
+                msg[0] for shard_msgs in pending for msg in shard_msgs
+            )
+            if not candidates:
+                break
+            if self.windows >= self.max_windows:
+                raise SimulationError(
+                    f"sharded run exceeded {self.max_windows} windows"
+                )
+            self.windows += 1
+            horizon: Optional[int] = None
+            if self.lookahead_ns is not None:
+                horizon = min(candidates) + self.lookahead_ns
+            for handle, messages in zip(handles, pending):
+                handle.send_window(horizon, messages)
+                self.messages += len(messages)
+            pending = [[] for _ in handles]
+            for index, handle in enumerate(handles):
+                outbox, next_time = handle.recv_window()
+                nexts[index] = next_time
+                for message in outbox:
+                    pending[self.routes[message[2]]].append(message)
+        return [handle.finish() for handle in handles]
+
+    def close(self) -> None:
+        for handle in self.handles:
+            handle.close()

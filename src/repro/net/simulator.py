@@ -45,17 +45,51 @@ Two scheduling fast paths feed the compiled packet pipeline:
 
 from __future__ import annotations
 
+import contextlib
+import gc
 import heapq
 from collections import deque
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterator, Optional
 
 #: Compaction only kicks in above this many cancelled events, so small
 #: simulations never pay for a heap rebuild.
 _COMPACT_MIN_CANCELLED = 64
 
+#: Shard-composite order tickets (see :meth:`Simulator.enable_shard_order`):
+#: ``(push_time << 64) | (rank << 48) | seq``.  48 bits of per-shard
+#: sequence outlast any realistic run (the plain counter they continue
+#: from never exceeds event count), 16 bits of rank outlast any machine.
+_SHARD_SEQ_BITS = 48
+_SHARD_RANK_BITS = 16
+_SHARD_TIME_SHIFT = _SHARD_SEQ_BITS + _SHARD_RANK_BITS
+
 
 class SimulationError(RuntimeError):
     """Raised when the simulator is driven incorrectly (e.g. past-time event)."""
+
+
+@contextlib.contextmanager
+def paused_gc() -> Iterator[None]:
+    """Suspend the cyclic garbage collector for the duration of a run.
+
+    The event loop churns through hundreds of thousands of short-lived
+    heap tuples, packets and events per scenario, every one reclaimed by
+    reference counting (the packet/event pools recycle them); the cycle
+    collector's generation scans in the middle of a run find nothing and
+    cost ~35% of wall time on the 16-rack sharded benchmark.  Long-lived
+    cycles (node graphs referencing the simulator and back) are live for
+    the whole run anyway, so deferring collection changes nothing they
+    would free.  The previous collector state is restored on exit — no
+    explicit ``collect()``, the next threshold allocation triggers one
+    naturally — and a disabled-on-entry collector stays disabled.
+    """
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
 
 
 class Event:
@@ -94,6 +128,41 @@ class Event:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
         return f"Event(t={self.time}, {self.callback.__qualname__}, {state})"
+
+
+class ShardContextCall:
+    """Run ``callback`` with ``sim``'s shard context set to ``rank``.
+
+    The canonical-serial scheduling shadows (see
+    :meth:`Simulator.enable_serial_shard_order`) wrap every callback in
+    one of these so an executing event re-establishes its owning shard's
+    context before running; the serial boundary shim wraps cross-shard
+    deliveries a second time to re-home them to the destination shard.
+    Equality delegates to ``(rank, callback)`` so batch-feeder identity
+    checks coalesce consecutive deliveries exactly as the plain
+    callbacks would.
+    """
+
+    __slots__ = ("_sim", "rank", "callback")
+
+    def __init__(self, sim: "Simulator", rank: int, callback: Callable[..., Any]) -> None:
+        self._sim = sim
+        self.rank = rank
+        self.callback = callback
+
+    def __call__(self, *args: Any) -> None:
+        self._sim._shard_rank = self.rank
+        self.callback(*args)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(other) is ShardContextCall
+            and self.rank == other.rank
+            and self.callback == other.callback
+        )
+
+    def __hash__(self) -> int:
+        return hash((ShardContextCall, self.rank, self.callback))
 
 
 class Simulator:
@@ -432,6 +501,96 @@ class Simulator:
                 self._events_processed += 1
                 self._current_cb = event.callback
                 event.callback(*event.args)
+        if max_events is None:
+            # Bounded drain without an event budget — the conservative-PDES
+            # window workhorse (drain_until calls this once per shard per
+            # barrier), inlined exactly like the full-drain loop above so a
+            # sharded replica pays the same per-event cost as the serial
+            # oracle.
+            assert until is not None
+            while True:
+                while heap and heap[0][0] == self.now:
+                    entry = heappop(heap)
+                    if len(entry) == 4:
+                        cb = entry[2]
+                        ob = self._open_batch
+                        if ob is not None and (entry[0] != ob[1] or cb != ob[3]):
+                            self._flush_open()
+                        self._live -= 1
+                        self._events_processed += 1
+                        self._current_cb = cb
+                        cb(*entry[3])
+                        continue
+                    event = entry[2]
+                    if event.cancelled:
+                        self._cancelled_in_heap -= 1
+                        continue
+                    cb = event.callback
+                    ob = self._open_batch
+                    if ob is not None and (entry[0] != ob[1] or cb != ob[3]):
+                        self._flush_open()
+                    self._live -= 1
+                    event._sim = None
+                    self._events_processed += 1
+                    self._current_cb = cb
+                    cb(*event.args)
+                if queue:
+                    entry = queue.popleft()
+                    if len(entry) == 4:
+                        cb = entry[2]
+                        ob = self._open_batch
+                        if ob is not None and (entry[0] != ob[1] or cb != ob[3]):
+                            self._flush_open()
+                        self._live -= 1
+                        self._events_processed += 1
+                        self._current_cb = cb
+                        cb(*entry[3])
+                        continue
+                    event = entry[2]
+                    if event.cancelled:
+                        self._cancelled_in_heap -= 1
+                        continue
+                    cb = event.callback
+                    ob = self._open_batch
+                    if ob is not None and (entry[0] != ob[1] or cb != ob[3]):
+                        self._flush_open()
+                    self._live -= 1
+                    event._sim = None
+                    self._events_processed += 1
+                    self._current_cb = cb
+                    cb(*event.args)
+                    continue
+                if self._open_batch is not None:
+                    self._flush_open()
+                    continue
+                if not heap:
+                    break
+                head = heap[0]
+                if len(head) == 3 and head[2].cancelled:
+                    heappop(heap)
+                    self._cancelled_in_heap -= 1
+                    continue
+                head_time = head[0]
+                if head_time > until:
+                    self.now = until
+                    return
+                heappop(heap)
+                self.now = head_time
+                if len(head) == 4:
+                    self._live -= 1
+                    self._events_processed += 1
+                    self._current_cb = head[2]
+                    head[2](*head[3])
+                    continue
+                event = head[2]
+                self._live -= 1
+                event._sim = None
+                self._events_processed += 1
+                self._current_cb = event.callback
+                event.callback(*event.args)
+            if self.now < until:
+                self.now = until
+            return
         while True:
             # Heap entries at the current instant predate every FIFO entry
             # (they were pushed while ``now`` was still behind this instant)
@@ -485,6 +644,274 @@ class Simulator:
             self._run_entry(head)
         if until is not None and self.now < until:
             self.now = until
+
+    # ------------------------------------------------------------------
+    # Sharded execution hooks (conservative PDES — see repro.net.sharded)
+    # ------------------------------------------------------------------
+    def enable_shard_order(self, rank: int) -> None:
+        """Switch order-ticket allocation to shard-composite tickets.
+
+        A rack-sharded run executes one full-topology replica of the
+        deployment per shard and merges cross-shard deliveries straight
+        into each other's heaps (:meth:`inject`).  Plain per-simulator
+        counters cannot order such merged entries, so every ticket becomes
+        ``(push_time << 64) | (rank << 48) | seq``:
+
+        * within one shard, ``(push_time, seq)`` is monotone in execution
+          order — exactly the relative order the serial run's plain
+          counter produces;
+        * across shards, entries scheduled at the *same* event time sort
+          by push time first, which is the serial tiebreak whenever the
+          colliding schedules were pushed at different instants;
+        * the residual case — equal event time *and* equal push time from
+          different shards — falls back to ``(rank, seq)``.  No oblivious
+          serial schedule reproduces that tiebreak (plain counters follow
+          each packet's causal path through transit switches, which the
+          shards cannot see), so the serial oracle runs the *canonical*
+          schedule instead: :meth:`enable_serial_shard_order` claims these
+          same composite tickets with the rank of each event's owning
+          shard, making the ``(time, rank, seq)`` ticket the definition
+          of same-instant order on both sides of the comparison.
+
+        ``seq`` continues the plain counter, so tickets issued before this
+        call stay smaller than every same-or-later composite and mixed
+        heaps keep exact FIFO semantics.  Same-instant pushes still land
+        on the now-queue: a composite at the current instant carries
+        ``push_time == now``, while every heap entry at ``now`` was pushed
+        earlier and therefore compares below it.
+        """
+        if not 0 <= rank < (1 << _SHARD_RANK_BITS):
+            raise SimulationError(
+                f"shard rank {rank} does not fit {_SHARD_RANK_BITS} bits"
+            )
+        self._shard_rank = rank
+        self.schedule = self._schedule_shard  # type: ignore[method-assign]
+        self.at = self._at_shard  # type: ignore[method-assign]
+        self.call_later = self._call_later_shard  # type: ignore[method-assign]
+        self.call_at = self._call_at_shard  # type: ignore[method-assign]
+
+    def _shard_ticket(self) -> int:
+        seq = self._order
+        self._order = seq + 1
+        return (self.now << _SHARD_TIME_SHIFT) | (self._shard_rank << _SHARD_SEQ_BITS) | seq
+
+    #: claim_shard_ticket is the boundary-link shim's entry point: a
+    #: cross-shard delivery consumes one ticket on the sending side (just
+    #: as the serial run's ``call_at`` would) and carries it to the
+    #: destination shard's :meth:`inject`.
+    claim_shard_ticket = _shard_ticket
+
+    def _schedule_shard(self, delay_ns: int, callback: Callable[..., Any], *args: Any) -> Event:
+        if delay_ns < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay_ns})")
+        time_ns = self.now + int(delay_ns)
+        order = self._shard_ticket()
+        event = Event(time_ns, order, callback, args)
+        event._sim = self
+        if time_ns == self.now:
+            self._now_queue.append((time_ns, order, event))
+        else:
+            heapq.heappush(self._heap, (time_ns, order, event))
+        self._live += 1
+        return event
+
+    def _at_shard(self, time_ns: int, callback: Callable[..., Any], *args: Any) -> Event:
+        time_ns = int(time_ns)
+        if time_ns < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time_ns} before current time t={self.now}"
+            )
+        order = self._shard_ticket()
+        event = Event(time_ns, order, callback, args)
+        event._sim = self
+        if time_ns == self.now:
+            self._now_queue.append((time_ns, order, event))
+        else:
+            heapq.heappush(self._heap, (time_ns, order, event))
+        self._live += 1
+        return event
+
+    def _call_later_shard(self, delay_ns: int, callback: Callable[..., Any], *args: Any) -> None:
+        if delay_ns < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay_ns})")
+        time_ns = self.now + int(delay_ns)
+        order = self._shard_ticket()
+        if time_ns == self.now:
+            self._now_queue.append((time_ns, order, callback, args))
+        else:
+            heapq.heappush(self._heap, (time_ns, order, callback, args))
+        self._live += 1
+
+    def _call_at_shard(self, time_ns: int, callback: Callable[..., Any], *args: Any) -> None:
+        time_ns = int(time_ns)
+        if time_ns < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time_ns} before current time t={self.now}"
+            )
+        order = self._shard_ticket()
+        if time_ns == self.now:
+            self._now_queue.append((time_ns, order, callback, args))
+        else:
+            heapq.heappush(self._heap, (time_ns, order, callback, args))
+        self._live += 1
+
+    def enable_serial_shard_order(self) -> None:
+        """Canonical-serial twin of :meth:`enable_shard_order`.
+
+        The serial oracle for a sharded run claims the *same* composite
+        tickets the shard replicas claim, with the rank taken from a
+        mutable *shard context* instead of a fixed per-replica rank.  The
+        context follows event ownership: every scheduled callback is
+        wrapped in a :class:`ShardContextCall` so that, when it runs, the
+        context snaps back to the rank it was pushed under — the shard
+        whose replica executes that event in the sharded run — and every
+        push the callback makes stamps that rank onto its ticket.
+        Boundary-link deliveries are re-homed to the destination shard's
+        rank by the serial boundary shim (``repro.net.sharded``), exactly
+        where the sharded run hands a message across the cut.
+
+        Pushes made outside any event (chaos scheduling, task
+        submission) use the rank installed via :meth:`set_shard_context`.
+        """
+        self._shard_rank = 0
+        self.schedule = self._schedule_serial  # type: ignore[method-assign]
+        self.at = self._at_serial  # type: ignore[method-assign]
+        self.call_later = self._call_later_serial  # type: ignore[method-assign]
+        self.call_at = self._call_at_serial  # type: ignore[method-assign]
+
+    def set_shard_context(self, rank: int) -> None:
+        """Set the shard context for pushes made outside any event."""
+        if not 0 <= rank < (1 << _SHARD_RANK_BITS):
+            raise SimulationError(
+                f"shard rank {rank} does not fit {_SHARD_RANK_BITS} bits"
+            )
+        self._shard_rank = rank
+
+    def _schedule_serial(self, delay_ns: int, callback: Callable[..., Any], *args: Any) -> Event:
+        if delay_ns < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay_ns})")
+        time_ns = self.now + int(delay_ns)
+        order = self._shard_ticket()
+        event = Event(
+            time_ns, order, ShardContextCall(self, self._shard_rank, callback), args
+        )
+        event._sim = self
+        if time_ns == self.now:
+            self._now_queue.append((time_ns, order, event))
+        else:
+            heapq.heappush(self._heap, (time_ns, order, event))
+        self._live += 1
+        return event
+
+    def _at_serial(self, time_ns: int, callback: Callable[..., Any], *args: Any) -> Event:
+        time_ns = int(time_ns)
+        if time_ns < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time_ns} before current time t={self.now}"
+            )
+        order = self._shard_ticket()
+        event = Event(
+            time_ns, order, ShardContextCall(self, self._shard_rank, callback), args
+        )
+        event._sim = self
+        if time_ns == self.now:
+            self._now_queue.append((time_ns, order, event))
+        else:
+            heapq.heappush(self._heap, (time_ns, order, event))
+        self._live += 1
+        return event
+
+    def _call_later_serial(self, delay_ns: int, callback: Callable[..., Any], *args: Any) -> None:
+        if delay_ns < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay_ns})")
+        time_ns = self.now + int(delay_ns)
+        order = self._shard_ticket()
+        entry = (
+            time_ns,
+            order,
+            ShardContextCall(self, self._shard_rank, callback),
+            args,
+        )
+        if time_ns == self.now:
+            self._now_queue.append(entry)
+        else:
+            heapq.heappush(self._heap, entry)
+        self._live += 1
+
+    def _call_at_serial(self, time_ns: int, callback: Callable[..., Any], *args: Any) -> None:
+        time_ns = int(time_ns)
+        if time_ns < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time_ns} before current time t={self.now}"
+            )
+        order = self._shard_ticket()
+        entry = (
+            time_ns,
+            order,
+            ShardContextCall(self, self._shard_rank, callback),
+            args,
+        )
+        if time_ns == self.now:
+            self._now_queue.append(entry)
+        else:
+            heapq.heappush(self._heap, entry)
+        self._live += 1
+
+    def next_event_time(self) -> Optional[int]:
+        """Earliest pending event time, or ``None`` when fully drained.
+
+        Skims cancelled heads off the heap as a side effect (they would be
+        discarded by the next ``run`` anyway), so the reported time is a
+        live lower bound — the safe-horizon math of a sharded run must not
+        stretch a window to a timer that will never fire.
+        """
+        if self._now_queue or self._open_batch is not None:
+            return self.now
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if len(head) == 3 and head[2].cancelled:
+                heapq.heappop(heap)
+                self._cancelled_in_heap -= 1
+                continue
+            return head[0]
+        return None
+
+    def inject(self, time_ns: int, order: int, callback: Callable[..., Any], *args: Any) -> None:
+        """Merge an externally-ordered event straight into the heap.
+
+        The cross-shard delivery path: the sending shard claimed ``order``
+        (:meth:`claim_shard_ticket`) when its boundary link computed the
+        arrival, so the entry lands exactly where the serial run's heap
+        push would have put it.  Conservative windows guarantee arrivals
+        lie strictly beyond the drained horizon, hence past ``now``.
+        """
+        time_ns = int(time_ns)
+        if time_ns <= self.now:
+            raise SimulationError(
+                f"cannot inject at t={time_ns}: shard already drained to t={self.now}"
+            )
+        heapq.heappush(self._heap, (time_ns, order, callback, args))
+        self._live += 1
+
+    def drain_until(self, horizon_ns: int, max_events: Optional[int] = None) -> None:
+        """Run every event strictly below ``horizon_ns`` (exclusive bound).
+
+        The conservative window step: with lookahead ``L`` (the minimum
+        cross-shard link latency) and global minimum next-event time
+        ``m``, every message a shard can emit this window arrives at
+        ``>= m + L``, so events below ``horizon = m + L`` are safe to run
+        without further synchronization.  ``run(until=...)`` is inclusive,
+        so the exclusive bound maps to ``until = horizon_ns - 1`` — after
+        the call ``now == horizon_ns - 1 < horizon_ns <=`` every injected
+        arrival, keeping :meth:`inject` legal at the next barrier.
+        """
+        horizon_ns = int(horizon_ns)
+        if horizon_ns <= self.now:
+            raise SimulationError(
+                f"horizon t={horizon_ns} is not ahead of current time t={self.now}"
+            )
+        self.run(until=horizon_ns - 1, max_events=max_events)
 
     @property
     def pending(self) -> int:

@@ -58,14 +58,14 @@ QUICK_CHAOS_SEEDS: tuple[int, ...] = (0, 7)
 class Job:
     """One unit of work.  Must stay picklable (fork *and* spawn starts)."""
 
-    kind: str  #: "experiment" | "fig09-shard" | "chaos" | "chaos-tree" | "chaos-overload"
+    kind: str  #: "experiment" | "fig09-shard" | "chaos" | "chaos-tree" | "chaos-overload" | "sharded-identity"
     name: str  #: experiment name, or the job kind for chaos jobs
     shard: Optional[str] = None  #: fig09 stream kind for shard jobs
     seed: Optional[int] = None  #: chaos schedule seed
 
     @property
     def label(self) -> str:
-        if self.kind in ("chaos", "chaos-tree", "chaos-overload"):
+        if self.kind in ("chaos", "chaos-tree", "chaos-overload", "sharded-identity"):
             return f"{self.kind}[seed={self.seed}]"
         if self.shard is not None:
             return f"{self.name}[{self.shard}]"
@@ -117,6 +117,9 @@ def run_job(job: Job) -> JobResult:
                     f"{job.kind} seed {job.seed} exited with {status}"
                 )
             payload = buffer.getvalue()
+        elif job.kind == "sharded-identity":
+            assert job.seed is not None
+            payload = run_sharded_identity(job.seed)
         else:
             raise ValueError(f"unknown job kind {job.kind!r}")
     except Exception as exc:  # noqa: BLE001 - one failed job must not kill the suite
@@ -133,13 +136,46 @@ def run_job(job: Job) -> JobResult:
     )
 
 
+def run_sharded_identity(seed: int) -> str:
+    """Run the canonical sharded demo scenario serial AND sharded
+    (in-process), assert byte-identical fingerprints, and render a
+    deterministic report section.  Raises on any divergence so the suite
+    surfaces it as a failed job."""
+    from repro.runtime.sharded import demo_plan, demo_scenario, run_serial, run_sharded
+
+    scenario = demo_scenario(seed)
+    plan_ = demo_plan(scenario)
+    serial = run_serial(scenario, plan_)
+    sharded, stats = run_sharded(scenario, plan_)
+    if serial != sharded:
+        diverged = sorted(
+            key for key in serial if serial[key] != sharded.get(key)
+        )
+        raise RuntimeError(
+            f"sharded fingerprint diverged from serial (seed {seed}): "
+            f"sections {diverged}"
+        )
+    lines = [
+        f"seed {seed}: serial == sharded over {stats.shards} shards",
+        f"  windows={stats.windows} messages={stats.messages} "
+        f"lookahead_ns={stats.lookahead_ns}",
+        f"  tasks={len(serial['tasks'])} events={serial['events_processed']}",
+    ]
+    return "\n".join(lines)
+
+
 # ----------------------------------------------------------------------
 # Planning
 # ----------------------------------------------------------------------
+#: Seeds for the ``--sharded`` serial==sharded identity jobs.
+SHARDED_SEEDS: tuple[int, ...] = (7, 23)
+
+
 def plan(
     names: Optional[Sequence[str]] = None,
     chaos_seeds: Sequence[int] = CHAOS_SEEDS,
     shard: bool = True,
+    sharded: bool = False,
 ) -> list[Job]:
     """Build the ordered job list for a suite run.
 
@@ -171,11 +207,29 @@ def plan(
     jobs.extend(
         Job("chaos-overload", "chaos-overload", seed=seed) for seed in chaos_seeds
     )
+    # Sharded-backend identity drills (``--sharded``): serial and
+    # rack-sharded runs of the demo scenario must fingerprint identically.
+    if sharded:
+        jobs.extend(
+            Job("sharded-identity", "sharded-identity", seed=seed)
+            for seed in SHARDED_SEEDS
+        )
     return jobs
 
 
 def default_workers() -> int:
-    return os.cpu_count() or 1
+    """Worker count for ``repro suite -j`` with no explicit value.
+
+    Uses the *scheduling affinity* of this process, not the machine's
+    core count: in cgroup-limited CI runners and containers
+    ``os.cpu_count()`` reports the host's cores and oversubscribes the
+    pool 4–16x, serialising the suite behind the scheduler.  Affinity is
+    a Linux-ism, so fall back to ``cpu_count`` where it is missing.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - macOS/Windows
+        return os.cpu_count() or 1
 
 
 # ----------------------------------------------------------------------
@@ -277,9 +331,10 @@ def run_suite(
     chaos_seeds: Sequence[int] = CHAOS_SEEDS,
     workers: Optional[int] = None,
     shard: bool = True,
+    sharded: bool = False,
 ) -> SuiteRun:
     """Plan, execute and merge the experiment suite."""
-    jobs = plan(names, chaos_seeds=chaos_seeds, shard=shard)
+    jobs = plan(names, chaos_seeds=chaos_seeds, shard=shard, sharded=sharded)
     effective = default_workers() if workers is None else workers
     started = time.perf_counter()
     results = execute(jobs, effective)

@@ -40,9 +40,42 @@ from repro.runtime.codec import VERSION, VERSION_LEGACY
 from repro.runtime.interfaces import Clock, TaskRunner
 from repro.runtime.sim import SimFabric, SimMultiRackFabric
 
-BACKENDS = ("sim", "asyncio")
+#: ``"sim-sharded"`` wires the exact same deterministic sim fabric as
+#: ``"sim"`` — sharding happens one layer up (:mod:`repro.runtime.sharded`
+#: replicates the deployment per shard) — but is validated against the
+#: feature set the conservative-window coordinator can replicate.
+BACKENDS = ("sim", "asyncio", "sim-sharded")
 
 CompletionFn = Callable[[AggregationTask], None]
+
+
+def validate_sharded_config(config: AskConfig) -> None:
+    """Reject config features the sharded backend cannot replicate.
+
+    Sharded correctness rests on two invariants: no zero-latency
+    cross-shard calls outside the validated task closure, and no
+    fabric-global mutable state outside the per-host corruption streams.
+    These features break one or the other:
+
+    * ``vectorized`` — the SoA batch data plane reorders switch-internal
+      work; its scalar-oracle equivalence is only proven single-sim.
+    * ``failure_detection`` — the supervisor heartbeats and re-installs
+      switch state across racks with zero latency.
+    * ``admission_control`` — the admission queue serializes grants over
+      the whole deployment's release edges.
+    * ``trace`` — the packet trace is a single global ring; per-shard
+      rings would interleave differently.
+    """
+    for flag, why in (
+        ("vectorized", "the SoA data plane is validated single-sim only"),
+        ("failure_detection", "the supervisor makes zero-latency cross-rack calls"),
+        ("admission_control", "the admission queue is deployment-global"),
+        ("trace", "the packet trace is a single global ring"),
+    ):
+        if getattr(config, flag, False):
+            raise ConfigError(
+                f"backend 'sim-sharded' does not support config.{flag}: {why}"
+            )
 
 
 @dataclass
@@ -103,11 +136,14 @@ class DeploymentBuilder:
         max_channels: int = 256,
         switch_factory: Optional[Callable[..., Any]] = None,
         core_bandwidth_gbps: Optional[float] = 400.0,
+        core_latency_ns: int = 2_000,
         bind_host: str = "127.0.0.1",
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; pick one of {BACKENDS}")
         self.config = config if config is not None else AskConfig()
+        if backend == "sim-sharded":
+            validate_sharded_config(self.config)
         if switch_factory is None:
             # ``vectorized=True`` selects the SoA batch data plane; the
             # scalar compiled path stays the default (and the oracle).
@@ -125,6 +161,7 @@ class DeploymentBuilder:
         self.max_channels = max_channels
         self.switch_factory = switch_factory
         self.core_bandwidth_gbps = core_bandwidth_gbps
+        self.core_latency_ns = core_latency_ns
         self.bind_host = bind_host
         self._racks: List[tuple[str, str, List[str], Optional[str]]] = []
         self._spines: List[str] = []
@@ -187,6 +224,7 @@ class DeploymentBuilder:
                 bandwidth_gbps=config.link_bandwidth_gbps,
                 latency_ns=config.link_latency_ns,
                 core_bandwidth_gbps=self.core_bandwidth_gbps,
+                core_latency_ns=self.core_latency_ns,
                 host_max_pps=config.host_max_pps,
                 fault=self.fault,
                 trace=trace,

@@ -35,29 +35,48 @@ class _CorruptionWindow:
     Orthogonal to the per-link :class:`FaultModel` streams (which model
     steady-state line noise): the window models an episode — a failing
     optic, a bad cable — that chaos schedules switch on (``corrupt``) and
-    off (``cleanse``).  Draws come from a dedicated ``random.Random`` so
-    opening a window never perturbs the link fault schedules.
+    off (``cleanse``).  Draws come from dedicated ``random.Random``
+    streams so opening a window never perturbs the link fault schedules.
+
+    Streams are keyed per *drawing host* (the first endpoint every call
+    site passes — the sending host of the frame under inspection), lazily
+    created from ``"<seed_label>:<host>"``.  A fabric-wide stream would
+    interleave draws in global packet order, which a rack-sharded run
+    (:mod:`repro.runtime.sharded`) cannot reproduce: each shard only sees
+    its own hosts' sends.  Per-host streams depend only on that host's
+    own send order, which is identical serial and sharded, so the sum of
+    ``injected`` over shards equals the serial count draw-for-draw.
     """
 
-    __slots__ = ("targets", "rate", "rng", "injected")
+    __slots__ = ("targets", "rate", "injected", "_seed_label", "_rngs")
 
     def __init__(self, seed_label: str, rate: float = 0.5) -> None:
         self.targets: set[str] = set()
         self.rate = rate
-        self.rng = random.Random(seed_label)
         self.injected = 0
+        self._seed_label = seed_label
+        self._rngs: Dict[str, random.Random] = {}
 
-    def maybe_corrupt(self, packet: object, *endpoints: Optional[str]) -> object:
+    def maybe_corrupt(
+        self, packet: object, key: Optional[str], *endpoints: Optional[str]
+    ) -> object:
         if not self.targets or type(packet) is CorruptedFrame:
             return packet
-        if not any(e in self.targets for e in endpoints if e is not None):
+        if not any(
+            e in self.targets for e in (key, *endpoints) if e is not None
+        ):
             return packet
-        if self.rng.random() >= self.rate:
+        if key is None:  # pragma: no cover - every call site keys by host
+            key = ""
+        rng = self._rngs.get(key)
+        if rng is None:
+            rng = self._rngs[key] = random.Random(f"{self._seed_label}:{key}")
+        if rng.random() >= self.rate:
             return packet
         if not hasattr(packet, "bitmap"):
             return packet
         self.injected += 1
-        return CorruptedFrame(corrupt_packet_fields(packet, self.rng))
+        return CorruptedFrame(corrupt_packet_fields(packet, rng))
 
 
 class SimRunner:

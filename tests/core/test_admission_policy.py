@@ -276,3 +276,47 @@ def test_registry_validates_weights_and_defaults_unknown_to_one():
     assert registry.weight_of(1) == 3
     assert registry.weight_of(42) == 1
     assert registry.known() == (1,)
+
+
+# ---------------------------------------------------------------------------
+# Pump batching: blocked heads are probed once per pump
+# ---------------------------------------------------------------------------
+def test_pump_attempts_each_blocked_head_once_per_release_edge():
+    # Tenant 1 has four grantable waiters; tenants 2 and 3 are wedged
+    # behind heads that can never fit.  Draining tenant 1 takes four DRR
+    # rounds (weight 1 = one grant per round), and without the blocked-
+    # head cache every round would re-attempt both wedged heads.
+    h = Harness(config=make_config(admission_queue_limit=8))
+    for _ in range(4):
+        h.controller.admit(h.waiter(1))
+    for tenant in (2, 3):
+        wedged = h.waiter(tenant)
+        wedged.grant = lambda: False
+        h.controller.admit(wedged)
+    h.capacity = 4
+    h.controller.on_release()
+    assert h.order == [1, 1, 1, 1]
+    # 4 grants + exactly one probe per wedged tenant — not one per round.
+    assert h.controller.grant_attempts == 6
+
+
+def test_retry_tick_still_reattempts_blocked_heads():
+    # The cache must not outlive one pump: a timer tick is a fresh pump,
+    # so a head that failed on the release edge is re-attempted (that is
+    # the recovery path if a release edge were ever missed), and retry
+    # accounting charges it exactly once per tick regardless of rounds.
+    h = Harness(config=make_config(admission_deadline_us=None))
+    w = h.waiter(1)
+    h.controller.admit(w)
+    h.controller.on_release()  # probe 1: fails, cached for that pump only
+    assert h.controller.grant_attempts == 1
+    h.clock.fire_next()  # retry tick: probe 2 fails, retried += 1
+    assert h.controller.grant_attempts == 2
+    assert h.controller.retried == 1
+    h.capacity = 1
+    h.clock.fire_next()  # probe 3 grants
+    assert h.controller.grant_attempts == 3
+    assert h.order == [1]
+    # Only the tick-time failure is a retry; release-edge probes and the
+    # successful grant are not (same accounting as before batching).
+    assert w.task.stats.admission_retries == 1
