@@ -29,6 +29,9 @@ class ChaosOrchestrator:
         require_supervisor: bool = True,
         on_overload: Optional[Callable[[str], None]] = None,
         on_relent: Optional[Callable[[str], None]] = None,
+        straggle_delay_ns: int = 50_000,
+        straggle_jitter_ns: int = 0,
+        flap_period_ns: int = 20_000,
     ) -> None:
         if require_supervisor and deployment.supervisor is None:
             raise ValueError(
@@ -52,10 +55,30 @@ class ChaosOrchestrator:
                 "and on_relent hooks (the drill defines what the abusive "
                 "tenant does)"
             )
+        bad_straggle = [
+            e.target
+            for e in schedule.events
+            if e.kind in ("straggle", "unstraggle")
+            and e.target not in deployment.daemons
+        ]
+        if bad_straggle:
+            raise KeyError(
+                f"straggle targets must be host daemons (a switch's gray "
+                f"failure is its links — use 'slow'): {sorted(set(bad_straggle))}"
+            )
         self.deployment = deployment
         self.schedule = schedule
         self.on_overload = on_overload
         self.on_relent = on_relent
+        #: Gray-failure knobs: how slow a straggling daemon serves, and
+        #: the duty-cycle period of a flapping node's dark windows.
+        self.straggle_delay_ns = straggle_delay_ns
+        self.straggle_jitter_ns = straggle_jitter_ns
+        self.flap_period_ns = max(1, flap_period_ns)
+        #: Nodes currently inside a flap window, and the partition/heal
+        #: toggles the duty cycle has applied so far.
+        self._flapping: set[str] = set()
+        self.flap_toggles = 0
         #: Chronological record of every injection actually applied.
         self.injected: List[Dict[str, Any]] = []
         self._armed = False
@@ -95,6 +118,27 @@ class ChaosOrchestrator:
         elif event.kind == "relent":
             assert self.on_relent is not None
             self.on_relent(event.target)
+        elif event.kind == "slow":
+            self.deployment.fabric.slow(event.target)
+        elif event.kind == "revive":
+            self.deployment.fabric.revive(event.target)
+        elif event.kind == "straggle":
+            self.deployment.daemons[event.target].straggle(
+                self.straggle_delay_ns, self.straggle_jitter_ns
+            )
+        elif event.kind == "unstraggle":
+            self.deployment.daemons[event.target].unstraggle()
+        elif event.kind == "flap":
+            # Duty-cycled dark windows: partition now, then toggle every
+            # flap_period_ns until the paired "steady" closes the window.
+            self._flapping.add(event.target)
+            self.deployment.fabric.partition(event.target)
+            self.deployment.clock.schedule(
+                self.flap_period_ns, self._flap_toggle, event.target, False
+            )
+        elif event.kind == "steady":
+            self._flapping.discard(event.target)
+            self.deployment.fabric.heal(event.target)
         else:  # "heal"
             self.deployment.fabric.heal(event.target)
         self.injected.append(
@@ -108,11 +152,33 @@ class ChaosOrchestrator:
         if supervisor is not None:
             supervisor.notice_activity()
 
+    def _flap_toggle(self, target: str, dark: bool) -> None:
+        """One step of a flap window's duty cycle (self-rescheduling until
+        the paired ``steady`` event clears the flapping flag)."""
+        if target not in self._flapping:
+            return
+        fabric = self.deployment.fabric
+        if dark:
+            fabric.partition(target)
+        else:
+            fabric.heal(target)
+        self.flap_toggles += 1
+        self.deployment.clock.schedule(
+            self.flap_period_ns, self._flap_toggle, target, not dark
+        )
+        supervisor = self.deployment.supervisor
+        if supervisor is not None:
+            supervisor.notice_activity()
+
     # ------------------------------------------------------------------
     def report(
         self, tasks: Optional[Dict[int, AggregationTask]] = None
     ) -> DegradationReport:
         """Snapshot the run's degradation report (call after the run)."""
         return DegradationReport.build(
-            self.deployment, self.schedule, self.injected, tasks=tasks
+            self.deployment,
+            self.schedule,
+            self.injected,
+            tasks=tasks,
+            flap_toggles=self.flap_toggles,
         )

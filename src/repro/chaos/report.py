@@ -36,6 +36,13 @@ class DegradationReport:
     #: rejected counters, live waiters, per-tenant occupancy); empty when
     #: the deployment runs without admission control.
     admission: Dict[str, Any] = field(default_factory=dict)
+    #: Gray-failure section: slow/straggle/flap injection counts, the
+    #: retransmit-timer health of every sender channel (timeouts fired,
+    #: retransmits proven spurious), the adaptive-RTO trajectory endpoint
+    #: per channel, and the supervisor's suspicion scores / route-around
+    #: transitions.  Empty when the run injected no gray faults and no
+    #: channel timed out.
+    gray: Dict[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -45,6 +52,7 @@ class DegradationReport:
         schedule: ChaosSchedule,
         injected: List[Dict[str, Any]],
         tasks: Optional[Dict[int, AggregationTask]] = None,
+        flap_toggles: int = 0,
     ) -> "DegradationReport":
         supervisor = deployment.supervisor
         sup_events = list(supervisor.events) if supervisor is not None else []
@@ -128,6 +136,73 @@ class DegradationReport:
                     t.stats.bypass_packets_received for t in tasks.values()
                 ),
             )
+        # Gray-failure accounting: what was slowed, how the retransmit
+        # timers coped, and how the supervisor's suspicion moved.
+        fabric = deployment.fabric
+        packets_slowed = getattr(fabric, "packets_slowed", 0) or getattr(
+            fabric, "frames_slowed", 0
+        )
+        packets_straggled = sum(
+            getattr(d, "packets_straggled", 0)
+            for d in deployment.daemons.values()
+        )
+        retransmissions = 0
+        timeouts = 0
+        spurious = 0
+        rto_trajectory: Dict[str, Dict[str, Any]] = {}
+        for name, daemon in deployment.daemons.items():
+            for channel in getattr(daemon, "channels", ()):
+                timers = channel.timers
+                retransmissions += timers.retransmissions
+                timeouts += timers.timeouts
+                spurious += timers.spurious_retransmissions
+                est = timers.estimator
+                if est is not None and est.samples:
+                    rto_trajectory[f"{name}:{channel.index}"] = {
+                        "samples": est.samples,
+                        "srtt_us": round(est.srtt_ns / 1_000, 3),
+                        "rttvar_us": round(est.rttvar_ns / 1_000, 3),
+                        "rto_us": round(est.rto_ns() / 1_000, 3),
+                    }
+        gray: Dict[str, Any] = {}
+        gray_injected = sum(
+            1 for e in injected if e["kind"] in ("slow", "straggle", "flap")
+        )
+        if gray_injected or timeouts or packets_slowed or packets_straggled:
+            gray = {
+                "gray_faults_injected": gray_injected,
+                "packets_slowed": packets_slowed,
+                "packets_straggled": packets_straggled,
+                "flap_toggles": flap_toggles,
+                "retransmissions": retransmissions,
+                "timeouts": timeouts,
+                "spurious_retransmissions": spurious,
+                "rto_trajectory": rto_trajectory,
+            }
+            if supervisor is not None:
+                gray.update(
+                    suspicion={
+                        k: round(v, 3)
+                        for k, v in supervisor.suspicion.items()
+                        if v > 0.0
+                    },
+                    gray_routearounds=supervisor.gray_routearounds,
+                    gray_readoptions=supervisor.gray_readoptions,
+                )
+            totals.update(
+                gray_faults_injected=gray_injected,
+                packets_slowed=packets_slowed,
+                packets_straggled=packets_straggled,
+                flap_toggles=flap_toggles,
+                retransmissions=retransmissions,
+                timeouts=timeouts,
+                spurious_retransmissions=spurious,
+            )
+            if supervisor is not None:
+                totals.update(
+                    gray_routearounds=supervisor.gray_routearounds,
+                    gray_readoptions=supervisor.gray_readoptions,
+                )
         admission: Dict[str, Any] = {}
         controller = getattr(deployment, "admission", None)
         if controller is not None:
@@ -152,6 +227,7 @@ class DegradationReport:
             totals=totals,
             robustness=robustness,
             admission=admission,
+            gray=gray,
         )
 
     # ------------------------------------------------------------------
@@ -166,6 +242,7 @@ class DegradationReport:
                 "totals": self.totals,
                 "robustness": self.robustness,
                 "admission": self.admission,
+                "gray": self.gray,
             },
             indent=indent,
         )
@@ -218,6 +295,31 @@ class DegradationReport:
                     for t, used in adm["occupancy"].items()
                 )
                 lines.append(f"  occupancy: {pretty}")
+        if self.gray:
+            g = self.gray
+            lines.append(
+                "  gray: "
+                f"injected={g['gray_faults_injected']} "
+                f"slowed={g['packets_slowed']} "
+                f"straggled={g['packets_straggled']} "
+                f"flap_toggles={g['flap_toggles']} "
+                f"timeouts={g['timeouts']} "
+                f"retransmits={g['retransmissions']} "
+                f"spurious={g['spurious_retransmissions']}"
+            )
+            if g.get("gray_routearounds") or g.get("gray_readoptions"):
+                lines.append(
+                    "  gray failover: "
+                    f"routearounds={g.get('gray_routearounds', 0)} "
+                    f"readoptions={g.get('gray_readoptions', 0)} "
+                    f"suspicion={g.get('suspicion', {})}"
+                )
+            for channel, state in g.get("rto_trajectory", {}).items():
+                lines.append(
+                    f"  rto {channel}: srtt={state['srtt_us']}us "
+                    f"rttvar={state['rttvar_us']}us rto={state['rto_us']}us "
+                    f"({state['samples']} samples)"
+                )
         for key, value in self.totals.items():
             lines.append(f"  {key} = {value:,}")
         return "\n".join(lines)

@@ -475,13 +475,101 @@ def _run_overload_chaos(backend: str, seed: int, report_path: str | None) -> int
     return 0
 
 
+def _run_gray_chaos(backend: str, seed: int, report_path: str | None) -> int:
+    """``repro chaos --gray``: the slow-is-the-new-dead drill.
+
+    Sample a gray schedule (slow links, straggling daemons, flapping
+    nodes — everything degraded-but-alive, so no lease ever lapses) and
+    run the demo workload through it with the adaptive RTO estimator and
+    gray-failure detection on.  The result must stay bit-exact against
+    the fault-free reference: slowness heals by waiting, flap darkness by
+    retransmission, and any gray route-around by the same supervised
+    replay that covers a crash."""
+    import dataclasses
+
+    from repro import AskService
+    from repro.chaos import ChaosOrchestrator, ChaosSchedule
+
+    sim = backend == "sim"
+    config = dataclasses.replace(
+        _chaos_config(backend),
+        adaptive_rto=True,
+        gray_detection=True,
+        # Floor below the fixed timeout so the estimator may tighten on a
+        # fast path; cap high enough to absorb 4x inflation plus backoff.
+        rto_min_us=50.0 if sim else 1_000.0,
+        rto_max_us=10_000.0 if sim else 100_000.0,
+    )
+    service = AskService(config, hosts=3, backend=backend)
+    try:
+        schedule = ChaosSchedule.generate(
+            seed,
+            hosts=service.hosts,
+            switches=[service.switch.name],
+            horizon_ns=250_000 if sim else 30_000_000,
+            min_down_ns=40_000 if sim else 5_000_000,
+            max_down_ns=200_000 if sim else 20_000_000,
+            kinds=("slow", "straggle", "flap"),
+        )
+        orchestrator = ChaosOrchestrator(
+            service.deployment,
+            schedule,
+            straggle_delay_ns=20_000 if sim else 2_000_000,
+            flap_period_ns=20_000 if sim else 2_000_000,
+        )
+        start = getattr(service.fabric, "start", None)
+        if start is not None:
+            start()
+        orchestrator.arm()
+        streams = {
+            "h0": [(b"in-network", 1), (b"aggregation", 2)] * 50
+            + [(f"key-{i:04d}".encode(), i) for i in range(1500)],
+            "h1": [(b"in-network", 3)] * 50
+            + [(f"key-{i:04d}".encode(), 1) for i in range(1000)],
+        }
+        result = service.aggregate(streams, receiver="h2", check=True)
+        report = orchestrator.report(tasks=service.tasks)
+        gray = report.gray
+        print(
+            f"exact aggregation under gray (slow-but-alive) failures "
+            f"({len(result.values)} keys verified against the reference):"
+        )
+        for key, value in sorted(result.items())[:4]:
+            print(f"  {key.decode():>12}: {value}")
+        print(f"  ... and {max(0, len(result.values) - 4)} more")
+        print(report.summary())
+        if gray:
+            print(
+                f"gray balance: {gray['gray_faults_injected']} gray fault(s), "
+                f"{gray['packets_slowed']} frame(s) slowed, "
+                f"{gray['packets_straggled']} straggled, "
+                f"{gray['flap_toggles']} flap toggle(s); "
+                f"{gray['timeouts']} timeout(s) -> "
+                f"{gray['retransmissions']} retransmit(s), "
+                f"{gray['spurious_retransmissions']} proven spurious"
+            )
+        if report_path is not None:
+            with open(report_path, "w", encoding="utf-8") as fh:
+                fh.write(report.to_json())
+            print(f"[degradation report written to {report_path}]")
+    finally:
+        service.close()
+    return 0
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     exclusive = sum(
-        (bool(args.tree), bool(args.overload), bool(args.corrupt_rate))
+        (
+            bool(args.tree),
+            bool(args.overload),
+            bool(args.corrupt_rate),
+            bool(args.gray),
+        )
     )
     if exclusive > 1:
         print(
-            "--tree, --overload and --corrupt-rate are separate drills",
+            "--tree, --overload, --corrupt-rate and --gray are separate "
+            "drills",
             file=sys.stderr,
         )
         return 2
@@ -489,6 +577,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         return _run_tree_chaos(args.backend, args.seed, args.report)
     if args.overload:
         return _run_overload_chaos(args.backend, args.seed, args.report)
+    if args.gray:
+        return _run_gray_chaos(args.backend, args.seed, args.report)
     return _run_chaos(args.backend, args.seed, args.report, args.corrupt_rate)
 
 
@@ -738,6 +828,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the abusive-tenant isolation drill: one tenant hoards "
         "switch memory and floods the admission queue; well-behaved "
         "tenants must still complete bit-exact and undegraded",
+    )
+    chaos.add_argument(
+        "--gray",
+        action="store_true",
+        help="run the gray-failure drill: slow links, straggling daemons "
+        "and flapping nodes (everything alive, nothing crashed) with the "
+        "adaptive RTO and slow-vs-dead detection on; the result still "
+        "verifies bit-exact against the reference",
     )
     chaos.set_defaults(func=cmd_chaos)
     serve = sub.add_parser(

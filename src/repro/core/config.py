@@ -87,6 +87,22 @@ class AskConfig:
     retransmit_jitter: float = 0.0
     give_up_timeout_us: Optional[float] = None
 
+    # Gray-failure domain (slow-is-the-new-dead).  Both default off so the
+    # fault-free fast path and every existing byte-identity oracle are
+    # untouched.  ``adaptive_rto`` replaces the fixed §3.3 timeout with a
+    # Jacobson/Karels estimator (srtt/rttvar EWMA, Karn's rule, estimator-
+    # owned exponential backoff) bounded by [rto_min_us, rto_max_us].
+    # ``gray_detection`` teaches the failure supervisor a per-switch
+    # suspicion score fed by observed timeout bursts, so a slow-but-alive
+    # path is routed around via subtree bypass *before* its lease would
+    # ever lapse (it never does — the node still heartbeats).
+    adaptive_rto: bool = False
+    rto_min_us: float = 50.0
+    rto_max_us: float = 10_000.0
+    gray_detection: bool = False
+    gray_suspicion_threshold: float = 3.0
+    gray_suspicion_decay: float = 0.5
+
     # Data integrity.  When enabled (the default), frames failing their
     # integrity check (CRC32 trailer on the wire codec; the
     # checksum-failed marker in the discrete-event fabric) are dropped and
@@ -188,6 +204,21 @@ class AskConfig:
         ):
             raise ConfigError(
                 "give_up_timeout_us must be >= retransmit_timeout_us"
+            )
+        if self.rto_min_us <= 0:
+            raise ConfigError("rto_min_us must be positive")
+        if self.rto_max_us < self.rto_min_us:
+            raise ConfigError("rto_max_us must be >= rto_min_us")
+        if self.gray_detection and not self.failure_detection:
+            raise ConfigError(
+                "gray_detection needs the failure supervisor; set "
+                "failure_detection=True"
+            )
+        if self.gray_suspicion_threshold <= 0:
+            raise ConfigError("gray_suspicion_threshold must be positive")
+        if not 0.0 <= self.gray_suspicion_decay < 1.0:
+            raise ConfigError(
+                "gray_suspicion_decay must lie within [0, 1)"
             )
         if self.swap_threshold_packets < 1:
             raise ConfigError("swap_threshold_packets must be >= 1")
@@ -292,6 +323,14 @@ class AskConfig:
         """A node whose heartbeats stop for this long is presumed failed
         (its lease lapses) and its switch regions become reclaimable."""
         return self.heartbeat_interval_ns * self.lease_multiple
+
+    @property
+    def rto_min_ns(self) -> int:
+        return int(round(self.rto_min_us * 1_000))
+
+    @property
+    def rto_max_ns(self) -> int:
+        return int(round(self.rto_max_us * 1_000))
 
     @property
     def give_up_timeout_ns(self) -> Optional[int]:

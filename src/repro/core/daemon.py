@@ -10,6 +10,7 @@ key-value data.  Sending tasks are load-balanced over data channels with
 
 from __future__ import annotations
 
+import random
 from typing import Callable, Optional
 
 from dataclasses import dataclass
@@ -106,11 +107,35 @@ class HostDaemon(NetworkNode):
         #: supervised restart can rewind and replay them.
         self._jobs_by_task: dict[int, SendingJob] = {}
         self.crashes = 0
+        # Gray failure: while straggling, every ingress frame's processing
+        # is deferred by _straggle_ns plus a jitter draw — a slow daemon
+        # service loop.  Delayed DATA models a slow receiver; delayed ACK
+        # processing inflates every peer sender's observed RTT (the
+        # straggler-sender case).  The jitter stream is named per host and
+        # created lazily, so runs without straggle windows draw nothing.
+        self._straggle_ns = 0
+        self._straggle_jitter_ns = 0
+        self._straggle_rng: Optional[random.Random] = None
+        self.packets_straggled = 0
 
     # ------------------------------------------------------------------
     # Network ingress (the downlink delivers here)
     # ------------------------------------------------------------------
     def receive(self, packet: AskPacket) -> None:
+        if self._straggle_ns > 0:
+            self.packets_straggled += 1
+            delay = self._straggle_ns
+            if self._straggle_jitter_ns:
+                if self._straggle_rng is None:
+                    self._straggle_rng = random.Random(f"{self.name}:straggle")
+                delay += self._straggle_rng.randint(0, self._straggle_jitter_ns)
+            # Offline/validity checks run at *processing* time (the frame
+            # sat in the service queue; a crash in between still eats it).
+            self.clock.schedule(delay, self._ingress, packet)
+            return
+        self._ingress(packet)
+
+    def _ingress(self, packet: AskPacket) -> None:
         if self._offline:
             self.dropped_while_down += 1
             return
@@ -263,6 +288,19 @@ class HostDaemon(NetworkNode):
         for channel in self.channels:
             channel.recover()
         self.receiver.recover()
+
+    def straggle(self, delay_ns: int, jitter_ns: int = 0) -> None:
+        """Gray failure: defer every ingress frame's processing by
+        ``delay_ns`` (+ uniform jitter up to ``jitter_ns``) until
+        :meth:`unstraggle`.  The daemon stays alive and answers
+        everything — late."""
+        if delay_ns <= 0:
+            raise ValueError(f"straggle delay must be positive, got {delay_ns}")
+        self._straggle_ns = delay_ns
+        self._straggle_jitter_ns = jitter_ns
+
+    def unstraggle(self) -> None:
+        self._straggle_ns = 0
 
     def abort_task(
         self, task: AggregationTask

@@ -62,6 +62,17 @@ class TopologyError(AskError, ValueError):
         self.name = name
 
 
+class ChaosScheduleError(AskError, ValueError):
+    """A chaos schedule is ill-formed: overlapping fault windows on the
+    same target, or a recovery without its fault.  ``target`` carries the
+    node name whose windows collided so drill authors can see *which*
+    schedule line to fix."""
+
+    def __init__(self, message: str, target: str):
+        super().__init__(message)
+        self.target = target
+
+
 class RegionExhaustedError(AskError, RuntimeError):
     """The switch controller has no free aggregator region for a new task."""
 

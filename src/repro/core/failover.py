@@ -97,6 +97,19 @@ class FailureSupervisor:
         self._daemon_handled: set[str] = set()
         #: Receiver daemon name -> task ids whose regions were reclaimed.
         self._orphans: Dict[str, List[int]] = {}
+        # Gray-failure detection (config.gray_detection).  Leases cannot
+        # catch a slow-but-alive switch — it still heartbeats, so its lease
+        # never lapses.  Instead every tick attributes the retransmit-
+        # timeout delta of each sender channel to every switch on that
+        # host's path and folds it into a decaying suspicion score; a
+        # switch crossing the threshold is routed around (same degrade-to-
+        # bypass + supervised-restart machinery as a lease lapse) and
+        # re-adopted once the score decays back down.
+        self.suspicion: Dict[str, float] = {}
+        self._gray: set[str] = set()
+        self._timeouts_seen: Dict[tuple[str, int], int] = {}
+        self.gray_routearounds = 0
+        self.gray_readoptions = 0
         #: Chronological record of everything the supervisor observed and
         #: did; the chaos degradation report renders it.
         self.events: List[dict[str, Any]] = []
@@ -151,6 +164,11 @@ class FailureSupervisor:
             return True
         if self._reinstalling:
             return True
+        # A gray-suspected switch must be re-adopted (and residual
+        # suspicion decayed away) even after every task settled, or the
+        # next submission would start life in bypass for no reason.
+        if self._gray or any(s > 0.0 for s in self.suspicion.values()):
+            return True
         return any(
             sw.is_up and getattr(sw, "needs_install", False)
             for sw in self.switches.values()
@@ -192,8 +210,89 @@ class FailureSupervisor:
                         name,
                         f"host {name} unreachable beyond the give-up deadline",
                     )
+        if self.config.gray_detection:
+            self._gray_tick()
         if self._has_work():
             self._timer = self.clock.schedule(self.heartbeat_ns, self._tick)
+
+    # ------------------------------------------------------------------
+    # Gray-failure detection (slow-vs-dead)
+    # ------------------------------------------------------------------
+    def _gray_tick(self) -> None:
+        """Update per-switch suspicion from this tick's timeout deltas.
+
+        Attribution is *path*-scoped: a channel cannot tell which hop
+        stretched its RTT, so its timeout delta charges every switch on
+        the host's path.  That can route around an innocent neighbour of
+        the slow hop — the price of detecting from the edge — but never
+        loses data: route-around reuses the supervised-restart machinery,
+        and re-adoption re-baselines dedup state before non-bypass entries
+        resume."""
+        decay = self.config.gray_suspicion_decay
+        threshold = self.config.gray_suspicion_threshold
+        deltas: Dict[str, int] = {}
+        for host, daemon in self.daemons.items():
+            path = self.host_paths.get(host, ())
+            if not path:
+                continue
+            for channel in daemon.channels:
+                key = (host, channel.index)
+                seen = self._timeouts_seen.get(key, 0)
+                current = channel.timers.timeouts
+                if current > seen:
+                    self._timeouts_seen[key] = current
+                    for name in path:
+                        deltas[name] = deltas.get(name, 0) + current - seen
+        for name, sw in self.switches.items():
+            score = self.suspicion.get(name, 0.0) * decay + deltas.get(name, 0)
+            if score < 1e-9:
+                score = 0.0
+            self.suspicion[name] = score
+            if not sw.is_up or getattr(sw, "needs_install", False):
+                continue  # actually dark: the lease machinery owns it
+            if name in self._gray:
+                if score < 1.0:
+                    self._gray_readopt(name)
+            elif score >= threshold and name not in self._handled:
+                self._gray_suspect(name, score)
+
+    def _gray_suspect(self, name: str, score: float) -> None:
+        """Route around a slow-but-alive switch before any lease would
+        lapse (it never will — the node still heartbeats).  Same sequence
+        as a lease lapse: degrade the subtree to bypass, restart every
+        task behind the switch so in-flight non-bypass entries are
+        withdrawn rather than stranded behind a stale dedup baseline."""
+        self._gray.add(name)
+        self._degraded.add(name)
+        self._handled.add(name)
+        self.gray_routearounds += 1
+        self._log("gray-suspected", name, score=round(score, 3))
+        for task_id in self._tasks_behind(name):
+            self._restart_task_id(task_id)
+
+    def _gray_readopt(self, name: str) -> None:
+        """Suspicion decayed: re-adopt the switch.  Every live entry was
+        opened in bypass (the flag sticks per entry), so re-baselining
+        each channel at its next sequence number makes later non-bypass
+        entries contiguous — exactly the post-reboot re-install contract,
+        minus the register wipe."""
+        for host, daemon in self.daemons.items():
+            if name not in self.host_paths.get(host, ()):
+                continue
+            for channel in daemon.channels:
+                if channel.window.next_seq == 0:
+                    continue
+                slot = self.switches[name].controller.channel_slot(
+                    (host, channel.index)
+                )
+                self.switches[name].dedup.reinstall_channel(
+                    slot, channel.window.next_seq
+                )
+        self._gray.discard(name)
+        self._degraded.discard(name)
+        self._handled.discard(name)
+        self.gray_readoptions += 1
+        self._log("gray-readopted", name)
 
     def _log(self, kind: str, target: Any, **detail: Any) -> None:
         event = {"t_ns": self.clock.now, "kind": kind, "target": target}

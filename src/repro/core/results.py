@@ -25,6 +25,14 @@ class TaskStats:
     data_packets_sent: int = 0
     long_packets_sent: int = 0
     retransmissions: int = 0
+    #: Retransmit-timer firings that led to a resend (== retransmissions on
+    #: the sender; split out so gray reports can reason about timer health)
+    #: and retransmits later proven unnecessary: the entry's ACK came back
+    #: faster after its last send than the smallest clean RTT ever seen, so
+    #: it must answer an earlier copy.  A gray link inflates this under a
+    #: fixed timeout; the adaptive estimator keeps it near zero.
+    timeouts: int = 0
+    spurious_retransmissions: int = 0
     acks_from_switch: int = 0
     acks_from_receiver: int = 0
     bypass_packets_sent: int = 0

@@ -25,7 +25,7 @@ from repro.core.packet import (
 from repro.core.task import AggregationTask, TaskPhase
 from repro.runtime.interfaces import Clock
 from repro.transport.congestion import CongestionWindow
-from repro.transport.reliability import RetransmitTimers
+from repro.transport.reliability import AdaptiveRto, RetransmitTimers
 from repro.transport.window import SlidingWindow, WindowEntry
 
 SendFn = Callable[[AskPacket], None]
@@ -122,6 +122,13 @@ class SenderChannel:
             hashlib.blake2b(f"{host}:{index}".encode(), digest_size=8).digest(),
             "big",
         )
+        estimator: Optional[AdaptiveRto] = None
+        if config.adaptive_rto:
+            estimator = AdaptiveRto(
+                config.retransmit_timeout_ns,
+                config.rto_min_ns,
+                config.rto_max_ns,
+            )
         self.timers = RetransmitTimers(
             clock,
             self.window,
@@ -133,6 +140,7 @@ class SenderChannel:
             jitter_seed=jitter_seed,
             give_up_ns=config.give_up_timeout_ns,
             on_give_up=self._give_up,
+            estimator=estimator,
         )
         #: Degrade-to-bypass probe, wired by the deployment builder when
         #: failure detection is on.  Checked once per entry *open* (not per
@@ -272,6 +280,7 @@ class SenderChannel:
     def _resend(self, entry: WindowEntry) -> None:
         tag: _EntryTag = entry.payload
         tag.job.task.stats.retransmissions += 1
+        tag.job.task.stats.timeouts += 1
         if self.congestion is not None:
             self.congestion.on_timeout()
         packet = self._build_packet(entry)
@@ -292,6 +301,11 @@ class SenderChannel:
         self.timers.cancel(entry)
         tag: _EntryTag = entry.payload
         job = tag.job
+        spurious_before = self.timers.spurious_retransmissions
+        self.timers.note_ack(entry)
+        newly_spurious = self.timers.spurious_retransmissions - spurious_before
+        if newly_spurious:
+            job.task.stats.spurious_retransmissions += newly_spurious
         if tag.is_fin:
             job.fin_acked = True
             self._finish_job(job)

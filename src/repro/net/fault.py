@@ -216,6 +216,60 @@ class FaultModel:
         return corrupt_packet_fields(packet, self._rng)
 
 
+class LinkSlowdown:
+    """A gray-failure latency window on one link.
+
+    While active, every packet crossing the link pays an extra delay of
+    ``latency_ns * (multiplier - 1)`` plus a uniform jitter draw up to
+    ``jitter_ns`` — the link gets *slower*, never lossy, which is exactly
+    the failure class heartbeat leases cannot see (the node stays alive).
+
+    Each instance owns a dedicated ``random.Random`` stream seeded from
+    ``blake2b(f"{seed_label}:{link_name}")``, the same stable-naming rule
+    :meth:`FaultModel.derive` uses: the jitter sequence depends only on
+    the chaos seed and on *which link* this is, never on construction
+    order or on how many other links are slowed.  Draws happen only while
+    the window is active, so runs without ``slow`` events — and every
+    pre-existing seeded schedule — are bit-identical to before this class
+    existed.  Instances persist across windows (the fabric keeps one per
+    link name), so a second ``slow`` window on the same link continues
+    the stream rather than restarting it.
+    """
+
+    __slots__ = ("multiplier", "jitter_ns", "active", "packets_slowed", "_rng")
+
+    def __init__(
+        self,
+        seed_label: str,
+        link_name: str,
+        multiplier: float = 4.0,
+        jitter_ns: int = 0,
+    ) -> None:
+        if multiplier < 1.0:
+            raise ValueError(f"slowdown multiplier must be >= 1, got {multiplier}")
+        if jitter_ns < 0:
+            raise ValueError(f"jitter_ns must be >= 0, got {jitter_ns}")
+        self.multiplier = multiplier
+        self.jitter_ns = jitter_ns
+        self.active = False
+        self.packets_slowed = 0
+        digest = hashlib.blake2b(
+            f"{seed_label}:{link_name}".encode(), digest_size=8
+        ).digest()
+        self._rng = random.Random(int.from_bytes(digest, "big"))
+
+    def extra_ns(self, latency_ns: int) -> int:
+        """Extra in-flight delay for one packet (0 when the window is
+        closed; draws from the stream only while it is open)."""
+        if not self.active:
+            return 0
+        self.packets_slowed += 1
+        extra = int(latency_ns * (self.multiplier - 1.0))
+        if self.jitter_ns:
+            extra += self._rng.randint(0, self.jitter_ns)
+        return extra
+
+
 def corrupt_bytes(data: bytes, rng: random.Random) -> bytes:
     """Return ``data`` with 1–3 distinct bit flips (never equal to input).
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
-from repro.net.fault import CorruptedFrame, FaultModel
+from repro.net.fault import CorruptedFrame, FaultModel, LinkSlowdown
 from repro.net.simulator import Simulator
 
 DeliverFn = Callable[[Any], None]
@@ -66,8 +66,12 @@ class Link:
         self.packets_duplicated = 0
         self.packets_corrupted = 0
         self.packets_marked = 0
+        self.packets_slowed = 0
         self.bytes_sent = 0
         self.max_backlog_bytes = 0
+        #: Optional gray-failure latency window (chaos ``slow`` events);
+        #: ``None`` on the hot path of every un-slowed link.
+        self.slowdown: Optional[LinkSlowdown] = None
 
     # ------------------------------------------------------------------
     def serialization_ns(self, size_bytes: int) -> int:
@@ -130,10 +134,18 @@ class Link:
                 packet = CorruptedFrame(self.fault.corrupt_fields(packet))
         # Deliveries are never cancelled: use the allocation-free fast path.
         arrival = tx_done + self.latency_ns + decision.extra_delay_ns
+        if self.slowdown is not None and self.slowdown.active:
+            # Gray failure: the link got slower, not lossy.  Duplicates
+            # travel the same degraded wire, so they pay their own draw.
+            arrival += self.slowdown.extra_ns(self.latency_ns)
+            self.packets_slowed += 1
         self.sim.call_at(arrival, deliver, packet)
         if decision.duplicate:
             self.packets_duplicated += 1
             dup_arrival = tx_done + self.latency_ns + decision.duplicate_delay_ns
+            if self.slowdown is not None and self.slowdown.active:
+                dup_arrival += self.slowdown.extra_ns(self.latency_ns)
+                self.packets_slowed += 1
             self.sim.call_at(dup_arrival, deliver, packet)
 
     # ------------------------------------------------------------------

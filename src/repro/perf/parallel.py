@@ -58,14 +58,17 @@ QUICK_CHAOS_SEEDS: tuple[int, ...] = (0, 7)
 class Job:
     """One unit of work.  Must stay picklable (fork *and* spawn starts)."""
 
-    kind: str  #: "experiment" | "fig09-shard" | "chaos" | "chaos-tree" | "chaos-overload" | "sharded-identity"
+    kind: str  #: "experiment" | "fig09-shard" | "chaos" | "chaos-tree" | "chaos-overload" | "chaos-gray" | "sharded-identity"
     name: str  #: experiment name, or the job kind for chaos jobs
     shard: Optional[str] = None  #: fig09 stream kind for shard jobs
     seed: Optional[int] = None  #: chaos schedule seed
 
     @property
     def label(self) -> str:
-        if self.kind in ("chaos", "chaos-tree", "chaos-overload", "sharded-identity"):
+        if self.kind in (
+            "chaos", "chaos-tree", "chaos-overload", "chaos-gray",
+            "sharded-identity",
+        ):
             return f"{self.kind}[seed={self.seed}]"
         if self.shard is not None:
             return f"{self.name}[{self.shard}]"
@@ -100,8 +103,13 @@ def run_job(job: Job) -> JobResult:
 
             assert job.shard is not None
             payload = fig09_prioritization.run(kinds=(job.shard,))
-        elif job.kind in ("chaos", "chaos-tree", "chaos-overload"):
-            from repro.cli import _run_chaos, _run_overload_chaos, _run_tree_chaos
+        elif job.kind in ("chaos", "chaos-tree", "chaos-overload", "chaos-gray"):
+            from repro.cli import (
+                _run_chaos,
+                _run_gray_chaos,
+                _run_overload_chaos,
+                _run_tree_chaos,
+            )
 
             assert job.seed is not None
             buffer = io.StringIO()
@@ -110,6 +118,8 @@ def run_job(job: Job) -> JobResult:
                     status = _run_tree_chaos("sim", job.seed, None)
                 elif job.kind == "chaos-overload":
                     status = _run_overload_chaos("sim", job.seed, None)
+                elif job.kind == "chaos-gray":
+                    status = _run_gray_chaos("sim", job.seed, None)
                 else:
                     status = _run_chaos("sim", job.seed, None)
             if status != 0:
@@ -206,6 +216,11 @@ def plan(
     # isolation under hoard + flood).
     jobs.extend(
         Job("chaos-overload", "chaos-overload", seed=seed) for seed in chaos_seeds
+    )
+    # And the gray-failure drill (slow links / stragglers / flap with the
+    # adaptive RTO and slow-vs-dead detection on).
+    jobs.extend(
+        Job("chaos-gray", "chaos-gray", seed=seed) for seed in chaos_seeds
     )
     # Sharded-backend identity drills (``--sharded``): serial and
     # rack-sharded runs of the demo scenario must fingerprint identically.

@@ -220,6 +220,17 @@ class AsyncioFabric:
         self.corruption_rate = 0.5
         seed = fault.seed if fault is not None else 0
         self._chaos_rng = random.Random(f"{seed}:chaos-corrupt")
+        # Chaos slowdown windows ("slow"/"revive"): while a node is in the
+        # window, datagrams it sends or receives are held back pre-kernel
+        # by slow_delay_ns plus a jitter draw from a per-direction named
+        # stream — the UDP analogue of the sim backend's per-link latency
+        # multiplier (wall-clock has no fixed link latency to multiply).
+        self._slowed: set[str] = set()
+        self.slow_delay_ns = 2_000_000
+        self.slow_jitter_ns = 0
+        self.frames_slowed = 0
+        self._slow_seed = seed
+        self._slow_rngs: Dict[Tuple[str, str], random.Random] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -420,9 +431,15 @@ class AsyncioFabric:
                 data = corrupt_bytes(data, self._chaos_rng)
                 corrupted = True
                 self.frames_corrupted += 1
+        slow_extra = self._slow_extra(src, dst)
         fault = self._direction_fault(src, dst)
         if fault is None:
-            transport.sendto(data, address)
+            if slow_extra:
+                self._clock.schedule(
+                    slow_extra, self._late_send, transport, data, address
+                )
+            else:
+                transport.sendto(data, address)
             return
         decision = fault.decide()
         if decision.drop:
@@ -434,16 +451,20 @@ class AsyncioFabric:
             # observed as loss and retransmission recovers it.
             data = fault.corrupt_payload(data)
             self.frames_corrupted += 1
-        if decision.extra_delay_ns:
+        if decision.extra_delay_ns or slow_extra:
             self._clock.schedule(
-                decision.extra_delay_ns, self._late_send, transport, data, address
+                decision.extra_delay_ns + slow_extra,
+                self._late_send,
+                transport,
+                data,
+                address,
             )
         else:
             transport.sendto(data, address)
         if decision.duplicate:
             self.frames_duplicated += 1
             self._clock.schedule(
-                max(1, decision.duplicate_delay_ns),
+                max(1, decision.duplicate_delay_ns) + slow_extra,
                 self._late_send,
                 transport,
                 data,
@@ -538,6 +559,42 @@ class AsyncioFabric:
 
     def heal(self, name: str) -> None:
         self._partitioned.discard(name)
+
+    # ------------------------------------------------------------------
+    # Fault injection: gray slowdown windows (chaos "slow"/"revive")
+    # ------------------------------------------------------------------
+    def _slow_extra(self, src: str, dst: str) -> int:
+        """Extra pre-kernel delay for one datagram (0 outside windows).
+
+        Jitter draws come from lazily-created per-direction streams named
+        ``{seed}:chaos-slow:{src}->{dst}``, so the draw sequence depends
+        only on the chaos seed and that direction's own traffic order —
+        the same stable-naming rule the per-direction fault models use.
+        """
+        if not self._slowed or (
+            src not in self._slowed and dst not in self._slowed
+        ):
+            return 0
+        self.frames_slowed += 1
+        extra = self.slow_delay_ns
+        if self.slow_jitter_ns:
+            key = (src, dst)
+            rng = self._slow_rngs.get(key)
+            if rng is None:
+                rng = self._slow_rngs[key] = random.Random(
+                    f"{self._slow_seed}:chaos-slow:{src}->{dst}"
+                )
+            extra += rng.randint(0, self.slow_jitter_ns)
+        return extra
+
+    def slow(self, name: str) -> None:
+        """Gray failure: datagrams ``name`` sends or receives are delayed
+        by :attr:`slow_delay_ns` (plus jitter) until :meth:`revive` — the
+        node stays alive, its traffic just arrives late."""
+        self._slowed.add(name)
+
+    def revive(self, name: str) -> None:
+        self._slowed.discard(name)
 
     # ------------------------------------------------------------------
     # Fault injection: corruption windows (chaos "corrupt"/"cleanse")

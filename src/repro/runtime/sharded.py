@@ -94,8 +94,16 @@ Stream = Tuple[Tuple[bytes, int], ...]
 #: A collected fingerprint (or one shard's slice of one).
 Fingerprint = Dict[str, Any]
 
-#: Fabric methods a chaos action may invoke.
-CHAOS_KINDS = ("partition", "heal", "corrupt", "cleanse")
+#: Chaos action kinds a scenario may carry.  All but the straggle pair
+#: are fabric methods; ``straggle``/``unstraggle`` dispatch to the target
+#: host's daemon (service delay).  Replaying gray kinds on every replica
+#: is safe like the rest: per-link slowdown jitter streams only draw on
+#: the shard whose packets actually cross the link, and a straggling
+#: daemon on a non-owning replica never receives a frame.
+CHAOS_KINDS = (
+    "partition", "heal", "corrupt", "cleanse",
+    "slow", "revive", "straggle", "unstraggle",
+)
 
 
 @dataclass(frozen=True)
@@ -142,6 +150,12 @@ class ShardedScenario:
     chaos: Tuple[ChaosAction, ...] = ()
     fault: Optional[Mapping[str, Any]] = None
     corruption_rate: Optional[float] = None
+    #: Gray-failure knobs for ``slow``/``straggle`` chaos actions (per-link
+    #: latency multiplier + jitter, daemon service delay + jitter).
+    slow_multiplier: float = 4.0
+    slow_jitter_ns: int = 0
+    straggle_delay_ns: int = 50_000
+    straggle_jitter_ns: int = 0
     core_bandwidth_gbps: Optional[float] = 400.0
     core_latency_ns: int = 2_000
     max_tasks: int = 64
@@ -313,18 +327,34 @@ def _build_service(scenario: ShardedScenario) -> Any:
         )
     if scenario.corruption_rate is not None:
         service.fabric.corruption_rate = scenario.corruption_rate
+    service.fabric.slow_multiplier = scenario.slow_multiplier
+    service.fabric.slow_jitter_ns = scenario.slow_jitter_ns
     return service
 
 
-def _schedule_chaos(service: Any, chaos: Sequence[ChaosAction]) -> None:
+def _schedule_chaos(
+    service: Any, scenario: ShardedScenario, chaos: Sequence[ChaosAction]
+) -> None:
     """Schedule the full chaos list at absolute times, before any task
     submission — identical push order on the serial sim and on every
     shard replica, so same-instant ordering against task events agrees."""
     sim: Simulator = service.sim
     fabric = service.fabric
     for action in chaos:
-        method: Callable[[str], None] = getattr(fabric, action.kind)
-        sim.call_at(action.time_ns, method, action.target)
+        if action.kind == "straggle":
+            daemon = service.daemons[action.target]
+            sim.call_at(
+                action.time_ns,
+                daemon.straggle,
+                scenario.straggle_delay_ns,
+                scenario.straggle_jitter_ns,
+            )
+        elif action.kind == "unstraggle":
+            daemon = service.daemons[action.target]
+            sim.call_at(action.time_ns, daemon.unstraggle)
+        else:
+            method: Callable[[str], None] = getattr(fabric, action.kind)
+            sim.call_at(action.time_ns, method, action.target)
 
 
 def _submit(service: Any, task: ShardedTask) -> AggregationTask:
@@ -470,7 +500,7 @@ def run_serial(scenario: ShardedScenario, plan: ShardPlan) -> Fingerprint:
         # execution mode, so the rank only orders it against same-push-time
         # task events — which the lowest rank does consistently.
         sim.set_shard_context(0)
-        _schedule_chaos(service, scenario.chaos)
+        _schedule_chaos(service, scenario, scenario.chaos)
         tasks: Dict[int, AggregationTask] = {}
         for index in order:
             sim.set_shard_context(homes[index])
@@ -498,7 +528,7 @@ class _ShardRun:
             service.fabric.topology, plan, rank, self.outbox
         )
         self.sim.enable_shard_order(rank)
-        _schedule_chaos(service, scenario.chaos)
+        _schedule_chaos(service, scenario, scenario.chaos)
         self.tasks: Dict[int, AggregationTask] = {}
         for index in order:
             if homes[index] == rank:

@@ -19,7 +19,12 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, Iterator, Optional
 
-from repro.net.fault import CorruptedFrame, FaultModel, corrupt_packet_fields
+from repro.net.fault import (
+    CorruptedFrame,
+    FaultModel,
+    LinkSlowdown,
+    corrupt_packet_fields,
+)
 from repro.net.link import Link
 from repro.net.multirack import MultiRackTopology, RackView, SpineView
 from repro.net.simulator import Simulator
@@ -143,6 +148,15 @@ class SimFabric:
         self.partition_drops = 0
         seed = fault.seed if fault is not None else 0
         self._corruption = _CorruptionWindow(f"{seed}:chaos-corrupt")
+        #: Gray-failure knobs (chaos ``slow``/``revive``): every link
+        #: touching a slowed node pays ``latency * slow_multiplier`` plus
+        #: uniform jitter up to ``slow_jitter_ns`` per packet.  Set before
+        #: the first ``slow`` event; the per-link jitter streams are
+        #: seeded from ``{seed}:chaos-slow:{link_name}``.
+        self.slow_multiplier = 4.0
+        self.slow_jitter_ns = 0
+        self._slow_label = f"{seed}:chaos-slow"
+        self._slowdowns: Dict[str, LinkSlowdown] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -242,6 +256,44 @@ class SimFabric:
         for port in self.topology._downlinks.values():  # noqa: SLF001
             yield port.link
 
+    # ------------------------------------------------------------------
+    # Fault injection: gray slowdown windows (chaos "slow"/"revive")
+    # ------------------------------------------------------------------
+    def _slow_links(self, name: str) -> Iterator[Link]:
+        star = self._star()
+        if name == star.switch.name:
+            yield from self._links()
+        else:
+            yield star._uplinks[name].link  # noqa: SLF001
+            yield star._downlinks[name].link  # noqa: SLF001
+
+    def _set_slow(self, name: str, active: bool) -> None:
+        for link in self._slow_links(name):
+            slowdown = self._slowdowns.get(link.name)
+            if slowdown is None:
+                slowdown = self._slowdowns[link.name] = LinkSlowdown(
+                    self._slow_label,
+                    link.name,
+                    multiplier=self.slow_multiplier,
+                    jitter_ns=self.slow_jitter_ns,
+                )
+                link.slowdown = slowdown
+            slowdown.active = active
+
+    def slow(self, name: str) -> None:
+        """Gray failure: every link touching ``name`` gets slower (never
+        lossy) until :meth:`revive` — the node stays alive and heartbeats
+        keep answering, just late."""
+        self._set_slow(name, True)
+
+    def revive(self, name: str) -> None:
+        self._set_slow(name, False)
+
+    @property
+    def packets_slowed(self) -> int:
+        """Packets delivered late through an open slowdown window."""
+        return sum(link.packets_slowed for link in self._links())
+
     @property
     def corruption_injected(self) -> int:
         """Corrupted frames delivered by this fabric: steady-state link
@@ -293,6 +345,11 @@ class SimMultiRackFabric:
         self.partition_drops = 0
         seed = fault.seed if fault is not None else 0
         self._corruption = _CorruptionWindow(f"{seed}:chaos-corrupt")
+        #: Gray-failure knobs; see :class:`SimFabric` for semantics.
+        self.slow_multiplier = 4.0
+        self.slow_jitter_ns = 0
+        self._slow_label = f"{seed}:chaos-slow"
+        self._slowdowns: Dict[str, LinkSlowdown] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -413,6 +470,60 @@ class SimMultiRackFabric:
             yield nic.link
         for nic in topo._spine_core.values():  # noqa: SLF001
             yield nic.link
+
+    # ------------------------------------------------------------------
+    # Fault injection: gray slowdown windows (chaos "slow"/"revive")
+    # ------------------------------------------------------------------
+    def _slow_links(self, name: str) -> Iterator[Link]:
+        topo = self.topology
+        if name in topo._switch_rack:  # noqa: SLF001 - fabric owns topology
+            rack = topo.rack_of_switch(name)
+            endpoint = ("rack", rack)
+        elif name in topo._spine_switches:  # noqa: SLF001
+            rack = None
+            endpoint = ("spine", name)
+        else:
+            rack = topo.rack_of_host(name)
+            star = topo._stars[rack]  # noqa: SLF001
+            yield star._uplinks[name].link  # noqa: SLF001
+            yield star._downlinks[name].link  # noqa: SLF001
+            return
+        if rack is not None:
+            star = topo._stars[rack]  # noqa: SLF001
+            for port in star._uplinks.values():  # noqa: SLF001
+                yield port.link
+            for port in star._downlinks.values():  # noqa: SLF001
+                yield port.link
+        for _name, src, dst, nic in topo.interconnect_links():
+            if src == endpoint or dst == endpoint:
+                yield nic.link
+
+    def _set_slow(self, name: str, active: bool) -> None:
+        for link in self._slow_links(name):
+            slowdown = self._slowdowns.get(link.name)
+            if slowdown is None:
+                slowdown = self._slowdowns[link.name] = LinkSlowdown(
+                    self._slow_label,
+                    link.name,
+                    multiplier=self.slow_multiplier,
+                    jitter_ns=self.slow_jitter_ns,
+                )
+                link.slowdown = slowdown
+            slowdown.active = active
+
+    def slow(self, name: str) -> None:
+        """Gray failure: every link touching ``name`` — star links of its
+        rack plus any interconnect links it terminates — gets slower
+        (never lossy) until :meth:`revive`."""
+        self._set_slow(name, True)
+
+    def revive(self, name: str) -> None:
+        self._set_slow(name, False)
+
+    @property
+    def packets_slowed(self) -> int:
+        """Packets delivered late through an open slowdown window."""
+        return sum(link.packets_slowed for link in self._links())
 
     @property
     def corruption_injected(self) -> int:

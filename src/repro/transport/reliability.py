@@ -28,6 +28,65 @@ from repro.transport.window import SlidingWindow, WindowEntry
 _MAX_BACKOFF_EXP = 16
 
 
+class AdaptiveRto:
+    """Jacobson/Karels RTT estimator (the RFC 6298 shape) for one channel.
+
+    A gray link does not drop packets — it stretches them.  A fixed 100 us
+    timeout under 4x latency inflation fires on packets that are still in
+    flight, and every spurious retransmit is read by AIMD as loss.  The
+    estimator tracks ``srtt``/``rttvar`` with the classic EWMA gains
+    (α=1/8, β=1/4) and arms ``srtt + 4·rttvar`` clamped to
+    ``[min_ns, max_ns]``, so the timeout follows the path's actual latency
+    up *and* back down.
+
+    Karn's rule is enforced by the caller: only entries ACKed on their
+    first transmission are fed to :meth:`observe` (a retransmitted entry's
+    ACK is ambiguous).  The estimator owns the exponential backoff — each
+    timeout doubles the armed value (still capped), and the next clean
+    sample resets it — so a configured ``retransmit_backoff`` factor is
+    never double-applied on top.
+    """
+
+    __slots__ = ("min_ns", "max_ns", "srtt_ns", "rttvar_ns", "samples",
+                 "_backoff_exp")
+
+    def __init__(self, initial_rto_ns: int, min_ns: int, max_ns: int) -> None:
+        if min_ns <= 0 or max_ns < min_ns:
+            raise ValueError(
+                f"need 0 < min_ns <= max_ns, got [{min_ns}, {max_ns}]"
+            )
+        self.min_ns = min_ns
+        self.max_ns = max_ns
+        #: Until the first sample the channel runs on the configured fixed
+        #: timeout (clamped), exactly like the non-adaptive policy.
+        self.srtt_ns = float(min(max(initial_rto_ns, min_ns), max_ns))
+        self.rttvar_ns = 0.0
+        self.samples = 0
+        self._backoff_exp = 0
+
+    def observe(self, sample_ns: int) -> None:
+        """Fold in one clean (first-transmission) RTT sample."""
+        if self.samples == 0:
+            self.srtt_ns = float(sample_ns)
+            self.rttvar_ns = sample_ns / 2.0
+        else:
+            err = abs(self.srtt_ns - sample_ns)
+            self.rttvar_ns += (err - self.rttvar_ns) / 4.0
+            self.srtt_ns += (sample_ns - self.srtt_ns) / 8.0
+        self.samples += 1
+        self._backoff_exp = 0
+
+    def on_timeout(self) -> None:
+        """A retransmit timer fired: back off until the next clean sample."""
+        self._backoff_exp = min(self._backoff_exp + 1, _MAX_BACKOFF_EXP)
+
+    def rto_ns(self) -> int:
+        """Current timeout: ``(srtt + 4·rttvar) · 2**backoff``, clamped."""
+        base = self.srtt_ns + 4.0 * self.rttvar_ns
+        backed = base * (1 << self._backoff_exp)
+        return int(min(max(backed, self.min_ns), self.max_ns))
+
+
 class RetransmitTimers:
     """Per-packet timeout management for one data channel.
 
@@ -54,6 +113,7 @@ class RetransmitTimers:
         jitter_seed: int = 0,
         give_up_ns: Optional[int] = None,
         on_give_up: Optional[Callable[[WindowEntry], None]] = None,
+        estimator: Optional[AdaptiveRto] = None,
     ) -> None:
         self.clock = clock
         self.window = window
@@ -64,11 +124,27 @@ class RetransmitTimers:
         self.jitter = jitter
         self.give_up_ns = give_up_ns
         self.on_give_up = on_give_up
+        self.estimator = estimator
         self._jitter_rng = random.Random(jitter_seed) if jitter > 0.0 else None
         self.retransmissions = 0
+        self.timeouts = 0
         self.give_ups = 0
+        #: Smallest RTT ever observed on a first transmission; an ACK that
+        #: lands on a retransmitted entry faster than this after its last
+        #: send must belong to an earlier copy — the retransmit was
+        #: spurious.  Pure arithmetic on existing timestamps (no RNG, no
+        #: scheduling), so tracking it is always on and schedule-identical.
+        self.min_rtt_ns: Optional[int] = None
+        self.spurious_retransmissions = 0
 
     def _delay_ns(self, entry: WindowEntry) -> int:
+        if self.estimator is not None:
+            # The estimator owns the backoff schedule (reset by clean
+            # samples); only the decorrelation jitter stacks on top.
+            delay = float(self.estimator.rto_ns())
+            if self._jitter_rng is not None:
+                delay *= 1.0 + self._jitter_rng.random() * self.jitter
+            return int(delay)
         if self.backoff == 1.0 and self._jitter_rng is None:
             return self.timeout_ns
         exponent = min(max(entry.transmissions - 1, 0), _MAX_BACKOFF_EXP)
@@ -83,7 +159,32 @@ class RetransmitTimers:
         """(Re)arm the timeout for an entry that was just transmitted."""
         if entry.timer is not None:
             entry.timer.cancel()
-        entry.timer = self.clock.schedule(self._delay_ns(entry), self._fire, entry)
+        delay = self._delay_ns(entry)
+        if self.give_up_ns is not None and self.on_give_up is not None:
+            # A capped/backed-off delay must not slide the next firing past
+            # the give-up deadline: clamp so the timer lands exactly on it
+            # and _fire's deadline check converts the firing into give-up.
+            remaining = entry.first_sent_ns + self.give_up_ns - self.clock.now
+            if delay > remaining:
+                delay = max(remaining, 0)
+        entry.timer = self.clock.schedule(delay, self._fire, entry)
+
+    def note_ack(self, entry: WindowEntry) -> None:
+        """Feed an ACKed entry's timing back (call on first ACK only).
+
+        First-transmission ACKs yield clean RTT samples (Karn's rule) for
+        the floor tracker and the estimator, when one is attached.
+        Retransmitted entries are checked against the floor for
+        spuriousness instead: all copies beyond the one the ACK plausibly
+        answers were wasted wire."""
+        rtt = self.clock.now - entry.last_sent_ns
+        if entry.transmissions <= 1:
+            if self.min_rtt_ns is None or rtt < self.min_rtt_ns:
+                self.min_rtt_ns = rtt
+            if self.estimator is not None:
+                self.estimator.observe(rtt)
+        elif self.min_rtt_ns is not None and rtt < self.min_rtt_ns:
+            self.spurious_retransmissions += entry.transmissions - 1
 
     def cancel(self, entry: WindowEntry) -> None:
         if entry.timer is not None:
@@ -104,6 +205,9 @@ class RetransmitTimers:
             self.give_ups += 1
             self.on_give_up(entry)
             return
+        self.timeouts += 1
+        if self.estimator is not None:
+            self.estimator.on_timeout()
         self.retransmissions += 1
         self._resend(entry)
         self.arm(entry)

@@ -244,6 +244,63 @@ def test_partition_drill_heals_by_retransmission(target):
 
 
 # ---------------------------------------------------------------------------
+# Gray failure: slow-is-the-new-dead route-around and re-adoption
+# ---------------------------------------------------------------------------
+def test_gray_slow_switch_drill_routes_around_then_readopts():
+    # 30 µs links make the clean round trip ~61 µs; the 4x slow window
+    # inflates it to ~244 µs, far past the 100 µs fixed RTO — but every
+    # heartbeat still arrives (late), so the lease never lapses.  The
+    # supervisor must convict the switch on timeout evidence alone,
+    # degrade its subtree to bypass, and re-adopt after the revive.
+    service = AskService(
+        AskConfig.small(
+            failure_detection=True,
+            heartbeat_interval_us=50.0,
+            link_latency_ns=30_000,
+            gray_detection=True,
+        ),
+        hosts=3,
+    )
+    schedule = ChaosSchedule(
+        seed=0,
+        horizon_ns=3_000_000,
+        events=(
+            ChaosEvent(150_000, "slow", "switch"),
+            ChaosEvent(600_000, "revive", "switch"),
+        ),
+    ).check_windows()
+    orchestrator = ChaosOrchestrator(service.deployment, schedule)
+    orchestrator.arm()
+    streams = _streams()
+    expected = _expected(service, streams)
+    task = service.submit(streams, receiver="h2")
+    service.run_to_completion()
+    service.run()  # drain the revive and the post-calm re-adoption
+    assert task.result is not None
+    assert task.result.values == expected
+
+    # Everything stayed alive — no lease lapsed, no node was declared
+    # dead — yet the switch was routed around on timeout evidence...
+    kinds = [e["kind"] for e in service.supervisor.events]
+    assert "gray-suspected" in kinds
+    assert "switch-lease-lapsed" not in kinds
+    assert service.supervisor.gray_routearounds >= 1
+    assert task.stats.timeouts > 0
+    assert task.stats.bypass_packets_sent > 0
+    # ...and re-adopted once the path calmed down.
+    assert "gray-readopted" in kinds
+    assert service.supervisor.gray_readoptions >= 1
+    assert not service.switch.needs_install
+
+    # The degradation report tells the same story.
+    report = orchestrator.report(tasks=service.tasks)
+    assert report.gray["gray_faults_injected"] == 1
+    assert report.gray["gray_routearounds"] >= 1
+    assert report.gray["timeouts"] > 0
+    assert "gray" in report.summary()
+
+
+# ---------------------------------------------------------------------------
 # Orchestrator contract
 # ---------------------------------------------------------------------------
 def test_orchestrator_rejects_unsupervised_deployments():

@@ -1,0 +1,228 @@
+"""Gray-failure properties: slow is never lossy, adaptive beats fixed.
+
+The three proof obligations of the gray-failure domain:
+
+* **Slow-only chaos loses nothing.**  Any sampled schedule of pure
+  latency windows (no crash, no partition) leaves the aggregation
+  bit-identical to the fault-free reference — same values, same
+  ``values_sha256`` — on the simulated fabric and on real UDP alike.
+* **The adaptive estimator is opt-in and invisible when off.**  With
+  ``adaptive_rto=False`` (the default) no estimator is even constructed,
+  and a fault-free adaptive-on run still completes on the identical
+  event schedule (timers are cancelled before they can fire either way).
+* **Under sustained >=4x latency inflation the adaptive estimator's
+  spurious-retransmit count stays strictly below the fixed timeout's.**
+  A fixed RTO shorter than the inflated round trip fires on every
+  packet and re-fires on the backoff, so most retransmits answer ACKs
+  already in flight; Jacobson/Karels converges onto the inflated path
+  and stops paying.
+"""
+
+import dataclasses
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.chaos import ChaosEvent, ChaosOrchestrator, ChaosSchedule
+from repro.core.config import AskConfig
+from repro.core.results import reference_aggregate, values_sha256
+from repro.core.service import AskService
+
+
+def _streams():
+    # Hot keys + a distinct-key tail long enough that gray windows land
+    # mid-stream (the tail dominates the run time on both backends).
+    return {
+        "h0": [(b"hot", 1), (b"cold", 2)] * 40
+        + [(f"key-{i:04d}".encode(), i) for i in range(1200)],
+        "h1": [(b"hot", 3)] * 40
+        + [(f"key-{i:04d}".encode(), 1) for i in range(800)],
+    }
+
+
+def _expected(service, streams):
+    return reference_aggregate(
+        {h: list(s) for h, s in streams.items()}, service.config.value_mask
+    )
+
+
+# ---------------------------------------------------------------------------
+# Slow-only chaos loses nothing
+# ---------------------------------------------------------------------------
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(seed=st.integers(0, 10_000))
+def test_slow_only_chaos_loses_nothing_on_sim(seed):
+    service = AskService(
+        AskConfig.small(failure_detection=True, heartbeat_interval_us=50.0),
+        hosts=3,
+    )
+    schedule = ChaosSchedule.generate(
+        seed,
+        hosts=service.hosts,
+        switches=[service.switch.name],
+        horizon_ns=250_000,
+        min_down_ns=40_000,
+        max_down_ns=200_000,
+        kinds=("slow",),
+    )
+    orchestrator = ChaosOrchestrator(service.deployment, schedule)
+    orchestrator.arm()
+    streams = _streams()
+    expected = _expected(service, streams)
+    task = service.submit(streams, receiver="h2")
+    service.run_to_completion()
+    service.run()  # drain revives scheduled past task completion
+    assert task.result is not None
+    assert task.result.values == expected
+    assert values_sha256(task.result.values) == values_sha256(expected)
+    # Pure latency is never loss: the lease supervisor saw every
+    # heartbeat (late, but alive), so nothing was declared dead and no
+    # task restarted.
+    assert task.stats.task_restarts == 0
+    assert len(orchestrator.injected) == len(schedule.events)
+    report = orchestrator.report(tasks=service.tasks)
+    # All of the schedule's faults are gray: none counted as fail-stop.
+    assert report.totals["faults_injected"] == 0
+    assert report.gray["gray_faults_injected"] == schedule.fault_count
+    assert schedule.gray_fault_count == schedule.fault_count
+
+
+@settings(
+    max_examples=3,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(seed=st.integers(0, 100))
+def test_slow_only_chaos_loses_nothing_on_asyncio(seed):
+    config = dataclasses.replace(
+        AskConfig.small(),
+        retransmit_timeout_us=2000,
+        failure_detection=True,
+        heartbeat_interval_us=2_000.0,
+    )
+    service = AskService(config, hosts=3, backend="asyncio")
+    try:
+        schedule = ChaosSchedule.generate(
+            seed,
+            hosts=service.hosts,
+            switches=[service.switch.name],
+            horizon_ns=30_000_000,
+            min_down_ns=5_000_000,
+            max_down_ns=20_000_000,
+            kinds=("slow",),
+        )
+        orchestrator = ChaosOrchestrator(service.deployment, schedule)
+        # Open the sockets before arming: fault offsets count from a live
+        # rack, not from interpreter startup.
+        service.fabric.start()
+        orchestrator.arm()
+        streams = _streams()
+        expected = _expected(service, streams)
+        task = service.submit(streams, receiver="h2")
+        service.run_to_completion(timeout_s=90.0)
+        assert task.result is not None
+        assert task.result.values == expected
+        assert values_sha256(task.result.values) == values_sha256(expected)
+    finally:
+        service.close()
+
+
+# ---------------------------------------------------------------------------
+# Adaptive RTO is opt-in; off is byte-identical to before it existed
+# ---------------------------------------------------------------------------
+def test_adaptive_rto_off_builds_no_estimator_and_on_changes_nothing():
+    def run(adaptive):
+        service = AskService(
+            AskConfig.small(adaptive_rto=adaptive), hosts=3
+        )
+        for daemon in service.deployment.daemons.values():
+            for channel in daemon.channels:
+                assert (channel.timers.estimator is not None) == adaptive
+        streams = _streams()
+        expected = _expected(service, streams)
+        task = service.submit(streams, receiver="h2")
+        service.run_to_completion()
+        assert task.result is not None
+        assert task.result.values == expected
+        return task
+
+    off = run(False)
+    on = run(True)
+    assert values_sha256(off.result.values) == values_sha256(on.result.values)
+    # Fault-free, every timer is cancelled before firing regardless of
+    # which delay it was armed with: the wire schedule is identical.
+    for task in (off, on):
+        assert task.stats.retransmissions == 0
+        assert task.stats.timeouts == 0
+        assert task.stats.spurious_retransmissions == 0
+    assert off.stats.data_packets_sent == on.stats.data_packets_sent
+    assert off.stats.completed_at_ns == on.stats.completed_at_ns
+
+
+# ---------------------------------------------------------------------------
+# Under >=4x inflation, adaptive strictly beats fixed on spurious resends
+# ---------------------------------------------------------------------------
+def _run_inflated(adaptive, slow_start_ns):
+    """One sender through a switch whose links turn 4x slow mid-task.
+
+    Geometry: link_latency 30us makes the clean round trip ~61us, under
+    the 100us fixed RTO; the 4x window inflates it to ~244us, so the
+    fixed timer fires at 100us and again at the 200us backoff while the
+    real ACK is still in flight — every such ACK then lands faster after
+    the last resend than the smallest clean RTT, branding the resends
+    spurious.  The adaptive estimator backs off, catches one clean
+    sample of the inflated path, and re-centers.
+    """
+    config = AskConfig.small(
+        link_latency_ns=30_000,
+        adaptive_rto=adaptive,
+        rto_min_us=50.0,
+        rto_max_us=10_000.0,
+    )
+    service = AskService(config, hosts=2)
+    schedule = ChaosSchedule(
+        seed=0,
+        horizon_ns=60_000_000,
+        events=(
+            ChaosEvent(slow_start_ns, "slow", service.switch.name),
+            ChaosEvent(50_000_000, "revive", service.switch.name),
+        ),
+    ).check_windows()
+    orchestrator = ChaosOrchestrator(
+        service.deployment, schedule, require_supervisor=False
+    )
+    orchestrator.arm()
+    streams = {"h0": [(f"key-{i:04d}".encode(), i % 97 + 1) for i in range(400)]}
+    expected = reference_aggregate(
+        {h: list(s) for h, s in streams.items()}, service.config.value_mask
+    )
+    task = service.submit(streams, receiver="h1")
+    service.run_to_completion()
+    service.run()  # drain the revive event
+    assert task.result is not None
+    assert task.result.values == expected
+    return task.stats
+
+
+@settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(slow_start_us=st.integers(150, 400))
+def test_adaptive_rto_spurious_strictly_below_fixed_under_inflation(
+    slow_start_us,
+):
+    fixed = _run_inflated(False, slow_start_us * 1_000)
+    adaptive = _run_inflated(True, slow_start_us * 1_000)
+    # The fixed timeout misreads latency as loss on nearly every packet
+    # of the slow era; the estimator must not.
+    assert fixed.spurious_retransmissions > 0
+    assert (
+        adaptive.spurious_retransmissions < fixed.spurious_retransmissions
+    )
+    assert adaptive.timeouts < fixed.timeouts

@@ -66,3 +66,146 @@ def test_negative_time_rejected():
 def test_generate_needs_targets():
     with pytest.raises(ValueError, match="at least one"):
         ChaosSchedule.generate(1, [], [])
+
+
+# ---------------------------------------------------------------------------
+# Gray kinds and window coalescing
+# ---------------------------------------------------------------------------
+def test_gray_kinds_generate_paired_and_validated():
+    def count(schedule, kind, target):
+        return sum(
+            1 for e in schedule.events if e.kind == kind and e.target == target
+        )
+
+    for seed in range(50):
+        schedule = ChaosSchedule.generate(
+            seed, HOSTS, SWITCHES, kinds=("slow", "straggle", "flap")
+        )
+        assert schedule.gray_fault_count == schedule.fault_count >= 1
+        for target in schedule.targets():
+            for fault, recovery in RECOVERY_OF.items():
+                assert count(schedule, fault, target) == count(
+                    schedule, recovery, target
+                )
+        # generate's own output always passes window validation
+        assert schedule.check_windows() is schedule
+
+
+def test_straggle_on_a_switch_becomes_slow():
+    # A switch has no daemon service loop; its gray failure is its links.
+    for seed in range(50):
+        schedule = ChaosSchedule.generate(
+            seed, hosts=[], switches=SWITCHES, kinds=("straggle",)
+        )
+        kinds = {e.kind for e in schedule.events}
+        assert "straggle" not in kinds and "unstraggle" not in kinds
+        assert kinds <= {"slow", "revive"}
+
+
+def test_same_kind_overlap_merges_into_one_window():
+    from repro.chaos.schedule import _coalesce
+
+    windows = []
+    _coalesce(windows, 100, 300, "slow", "h0", horizon_ns=1000)
+    _coalesce(windows, 200, 500, "slow", "h0", horizon_ns=1000)
+    assert windows == [(100, 500, "slow", "h0")]
+
+
+def test_different_kind_overlap_queues_after_recovery():
+    from repro.chaos.schedule import _coalesce
+
+    windows = []
+    _coalesce(windows, 100, 300, "crash", "h0", horizon_ns=1000)
+    _coalesce(windows, 200, 400, "slow", "h0", horizon_ns=1000)
+    # The slow window keeps its 200ns duration, starting strictly after
+    # the crash recovers (+1 so they never share an instant).
+    assert windows == [(100, 300, "crash", "h0"), (301, 501, "slow", "h0")]
+
+
+def test_queued_window_is_clamped_to_the_horizon():
+    from repro.chaos.schedule import _coalesce
+
+    windows = []
+    _coalesce(windows, 100, 990, "crash", "h0", horizon_ns=1000)
+    _coalesce(windows, 500, 800, "slow", "h0", horizon_ns=1000)
+    # Queued after the crash recovery (+1) and clamped to the horizon.
+    assert windows == [(100, 990, "crash", "h0"), (991, 1000, "slow", "h0")]
+
+
+def test_queued_window_with_no_horizon_room_is_dropped():
+    from repro.chaos.schedule import _coalesce
+
+    windows = []
+    _coalesce(windows, 100, 999, "crash", "h0", horizon_ns=1000)
+    _coalesce(windows, 500, 800, "slow", "h0", horizon_ns=1000)
+    # Queued start would be 1000 == horizon: no room, both events vanish.
+    assert windows == [(100, 999, "crash", "h0")]
+
+
+def test_overlap_on_different_targets_is_untouched():
+    from repro.chaos.schedule import _coalesce
+
+    windows = []
+    _coalesce(windows, 100, 300, "crash", "h0", horizon_ns=1000)
+    _coalesce(windows, 200, 400, "crash", "h1", horizon_ns=1000)
+    assert windows == [(100, 300, "crash", "h0"), (200, 400, "crash", "h1")]
+
+
+def test_check_windows_rejects_hand_built_overlap():
+    from repro.core.errors import ChaosScheduleError
+
+    schedule = ChaosSchedule(
+        seed=1,
+        horizon_ns=1000,
+        events=(
+            ChaosEvent(100, "slow", "h0"),
+            ChaosEvent(200, "crash", "h0"),
+            ChaosEvent(300, "revive", "h0"),
+            ChaosEvent(400, "restore", "h0"),
+        ),
+    )
+    with pytest.raises(ChaosScheduleError, match="overlap") as excinfo:
+        schedule.check_windows()
+    assert excinfo.value.target == "h0"
+
+
+def test_check_windows_rejects_orphan_recovery():
+    from repro.core.errors import ChaosScheduleError
+
+    schedule = ChaosSchedule(
+        seed=1,
+        horizon_ns=1000,
+        events=(ChaosEvent(100, "revive", "h0"),),
+    )
+    with pytest.raises(ChaosScheduleError, match="no open"):
+        schedule.check_windows()
+
+
+def test_check_windows_rejects_unclosed_window():
+    from repro.core.errors import ChaosScheduleError
+
+    schedule = ChaosSchedule(
+        seed=1,
+        horizon_ns=1000,
+        events=(ChaosEvent(100, "slow", "h0"),),
+    )
+    with pytest.raises(ChaosScheduleError, match="never recovers"):
+        schedule.check_windows()
+
+
+def test_check_windows_accepts_disjoint_windows_and_chains():
+    schedule = ChaosSchedule(
+        seed=1,
+        horizon_ns=1000,
+        events=(
+            ChaosEvent(100, "slow", "h0"),
+            ChaosEvent(200, "revive", "h0"),
+            ChaosEvent(300, "crash", "h0"),
+            ChaosEvent(400, "restore", "h0"),
+            ChaosEvent(150, "straggle", "h1"),
+            ChaosEvent(900, "unstraggle", "h1"),
+        ),
+    )
+    # events need not be pre-sorted for validation to make sense: the
+    # schedule is frozen as given, so validate as given (time-sorted here).
+    assert schedule.check_windows() is schedule

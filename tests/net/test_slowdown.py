@@ -1,0 +1,129 @@
+"""Named-stream determinism for gray slowdown jitter.
+
+Every slowdown jitter stream is seeded from a stable name — the chaos
+seed plus the link (sim backend) or the datagram direction (asyncio
+backend) — never from construction order or from how many other links
+happen to be slowed.  These tests pin that contract on both backends:
+same name, same draws; different names, independent draws; probing a
+closed window consumes nothing.
+"""
+
+import pytest
+
+from repro.net.fault import LinkSlowdown
+
+
+def _draws(slowdown, n=20, latency_ns=1_000):
+    slowdown.active = True
+    return [slowdown.extra_ns(latency_ns) for _ in range(n)]
+
+
+def test_same_link_name_same_jitter_sequence():
+    a = LinkSlowdown("42:chaos-slow", "up:h0", jitter_ns=5_000)
+    b = LinkSlowdown("42:chaos-slow", "up:h0", jitter_ns=5_000)
+    assert _draws(a) == _draws(b)
+
+
+def test_link_name_and_seed_both_split_the_stream():
+    base = _draws(LinkSlowdown("42:chaos-slow", "up:h0", jitter_ns=5_000))
+    other_link = _draws(LinkSlowdown("42:chaos-slow", "up:h1", jitter_ns=5_000))
+    other_seed = _draws(LinkSlowdown("7:chaos-slow", "up:h0", jitter_ns=5_000))
+    assert base != other_link
+    assert base != other_seed
+
+
+def test_interleaved_draws_cannot_perturb_each_other():
+    # Two links slowed at once: alternating their packets must yield the
+    # exact sequences each link produces when slowed alone.
+    solo_a = _draws(LinkSlowdown("42:chaos-slow", "up:h0", jitter_ns=5_000))
+    solo_b = _draws(LinkSlowdown("42:chaos-slow", "dn:h1", jitter_ns=5_000))
+    a = LinkSlowdown("42:chaos-slow", "up:h0", jitter_ns=5_000)
+    b = LinkSlowdown("42:chaos-slow", "dn:h1", jitter_ns=5_000)
+    a.active = b.active = True
+    mixed_a, mixed_b = [], []
+    for _ in range(20):
+        mixed_a.append(a.extra_ns(1_000))
+        mixed_b.append(b.extra_ns(1_000))
+    assert mixed_a == solo_a
+    assert mixed_b == solo_b
+
+
+def test_closed_window_draws_nothing():
+    probed = LinkSlowdown("42:chaos-slow", "up:h0", jitter_ns=5_000)
+    for _ in range(50):
+        assert probed.extra_ns(1_000) == 0
+    assert probed.packets_slowed == 0
+    fresh = LinkSlowdown("42:chaos-slow", "up:h0", jitter_ns=5_000)
+    # Closed-window probes consumed no jitter draws: both streams align.
+    assert _draws(probed) == _draws(fresh)
+    assert probed.packets_slowed == 20
+
+
+def test_reopened_window_continues_the_stream():
+    straight = _draws(LinkSlowdown("42:chaos-slow", "up:h0", jitter_ns=5_000))
+    paused = LinkSlowdown("42:chaos-slow", "up:h0", jitter_ns=5_000)
+    first = _draws(paused, n=8)
+    paused.active = False
+    assert paused.extra_ns(1_000) == 0  # window closed mid-run
+    second = _draws(paused, n=12)
+    assert first + second == straight
+
+
+def test_without_jitter_delay_is_pure_multiplier():
+    s = LinkSlowdown("42:chaos-slow", "up:h0", multiplier=4.0)
+    s.active = True
+    assert s.extra_ns(1_000) == 3_000  # latency * (multiplier - 1)
+
+
+def test_rejects_bad_parameters():
+    with pytest.raises(ValueError, match="multiplier"):
+        LinkSlowdown("42:chaos-slow", "up:h0", multiplier=0.5)
+    with pytest.raises(ValueError, match="jitter"):
+        LinkSlowdown("42:chaos-slow", "up:h0", jitter_ns=-1)
+
+
+# ---------------------------------------------------------------------------
+# Asyncio backend: per-direction streams named {seed}:chaos-slow:{src}->{dst}
+# ---------------------------------------------------------------------------
+def _asyncio_draws(order):
+    from repro.net.fault import FaultModel
+    from repro.runtime.asyncio_fabric import AsyncioFabric
+
+    fabric = AsyncioFabric(fault=FaultModel(seed=42))
+    try:
+        fabric.slow_jitter_ns = 5_000
+        fabric.slow("h0")
+        fabric.slow("h1")
+        return {
+            key: [fabric._slow_extra(*key) for _ in range(10)] for key in order
+        }
+    finally:
+        fabric.close()
+
+
+def test_asyncio_direction_streams_are_query_order_independent():
+    keys = [("h0", "switch"), ("h1", "switch"), ("switch", "h0")]
+    forward = _asyncio_draws(keys)
+    backward = _asyncio_draws(list(reversed(keys)))
+    # Same seed, same direction -> same draws, no matter which direction
+    # was slowed or queried first.
+    assert forward == backward
+    # And the three directions are genuinely independent streams.
+    assert len({tuple(v) for v in forward.values()}) == 3
+
+
+def test_asyncio_direction_streams_depend_on_the_chaos_seed():
+    from repro.net.fault import FaultModel
+    from repro.runtime.asyncio_fabric import AsyncioFabric
+
+    def one(seed):
+        fabric = AsyncioFabric(fault=FaultModel(seed=seed))
+        try:
+            fabric.slow_jitter_ns = 5_000
+            fabric.slow("h0")
+            return [fabric._slow_extra("h0", "switch") for _ in range(10)]
+        finally:
+            fabric.close()
+
+    assert one(42) == one(42)
+    assert one(42) != one(7)

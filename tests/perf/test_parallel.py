@@ -20,6 +20,8 @@ def test_plan_orders_experiments_then_chaos_and_shards_fig09():
         "chaos-tree[seed=7]",
         "chaos-overload[seed=0]",
         "chaos-overload[seed=7]",
+        "chaos-gray[seed=0]",
+        "chaos-gray[seed=7]",
     ]
 
 

@@ -133,8 +133,15 @@ def sharded_scenarios(draw):
         # the exact timestamps a conservative window barrier lands on.
         start = draw(st.integers(1, 20)) * CORE_LATENCY_NS
         span = draw(st.integers(1, 10)) * CORE_LATENCY_NS
-        kind = draw(st.sampled_from(["partition", "corrupt"]))
-        undo = {"partition": "heal", "corrupt": "cleanse"}[kind]
+        kind = draw(
+            st.sampled_from(["partition", "corrupt", "slow", "straggle"])
+        )
+        undo = {
+            "partition": "heal",
+            "corrupt": "cleanse",
+            "slow": "revive",
+            "straggle": "unstraggle",
+        }[kind]
         chaos.append(ChaosAction(time_ns=start, kind=kind, target=target))
         chaos.append(ChaosAction(time_ns=start + span, kind=undo, target=target))
 
@@ -153,6 +160,10 @@ def sharded_scenarios(draw):
         chaos=tuple(chaos),
         fault=fault,
         corruption_rate=0.3 if chaos else None,
+        # Nonzero jitter so gray windows actually consume their named
+        # streams — the draws must replay identically across the cut.
+        slow_jitter_ns=3_000,
+        straggle_jitter_ns=2_000,
         core_latency_ns=CORE_LATENCY_NS,
         **topo_kwargs,
     )
@@ -217,6 +228,39 @@ def test_chaos_event_exactly_on_window_boundary():
     )
     plan = demo_plan(scenario)
     assert run_serial(scenario, plan) == run_sharded(scenario, plan)[0]
+
+
+def test_gray_chaos_slow_and_straggle_identity():
+    # Gray windows with jittered named streams: a slowed host pays
+    # per-link latency draws on its own shard only, a straggling daemon's
+    # service-delay draws happen where the daemon's frames are delivered
+    # — the non-owning replica must see none of it, so serial and sharded
+    # replay identically down to every counter.
+    base = demo_scenario(seed=11)
+    gray_chaos = (
+        ChaosAction(time_ns=8_000, kind="slow", target="h2"),
+        ChaosAction(time_ns=60_000, kind="revive", target="h2"),
+        ChaosAction(time_ns=12_000, kind="straggle", target="h0"),
+        ChaosAction(time_ns=80_000, kind="unstraggle", target="h0"),
+    )
+    scenario = ShardedScenario(
+        config=base.config,
+        pods=base.pods,
+        placement=base.placement,
+        tasks=base.tasks,
+        chaos=gray_chaos,
+        fault=base.fault,
+        slow_multiplier=6.0,
+        slow_jitter_ns=3_000,
+        straggle_delay_ns=20_000,
+        straggle_jitter_ns=2_000,
+        core_latency_ns=base.core_latency_ns,
+    )
+    plan = demo_plan(scenario)
+    serial = run_serial(scenario, plan)
+    sharded, stats = run_sharded(scenario, plan)
+    assert serial == sharded
+    assert stats.messages > 0  # the gray windows ran with live cut traffic
 
 
 # ----------------------------------------------------------------------

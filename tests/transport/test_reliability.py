@@ -123,3 +123,185 @@ def test_rearm_replaces_previous_timer():
     assert resent == []  # original 1000 ns deadline was replaced
     sim.run(until=1600)
     assert len(resent) == 1
+
+
+# ---------------------------------------------------------------------------
+# Give-up / backoff-cap interaction
+# ---------------------------------------------------------------------------
+def test_capped_backoff_cannot_slide_past_give_up_deadline():
+    # Regression guard: with backoff growing toward the cap, the nth
+    # re-arm's natural delay can overshoot ``first_sent + give_up_ns``.
+    # The arm path must clamp the delay so the timer lands exactly on the
+    # deadline and fires on_give_up there — not one full capped delay late.
+    sim = Simulator()
+    window = SlidingWindow(size=4)
+    resent, gave_up = [], []
+    timers = RetransmitTimers(
+        sim,
+        window,
+        1000,
+        resent.append,
+        backoff=4.0,
+        backoff_cap_ns=8000,
+        give_up_ns=6000,
+        on_give_up=gave_up.append,
+    )
+    entry = window.open("p")
+    entry.first_sent_ns = sim.now
+    entry.transmissions = 1
+
+    def resend(e):
+        resent.append(sim.now)
+        e.transmissions += 1
+
+    timers._resend = resend
+    timers.arm(entry)
+    # Fires at 1000 (resend, next delay 4000 -> 5000), then the next
+    # natural delay would be 16000 capped to 8000 -> t=13000, past the
+    # 6000 deadline.  The clamp must pin the third firing to exactly 6000,
+    # where the deadline check converts it into the give-up.
+    sim.run(until=20_000)
+    assert resent == [1000, 5000]
+    assert timers.give_ups == 1
+    assert gave_up == [entry]
+
+
+def test_give_up_fire_time_is_exactly_the_deadline():
+    sim = Simulator()
+    window = SlidingWindow(size=4)
+    fired_at = []
+    timers = RetransmitTimers(
+        sim,
+        window,
+        1000,
+        lambda e: None,
+        backoff=8.0,
+        backoff_cap_ns=50_000,
+        give_up_ns=2500,
+        on_give_up=lambda e: fired_at.append(sim.now),
+    )
+    entry = window.open("p")
+    entry.first_sent_ns = sim.now
+    entry.transmissions = 1
+
+    def resend(e):
+        e.transmissions += 1
+
+    timers._resend = resend
+    timers.arm(entry)
+    sim.run(until=100_000)
+    # t=1000 resend (next natural delay 8000 > 2500-1000): clamped to 2500.
+    assert fired_at == [2500]
+
+
+# ---------------------------------------------------------------------------
+# AdaptiveRto estimator
+# ---------------------------------------------------------------------------
+def test_adaptive_rto_starts_at_clamped_initial():
+    from repro.transport.reliability import AdaptiveRto
+
+    est = AdaptiveRto(100_000, 50_000, 10_000_000)
+    assert est.rto_ns() == 100_000
+    est = AdaptiveRto(10, 50_000, 10_000_000)
+    assert est.rto_ns() == 50_000
+
+
+def test_adaptive_rto_tracks_inflation_up_and_down():
+    from repro.transport.reliability import AdaptiveRto
+
+    est = AdaptiveRto(100_000, 50_000, 10_000_000)
+    for _ in range(50):
+        est.observe(40_000)
+    calm = est.rto_ns()
+    assert calm == 50_000  # srtt+4var converged under the floor: clamped
+    for _ in range(50):
+        est.observe(160_000)  # 4x inflation
+    inflated = est.rto_ns()
+    assert inflated > 160_000  # srtt ~160k plus variance headroom
+    for _ in range(100):
+        est.observe(40_000)
+    assert est.rto_ns() < inflated  # follows the path back down
+
+
+def test_adaptive_rto_timeout_backoff_resets_on_clean_sample():
+    from repro.transport.reliability import AdaptiveRto
+
+    est = AdaptiveRto(100_000, 50_000, 10_000_000)
+    est.observe(40_000)
+    base = est.rto_ns()
+    est.on_timeout()
+    assert est.rto_ns() == min(base * 2, 10_000_000)
+    est.on_timeout()
+    assert est.rto_ns() == min(base * 4, 10_000_000)
+    est.observe(40_000)  # Karn: a clean sample resets the backoff
+    assert est.rto_ns() <= base
+
+
+def test_adaptive_rto_rejects_bad_bounds():
+    from repro.transport.reliability import AdaptiveRto
+
+    with pytest.raises(ValueError):
+        AdaptiveRto(1000, 0, 10)
+    with pytest.raises(ValueError):
+        AdaptiveRto(1000, 100, 50)
+
+
+def test_estimator_owns_delay_and_backoff():
+    from repro.transport.reliability import AdaptiveRto
+
+    sim = Simulator()
+    window = SlidingWindow(size=4)
+    est = AdaptiveRto(1000, 500, 1_000_000)
+    resent = []
+
+    timers = RetransmitTimers(
+        sim, window, 1000, lambda e: None,
+        backoff=4.0, backoff_cap_ns=100_000, estimator=est,
+    )
+
+    def resend(e):
+        resent.append(sim.now)
+        e.transmissions += 1
+
+    timers._resend = resend
+    entry = window.open("p")
+    entry.first_sent_ns = sim.now
+    entry.transmissions = 1
+    timers.arm(entry)
+    # Estimator path ignores the config backoff factor: firings at 1000,
+    # then estimator-doubled 2000 -> 3000, 4000 -> 7000 (not 4**n).
+    sim.run(until=3500)
+    assert len(resent) == 2
+    assert timers.timeouts == 2
+
+
+def test_note_ack_tracks_min_rtt_and_flags_spurious():
+    sim = Simulator()
+    window = SlidingWindow(size=8)
+    timers = RetransmitTimers(sim, window, 1000, lambda e: None)
+
+    first = window.open("a")
+    first.transmissions = 1
+    first.last_sent_ns = 0
+    sim.call_at(400, lambda: None)
+    sim.run()  # now == 400
+    timers.note_ack(first)  # clean sample: min_rtt = 400
+    assert timers.min_rtt_ns == 400
+    assert timers.spurious_retransmissions == 0
+
+    # A retransmitted entry whose ACK lands 100ns after its last send:
+    # faster than any network round trip ever observed, so the ACK must
+    # answer an earlier copy — both extra copies were spurious.
+    second = window.open("b")
+    second.transmissions = 3
+    second.last_sent_ns = sim.now - 100
+    timers.note_ack(second)
+    assert timers.spurious_retransmissions == 2
+
+    # A retransmitted entry acked slower than min_rtt is ambiguous: not
+    # counted (Karn-style conservatism).
+    third = window.open("c")
+    third.transmissions = 2
+    third.last_sent_ns = sim.now - 900
+    timers.note_ack(third)
+    assert timers.spurious_retransmissions == 2
